@@ -1,0 +1,276 @@
+package repro
+
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation. Each benchmark regenerates its artifact at a reduced scale
+// (load regimes preserved; see internal/experiments) and reports the
+// headline numbers through b.ReportMetric, so
+//
+//	go test -bench=. -benchmem
+//
+// prints the same rows/series the paper reports. cmd/hawkexp runs the full
+// 20000-job versions; EXPERIMENTS.md records paper-vs-measured values.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// benchScale keeps each benchmark iteration in the seconds range while
+// preserving the paper's load regimes.
+var benchScale = experiments.Scale{NumJobs: 4000, Seed: 42, Runs: 1}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1(benchScale)
+		for _, r := range rows {
+			b.ReportMetric(r.PctLongJobs, "pctLongJobs_"+r.Workload)
+			b.ReportMetric(r.PctLongTaskSeconds, "pctTaskSec_"+r.Workload)
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table2(benchScale)
+		for _, r := range rows {
+			b.ReportMetric(float64(r.TotalJobs), "jobs_"+r.Workload)
+		}
+	}
+}
+
+func BenchmarkFig1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Fig1(benchScale.Seed)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.FracOver15000s, "pctShortOver15000s")
+		b.ReportMetric(100*r.MedianUtil, "medianUtilPct")
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		data := experiments.Fig4(benchScale)
+		for _, d := range data {
+			if len(d.LongDur) == 0 {
+				b.Fatalf("%s: empty CDF", d.Workload)
+			}
+		}
+		b.ReportMetric(float64(len(data)), "workloads")
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig5(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			suffix := fmt.Sprintf("_n%dk", int(p.X)/1000)
+			b.ReportMetric(p.ShortP50, "shortP50"+suffix)
+			b.ReportMetric(p.LongP50, "longP50"+suffix)
+		}
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	// The Facebook sweep reaches 170000 simulated nodes; keep one
+	// iteration tractable by reporting only the per-trace extremes.
+	for i := 0; i < b.N; i++ {
+		series, err := experiments.Fig6(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, s := range series {
+			hi := s.Points[0]
+			lo := s.Points[len(s.Points)-1]
+			b.ReportMetric(hi.ShortP90, "shortP90_loaded_"+s.Workload)
+			b.ReportMetric(lo.ShortP90, "shortP90_idle_"+s.Workload)
+		}
+	}
+}
+
+func BenchmarkFig7(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig7(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			key := map[string]string{
+				"w/o centralized": "noCentral",
+				"w/o partition":   "noPartition",
+				"w/o stealing":    "noStealing",
+			}[r.Variant]
+			b.ReportMetric(r.ShortP50, "shortP50_"+key)
+			b.ReportMetric(r.LongP50, "longP50_"+key)
+		}
+	}
+}
+
+func BenchmarkFig8And9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig8And9(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			if p.X == 15000 {
+				b.ReportMetric(p.ShortP90, "shortP90_vsCentral_n15k")
+				b.ReportMetric(p.LongP50, "longP50_vsCentral_n15k")
+			}
+		}
+	}
+}
+
+func BenchmarkFig10And11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig10And11(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			if p.X == 15000 {
+				b.ReportMetric(p.ShortP50, "shortP50_vsSplit_n15k")
+				b.ReportMetric(p.LongP50, "longP50_vsSplit_n15k")
+			}
+		}
+	}
+}
+
+func BenchmarkFig12And13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig12And13(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			suffix := fmt.Sprintf("_cut%d", int(p.X))
+			b.ReportMetric(p.ShortP50, "shortP50"+suffix)
+			b.ReportMetric(p.LongP90, "longP90"+suffix)
+		}
+	}
+}
+
+func BenchmarkFig14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig14(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			suffix := fmt.Sprintf("_%.0f_%.0f", 10*p.Lo, 10*p.Hi)
+			b.ReportMetric(p.LongP50, "longP50"+suffix)
+		}
+	}
+}
+
+func BenchmarkFig15(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig15(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			if p.Cap == 10 || p.Cap == 250 {
+				b.ReportMetric(p.ShortP50, fmt.Sprintf("shortP50_cap%d", p.Cap))
+			}
+		}
+	}
+}
+
+func BenchmarkFig16And17(b *testing.B) {
+	// The live prototype really sleeps, so this is the slowest benchmark:
+	// a trimmed trace and a single high-load point keep one iteration
+	// around ten seconds of wall-clock time.
+	cfg := experiments.Fig16Config{
+		NumJobs:       80,
+		NumNodes:      100,
+		NumSchedulers: 10,
+		DurationScale: 1e-4,
+		LoadFactors:   []float64{1},
+		Seed:          42,
+	}
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig16And17(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		p := pts[0]
+		b.ReportMetric(p.Impl.ShortP50, "implShortP50")
+		b.ReportMetric(p.Sim.ShortP50, "simShortP50")
+		b.ReportMetric(p.Impl.LongP50, "implLongP50")
+		b.ReportMetric(p.Sim.LongP50, "simLongP50")
+	}
+}
+
+// BenchmarkSimulatorThroughput measures the raw discrete-event simulator:
+// events processed per second of wall-clock time on the default Google
+// workload at the paper's headline operating point.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	trace := experiments.GoogleTrace(benchScale)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(trace, sim.Config{NumNodes: 15000, Mode: sim.ModeHawk, Seed: 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Events), "events/op")
+	}
+}
+
+// BenchmarkCentralQueue measures the §3.7 priority queue in isolation at
+// cluster scale.
+func BenchmarkCentralQueue(b *testing.B) {
+	trace := workload.Generate(workload.Google(), workload.GenConfig{
+		NumJobs: 500, MeanInterArrival: 1, Seed: 1,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(trace, sim.Config{NumNodes: 10000, Mode: sim.ModeCentralized, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.CentralAssigns), "assigns/op")
+	}
+}
+
+// BenchmarkAblationStealPositions quantifies the §3.6 design argument:
+// Figure 3's consecutive-group stealing vs stealing short entries from
+// random queue positions, both normalized to Sparrow.
+func BenchmarkAblationStealPositions(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.AblationStealPosition(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			key := "group"
+			if r.Policy == "random-positions" {
+				key = "random"
+			}
+			b.ReportMetric(r.ShortP50, "shortP50_"+key)
+			b.ReportMetric(r.ShortP90, "shortP90_"+key)
+		}
+	}
+}
+
+// BenchmarkAblationProbeRatio sweeps the batch-sampling probe ratio that
+// the paper fixes at 2 on the Sparrow authors' advice (§4.1).
+func BenchmarkAblationProbeRatio(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.AblationProbeRatio(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range pts {
+			b.ReportMetric(p.ShortP50, fmt.Sprintf("shortP50_%s_d%d", p.Mode, p.Ratio))
+		}
+	}
+}

@@ -1,0 +1,308 @@
+// Command hawkexp reproduces the paper's tables and figures. Each
+// experiment prints the rows or curve series the paper reports; see
+// EXPERIMENTS.md for the paper-vs-measured record.
+//
+// Usage:
+//
+//	hawkexp -list
+//	hawkexp -exp fig5 [-jobs 20000] [-seed 42] [-runs 10]
+//	hawkexp -exp all -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+var (
+	expFlag   = flag.String("exp", "", "experiment id (table1, table2, fig1, fig4, fig5, fig6, fig7, fig8-9, fig10-11, fig12-13, fig14, fig15, fig16-17) or 'all'")
+	listFlag  = flag.Bool("list", false, "list experiment ids and exit")
+	jobsFlag  = flag.Int("jobs", 20000, "synthetic trace size in jobs")
+	seedFlag  = flag.Int64("seed", 42, "random seed")
+	runsFlag  = flag.Int("runs", 10, "runs to average where the paper averages (fig14)")
+	quickFlag = flag.Bool("quick", false, "use the reduced quick scale (fewer jobs, fewer runs)")
+	fullProto = flag.Bool("fullproto", false, "run fig16-17 at the paper's full prototype scale (3300 jobs, sec->ms; takes tens of minutes)")
+)
+
+type experiment struct {
+	id   string
+	desc string
+	run  func(sc experiments.Scale) error
+}
+
+func registry() []experiment {
+	return []experiment{
+		{"table1", "Table 1: long-job and task-second shares per workload", runTable1},
+		{"table2", "Table 2: long-job percentage and job counts", runTable2},
+		{"fig1", "Figure 1: CDF of short-job runtime under Sparrow, loaded cluster", runFig1},
+		{"fig4", "Figure 4: workload property CDFs", runFig4},
+		{"fig5", "Figure 5: Hawk vs Sparrow, Google trace, node sweep", runFig5},
+		{"fig6", "Figure 6: Hawk vs Sparrow, Cloudera/Facebook/Yahoo", runFig6},
+		{"fig7", "Figure 7: component breakdown (ablations)", runFig7},
+		{"fig8-9", "Figures 8-9: Hawk vs fully centralized", runFig89},
+		{"fig10-11", "Figures 10-11: Hawk vs split cluster", runFig1011},
+		{"fig12-13", "Figures 12-13: cutoff sensitivity", runFig1213},
+		{"fig14", "Figure 14: mis-estimation sensitivity", runFig14},
+		{"fig15", "Figure 15: stealing-attempt cap sensitivity", runFig15},
+		{"fig16-17", "Figures 16-17: implementation vs simulation (live prototype)", runFig1617},
+	}
+}
+
+func main() {
+	flag.Parse()
+	regs := registry()
+	if *listFlag || *expFlag == "" {
+		fmt.Println("experiments:")
+		for _, e := range regs {
+			fmt.Printf("  %-9s %s\n", e.id, e.desc)
+		}
+		if *expFlag == "" && !*listFlag {
+			os.Exit(2)
+		}
+		return
+	}
+	sc := experiments.Scale{NumJobs: *jobsFlag, Seed: *seedFlag, Runs: *runsFlag}
+	if *quickFlag {
+		sc = experiments.QuickScale()
+		sc.Seed = *seedFlag
+	}
+	ids := map[string]experiment{}
+	order := []string{}
+	for _, e := range regs {
+		ids[e.id] = e
+		order = append(order, e.id)
+	}
+	var toRun []string
+	if *expFlag == "all" {
+		toRun = order
+	} else {
+		if _, ok := ids[*expFlag]; !ok {
+			fmt.Fprintf(os.Stderr, "hawkexp: unknown experiment %q (use -list)\n", *expFlag)
+			os.Exit(2)
+		}
+		toRun = []string{*expFlag}
+	}
+	for _, id := range toRun {
+		e := ids[id]
+		fmt.Printf("=== %s — %s\n", e.id, e.desc)
+		start := time.Now()
+		if err := e.run(sc); err != nil {
+			fmt.Fprintf(os.Stderr, "hawkexp: %s: %v\n", e.id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("--- %s done in %v\n\n", e.id, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func runTable1(sc experiments.Scale) error {
+	fmt.Print(experiments.FormatTable1(experiments.Table1(sc)))
+	return nil
+}
+
+func runTable2(sc experiments.Scale) error {
+	fmt.Print(experiments.FormatTable2(experiments.Table2(sc)))
+	return nil
+}
+
+func runFig1(sc experiments.Scale) error {
+	r, err := experiments.Fig1(sc.Seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("median utilization: %.1f%%  max: %.1f%%\n", 100*r.MedianUtil, 100*r.MaxUtil)
+	fmt.Printf("short jobs with runtime > 15000 s: %.1f%%\n", 100*r.FracOver15000s)
+	fmt.Println("short-job runtime CDF (runtime s -> cumulative fraction):")
+	marks := []float64{100, 1000, 5000, 10000, 15000, 20000, 25000, 30000, 35000}
+	for _, m := range marks {
+		frac := cdfAt(r.ShortRuntimeCDF, m)
+		fmt.Printf("  %7.0f s: %5.1f%%\n", m, 100*frac)
+	}
+	return nil
+}
+
+func runFig4(sc experiments.Scale) error {
+	data := experiments.Fig4(sc)
+	for _, d := range data {
+		fmt.Printf("%s:\n", d.Workload)
+		fmt.Printf("  long  dur  p50=%.0f p90=%.0f | tasks p50=%.0f p90=%.0f\n",
+			cdfPct(d.LongDur, 50), cdfPct(d.LongDur, 90), cdfPct(d.LongTasks, 50), cdfPct(d.LongTasks, 90))
+		fmt.Printf("  short dur  p50=%.0f p90=%.0f | tasks p50=%.0f p90=%.0f\n",
+			cdfPct(d.ShortDur, 50), cdfPct(d.ShortDur, 90), cdfPct(d.ShortTasks, 50), cdfPct(d.ShortTasks, 90))
+	}
+	return nil
+}
+
+func runFig5(sc experiments.Scale) error {
+	pts, err := experiments.Fig5(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Println("nodes  util | short p50 p90 | long p50 p90 | fracImp short long | avgRatio short long")
+	for _, p := range pts {
+		fmt.Printf("%6.0f %.2f | %.2f %.2f | %.2f %.2f | %.2f %.2f | %.2f %.2f  %s\n",
+			p.X, p.BaselineUtil, p.ShortP50, p.ShortP90, p.LongP50, p.LongP90,
+			p.FracShortImproved, p.FracLongImproved, p.AvgRatioShort, p.AvgRatioLong,
+			bar(p.ShortP50))
+	}
+	fmt.Println("(bar: Hawk/Sparrow short p50; '|' marks ratio 1.0 — shorter is better)")
+	return nil
+}
+
+// bar renders a ratio in [0, 1.6] as a small horizontal bar with a tick at
+// 1.0, echoing the figures' normalized-to-baseline y-axis.
+func bar(ratio float64) string {
+	const width = 32
+	const tick = 20 // position of ratio 1.0
+	if math.IsNaN(ratio) {
+		return ""
+	}
+	n := int(ratio * tick)
+	if n > width {
+		n = width
+	}
+	if n < 0 {
+		n = 0
+	}
+	var b strings.Builder
+	for i := 0; i < width; i++ {
+		switch {
+		case i == tick:
+			b.WriteByte('|')
+		case i < n:
+			b.WriteByte('#')
+		default:
+			b.WriteByte(' ')
+		}
+	}
+	return b.String()
+}
+
+func runFig6(sc experiments.Scale) error {
+	series, err := experiments.Fig6(sc)
+	if err != nil {
+		return err
+	}
+	for _, s := range series {
+		fmt.Printf("%s: nodes util | short p90 | long p90\n", s.Workload)
+		for _, p := range s.Points {
+			fmt.Printf("  %6.0f %.2f | %.2f | %.2f\n", p.X, p.BaselineUtil, p.ShortP90, p.LongP90)
+		}
+	}
+	return nil
+}
+
+func runFig7(sc experiments.Scale) error {
+	rows, err := experiments.Fig7(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Println("variant            short p50 p90 | long p50 p90  (normalized to full Hawk)")
+	for _, r := range rows {
+		fmt.Printf("%-18s %.2f %.2f | %.2f %.2f\n", r.Variant, r.ShortP50, r.ShortP90, r.LongP50, r.LongP90)
+	}
+	return nil
+}
+
+func runFig89(sc experiments.Scale) error {
+	pts, err := experiments.Fig8And9(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Println("nodes | short p50 p90 | long p50 p90  (Hawk / Centralized)")
+	for _, p := range pts {
+		fmt.Printf("%6.0f | %.2f %.2f | %.2f %.2f\n", p.X, p.ShortP50, p.ShortP90, p.LongP50, p.LongP90)
+	}
+	return nil
+}
+
+func runFig1011(sc experiments.Scale) error {
+	pts, err := experiments.Fig10And11(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Println("nodes | short p50 p90 | long p50 p90  (Hawk / Split cluster)")
+	for _, p := range pts {
+		fmt.Printf("%6.0f | %.2f %.2f | %.2f %.2f\n", p.X, p.ShortP50, p.ShortP90, p.LongP50, p.LongP90)
+	}
+	return nil
+}
+
+func runFig1213(sc experiments.Scale) error {
+	pts, err := experiments.Fig12And13(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Println("cutoff | short p50 p90 | long p50 p90  (Hawk / Sparrow, 15000 nodes)")
+	for _, p := range pts {
+		fmt.Printf("%6.0f | %.2f %.2f | %.2f %.2f\n", p.X, p.ShortP50, p.ShortP90, p.LongP50, p.LongP90)
+	}
+	return nil
+}
+
+func runFig14(sc experiments.Scale) error {
+	pts, err := experiments.Fig14(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Println("mis-estimation | long p50 p90  (Hawk / Sparrow, avg over runs)")
+	for _, p := range pts {
+		fmt.Printf("%.1f-%.1f | %.2f %.2f\n", p.Lo, p.Hi, p.LongP50, p.LongP90)
+	}
+	return nil
+}
+
+func runFig15(sc experiments.Scale) error {
+	pts, err := experiments.Fig15(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Println("cap | short p50 p90 | long p50 p90  (normalized to cap 1)")
+	for _, p := range pts {
+		fmt.Printf("%3d | %.2f %.2f | %.2f %.2f\n", p.Cap, p.ShortP50, p.ShortP90, p.LongP50, p.LongP90)
+	}
+	return nil
+}
+
+func runFig1617(sc experiments.Scale) error {
+	cfg := experiments.QuickFig16Config()
+	if *fullProto {
+		cfg = experiments.DefaultFig16Config()
+	}
+	cfg.Seed = sc.Seed
+	pts, err := experiments.Fig16And17(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Println("load | impl: short p50 p90, long p50 p90 | sim: short p50 p90, long p50 p90")
+	for _, p := range pts {
+		fmt.Printf("%.2f | %.2f %.2f, %.2f %.2f | %.2f %.2f, %.2f %.2f\n",
+			p.LoadFactor,
+			p.Impl.ShortP50, p.Impl.ShortP90, p.Impl.LongP50, p.Impl.LongP90,
+			p.Sim.ShortP50, p.Sim.ShortP90, p.Sim.LongP50, p.Sim.LongP90)
+	}
+	return nil
+}
+
+func cdfAt(points []stats.CDFPoint, x float64) float64 {
+	return stats.CDFAt(points, x)
+}
+
+func cdfPct(points []stats.CDFPoint, pct float64) float64 {
+	target := pct / 100
+	for _, p := range points {
+		if p.Fraction >= target {
+			return p.Value
+		}
+	}
+	if len(points) == 0 {
+		return 0
+	}
+	return points[len(points)-1].Value
+}

@@ -1,0 +1,92 @@
+// Command hawkgen generates synthetic workload traces and prints their
+// Table 1/2 characterization.
+//
+// Usage:
+//
+//	hawkgen -workload google -jobs 20000 -out google.csv
+//	hawkgen -stats -in google.csv -cutoff 1129
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/workload"
+)
+
+var (
+	workloadFlag = flag.String("workload", "google", "workload: google, cloudera, facebook, yahoo, motivation")
+	jobsFlag     = flag.Int("jobs", 20000, "number of jobs")
+	iaFlag       = flag.Float64("ia", 2.3, "mean inter-arrival time (seconds)")
+	seedFlag     = flag.Int64("seed", 42, "random seed")
+	outFlag      = flag.String("out", "", "write the trace to this CSV file")
+	inFlag       = flag.String("in", "", "read a trace from this CSV file instead of generating")
+	cutoffFlag   = flag.Float64("cutoff", 0, "cutoff for the by-cutoff statistics (0 = workload default)")
+	statsFlag    = flag.Bool("stats", true, "print workload statistics")
+)
+
+func main() {
+	flag.Parse()
+	t, cutoff, err := obtainTrace()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hawkgen: %v\n", err)
+		os.Exit(1)
+	}
+	if *outFlag != "" {
+		if err := workload.SaveFile(*outFlag, t); err != nil {
+			fmt.Fprintf(os.Stderr, "hawkgen: writing %s: %v\n", *outFlag, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d jobs to %s\n", t.Len(), *outFlag)
+	}
+	if *statsFlag {
+		printStats(t, cutoff)
+	}
+}
+
+func obtainTrace() (*workload.Trace, float64, error) {
+	if *inFlag != "" {
+		t, err := workload.LoadFile(*inFlag)
+		if err != nil {
+			return nil, 0, err
+		}
+		cutoff := *cutoffFlag
+		if cutoff <= 0 {
+			return nil, 0, fmt.Errorf("loaded traces need -cutoff for by-cutoff stats")
+		}
+		return t, cutoff, nil
+	}
+	if *workloadFlag == "motivation" {
+		t := workload.MotivationWorkload(*seedFlag)
+		return t, t.Cutoff, nil
+	}
+	spec, err := workload.SpecByName(*workloadFlag)
+	if err != nil {
+		return nil, 0, err
+	}
+	t := workload.Generate(spec, workload.GenConfig{
+		NumJobs:          *jobsFlag,
+		MeanInterArrival: *iaFlag,
+		Seed:             *seedFlag,
+	})
+	cutoff := *cutoffFlag
+	if cutoff <= 0 {
+		cutoff = spec.Cutoff
+	}
+	return t, cutoff, nil
+}
+
+func printStats(t *workload.Trace, cutoff float64) {
+	byCut := workload.ComputeStats(t, cutoff)
+	byGen := workload.ComputeStatsByConstruction(t)
+	fmt.Printf("trace: %s  jobs: %d  tasks: %d  task-seconds: %.3g\n",
+		t.Name, byCut.TotalJobs, byCut.TotalTasks, byCut.TotalTaskSeconds)
+	fmt.Printf("last submission: %.0f s\n", t.MakespanLowerBound())
+	fmt.Printf("by cutoff %.0f s:      %%long=%.2f  %%task-seconds=%.2f  %%tasks=%.2f  dur-ratio=%.2f\n",
+		cutoff, byCut.PctLongJobs, byCut.PctLongTaskSeconds, byCut.PctLongTasks, byCut.AvgTaskDurRatio)
+	if byGen.LongJobs > 0 {
+		fmt.Printf("by construction:     %%long=%.2f  %%task-seconds=%.2f  %%tasks=%.2f  dur-ratio=%.2f\n",
+			byGen.PctLongJobs, byGen.PctLongTaskSeconds, byGen.PctLongTasks, byGen.AvgTaskDurRatio)
+	}
+}

@@ -1,0 +1,156 @@
+// Command hawksim runs a single trace-driven scheduling simulation and
+// prints the collected metrics.
+//
+// Usage:
+//
+//	hawksim -workload google -nodes 15000 -mode hawk -jobs 20000
+//	hawksim -trace mytrace.csv -nodes 1000 -mode sparrow -cutoff 500
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+var (
+	workloadFlag  = flag.String("workload", "google", "synthetic workload: google, cloudera, facebook, yahoo, motivation")
+	traceFlag     = flag.String("trace", "", "CSV trace file (overrides -workload)")
+	jobsFlag      = flag.Int("jobs", 20000, "number of jobs to generate")
+	iaFlag        = flag.Float64("ia", 0, "mean job inter-arrival time in seconds (0 = workload default)")
+	nodesFlag     = flag.Int("nodes", 15000, "cluster size")
+	modeFlag      = flag.String("mode", "hawk", "scheduler: sparrow, hawk, centralized, split")
+	cutoffFlag    = flag.Float64("cutoff", 0, "long/short cutoff seconds (0 = trace default)")
+	partFlag      = flag.Float64("partition", 0, "short-partition fraction (0 = trace default)")
+	probesFlag    = flag.Int("probes", 2, "probes per task")
+	stealCapFlag  = flag.Int("stealcap", 10, "max nodes contacted per steal attempt")
+	noStealFlag   = flag.Bool("nosteal", false, "disable work stealing")
+	noPartFlag    = flag.Bool("nopartition", false, "disable the short partition")
+	noCentralFlag = flag.Bool("nocentral", false, "schedule long jobs with probing instead of centrally")
+	misLoFlag     = flag.Float64("mislo", 0, "mis-estimation factor lower bound")
+	misHiFlag     = flag.Float64("mishi", 0, "mis-estimation factor upper bound")
+	seedFlag      = flag.Int64("seed", 42, "random seed")
+	dumpFlag      = flag.String("dump", "", "write per-job results to this CSV file")
+)
+
+func main() {
+	flag.Parse()
+	trace, err := loadTrace()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hawksim: %v\n", err)
+		os.Exit(1)
+	}
+	mode, err := parseMode(*modeFlag)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hawksim: %v\n", err)
+		os.Exit(2)
+	}
+	res, err := sim.Run(trace, sim.Config{
+		NumNodes:               *nodesFlag,
+		Mode:                   mode,
+		Cutoff:                 *cutoffFlag,
+		ShortPartitionFraction: *partFlag,
+		ProbeRatio:             *probesFlag,
+		StealCap:               *stealCapFlag,
+		DisableStealing:        *noStealFlag,
+		DisablePartition:       *noPartFlag,
+		DisableCentral:         *noCentralFlag,
+		MisestimateLo:          *misLoFlag,
+		MisestimateHi:          *misHiFlag,
+		Seed:                   *seedFlag,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hawksim: %v\n", err)
+		os.Exit(1)
+	}
+	printResult(trace, res)
+	if *dumpFlag != "" {
+		if err := sim.SaveResultsCSV(*dumpFlag, res); err != nil {
+			fmt.Fprintf(os.Stderr, "hawksim: writing %s: %v\n", *dumpFlag, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote per-job results to %s\n", *dumpFlag)
+	}
+}
+
+func loadTrace() (*workload.Trace, error) {
+	if *traceFlag != "" {
+		t, err := workload.LoadFile(*traceFlag)
+		if err != nil {
+			return nil, err
+		}
+		if *cutoffFlag > 0 {
+			t.Cutoff = *cutoffFlag
+		}
+		if t.Cutoff == 0 {
+			return nil, fmt.Errorf("trace files carry no cutoff; pass -cutoff")
+		}
+		if *partFlag > 0 {
+			t.ShortPartitionFraction = *partFlag
+		}
+		return t, nil
+	}
+	if *workloadFlag == "motivation" {
+		return workload.MotivationWorkload(*seedFlag), nil
+	}
+	spec, err := workload.SpecByName(*workloadFlag)
+	if err != nil {
+		return nil, err
+	}
+	ia := *iaFlag
+	if ia <= 0 {
+		ia = defaultInterArrival(spec.Name)
+	}
+	return workload.Generate(spec, workload.GenConfig{
+		NumJobs:          *jobsFlag,
+		MeanInterArrival: ia,
+		Seed:             *seedFlag,
+	}), nil
+}
+
+func defaultInterArrival(name string) float64 {
+	switch name {
+	case "google":
+		return 2.3
+	case "cloudera":
+		return 1.5
+	case "facebook":
+		return 1.0
+	case "yahoo":
+		return 7.5
+	}
+	return 2.3
+}
+
+func parseMode(s string) (sim.Mode, error) {
+	switch s {
+	case "sparrow":
+		return sim.ModeSparrow, nil
+	case "hawk":
+		return sim.ModeHawk, nil
+	case "centralized":
+		return sim.ModeCentralized, nil
+	case "split":
+		return sim.ModeSplit, nil
+	}
+	return 0, fmt.Errorf("unknown mode %q", s)
+}
+
+func printResult(trace *workload.Trace, res *sim.Result) {
+	short := stats.Summarize(res.ShortRuntimes())
+	long := stats.Summarize(res.LongRuntimes())
+	fmt.Printf("mode: %s  jobs: %d  makespan: %.0f s  events: %d\n",
+		res.Mode, len(res.Jobs), res.Makespan, res.Events)
+	fmt.Printf("short jobs: %s\n", short)
+	fmt.Printf("long jobs:  %s\n", long)
+	fmt.Printf("median utilization (arrival window): %.1f%%  max: %.1f%%\n",
+		100*res.Utilization.MedianUpTo(trace.MakespanLowerBound()), 100*res.Utilization.Max())
+	fmt.Printf("probes: %d  cancels: %d  tasks: %d  central assigns: %d\n",
+		res.ProbesSent, res.Cancels, res.TasksExecuted, res.CentralAssigns)
+	fmt.Printf("steals: attempts=%d contacts=%d successes=%d entries=%d\n",
+		res.StealAttempts, res.StealContacts, res.StealSuccesses, res.EntriesStolen)
+}

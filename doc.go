@@ -1,0 +1,17 @@
+// Package repro is a from-scratch Go reproduction of "Hawk: Hybrid
+// Datacenter Scheduling" (Delgado, Dinu, Kermarrec, Zwaenepoel — USENIX ATC
+// 2015).
+//
+// The library implements Hawk's hybrid scheduler — centralized scheduling
+// for long jobs, Sparrow-style distributed batch sampling for short jobs, a
+// reserved short partition, and randomized work stealing — together with
+// every substrate the paper's evaluation depends on: a discrete-event
+// cluster simulator, synthetic Google/Cloudera/Facebook/Yahoo workload
+// generators, the Sparrow, fully-centralized, and split-cluster baselines,
+// and a live goroutine-based prototype runtime.
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for the paper-vs-measured record. The benchmarks in
+// bench_test.go regenerate every table and figure of the paper's
+// evaluation at a reduced scale.
+package repro

@@ -1,0 +1,43 @@
+// Tracetool demonstrates the trace API: generate each synthetic workload,
+// round-trip it through the CSV format, and print the Table 1/2
+// characterization — the numbers that motivate Hawk's design.
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"repro/internal/workload"
+)
+
+func main() {
+	fmt.Printf("%-10s %-12s %-14s %-12s %-10s\n",
+		"workload", "% long jobs", "% task-secs", "long tasks%", "csv bytes")
+	for _, spec := range workload.AllSpecs() {
+		trace := workload.Generate(spec, workload.GenConfig{
+			NumJobs:          2000,
+			MeanInterArrival: 2,
+			Seed:             11,
+		})
+
+		// Round-trip through the CSV trace format.
+		var buf bytes.Buffer
+		if err := workload.WriteCSV(&buf, trace); err != nil {
+			log.Fatalf("writing %s: %v", spec.Name, err)
+		}
+		reloaded, err := workload.ReadCSV(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			log.Fatalf("reading %s back: %v", spec.Name, err)
+		}
+		if reloaded.Len() != trace.Len() {
+			log.Fatalf("%s: round trip lost jobs: %d != %d", spec.Name, reloaded.Len(), trace.Len())
+		}
+
+		st := workload.ComputeStatsByConstruction(reloaded)
+		fmt.Printf("%-10s %11.2f%% %13.2f%% %11.2f%% %10d\n",
+			spec.Name, st.PctLongJobs, st.PctLongTaskSeconds, st.PctLongTasks, buf.Len())
+	}
+	fmt.Println("\nEvery workload shows the same pattern: a few long jobs own most of the")
+	fmt.Println("resources — the heterogeneity Hawk's hybrid design exploits.")
+}

@@ -1,0 +1,289 @@
+package core
+
+import "container/heap"
+
+// CentralQueue is the centralized scheduler's data structure (§3.7): a
+// priority queue of <server, waiting time> tuples kept sorted by waiting
+// time. The waiting time of a server is the sum of the estimated execution
+// times of all long tasks in that server's queue plus the remaining
+// estimated execution time of any long task currently executing there.
+//
+// The queue observes the lifecycle of the tasks it placed: the runtime
+// reports TaskStarted and TaskFinished, which is what keeps the waiting
+// times "timely and fairly accurate" (§3.7) even when actual task durations
+// deviate from the estimates. Short tasks and probes are invisible to it,
+// exactly as in the paper.
+//
+// Exact min-waiting extraction despite continuously decaying waiting times
+// is achieved with two heaps:
+//
+//   - the running heap holds servers whose estimated running task extends
+//     into the future (runEnd > now), keyed by runEnd + queued. All such
+//     waiting times decay at unit rate, so their relative order is
+//     time-invariant. A member whose runEnd slips into the past has true
+//     waiting = queued >= key - now, so it can only be *under*-estimated
+//     while buried in the heap — the root therefore stays the true minimum
+//     of the heap, and expired roots are lazily migrated out.
+//   - the idle heap holds the rest, keyed by queued (time-invariant).
+//
+// Assign compares the two roots' true waiting times and picks the smaller,
+// so assignments are exactly min-waiting at every instant.
+type CentralQueue struct {
+	now     float64
+	servers map[int]*serverState
+	running serverHeap // key: runEnd + queued
+	idle    serverHeap // key: queued
+}
+
+type serverState struct {
+	nodeID  int
+	runEnd  float64 // estimated completion instant of the running long task
+	queued  float64 // summed estimates of queued long tasks
+	heapIdx int
+	inRun   bool
+}
+
+// key returns the heap ordering key for the heap the server currently
+// occupies.
+func (s *serverState) key() float64 {
+	if s.inRun {
+		return s.runEnd + s.queued
+	}
+	return s.queued
+}
+
+// waiting returns the true waiting time at instant now.
+func (s *serverState) waiting(now float64) float64 {
+	w := s.queued
+	if s.runEnd > now {
+		w += s.runEnd - now
+	}
+	return w
+}
+
+// NewCentralQueue builds a queue over the given node ids, all initially
+// idle (zero waiting time).
+func NewCentralQueue(nodeIDs []int) *CentralQueue {
+	q := &CentralQueue{servers: make(map[int]*serverState, len(nodeIDs))}
+	for _, id := range nodeIDs {
+		s := &serverState{nodeID: id}
+		q.servers[id] = s
+		q.idle.push(s)
+	}
+	return q
+}
+
+// Len returns the number of servers tracked.
+func (q *CentralQueue) Len() int { return len(q.servers) }
+
+func (q *CentralQueue) advance(now float64) {
+	if now > q.now {
+		q.now = now
+	}
+	// Migrate expired running roots: their tasks should have finished by
+	// their estimate; their waiting no longer decays.
+	for q.running.len() > 0 {
+		root := q.running.peek()
+		if root.runEnd > q.now {
+			break
+		}
+		q.running.remove(root)
+		root.inRun = false
+		q.idle.push(root)
+	}
+}
+
+// best returns the server with the smallest true waiting time at q.now.
+func (q *CentralQueue) best() *serverState {
+	var r, i *serverState
+	if q.running.len() > 0 {
+		r = q.running.peek()
+	}
+	if q.idle.len() > 0 {
+		i = q.idle.peek()
+	}
+	switch {
+	case r == nil:
+		return i
+	case i == nil:
+		return r
+	}
+	wr, wi := r.waiting(q.now), i.waiting(q.now)
+	if wr != wi {
+		if wr < wi {
+			return r
+		}
+		return i
+	}
+	if r.nodeID < i.nodeID {
+		return r
+	}
+	return i
+}
+
+// Assign places one task with the given estimated duration on the server
+// with the smallest waiting time at instant now, bumps that server's
+// waiting time, and returns the chosen node id along with the waiting time
+// the scheduler expects the task to experience.
+func (q *CentralQueue) Assign(now, estDuration float64) (nodeID int, waiting float64) {
+	if len(q.servers) == 0 {
+		panic("core: Assign on empty CentralQueue")
+	}
+	q.advance(now)
+	s := q.best()
+	waiting = s.waiting(q.now)
+	s.queued += estDuration
+	q.fix(s)
+	return s.nodeID, waiting
+}
+
+// TaskStarted records that a previously assigned task began executing on
+// nodeID at instant now: its estimate leaves the queued sum, and the
+// running term is anchored to the duration the executing node reports
+// (runDuration). Node monitors know the concrete task they launched, so
+// the "remaining execution time of any long task that currently may be
+// executing" (§3.7) tracks the real task rather than a stale estimate —
+// without this, a server whose task overruns its estimate looks idle and
+// attracts assignments while still busy. Callers without better knowledge
+// may pass runDuration == estDuration.
+func (q *CentralQueue) TaskStarted(nodeID int, now, estDuration, runDuration float64) {
+	if q == nil {
+		return
+	}
+	s, ok := q.servers[nodeID]
+	if !ok {
+		return // node not tracked (e.g. outside the general partition)
+	}
+	q.advance(now)
+	s.queued -= estDuration
+	if s.queued < 0 {
+		s.queued = 0
+	}
+	q.moveTo(s, true, q.now+runDuration)
+}
+
+// TaskFinished records that the running task on nodeID completed at instant
+// now, clearing the remaining-execution term.
+func (q *CentralQueue) TaskFinished(nodeID int, now float64) {
+	if q == nil {
+		return
+	}
+	s, ok := q.servers[nodeID]
+	if !ok {
+		return
+	}
+	q.advance(now)
+	q.moveTo(s, false, q.now)
+}
+
+// moveTo places the server in the requested heap with the new runEnd.
+func (q *CentralQueue) moveTo(s *serverState, running bool, runEnd float64) {
+	if s.inRun {
+		q.running.remove(s)
+	} else {
+		q.idle.remove(s)
+	}
+	s.runEnd = runEnd
+	s.inRun = running && runEnd > q.now
+	if s.inRun {
+		q.running.push(s)
+	} else {
+		q.idle.push(s)
+	}
+}
+
+// fix restores heap order after s's key changed in place.
+func (q *CentralQueue) fix(s *serverState) {
+	if s.inRun {
+		q.running.fix(s)
+	} else {
+		q.idle.fix(s)
+	}
+}
+
+// MinWaiting returns the smallest waiting time across servers at instant
+// now: the queueing delay the next assigned task would see.
+func (q *CentralQueue) MinWaiting(now float64) float64 {
+	if len(q.servers) == 0 {
+		return 0
+	}
+	q.advance(now)
+	return q.best().waiting(q.now)
+}
+
+// Waiting returns the waiting time of a specific server at instant now, or
+// -1 if the server is not tracked.
+func (q *CentralQueue) Waiting(nodeID int, now float64) float64 {
+	s, ok := q.servers[nodeID]
+	if !ok {
+		return -1
+	}
+	q.advance(now)
+	return s.waiting(q.now)
+}
+
+// Waitings returns the waiting time of every tracked server at instant now,
+// in unspecified order. Intended for tests and introspection.
+func (q *CentralQueue) Waitings(now float64) []float64 {
+	q.advance(now)
+	out := make([]float64, 0, len(q.servers))
+	for _, s := range q.servers {
+		out = append(out, s.waiting(q.now))
+	}
+	return out
+}
+
+// serverHeap is an indexed binary heap of servers ordered by key() with
+// nodeID tie-breaking for determinism.
+type serverHeap struct {
+	items []*serverState
+}
+
+func (h *serverHeap) len() int           { return len(h.items) }
+func (h *serverHeap) peek() *serverState { return h.items[0] }
+
+func (h *serverHeap) push(s *serverState) {
+	s.heapIdx = len(h.items)
+	h.items = append(h.items, s)
+	heap.Fix((*heapImpl)(h), s.heapIdx)
+}
+
+func (h *serverHeap) remove(s *serverState) {
+	heap.Remove((*heapImpl)(h), s.heapIdx)
+}
+
+func (h *serverHeap) fix(s *serverState) {
+	heap.Fix((*heapImpl)(h), s.heapIdx)
+}
+
+type heapImpl serverHeap
+
+func (h *heapImpl) Len() int { return len(h.items) }
+
+func (h *heapImpl) Less(i, j int) bool {
+	ki, kj := h.items[i].key(), h.items[j].key()
+	if ki != kj {
+		return ki < kj
+	}
+	return h.items[i].nodeID < h.items[j].nodeID
+}
+
+func (h *heapImpl) Swap(i, j int) {
+	h.items[i], h.items[j] = h.items[j], h.items[i]
+	h.items[i].heapIdx = i
+	h.items[j].heapIdx = j
+}
+
+func (h *heapImpl) Push(x any) {
+	s := x.(*serverState)
+	s.heapIdx = len(h.items)
+	h.items = append(h.items, s)
+}
+
+func (h *heapImpl) Pop() any {
+	old := h.items
+	n := len(old)
+	s := old[n-1]
+	h.items = old[:n-1]
+	return s
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestCentralQueueAssignsIdleFirst(t *testing.T) {
+	q := NewCentralQueue([]int{1, 2, 3})
+	seen := map[int]bool{}
+	for i := 0; i < 3; i++ {
+		id, wait := q.Assign(0, 100)
+		if wait != 0 {
+			t.Fatalf("idle server should have zero waiting, got %v", wait)
+		}
+		if seen[id] {
+			t.Fatalf("server %d assigned twice before others", id)
+		}
+		seen[id] = true
+	}
+	// Fourth assignment stacks on some server with waiting 100.
+	_, wait := q.Assign(0, 100)
+	if wait != 100 {
+		t.Fatalf("stacked assignment waiting = %v, want 100", wait)
+	}
+}
+
+func TestCentralQueueWaitingAccumulates(t *testing.T) {
+	q := NewCentralQueue([]int{1})
+	for i := 0; i < 5; i++ {
+		_, wait := q.Assign(0, 10)
+		if want := float64(i * 10); wait != want {
+			t.Fatalf("assignment %d waiting = %v, want %v", i, wait, want)
+		}
+	}
+}
+
+func TestCentralQueueTimeDecay(t *testing.T) {
+	q := NewCentralQueue([]int{1})
+	q.Assign(0, 100) // queued work: 100
+	q.TaskStarted(1, 0, 100, 100)
+	// At t=40, 60 seconds of the running task remain.
+	if w := q.MinWaiting(40); math.Abs(w-60) > 1e-9 {
+		t.Fatalf("waiting at t=40 = %v, want 60", w)
+	}
+	// Past the estimated end, waiting clamps at zero.
+	if w := q.MinWaiting(150); w != 0 {
+		t.Fatalf("waiting at t=150 = %v, want 0", w)
+	}
+}
+
+func TestCentralQueueFeedbackReanchors(t *testing.T) {
+	q := NewCentralQueue([]int{1, 2})
+	// Both get one task of estimate 100.
+	q.Assign(0, 100)
+	q.Assign(0, 100)
+	q.TaskStarted(1, 0, 100, 100)
+	q.TaskStarted(2, 0, 100, 100)
+	// Server 1 finishes early at t=10: its waiting drops to zero while
+	// server 2 still has ~90 remaining, so the next task goes to 1.
+	q.TaskFinished(1, 10)
+	id, wait := q.Assign(10, 50)
+	if id != 1 {
+		t.Fatalf("assignment went to %d, want the early-finisher 1", id)
+	}
+	if wait != 0 {
+		t.Fatalf("waiting = %v, want 0", wait)
+	}
+}
+
+func TestCentralQueueLateFinishKeepsWaiting(t *testing.T) {
+	q := NewCentralQueue([]int{1, 2})
+	q.Assign(0, 100)
+	q.TaskStarted(1, 0, 100, 100)
+	// At t=150 the task on 1 still runs (estimate was wrong). Server 1's
+	// running term is exhausted; waiting is 0 — the scheduler believed
+	// the estimate. Assign goes to server 2 only if it has less waiting;
+	// both are zero, so tie-break by id picks 1. Start feedback matters:
+	// after server 1 reports a *new* start, its waiting rises again.
+	q.TaskStarted(1, 150, 100, 100)
+	id, _ := q.Assign(150, 10)
+	if id != 2 {
+		t.Fatalf("assignment went to %d, want idle server 2", id)
+	}
+}
+
+func TestCentralQueueNilSafety(t *testing.T) {
+	var q *CentralQueue
+	q.TaskStarted(1, 0, 10, 10) // must not panic
+	q.TaskFinished(1, 0)
+}
+
+func TestCentralQueueUntrackedNode(t *testing.T) {
+	q := NewCentralQueue([]int{1})
+	q.TaskStarted(99, 0, 10, 10) // unknown node: ignored
+	q.TaskFinished(99, 0)
+	if w := q.Waiting(99, 0); w != -1 {
+		t.Fatalf("Waiting(unknown) = %v, want -1", w)
+	}
+}
+
+func TestCentralQueueEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Assign on empty queue should panic")
+		}
+	}()
+	NewCentralQueue(nil).Assign(0, 1)
+}
+
+// Property: Assign always returns the minimum waiting time across servers
+// (checked against a brute-force scan via Waitings).
+func TestCentralQueueMinProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ids := make([]int, 50)
+	for i := range ids {
+		ids[i] = i
+	}
+	q := NewCentralQueue(ids)
+	now := 0.0
+	running := map[int]float64{} // node -> est of running task
+	queued := map[int][]float64{}
+	for step := 0; step < 3000; step++ {
+		now += rng.Float64() * 5
+		switch rng.Intn(3) {
+		case 0: // assign
+			est := rng.Float64()*100 + 1
+			all := q.Waitings(now)
+			min := math.Inf(1)
+			for _, w := range all {
+				min = math.Min(min, w)
+			}
+			id, wait := q.Assign(now, est)
+			if math.Abs(wait-min) > 1e-6 {
+				t.Fatalf("step %d: Assign waiting %v != min %v", step, wait, min)
+			}
+			queued[id] = append(queued[id], est)
+		case 1: // start a queued task somewhere
+			for id, list := range queued {
+				if len(list) > 0 && running[id] == 0 {
+					est := list[0]
+					queued[id] = list[1:]
+					q.TaskStarted(id, now, est, est)
+					running[id] = est
+					break
+				}
+			}
+		case 2: // finish a running task
+			for id, est := range running {
+				if est > 0 {
+					q.TaskFinished(id, now)
+					delete(running, id)
+					break
+				}
+			}
+		}
+		// Waiting times must never be negative.
+		for _, w := range q.Waitings(now) {
+			if w < 0 {
+				t.Fatalf("negative waiting %v", w)
+			}
+		}
+	}
+}
+
+func TestCentralQueueDeterministicTieBreak(t *testing.T) {
+	q1 := NewCentralQueue([]int{3, 1, 2})
+	q2 := NewCentralQueue([]int{3, 1, 2})
+	for i := 0; i < 10; i++ {
+		a, _ := q1.Assign(0, 10)
+		b, _ := q2.Assign(0, 10)
+		if a != b {
+			t.Fatal("equal queues diverged")
+		}
+	}
+}
+
+// Property-based workout of the heap invariant under arbitrary operation
+// sequences encoded as byte strings.
+func TestCentralQueueFuzzOps(t *testing.T) {
+	check := func(ops []byte) bool {
+		q := NewCentralQueue([]int{0, 1, 2, 3, 4})
+		now := 0.0
+		for _, op := range ops {
+			now += float64(op%7) * 0.5
+			switch op % 3 {
+			case 0:
+				q.Assign(now, float64(op%11)+1)
+			case 1:
+				q.TaskStarted(int(op%5), now, float64(op%13)+1, float64(op%13)+1)
+			case 2:
+				q.TaskFinished(int(op%5), now)
+			}
+		}
+		for _, w := range q.Waitings(now) {
+			if w < 0 || math.IsNaN(w) {
+				return false
+			}
+		}
+		return q.Len() == 5
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

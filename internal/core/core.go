@@ -1,0 +1,155 @@
+// Package core implements the Hawk scheduler's policy components (Delgado
+// et al., USENIX ATC '15) as engine-independent building blocks:
+//
+//   - runtime estimation and long/short classification (§3.3),
+//   - cluster partitioning into a short partition and a general partition (§3.4),
+//   - Sparrow-style batch-sampling probe placement for short jobs (§3.5),
+//   - randomized work stealing with Figure 3's eligible-group rule (§3.6),
+//   - the centralized waiting-time priority queue for long jobs (§3.7).
+//
+// Both the trace-driven simulator (internal/sim) and the live goroutine
+// prototype (internal/liverun) are built from these pieces, so the policies
+// under test are byte-for-byte identical across the two engines — mirroring
+// how the paper reuses the same design in its simulator and Spark plug-in.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/randdist"
+	"repro/internal/workload"
+)
+
+// DefaultProbeRatio is the number of probes per task for batch sampling.
+// The Sparrow authors found two to be the best probe ratio (§4.1).
+const DefaultProbeRatio = 2
+
+// DefaultStealCap is the default number of random nodes an idle server
+// contacts when attempting to steal (§4.1).
+const DefaultStealCap = 10
+
+// DefaultNetworkDelay is the modelled one-way network delay (§4.1).
+const DefaultNetworkDelay = 0.0005 // 0.5 ms in seconds
+
+// Estimator produces per-job estimated task runtimes. Hawk estimates a
+// job's task runtime as the average of the job's task durations (§3.3); the
+// mis-estimation experiments (§4.8) multiply the correct estimate by a
+// factor drawn uniformly from [MisLo, MisHi].
+type Estimator struct {
+	// MisLo and MisHi bound the uniform mis-estimation factor. A zero
+	// Estimator (both zero) means exact estimates, as does MisLo = MisHi = 1.
+	MisLo, MisHi float64
+	src          *randdist.Source
+}
+
+// NewEstimator returns an estimator with the given mis-estimation range.
+// Pass lo = hi = 1 (or 0, 0) for exact estimates. The seed controls the
+// per-job factor draws.
+func NewEstimator(lo, hi float64, seed int64) *Estimator {
+	return &Estimator{MisLo: lo, MisHi: hi, src: randdist.New(seed)}
+}
+
+// Estimate returns the (possibly perturbed) estimated task runtime for j.
+// Each call draws a fresh factor, so call it once per job and cache the
+// result — the scheduler must use one consistent estimate per job.
+func (e *Estimator) Estimate(j *workload.Job) float64 {
+	actual := j.AvgTaskDuration()
+	if e == nil || (e.MisLo == 0 && e.MisHi == 0) || (e.MisLo == 1 && e.MisHi == 1) {
+		return actual
+	}
+	return actual * e.src.Uniform(e.MisLo, e.MisHi)
+}
+
+// Classifier separates long from short jobs by comparing the estimated task
+// runtime against a cutoff (§3.3).
+type Classifier struct {
+	// Cutoff in seconds; jobs with estimate >= Cutoff are long.
+	Cutoff float64
+}
+
+// IsLong reports whether a job with the given estimated task runtime is
+// scheduled as a long job.
+func (c Classifier) IsLong(estimate float64) bool { return estimate >= c.Cutoff }
+
+// Partition describes Hawk's cluster split (§3.4). Nodes are identified by
+// dense ids [0, NumNodes); ids below shortOnly form the short partition
+// (reserved for short tasks), the rest form the general partition.
+type Partition struct {
+	numNodes  int
+	shortOnly int
+}
+
+// NewPartition reserves ceil(shortFraction * numNodes) nodes for short
+// tasks, leaving at least one general node whenever numNodes > 0. The
+// fraction is clamped to [0, 1].
+func NewPartition(numNodes int, shortFraction float64) Partition {
+	if numNodes < 0 {
+		numNodes = 0
+	}
+	if shortFraction < 0 {
+		shortFraction = 0
+	}
+	if shortFraction > 1 {
+		shortFraction = 1
+	}
+	short := int(shortFraction*float64(numNodes) + 0.5)
+	if short >= numNodes && numNodes > 0 {
+		short = numNodes - 1
+	}
+	return Partition{numNodes: numNodes, shortOnly: short}
+}
+
+// NumNodes returns the total cluster size.
+func (p Partition) NumNodes() int { return p.numNodes }
+
+// ShortOnlyNodes returns the size of the short partition.
+func (p Partition) ShortOnlyNodes() int { return p.shortOnly }
+
+// GeneralNodes returns the size of the general partition.
+func (p Partition) GeneralNodes() int { return p.numNodes - p.shortOnly }
+
+// IsGeneral reports whether node id belongs to the general partition (and
+// may therefore run long tasks and be a steal victim).
+func (p Partition) IsGeneral(id int) bool { return id >= p.shortOnly }
+
+// GeneralID returns the node id of the i-th general-partition node.
+func (p Partition) GeneralID(i int) int { return p.shortOnly + i }
+
+// SampleGeneral returns k distinct random general-partition node ids.
+func (p Partition) SampleGeneral(src *randdist.Source, k int) []int {
+	n := p.GeneralNodes()
+	if k > n {
+		k = n
+	}
+	idx := src.SampleWithoutReplacement(n, k)
+	for i := range idx {
+		idx[i] += p.shortOnly
+	}
+	return idx
+}
+
+// SampleAll returns k distinct random node ids from the whole cluster
+// (short jobs may be probed anywhere, §3.4).
+func (p Partition) SampleAll(src *randdist.Source, k int) []int {
+	if k > p.numNodes {
+		k = p.numNodes
+	}
+	return src.SampleWithoutReplacement(p.numNodes, k)
+}
+
+func (p Partition) String() string {
+	return fmt.Sprintf("partition{nodes=%d shortOnly=%d general=%d}", p.numNodes, p.shortOnly, p.GeneralNodes())
+}
+
+// NumProbes returns the batch-sampling probe count for a job with tasks
+// tasks: ratio*tasks, capped at the number of candidate nodes (§3.5).
+func NumProbes(tasks, ratio, candidateNodes int) int {
+	n := tasks * ratio
+	if n > candidateNodes {
+		n = candidateNodes
+	}
+	if n < 1 && candidateNodes > 0 {
+		n = 1
+	}
+	return n
+}

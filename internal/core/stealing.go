@@ -1,0 +1,124 @@
+package core
+
+import "repro/internal/randdist"
+
+// StealPolicy implements Hawk's randomized task stealing (§3.6). A node
+// that runs out of work contacts up to Cap random general-partition nodes
+// and steals, from the first that has one, the "eligible group": the first
+// consecutive run of short tasks that comes after a long task (Figure 3).
+type StealPolicy struct {
+	// Cap bounds the number of random nodes contacted per attempt
+	// (default 10, swept in Figure 15).
+	Cap int
+	// Enabled gates stealing entirely (the "Hawk w/o stealing" ablation).
+	Enabled bool
+}
+
+// NewStealPolicy returns the paper's default stealing configuration.
+func NewStealPolicy() StealPolicy {
+	return StealPolicy{Cap: DefaultStealCap, Enabled: true}
+}
+
+// Candidates returns the node ids a thief should contact, in contact order:
+// up to Cap distinct random members of the general partition, excluding the
+// thief itself when it happens to be sampled (a node cannot steal from its
+// own queue).
+func (s StealPolicy) Candidates(p Partition, src *randdist.Source, thiefID int) []int {
+	if !s.Enabled || s.Cap <= 0 {
+		return nil
+	}
+	// Sample one extra so that dropping the thief still yields Cap
+	// candidates when possible.
+	ids := p.SampleGeneral(src, s.Cap+1)
+	out := ids[:0]
+	for _, id := range ids {
+		if id == thiefID {
+			continue
+		}
+		out = append(out, id)
+		if len(out) == s.Cap {
+			break
+		}
+	}
+	return out
+}
+
+// EligibleGroup computes the stealable range of a victim's queue per
+// Figure 3. isLong describes the queued entries head-first (true for long
+// tasks); executingLong tells whether the victim is currently running a
+// long task. The returned half-open range [start, end) is non-empty iff
+// ok; entries in the range are all short.
+//
+// Cases (Figure 3):
+//
+//	b1/b2 — victim executing a long task: steal the consecutive short run
+//	        at the head of the queue (those shorts queue behind the
+//	        running long task).
+//	a1/a2 — victim executing a short task: steal the consecutive short run
+//	        immediately after the *first* long entry in the queue (the
+//	        shorts before it will run soon anyway).
+func EligibleGroup(executingLong bool, isLong []bool) (start, end int, ok bool) {
+	if executingLong {
+		end = 0
+		for end < len(isLong) && !isLong[end] {
+			end++
+		}
+		return 0, end, end > 0
+	}
+	// Find the first long entry.
+	firstLong := -1
+	for i, l := range isLong {
+		if l {
+			firstLong = i
+			break
+		}
+	}
+	if firstLong == -1 {
+		return 0, 0, false
+	}
+	start = firstLong + 1
+	end = start
+	for end < len(isLong) && !isLong[end] {
+		end++
+	}
+	return start, end, end > start
+}
+
+// RandomShortIndices returns count indices of short entries drawn uniformly
+// at random from the whole queue. It implements the alternative stealing
+// choice the paper argues *against* (§3.6): "If short tasks were stolen
+// from random positions in server queues that would likely end up focusing
+// on too many jobs at the same time while failing to improve most." The
+// ablation experiments use it to quantify that design argument.
+// The returned indices are sorted in increasing order.
+func RandomShortIndices(isLong []bool, count int, src *randdist.Source) []int {
+	shorts := make([]int, 0, len(isLong))
+	for i, l := range isLong {
+		if !l {
+			shorts = append(shorts, i)
+		}
+	}
+	if count > len(shorts) {
+		count = len(shorts)
+	}
+	if count <= 0 {
+		return nil
+	}
+	picks := src.SampleWithoutReplacement(len(shorts), count)
+	out := make([]int, count)
+	for i, p := range picks {
+		out[i] = shorts[p]
+	}
+	sortInts(out)
+	return out
+}
+
+// sortInts is a small insertion sort; steal groups are tiny, so pulling in
+// package sort is not worth it here.
+func sortInts(v []int) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}

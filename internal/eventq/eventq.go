@@ -1,0 +1,126 @@
+// Package eventq implements the discrete-event engine underlying the
+// trace-driven cluster simulator.
+//
+// The engine is a binary-heap priority queue of timestamped callbacks with a
+// virtual clock. Events scheduled for the same instant fire in scheduling
+// order (FIFO tie-breaking via a sequence number), which keeps simulations
+// deterministic for a given seed.
+package eventq
+
+import "container/heap"
+
+// Engine is a discrete-event simulation engine. The zero value is not
+// usable; call New.
+type Engine struct {
+	now    float64
+	seq    uint64
+	events eventHeap
+	count  uint64 // total events executed
+}
+
+// New returns an empty engine with the clock at zero.
+func New() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// Executed returns the number of events processed so far.
+func (e *Engine) Executed() uint64 { return e.count }
+
+// Pending returns the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// (t < Now) is clamped to Now: the event fires before any later event but
+// virtual time never runs backwards.
+func (e *Engine) At(t float64, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn to run d seconds after the current virtual time.
+func (e *Engine) After(d float64, fn func()) {
+	e.At(e.now+d, fn)
+}
+
+// Step executes the single earliest pending event, advancing the clock.
+// It returns false when the queue is empty.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.count++
+	ev.fn()
+	return true
+}
+
+// Run executes events until the queue drains.
+func (e *Engine) Run() {
+	for e.Step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline, leaving later events
+// queued and the clock at the last executed event (or deadline if the first
+// pending event lies beyond it).
+func (e *Engine) RunUntil(deadline float64) {
+	for len(e.events) > 0 && e.events[0].at <= deadline {
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+}
+
+// EverySample registers fn to run every interval seconds, starting at
+// start, for as long as keepGoing returns true. It is used for periodic
+// cluster-utilization snapshots (the paper samples every 100 s).
+func (e *Engine) EverySample(start, interval float64, keepGoing func() bool, fn func(now float64)) {
+	var tick func()
+	next := start
+	tick = func() {
+		if !keepGoing() {
+			return
+		}
+		fn(e.now)
+		next += interval
+		e.At(next, tick)
+	}
+	e.At(next, tick)
+}
+
+type event struct {
+	at  float64
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	*h = old[:n-1]
+	return ev
+}

@@ -1,0 +1,239 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	e := New()
+	var fired []float64
+	times := []float64{5, 1, 3, 2, 4, 0.5}
+	for _, at := range times {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	e.Run()
+	if !sort.Float64sAreSorted(fired) {
+		t.Fatalf("events fired out of order: %v", fired)
+	}
+	if len(fired) != len(times) {
+		t.Fatalf("fired %d events, want %d", len(fired), len(times))
+	}
+}
+
+func TestSameTimeFIFO(t *testing.T) {
+	e := New()
+	var order []int
+	for i := 0; i < 100; i++ {
+		i := i
+		e.At(7, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("tie-broken events out of scheduling order at %d: %v", i, order[:i+1])
+		}
+	}
+}
+
+func TestClockAdvances(t *testing.T) {
+	e := New()
+	e.At(10, func() {
+		if e.Now() != 10 {
+			t.Errorf("Now() = %v inside event at 10", e.Now())
+		}
+	})
+	e.Run()
+	if e.Now() != 10 {
+		t.Fatalf("final Now() = %v, want 10", e.Now())
+	}
+}
+
+func TestPastSchedulingClamps(t *testing.T) {
+	e := New()
+	var secondTime float64 = -1
+	e.At(10, func() {
+		// Scheduling in the past must clamp to now, not rewind time.
+		e.At(5, func() { secondTime = e.Now() })
+	})
+	e.Run()
+	if secondTime != 10 {
+		t.Fatalf("past-scheduled event ran at %v, want clamped to 10", secondTime)
+	}
+}
+
+func TestAfterRelative(t *testing.T) {
+	e := New()
+	var at float64
+	e.At(3, func() {
+		e.After(4, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 7 {
+		t.Fatalf("After(4) from t=3 ran at %v, want 7", at)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	// A chain of events each scheduling the next must run to completion.
+	e := New()
+	count := 0
+	var step func()
+	step = func() {
+		count++
+		if count < 1000 {
+			e.After(1, step)
+		}
+	}
+	e.At(0, step)
+	e.Run()
+	if count != 1000 {
+		t.Fatalf("chain executed %d steps, want 1000", count)
+	}
+	if e.Now() != 999 {
+		t.Fatalf("final time %v, want 999", e.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	e := New()
+	var fired []float64
+	for _, at := range []float64{1, 2, 3, 4, 5} {
+		at := at
+		e.At(at, func() { fired = append(fired, at) })
+	}
+	e.RunUntil(3)
+	if len(fired) != 3 {
+		t.Fatalf("RunUntil(3) fired %d events, want 3", len(fired))
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending = %d, want 2", e.Pending())
+	}
+	e.Run()
+	if len(fired) != 5 {
+		t.Fatalf("total fired %d, want 5", len(fired))
+	}
+}
+
+func TestRunUntilAdvancesIdleClock(t *testing.T) {
+	e := New()
+	e.RunUntil(42)
+	if e.Now() != 42 {
+		t.Fatalf("idle RunUntil left clock at %v, want 42", e.Now())
+	}
+}
+
+func TestStep(t *testing.T) {
+	e := New()
+	if e.Step() {
+		t.Fatal("Step on empty engine should return false")
+	}
+	ran := false
+	e.At(1, func() { ran = true })
+	if !e.Step() {
+		t.Fatal("Step should execute the pending event")
+	}
+	if !ran {
+		t.Fatal("event did not run")
+	}
+	if e.Executed() != 1 {
+		t.Fatalf("Executed = %d, want 1", e.Executed())
+	}
+}
+
+func TestEverySample(t *testing.T) {
+	e := New()
+	active := true
+	var samples []float64
+	e.EverySample(100, 100, func() bool { return active }, func(now float64) {
+		samples = append(samples, now)
+		if now >= 500 {
+			active = false
+		}
+	})
+	e.Run()
+	want := []float64{100, 200, 300, 400, 500}
+	if len(samples) != len(want) {
+		t.Fatalf("samples = %v, want %v", samples, want)
+	}
+	for i := range want {
+		if samples[i] != want[i] {
+			t.Fatalf("samples = %v, want %v", samples, want)
+		}
+	}
+}
+
+func TestEverySampleStopsImmediately(t *testing.T) {
+	e := New()
+	count := 0
+	e.EverySample(10, 10, func() bool { return false }, func(float64) { count++ })
+	e.Run()
+	if count != 0 {
+		t.Fatalf("sampler ran %d times despite keepGoing=false", count)
+	}
+}
+
+// Property: for any set of event times, execution order is a sorted
+// permutation and the clock never runs backwards.
+func TestOrderingProperty(t *testing.T) {
+	check := func(times []float64) bool {
+		e := New()
+		var fired []float64
+		for _, at := range times {
+			at := at
+			if at < 0 {
+				at = -at
+			}
+			e.At(at, func() {
+				fired = append(fired, e.Now())
+			})
+		}
+		e.Run()
+		return sort.Float64sAreSorted(fired) && len(fired) == len(times)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: interleaving At calls with Steps preserves global ordering for
+// events at distinct times.
+func TestInterleavedScheduling(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	e := New()
+	var fired []float64
+	pending := 0
+	for i := 0; i < 5000; i++ {
+		if pending == 0 || rng.Intn(2) == 0 {
+			at := e.Now() + rng.Float64()*100
+			e.At(at, func() { fired = append(fired, e.Now()) })
+			pending++
+		} else {
+			e.Step()
+			pending--
+		}
+	}
+	e.Run()
+	if !sort.Float64sAreSorted(fired) {
+		t.Fatal("interleaved execution violated time order")
+	}
+}
+
+func BenchmarkEngine(b *testing.B) {
+	b.ReportAllocs()
+	rng := rand.New(rand.NewSource(1))
+	e := New()
+	nop := func() {}
+	// Keep a rolling window of pending events like a live simulation.
+	for i := 0; i < 10000; i++ {
+		e.At(rng.Float64()*1000, nop)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.After(rng.Float64()*10, nop)
+		e.Step()
+	}
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// The paper justifies two design choices in prose without dedicated
+// figures; the drivers below turn those arguments into measurable
+// ablations (DESIGN.md lists them as extensions).
+
+// StealPositionRow quantifies §3.6's argument for stealing the first
+// consecutive group of short tasks behind a long task rather than short
+// tasks from random queue positions.
+type StealPositionRow struct {
+	Policy   string // "figure3-group" or "random-positions"
+	ShortP50 float64
+	ShortP90 float64
+	LongP50  float64
+	LongP90  float64
+	// FocusJobsPerSteal approximates how many distinct jobs a steal
+	// touches: entries stolen per successful steal (the paper's concern
+	// is random stealing "focusing on too many jobs at the same time").
+	EntriesPerSteal float64
+}
+
+// AblationStealPosition compares the two stealing choices at the paper's
+// headline operating point, normalized to Sparrow so the rows are
+// comparable to Figure 5.
+func AblationStealPosition(sc Scale) ([]StealPositionRow, error) {
+	t := GoogleTrace(sc)
+	const nodes = 15000
+	rs, err := sim.Run(t, sim.Config{NumNodes: nodes, Mode: sim.ModeSparrow, Seed: sc.Seed})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]StealPositionRow, 0, 2)
+	for _, variant := range []struct {
+		name   string
+		random bool
+	}{
+		{"figure3-group", false},
+		{"random-positions", true},
+	} {
+		r, err := sim.Run(t, sim.Config{
+			NumNodes: nodes, Mode: sim.ModeHawk, Seed: sc.Seed,
+			StealRandomPositions: variant.random,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("steal ablation %s: %w", variant.name, err)
+		}
+		s50, s90, l50, l90 := ratiosFor(t, r, rs, t.Cutoff)
+		row := StealPositionRow{
+			Policy:   variant.name,
+			ShortP50: s50, ShortP90: s90, LongP50: l50, LongP90: l90,
+		}
+		if r.StealSuccesses > 0 {
+			row.EntriesPerSteal = float64(r.EntriesStolen) / float64(r.StealSuccesses)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// ProbeRatioPoint is one probe-ratio setting: Sparrow (and Hawk's short
+// jobs) with the given probes-per-task, normalized to ratio 2 — the value
+// the Sparrow authors found best and the paper adopts (§4.1).
+type ProbeRatioPoint struct {
+	Ratio    int
+	Mode     string
+	ShortP50 float64
+	ShortP90 float64
+	Probes   int // messaging cost
+}
+
+// AblationProbeRatio sweeps the batch-sampling probe ratio for both
+// schedulers at the headline operating point.
+func AblationProbeRatio(sc Scale) ([]ProbeRatioPoint, error) {
+	t := GoogleTrace(sc)
+	const nodes = 15000
+	points := make([]ProbeRatioPoint, 0, 8)
+	for _, mode := range []sim.Mode{sim.ModeSparrow, sim.ModeHawk} {
+		base, err := sim.Run(t, sim.Config{NumNodes: nodes, Mode: mode, Seed: sc.Seed, ProbeRatio: 2})
+		if err != nil {
+			return nil, err
+		}
+		for _, ratio := range []int{1, 2, 3, 4} {
+			r := base
+			if ratio != 2 {
+				r, err = sim.Run(t, sim.Config{NumNodes: nodes, Mode: mode, Seed: sc.Seed, ProbeRatio: ratio})
+				if err != nil {
+					return nil, fmt.Errorf("probe ratio %d: %w", ratio, err)
+				}
+			}
+			s50, s90, _, _ := ratiosFor(t, r, base, t.Cutoff)
+			points = append(points, ProbeRatioPoint{
+				Ratio: ratio, Mode: mode.String(),
+				ShortP50: s50, ShortP90: s90,
+				Probes: r.ProbesSent,
+			})
+		}
+	}
+	return points, nil
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import "testing"
+
+// The §3.6 design argument must be measurable: Figure 3's group rule beats
+// (or at least matches) random-position stealing for short jobs.
+func TestStealPositionAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep too slow for -short")
+	}
+	t.Parallel()
+	rows, err := AblationStealPosition(Scale{NumJobs: 4000, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	var group, random *StealPositionRow
+	for i := range rows {
+		switch rows[i].Policy {
+		case "figure3-group":
+			group = &rows[i]
+		case "random-positions":
+			random = &rows[i]
+		}
+	}
+	if group == nil || random == nil {
+		t.Fatal("missing variants")
+	}
+	// Both still improve on Sparrow; the group rule should not lose to
+	// random positions at the p90 (job-focused stealing is the point).
+	if group.ShortP50 >= 1 {
+		t.Errorf("group stealing p50 ratio = %.2f, want < 1", group.ShortP50)
+	}
+	if group.ShortP90 > random.ShortP90*1.15 {
+		t.Errorf("group rule p90 %.2f much worse than random %.2f — contradicts §3.6",
+			group.ShortP90, random.ShortP90)
+	}
+}
+
+func TestProbeRatioAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep too slow for -short")
+	}
+	t.Parallel()
+	pts, err := AblationProbeRatio(Scale{NumJobs: 4000, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 8 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for _, p := range pts {
+		if p.Ratio == 2 && (p.ShortP50 != 1 || p.ShortP90 != 1) {
+			t.Errorf("%s ratio 2 should be the normalization baseline, got %.2f/%.2f",
+				p.Mode, p.ShortP50, p.ShortP90)
+		}
+		// One probe per task must be clearly worse than two (no slack
+		// for late binding).
+		if p.Ratio == 1 && p.ShortP50 < 1.02 {
+			t.Errorf("%s ratio 1 p50 = %.2f, expected worse than baseline", p.Mode, p.ShortP50)
+		}
+		if p.Probes <= 0 {
+			t.Errorf("%s ratio %d: no probes recorded", p.Mode, p.Ratio)
+		}
+	}
+}

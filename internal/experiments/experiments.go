@@ -1,0 +1,167 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§2.3 and §4). Each driver builds the workload, runs the
+// schedulers under comparison, and returns the rows or curve series the
+// paper reports. EXPERIMENTS.md records paper-vs-measured values.
+package experiments
+
+import (
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Scale controls how large an experiment's trace is. The paper replays
+// 506,460 Google jobs; our synthetic default is 20,000 jobs with the
+// arrival rate calibrated so a 15,000-node cluster sits at the paper's
+// "highly loaded but not overloaded" point (~0.87 median utilization).
+// Load depends on the arrival rate, not the job count, so smaller scales
+// (for quick runs and benchmarks) preserve the comparisons with more noise.
+type Scale struct {
+	NumJobs int
+	Seed    int64
+	// Runs averages metrics over this many seeds where the paper does
+	// (Figure 14 averages ten runs). Zero means one run.
+	Runs int
+}
+
+// DefaultScale is the scale used by cmd/hawkexp and EXPERIMENTS.md.
+func DefaultScale() Scale { return Scale{NumJobs: 20000, Seed: 42, Runs: 10} }
+
+// QuickScale is a reduced scale for benchmarks and smoke tests.
+func QuickScale() Scale { return Scale{NumJobs: 4000, Seed: 42, Runs: 3} }
+
+// meanInterArrival returns the calibrated mean job inter-arrival time
+// (seconds) for a workload spec: the rate at which the second-smallest
+// cluster size of the paper's sweep for that workload sits just above
+// ~0.9 offered load, reproducing the paper's "overloaded at the smallest
+// size, highly loaded at the next" regime.
+func meanInterArrival(spec workload.Spec) float64 {
+	switch spec.Name {
+	case "google":
+		return 2.3 // 15,000 nodes ~0.87 median utilization
+	case "cloudera":
+		return 1.5 // 20,000 nodes highly loaded
+	case "facebook":
+		return 1.0 // 90,000 nodes highly loaded
+	case "yahoo":
+		return 7.5 // 7,000 nodes highly loaded
+	default:
+		return 2.3
+	}
+}
+
+// NodeSweep returns the cluster sizes (in nodes) the paper sweeps for a
+// workload (Figures 5, 6).
+func NodeSweep(name string) []int {
+	switch name {
+	case "google":
+		return []int{10000, 15000, 20000, 25000, 30000, 35000, 40000, 45000, 50000}
+	case "cloudera":
+		return []int{15000, 20000, 25000, 30000, 35000, 40000, 45000, 50000}
+	case "facebook":
+		return []int{70000, 90000, 110000, 130000, 150000, 170000}
+	case "yahoo":
+		return []int{5000, 7000, 9000, 11000, 13000, 15000, 17000, 19000}
+	default:
+		return []int{10000, 15000, 20000, 25000}
+	}
+}
+
+// GoogleTrace generates the default synthetic Google trace at the given
+// scale.
+func GoogleTrace(sc Scale) *workload.Trace {
+	return workload.Generate(workload.Google(), workload.GenConfig{
+		NumJobs:          sc.NumJobs,
+		MeanInterArrival: meanInterArrival(workload.Google()),
+		Seed:             sc.Seed,
+	})
+}
+
+// TraceFor generates the trace for any workload spec at the given scale,
+// capped so the smallest swept cluster can still probe-schedule every job
+// (the paper applies the same scale-down rule to its prototype runs).
+func TraceFor(spec workload.Spec, sc Scale) *workload.Trace {
+	t := workload.Generate(spec, workload.GenConfig{
+		NumJobs:          sc.NumJobs,
+		MeanInterArrival: meanInterArrival(spec),
+		Seed:             sc.Seed,
+	})
+	sweep := NodeSweep(spec.Name)
+	minNodes := sweep[0]
+	for _, n := range sweep {
+		if n < minNodes {
+			minNodes = n
+		}
+	}
+	// Batch sampling needs at least one candidate node per task, so cap
+	// job widths at the smallest swept cluster size (the paper applies
+	// the same scale-down rule to its 100-node prototype runs). The caps
+	// rarely bind: they only trim the extreme tail of the task-count
+	// distributions.
+	return t.CapTasks(minNodes)
+}
+
+// runPair runs the candidate and baseline schedulers on the same trace.
+func runPair(t *workload.Trace, nodes int, candidate, baseline sim.Mode, seed int64) (*sim.Result, *sim.Result, error) {
+	rc, err := sim.Run(t, sim.Config{NumNodes: nodes, Mode: candidate, Seed: seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	rb, err := sim.Run(t, sim.Config{NumNodes: nodes, Mode: baseline, Seed: seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	return rc, rb, nil
+}
+
+// RatioPoint is one x-position of a "candidate normalized to baseline"
+// figure: percentile runtime ratios per job class, plus the baseline's
+// median cluster utilization (the dotted context line in the figures).
+type RatioPoint struct {
+	X            float64 // sweep variable (nodes, cutoff, cap, ...)
+	ShortP50     float64 // candidate p50 / baseline p50, short jobs
+	ShortP90     float64
+	LongP50      float64
+	LongP90      float64
+	BaselineUtil float64
+}
+
+// ratiosFor computes the RatioPoint percentile ratios for two results over
+// a common trace, classifying jobs by exact estimate at the given cutoff so
+// both sides use identical job sets.
+func ratiosFor(t *workload.Trace, cand, base *sim.Result, cutoff float64) (shortP50, shortP90, longP50, longP90 float64) {
+	classes := make(map[int]bool, t.Len())
+	for _, j := range t.Jobs {
+		classes[j.ID] = j.AvgTaskDuration() >= cutoff
+	}
+	candRT := allRuntimes(cand)
+	baseRT := allRuntimes(base)
+	var candShort, candLong, baseShort, baseLong []float64
+	for id, long := range classes {
+		c, okc := candRT[id]
+		b, okb := baseRT[id]
+		if !okc || !okb {
+			continue
+		}
+		if long {
+			candLong = append(candLong, c)
+			baseLong = append(baseLong, b)
+		} else {
+			candShort = append(candShort, c)
+			baseShort = append(baseShort, b)
+		}
+	}
+	shortP50 = stats.Ratio(stats.Percentile(candShort, 50), stats.Percentile(baseShort, 50))
+	shortP90 = stats.Ratio(stats.Percentile(candShort, 90), stats.Percentile(baseShort, 90))
+	longP50 = stats.Ratio(stats.Percentile(candLong, 50), stats.Percentile(baseLong, 50))
+	longP90 = stats.Ratio(stats.Percentile(candLong, 90), stats.Percentile(baseLong, 90))
+	return shortP50, shortP90, longP50, longP90
+}
+
+func allRuntimes(r *sim.Result) map[int]float64 {
+	out := make(map[int]float64, len(r.Jobs))
+	for _, j := range r.Jobs {
+		out[j.ID] = j.Runtime
+	}
+	return out
+}

@@ -1,0 +1,325 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Fig1Result holds the §2.3 motivation experiment: short-job runtime CDF
+// under Sparrow on a loaded heterogeneous cluster (Figure 1).
+type Fig1Result struct {
+	ShortRuntimeCDF []stats.CDFPoint
+	MedianUtil      float64
+	MaxUtil         float64
+	// FracOver15000s is the fraction of short jobs with runtimes above
+	// 15000 s, the "large fraction" the paper calls out (execution time
+	// is only 100 s).
+	FracOver15000s float64
+}
+
+// Fig1 runs the motivation scenario: 1000 jobs (95% short: 100 tasks x
+// 100 s; 5% long: 1000 tasks x 20000 s), Poisson arrivals with 50 s mean,
+// 15000 nodes, Sparrow.
+func Fig1(seed int64) (*Fig1Result, error) {
+	t := workload.MotivationWorkload(seed)
+	r, err := sim.Run(t, sim.Config{NumNodes: 15000, Mode: sim.ModeSparrow, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	short := r.ShortRuntimes()
+	return &Fig1Result{
+		ShortRuntimeCDF: stats.CDF(short),
+		MedianUtil:      r.Utilization.MedianUpTo(t.MakespanLowerBound()),
+		MaxUtil:         r.Utilization.Max(),
+		FracOver15000s:  1 - stats.FractionAtOrBelow(short, 15000),
+	}, nil
+}
+
+// Fig4Data holds the per-workload CDFs of Figure 4: average task duration
+// per job and number of tasks per job, split long/short by construction.
+type Fig4Data struct {
+	Workload   string
+	LongDur    []stats.CDFPoint // (a) long jobs, avg task duration
+	ShortDur   []stats.CDFPoint // (b) short jobs, avg task duration
+	LongTasks  []stats.CDFPoint // (c) long jobs, tasks per job
+	ShortTasks []stats.CDFPoint // (d) short jobs, tasks per job
+}
+
+// Fig4 computes the workload-property CDFs for all four traces.
+func Fig4(sc Scale) []Fig4Data {
+	out := make([]Fig4Data, 0, 4)
+	for _, spec := range workload.AllSpecs() {
+		t := TraceFor(spec, sc)
+		var longDur, shortDur, longTasks, shortTasks []float64
+		for _, j := range t.Jobs {
+			if j.ConstructedLong {
+				longDur = append(longDur, j.AvgTaskDuration())
+				longTasks = append(longTasks, float64(j.NumTasks()))
+			} else {
+				shortDur = append(shortDur, j.AvgTaskDuration())
+				shortTasks = append(shortTasks, float64(j.NumTasks()))
+			}
+		}
+		out = append(out, Fig4Data{
+			Workload:   spec.Name,
+			LongDur:    stats.CDF(longDur),
+			ShortDur:   stats.CDF(shortDur),
+			LongTasks:  stats.CDF(longTasks),
+			ShortTasks: stats.CDF(shortTasks),
+		})
+	}
+	return out
+}
+
+// Fig5Point is one cluster size of Figure 5: Hawk normalized to Sparrow on
+// the Google trace, plus the 5c additional metrics.
+type Fig5Point struct {
+	RatioPoint
+	// Figure 5c metrics.
+	FracShortImproved  float64 // fraction of short jobs with Hawk <= Sparrow
+	FracLongImproved   float64
+	AvgRatioShort      float64 // mean Hawk runtime / mean Sparrow runtime
+	AvgRatioLong       float64
+	FracShortBy50      float64 // fraction of short jobs improved by > 50%
+	HawkStealSuccesses int
+}
+
+// Fig5 sweeps cluster size on the Google trace, comparing Hawk to Sparrow
+// (Figures 5a, 5b, 5c).
+func Fig5(sc Scale) ([]Fig5Point, error) {
+	t := GoogleTrace(sc)
+	points := make([]Fig5Point, 0, len(NodeSweep("google")))
+	for _, nodes := range NodeSweep("google") {
+		rh, rs, err := runPair(t, nodes, sim.ModeHawk, sim.ModeSparrow, sc.Seed)
+		if err != nil {
+			return nil, err
+		}
+		p := Fig5Point{RatioPoint: ratioPoint(t, rh, rs, float64(nodes))}
+		shortCmp := stats.ComparePaired(rh.RuntimesByID(false), rs.RuntimesByID(false))
+		longCmp := stats.ComparePaired(rh.RuntimesByID(true), rs.RuntimesByID(true))
+		p.FracShortImproved = shortCmp.FractionImprovedOrEqual
+		p.FracLongImproved = longCmp.FractionImprovedOrEqual
+		p.AvgRatioShort = shortCmp.MeanRuntimeRatio
+		p.AvgRatioLong = longCmp.MeanRuntimeRatio
+		p.FracShortBy50 = shortCmp.FractionImprovedBy50
+		p.HawkStealSuccesses = rh.StealSuccesses
+		points = append(points, p)
+	}
+	return points, nil
+}
+
+func ratioPoint(t *workload.Trace, cand, base *sim.Result, x float64) RatioPoint {
+	s50, s90, l50, l90 := ratiosFor(t, cand, base, t.Cutoff)
+	return RatioPoint{
+		X:            x,
+		ShortP50:     s50,
+		ShortP90:     s90,
+		LongP50:      l50,
+		LongP90:      l90,
+		BaselineUtil: base.Utilization.MedianUpTo(t.MakespanLowerBound()),
+	}
+}
+
+// Fig6Series is one sub-figure of Figure 6: Hawk normalized to Sparrow on
+// a derived trace (the paper plots the 90th percentiles plus utilization).
+type Fig6Series struct {
+	Workload string
+	Points   []RatioPoint
+}
+
+// Fig6 sweeps cluster sizes on the Cloudera, Facebook, and Yahoo traces.
+func Fig6(sc Scale) ([]Fig6Series, error) {
+	series := make([]Fig6Series, 0, 3)
+	for _, spec := range []workload.Spec{workload.ClouderaC(), workload.Facebook(), workload.Yahoo()} {
+		t := TraceFor(spec, sc)
+		s := Fig6Series{Workload: spec.Name}
+		for _, nodes := range NodeSweep(spec.Name) {
+			rh, rs, err := runPair(t, nodes, sim.ModeHawk, sim.ModeSparrow, sc.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("fig6 %s at %d nodes: %w", spec.Name, nodes, err)
+			}
+			s.Points = append(s.Points, ratioPoint(t, rh, rs, float64(nodes)))
+		}
+		series = append(series, s)
+	}
+	return series, nil
+}
+
+// Fig7Row is one bar group of Figure 7: a Hawk ablation normalized to full
+// Hawk at 15000 nodes on the Google trace.
+type Fig7Row struct {
+	Variant  string // "w/o centralized", "w/o partition", "w/o stealing"
+	ShortP50 float64
+	ShortP90 float64
+	LongP50  float64
+	LongP90  float64
+}
+
+// Fig7 runs the component breakdown: disabling each of Hawk's mechanisms in
+// turn and normalizing to the full system.
+func Fig7(sc Scale) ([]Fig7Row, error) {
+	t := GoogleTrace(sc)
+	const nodes = 15000
+	full, err := sim.Run(t, sim.Config{NumNodes: nodes, Mode: sim.ModeHawk, Seed: sc.Seed})
+	if err != nil {
+		return nil, err
+	}
+	variants := []struct {
+		name string
+		cfg  sim.Config
+	}{
+		{"w/o centralized", sim.Config{NumNodes: nodes, Mode: sim.ModeHawk, Seed: sc.Seed, DisableCentral: true}},
+		{"w/o partition", sim.Config{NumNodes: nodes, Mode: sim.ModeHawk, Seed: sc.Seed, DisablePartition: true}},
+		{"w/o stealing", sim.Config{NumNodes: nodes, Mode: sim.ModeHawk, Seed: sc.Seed, DisableStealing: true}},
+	}
+	rows := make([]Fig7Row, 0, len(variants))
+	for _, v := range variants {
+		r, err := sim.Run(t, v.cfg)
+		if err != nil {
+			return nil, fmt.Errorf("fig7 %s: %w", v.name, err)
+		}
+		s50, s90, l50, l90 := ratiosFor(t, r, full, t.Cutoff)
+		rows = append(rows, Fig7Row{Variant: v.name, ShortP50: s50, ShortP90: s90, LongP50: l50, LongP90: l90})
+	}
+	return rows, nil
+}
+
+// Fig8And9 compares Hawk to the fully centralized scheduler across cluster
+// sizes on the Google trace (Figure 8: short jobs; Figure 9: long jobs).
+func Fig8And9(sc Scale) ([]RatioPoint, error) {
+	t := GoogleTrace(sc)
+	points := make([]RatioPoint, 0)
+	for _, nodes := range NodeSweep("google") {
+		rh, rc, err := runPair(t, nodes, sim.ModeHawk, sim.ModeCentralized, sc.Seed)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, ratioPoint(t, rh, rc, float64(nodes)))
+	}
+	return points, nil
+}
+
+// Fig10And11 compares Hawk to the split cluster across cluster sizes on the
+// Google trace (Figure 10: short jobs; Figure 11: long jobs).
+func Fig10And11(sc Scale) ([]RatioPoint, error) {
+	t := GoogleTrace(sc)
+	points := make([]RatioPoint, 0)
+	for _, nodes := range NodeSweep("google") {
+		rh, rsp, err := runPair(t, nodes, sim.ModeHawk, sim.ModeSplit, sc.Seed)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, ratioPoint(t, rh, rsp, float64(nodes)))
+	}
+	return points, nil
+}
+
+// Fig12And13 sweeps the long/short cutoff at 15000 nodes, Hawk normalized
+// to Sparrow (Figure 12: long jobs; Figure 13: short jobs). Jobs are
+// (re)classified at each cutoff for reporting, as in the paper.
+func Fig12And13(sc Scale) ([]RatioPoint, error) {
+	t := GoogleTrace(sc)
+	const nodes = 15000
+	rs, err := sim.Run(t, sim.Config{NumNodes: nodes, Mode: sim.ModeSparrow, Seed: sc.Seed})
+	if err != nil {
+		return nil, err
+	}
+	cutoffs := []float64{750, 1000, 1129, 1300, 1500, 2000}
+	points := make([]RatioPoint, 0, len(cutoffs))
+	for _, cutoff := range cutoffs {
+		rh, err := sim.Run(t, sim.Config{NumNodes: nodes, Mode: sim.ModeHawk, Seed: sc.Seed, Cutoff: cutoff})
+		if err != nil {
+			return nil, fmt.Errorf("fig12 cutoff %.0f: %w", cutoff, err)
+		}
+		s50, s90, l50, l90 := ratiosFor(t, rh, rs, cutoff)
+		points = append(points, RatioPoint{
+			X: cutoff, ShortP50: s50, ShortP90: s90, LongP50: l50, LongP90: l90,
+			BaselineUtil: rs.Utilization.MedianUpTo(t.MakespanLowerBound()),
+		})
+	}
+	return points, nil
+}
+
+// Fig14Point is one mis-estimation range of Figure 14: Hawk with inaccurate
+// estimates normalized to Sparrow, long jobs (classified without
+// mis-estimation), averaged over several runs.
+type Fig14Point struct {
+	Lo, Hi  float64
+	LongP50 float64
+	LongP90 float64
+}
+
+// Fig14 sweeps the mis-estimation magnitude. Each range is averaged over
+// sc.Runs seeds, as the paper averages over ten runs.
+func Fig14(sc Scale) ([]Fig14Point, error) {
+	t := GoogleTrace(sc)
+	const nodes = 15000
+	runs := sc.Runs
+	if runs < 1 {
+		runs = 1
+	}
+	ranges := [][2]float64{{0.1, 1.9}, {0.2, 1.8}, {0.3, 1.7}, {0.4, 1.6}, {0.5, 1.5}, {0.6, 1.4}, {0.7, 1.3}}
+	points := make([]Fig14Point, 0, len(ranges))
+	for _, rg := range ranges {
+		var sum50, sum90 float64
+		for run := 0; run < runs; run++ {
+			seed := sc.Seed + int64(run)
+			rs, err := sim.Run(t, sim.Config{NumNodes: nodes, Mode: sim.ModeSparrow, Seed: seed})
+			if err != nil {
+				return nil, err
+			}
+			rh, err := sim.Run(t, sim.Config{
+				NumNodes: nodes, Mode: sim.ModeHawk, Seed: seed,
+				MisestimateLo: rg[0], MisestimateHi: rg[1],
+			})
+			if err != nil {
+				return nil, err
+			}
+			// Classify by exact estimates: "the set of jobs classified
+			// as long when no mis-estimations are present".
+			_, _, l50, l90 := ratiosFor(t, rh, rs, t.Cutoff)
+			sum50 += l50
+			sum90 += l90
+		}
+		points = append(points, Fig14Point{
+			Lo: rg[0], Hi: rg[1],
+			LongP50: sum50 / float64(runs),
+			LongP90: sum90 / float64(runs),
+		})
+	}
+	return points, nil
+}
+
+// Fig15Point is one stealing-cap setting of Figure 15: Hawk with the given
+// cap normalized to Hawk with cap 1, short jobs.
+type Fig15Point struct {
+	Cap      int
+	ShortP50 float64
+	ShortP90 float64
+	LongP50  float64
+	LongP90  float64
+}
+
+// Fig15 sweeps the maximum number of nodes contacted per steal attempt.
+func Fig15(sc Scale) ([]Fig15Point, error) {
+	t := GoogleTrace(sc)
+	const nodes = 15000
+	base, err := sim.Run(t, sim.Config{NumNodes: nodes, Mode: sim.ModeHawk, Seed: sc.Seed, StealCap: 1})
+	if err != nil {
+		return nil, err
+	}
+	caps := []int{1, 2, 3, 4, 5, 10, 15, 20, 25, 50, 75, 100, 250}
+	points := make([]Fig15Point, 0, len(caps))
+	for _, cap := range caps {
+		r, err := sim.Run(t, sim.Config{NumNodes: nodes, Mode: sim.ModeHawk, Seed: sc.Seed, StealCap: cap})
+		if err != nil {
+			return nil, fmt.Errorf("fig15 cap %d: %w", cap, err)
+		}
+		s50, s90, l50, l90 := ratiosFor(t, r, base, t.Cutoff)
+		points = append(points, Fig15Point{Cap: cap, ShortP50: s50, ShortP90: s90, LongP50: l50, LongP90: l90})
+	}
+	return points, nil
+}

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/workload"
+)
+
+// Table1Row reproduces one row of Table 1: long jobs form a small fraction
+// of jobs but a large fraction of task-seconds.
+type Table1Row struct {
+	Workload           string
+	PctLongJobs        float64
+	PctLongTaskSeconds float64
+}
+
+// Table1 regenerates Table 1 over the four synthetic workloads, using the
+// paper's classification (every non-first k-means cluster is long).
+func Table1(sc Scale) []Table1Row {
+	rows := make([]Table1Row, 0, 4)
+	for _, spec := range workload.AllSpecs() {
+		t := TraceFor(spec, sc)
+		st := workload.ComputeStatsByConstruction(t)
+		rows = append(rows, Table1Row{
+			Workload:           spec.Name,
+			PctLongJobs:        st.PctLongJobs,
+			PctLongTaskSeconds: st.PctLongTaskSeconds,
+		})
+	}
+	return rows
+}
+
+// FormatTable1 renders the rows like the paper's Table 1.
+func FormatTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %12s %14s\n", "Workload", "% Long Jobs", "% Task-Seconds")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %11.2f%% %13.2f%%\n", r.Workload, r.PctLongJobs, r.PctLongTaskSeconds)
+	}
+	return b.String()
+}
+
+// Table2Row reproduces one row of Table 2: long-job percentage and total
+// job count per workload.
+type Table2Row struct {
+	Workload    string
+	PctLongJobs float64
+	TotalJobs   int
+}
+
+// Table2 regenerates Table 2.
+func Table2(sc Scale) []Table2Row {
+	rows := make([]Table2Row, 0, 4)
+	for _, spec := range workload.AllSpecs() {
+		t := TraceFor(spec, sc)
+		st := workload.ComputeStatsByConstruction(t)
+		rows = append(rows, Table2Row{
+			Workload:    spec.Name,
+			PctLongJobs: st.PctLongJobs,
+			TotalJobs:   st.TotalJobs,
+		})
+	}
+	return rows
+}
+
+// FormatTable2 renders the rows like the paper's Table 2.
+func FormatTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %12s %18s\n", "Workload", "% Long Jobs", "Total number jobs")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-12s %11.2f%% %18d\n", r.Workload, r.PctLongJobs, r.TotalJobs)
+	}
+	return b.String()
+}

@@ -1,0 +1,207 @@
+package liverun
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/randdist"
+	"repro/internal/workload"
+)
+
+// cluster wires the node monitors, the distributed schedulers, and the
+// centralized scheduler together.
+type cluster struct {
+	cfg     Config
+	part    core.Partition
+	steal   core.StealPolicy
+	nodes   []*nodeMonitor
+	dscheds []*distScheduler
+	central *centralScheduler
+	stop    chan struct{}
+	started time.Time
+
+	stealAttempts  atomic.Int64
+	stealSuccesses atomic.Int64
+	entriesStolen  atomic.Int64
+	cancels        atomic.Int64
+	tasksExecuted  atomic.Int64
+}
+
+func newCluster(cfg Config) *cluster {
+	c := &cluster{
+		cfg:     cfg,
+		stop:    make(chan struct{}),
+		started: time.Now(),
+	}
+	frac := 0.0
+	if cfg.Mode == ModeHawk {
+		frac = cfg.ShortPartitionFraction
+	}
+	c.part = core.NewPartition(cfg.NumNodes, frac)
+	c.steal = core.StealPolicy{
+		Cap:     cfg.StealCap,
+		Enabled: cfg.Mode == ModeHawk && !cfg.DisableStealing,
+	}
+
+	root := randdist.New(cfg.Seed)
+	c.nodes = make([]*nodeMonitor, cfg.NumNodes)
+	for i := range c.nodes {
+		c.nodes[i] = newNodeMonitor(i, c, root.Fork())
+	}
+	c.dscheds = make([]*distScheduler, cfg.NumSchedulers)
+	for i := range c.dscheds {
+		c.dscheds[i] = &distScheduler{c: c, src: root.Fork()}
+	}
+	if cfg.Mode == ModeHawk {
+		ids := make([]int, c.part.GeneralNodes())
+		for i := range ids {
+			ids[i] = c.part.GeneralID(i)
+		}
+		c.central = newCentralScheduler(c, ids)
+	}
+	for _, n := range c.nodes {
+		go n.run()
+	}
+	return c
+}
+
+func (c *cluster) stopAll() { close(c.stop) }
+
+// nowSeconds is the cluster's clock for the centralized waiting-time queue.
+func (c *cluster) nowSeconds() float64 { return time.Since(c.started).Seconds() }
+
+// latency injects one network hop of delay.
+func (c *cluster) latency() {
+	if c.cfg.NetworkDelay > 0 {
+		time.Sleep(c.cfg.NetworkDelay)
+	}
+}
+
+// submit routes one job to a distributed scheduler or the centralized one.
+func (c *cluster) submit(jr *jobRuntime, seq int) {
+	if c.cfg.Mode == ModeHawk && jr.long {
+		go c.central.schedule(jr)
+		return
+	}
+	ds := c.dscheds[seq%len(c.dscheds)]
+	go ds.schedule(jr)
+}
+
+// distScheduler is one of the paper's per-job distributed schedulers
+// (grouped: each scheduler instance handles many jobs over time, like the
+// paper's 10 prototype schedulers handling 300 jobs each).
+type distScheduler struct {
+	c   *cluster
+	mu  sync.Mutex // guards src
+	src *randdist.Source
+}
+
+// schedule places 2t probes for the job via batch sampling (§3.5).
+func (d *distScheduler) schedule(jr *jobRuntime) {
+	c := d.c
+	// Short jobs may probe the entire cluster (§3.4); in Sparrow mode all
+	// jobs do.
+	d.mu.Lock()
+	ids := c.part.SampleAll(d.src, core.NumProbes(jr.job.NumTasks(), c.cfg.ProbeRatio, c.cfg.NumNodes))
+	d.mu.Unlock()
+	for _, id := range ids {
+		node := c.nodes[id]
+		go func() {
+			c.latency()
+			node.enqueue(entry{probe: true, job: jr})
+		}()
+	}
+}
+
+// centralScheduler runs the §3.7 algorithm over the general partition.
+type centralScheduler struct {
+	c  *cluster
+	mu sync.Mutex
+	q  *core.CentralQueue
+}
+
+func newCentralScheduler(c *cluster, nodeIDs []int) *centralScheduler {
+	return &centralScheduler{c: c, q: core.NewCentralQueue(nodeIDs)}
+}
+
+// schedule places every task of a long job on the least-waiting servers.
+func (s *centralScheduler) schedule(jr *jobRuntime) {
+	c := s.c
+	for i := 0; i < jr.job.NumTasks(); i++ {
+		dur := time.Duration(jr.job.Durations[i] * float64(time.Second))
+		s.mu.Lock()
+		nodeID, _ := s.q.Assign(c.nowSeconds(), jr.est)
+		s.mu.Unlock()
+		node := c.nodes[nodeID]
+		go func() {
+			c.latency()
+			node.enqueue(entry{job: jr, dur: dur})
+		}()
+	}
+}
+
+// taskStarted relays node-monitor feedback to the waiting-time queue; the
+// monitor reports the launched task's duration so the running term tracks
+// the real task (§3.7).
+func (s *centralScheduler) taskStarted(nodeID int, est float64, dur time.Duration) {
+	s.mu.Lock()
+	s.q.TaskStarted(nodeID, s.c.nowSeconds(), est, dur.Seconds())
+	s.mu.Unlock()
+}
+
+// taskFinished relays completion feedback.
+func (s *centralScheduler) taskFinished(nodeID int) {
+	s.mu.Lock()
+	s.q.TaskFinished(nodeID, s.c.nowSeconds())
+	s.mu.Unlock()
+}
+
+// jobRuntime tracks one live job: task handout for batch sampling and
+// completion accounting.
+type jobRuntime struct {
+	job  *workload.Job
+	long bool
+	est  float64
+
+	mu        sync.Mutex
+	next      int
+	done      int
+	submitted time.Time
+	onDone    func(runtime time.Duration)
+}
+
+func newJobRuntime(job *workload.Job, long bool, submitted time.Time) *jobRuntime {
+	return &jobRuntime{
+		job:       job,
+		long:      long,
+		est:       job.AvgTaskDuration(),
+		submitted: submitted,
+	}
+}
+
+// getTask hands the next unassigned task to a requesting node monitor, or
+// reports that all tasks are taken (the probe is cancelled).
+func (j *jobRuntime) getTask() (time.Duration, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.next >= j.job.NumTasks() {
+		return 0, false
+	}
+	d := j.job.Durations[j.next]
+	j.next++
+	return time.Duration(d * float64(time.Second)), true
+}
+
+// taskDone accounts one finished task; the last completion fires onDone.
+func (j *jobRuntime) taskDone() {
+	j.mu.Lock()
+	j.done++
+	finished := j.done == j.job.NumTasks()
+	cb := j.onDone
+	j.mu.Unlock()
+	if finished && cb != nil {
+		cb(time.Since(j.submitted))
+	}
+}

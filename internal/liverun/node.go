@@ -1,0 +1,171 @@
+package liverun
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/randdist"
+	"sync"
+)
+
+// entry is one element of a live node's FIFO queue: a batch-sampling probe
+// or a centrally placed task.
+type entry struct {
+	probe bool
+	job   *jobRuntime
+	dur   time.Duration // task entries only
+}
+
+func (e entry) long() bool { return e.job.long }
+
+// nodeMonitor is the live analogue of a Sparrow node monitor, extended per
+// §3.8 so monitors can communicate and send tasks to each other (work
+// stealing). One goroutine per node: a single execution slot plus a
+// mutex-protected FIFO queue that peers may steal from.
+type nodeMonitor struct {
+	id  int
+	c   *cluster
+	src *randdist.Source // owned by the node's goroutine and thieves; guarded by mu
+
+	mu            sync.Mutex
+	queue         []entry
+	busy          bool
+	executingLong bool
+	wake          chan struct{} // capacity 1: "new work arrived"
+}
+
+func newNodeMonitor(id int, c *cluster, src *randdist.Source) *nodeMonitor {
+	return &nodeMonitor{id: id, c: c, src: src, wake: make(chan struct{}, 1)}
+}
+
+// run is the node's main loop: drain the queue; when it runs dry, attempt
+// one randomized steal; otherwise sleep until new work arrives.
+func (n *nodeMonitor) run() {
+	for {
+		e, ok := n.pop()
+		if !ok {
+			if n.trySteal() {
+				continue
+			}
+			select {
+			case <-n.wake:
+				continue
+			case <-n.c.stop:
+				return
+			}
+		}
+		n.process(e)
+	}
+}
+
+// pop takes the queue head, marking the node busy while it holds work.
+func (n *nodeMonitor) pop() (entry, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if len(n.queue) == 0 {
+		n.busy = false
+		return entry{}, false
+	}
+	e := n.queue[0]
+	n.queue = n.queue[1:]
+	n.busy = true
+	n.executingLong = e.long()
+	return e, true
+}
+
+// process resolves a probe (request round trip, then run or cancel) or runs
+// a centrally placed task, reporting start/finish feedback.
+func (n *nodeMonitor) process(e entry) {
+	c := n.c
+	if e.probe {
+		c.latency() // request
+		dur, ok := e.job.getTask()
+		c.latency() // response
+		if !ok {
+			c.cancels.Add(1)
+			return
+		}
+		n.sleepTask(dur)
+		e.job.taskDone()
+		return
+	}
+	if c.central != nil {
+		c.central.taskStarted(n.id, e.job.est, e.dur)
+	}
+	n.sleepTask(e.dur)
+	if c.central != nil {
+		c.central.taskFinished(n.id)
+	}
+	e.job.taskDone()
+}
+
+func (n *nodeMonitor) sleepTask(d time.Duration) {
+	n.c.tasksExecuted.Add(1)
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// enqueue appends work and wakes the node if it is parked.
+func (n *nodeMonitor) enqueue(e entry) {
+	n.mu.Lock()
+	n.queue = append(n.queue, e)
+	n.mu.Unlock()
+	select {
+	case n.wake <- struct{}{}:
+	default:
+	}
+}
+
+// trySteal performs one randomized steal attempt (§3.6): contact up to Cap
+// random general-partition nodes, take the first eligible group found, and
+// push it onto our own (empty) queue.
+func (n *nodeMonitor) trySteal() bool {
+	c := n.c
+	if !c.steal.Enabled {
+		return false
+	}
+	n.mu.Lock()
+	candidates := c.steal.Candidates(c.part, n.src, n.id)
+	n.mu.Unlock()
+	if len(candidates) == 0 {
+		return false
+	}
+	c.stealAttempts.Add(1)
+	for _, id := range candidates {
+		c.latency() // contacting the victim costs a message
+		group := c.nodes[id].stealGroup()
+		if len(group) == 0 {
+			continue
+		}
+		c.latency() // shipping the stolen group back
+		n.mu.Lock()
+		n.queue = append(append(make([]entry, 0, len(group)+len(n.queue)), group...), n.queue...)
+		n.mu.Unlock()
+		c.stealSuccesses.Add(1)
+		c.entriesStolen.Add(int64(len(group)))
+		return true
+	}
+	return false
+}
+
+// stealGroup extracts this node's eligible group (Figure 3) for a thief, or
+// nil when there is nothing to steal.
+func (n *nodeMonitor) stealGroup() []entry {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.busy || len(n.queue) == 0 {
+		return nil
+	}
+	flags := make([]bool, len(n.queue))
+	for i, e := range n.queue {
+		flags[i] = e.long()
+	}
+	start, end, ok := core.EligibleGroup(n.executingLong, flags)
+	if !ok {
+		return nil
+	}
+	group := append([]entry(nil), n.queue[start:end]...)
+	n.queue = append(n.queue[:start], n.queue[end:]...)
+	return group
+}

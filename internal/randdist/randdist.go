@@ -1,0 +1,143 @@
+// Package randdist provides seeded random distributions used by the
+// workload generators, the simulator, and the live runtime.
+//
+// All state is held in an explicit *Source so that every experiment is
+// reproducible from a single integer seed and safe to run in parallel
+// (each goroutine owns its own Source).
+package randdist
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Source is a seeded random source with the distribution helpers the Hawk
+// reproduction needs. It is not safe for concurrent use; create one Source
+// per goroutine.
+type Source struct {
+	rng *rand.Rand
+}
+
+// New returns a Source seeded with seed. Equal seeds yield equal streams.
+func New(seed int64) *Source {
+	return &Source{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Fork derives an independent child source. The child stream is a pure
+// function of the parent's current state, so forking preserves determinism.
+func (s *Source) Fork() *Source {
+	return New(s.rng.Int63())
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (s *Source) Float64() float64 { return s.rng.Float64() }
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (s *Source) Intn(n int) int { return s.rng.Intn(n) }
+
+// Int63 returns a non-negative uniform int64.
+func (s *Source) Int63() int64 { return s.rng.Int63() }
+
+// Uniform returns a uniform value in [lo, hi).
+func (s *Source) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.rng.Float64()
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+// The paper's derived traces (§4.1) draw task counts and mean task
+// durations from exponential distributions around cluster centroids.
+func (s *Source) Exp(mean float64) float64 {
+	return s.rng.ExpFloat64() * mean
+}
+
+// TruncGaussian returns a Gaussian sample with the given mean and standard
+// deviation, redrawn until non-negative. The paper draws per-task runtimes
+// from a Gaussian with sigma = 2*mean, "excluding negative values" (§4.1).
+func (s *Source) TruncGaussian(mean, stddev float64) float64 {
+	for {
+		v := s.rng.NormFloat64()*stddev + mean
+		if v >= 0 {
+			return v
+		}
+	}
+}
+
+// LogNormal returns a log-normal sample where mu and sigma parameterize the
+// underlying normal distribution. Used to give the synthetic Google trace a
+// heavy-tailed task-duration distribution matching Figure 4.
+func (s *Source) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(s.rng.NormFloat64()*sigma + mu)
+}
+
+// Poisson returns a Poisson-distributed count with the given mean,
+// using inversion by sequential search for small means and the
+// exponential-gap method otherwise.
+func (s *Source) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	// Exponential inter-arrival gaps: count arrivals in one unit of time.
+	count := 0
+	t := 0.0
+	for {
+		t += s.rng.ExpFloat64() / mean
+		if t > 1 {
+			return count
+		}
+		count++
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (s *Source) Perm(n int) []int { return s.rng.Perm(n) }
+
+// SampleWithoutReplacement returns k distinct uniform values from [0, n).
+// If k >= n it returns a full permutation. For k much smaller than n it
+// uses rejection sampling via a set, which is O(k) expected time, so probe
+// and steal-victim selection stay cheap even on 50000-node clusters.
+func (s *Source) SampleWithoutReplacement(n, k int) []int {
+	if k >= n {
+		return s.rng.Perm(n)
+	}
+	if k <= 0 {
+		return nil
+	}
+	// For large k relative to n, a partial Fisher-Yates avoids rejection
+	// stalls; for the common case (k << n) rejection is faster and
+	// allocates only the result slice plus a small map.
+	if k*3 >= n {
+		p := s.rng.Perm(n)
+		return p[:k]
+	}
+	out := make([]int, 0, k)
+	seen := make(map[int]struct{}, k)
+	for len(out) < k {
+		v := s.rng.Intn(n)
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}
+
+// ArrivalProcess generates job submission times.
+type ArrivalProcess struct {
+	src  *Source
+	mean float64
+	now  float64
+}
+
+// NewArrivalProcess returns a Poisson arrival process whose inter-arrival
+// times are exponential with the given mean (seconds). The paper derives
+// job submission times "from a Poisson distribution" (§2.3, §4.1).
+func NewArrivalProcess(src *Source, meanInterArrival float64) *ArrivalProcess {
+	return &ArrivalProcess{src: src, mean: meanInterArrival}
+}
+
+// Next advances the process and returns the next absolute arrival time.
+func (a *ArrivalProcess) Next() float64 {
+	a.now += a.src.Exp(a.mean)
+	return a.now
+}

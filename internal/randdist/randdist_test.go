@@ -1,0 +1,235 @@
+package randdist
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Float64(), b.Float64(); av != bv {
+			t.Fatalf("streams diverged at %d: %v != %v", i, av, bv)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Float64() == b.Float64() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Fatalf("seeds 1 and 2 produced %d/100 identical draws", same)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	parent := New(42)
+	child := parent.Fork()
+	// Fork must be deterministic given the parent state.
+	parent2 := New(42)
+	child2 := parent2.Fork()
+	for i := 0; i < 100; i++ {
+		if child.Float64() != child2.Float64() {
+			t.Fatal("forked streams are not reproducible")
+		}
+	}
+}
+
+func TestUniformRange(t *testing.T) {
+	src := New(1)
+	for i := 0; i < 10000; i++ {
+		v := src.Uniform(0.3, 1.7)
+		if v < 0.3 || v >= 1.7 {
+			t.Fatalf("Uniform(0.3, 1.7) = %v out of range", v)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	src := New(2)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += src.Exp(50)
+	}
+	mean := sum / n
+	if math.Abs(mean-50) > 1 {
+		t.Fatalf("Exp(50) sample mean = %v, want ~50", mean)
+	}
+}
+
+func TestTruncGaussianNonNegative(t *testing.T) {
+	src := New(3)
+	for i := 0; i < 50000; i++ {
+		if v := src.TruncGaussian(10, 20); v < 0 {
+			t.Fatalf("TruncGaussian returned negative value %v", v)
+		}
+	}
+}
+
+func TestTruncGaussianMeanNoTruncation(t *testing.T) {
+	// With sigma << mean truncation almost never fires, so the sample
+	// mean must approach the nominal mean.
+	src := New(4)
+	const n = 100000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += src.TruncGaussian(100, 5)
+	}
+	mean := sum / n
+	if math.Abs(mean-100) > 0.5 {
+		t.Fatalf("TruncGaussian(100, 5) mean = %v, want ~100", mean)
+	}
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	src := New(5)
+	const n = 100001
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = src.LogNormal(math.Log(200), 0.5)
+	}
+	// Median of LogNormal(mu, sigma) is e^mu.
+	med := quickSelectMedian(vals)
+	if med < 180 || med > 220 {
+		t.Fatalf("LogNormal median = %v, want ~200", med)
+	}
+}
+
+func quickSelectMedian(vals []float64) float64 {
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	return sorted[len(sorted)/2]
+}
+
+func TestPoissonMean(t *testing.T) {
+	src := New(6)
+	const n = 50000
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += src.Poisson(4)
+	}
+	mean := float64(sum) / n
+	if math.Abs(mean-4) > 0.1 {
+		t.Fatalf("Poisson(4) mean = %v, want ~4", mean)
+	}
+}
+
+func TestPoissonZeroMean(t *testing.T) {
+	src := New(7)
+	if v := src.Poisson(0); v != 0 {
+		t.Fatalf("Poisson(0) = %d, want 0", v)
+	}
+	if v := src.Poisson(-1); v != 0 {
+		t.Fatalf("Poisson(-1) = %d, want 0", v)
+	}
+}
+
+func TestSampleWithoutReplacementProperties(t *testing.T) {
+	src := New(8)
+	check := func(n, k uint16) bool {
+		nn := int(n%5000) + 1
+		kk := int(k % 200)
+		out := src.SampleWithoutReplacement(nn, kk)
+		want := kk
+		if want > nn {
+			want = nn
+		}
+		if len(out) != want {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, v := range out {
+			if v < 0 || v >= nn || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleWithoutReplacementFull(t *testing.T) {
+	src := New(9)
+	out := src.SampleWithoutReplacement(10, 10)
+	if len(out) != 10 {
+		t.Fatalf("want full permutation of 10, got %d", len(out))
+	}
+	seen := map[int]bool{}
+	for _, v := range out {
+		seen[v] = true
+	}
+	if len(seen) != 10 {
+		t.Fatal("permutation has duplicates")
+	}
+}
+
+func TestSampleWithoutReplacementEdge(t *testing.T) {
+	src := New(10)
+	if out := src.SampleWithoutReplacement(5, 0); len(out) != 0 {
+		t.Fatalf("k=0 should give empty, got %v", out)
+	}
+	if out := src.SampleWithoutReplacement(5, -3); len(out) != 0 {
+		t.Fatalf("negative k should give empty, got %v", out)
+	}
+	if out := src.SampleWithoutReplacement(1, 1); len(out) != 1 || out[0] != 0 {
+		t.Fatalf("n=1 k=1 should give [0], got %v", out)
+	}
+}
+
+func TestSampleUniformity(t *testing.T) {
+	// Each element of [0,100) should be sampled roughly equally often.
+	src := New(11)
+	counts := make([]int, 100)
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		for _, v := range src.SampleWithoutReplacement(100, 5) {
+			counts[v]++
+		}
+	}
+	want := float64(trials*5) / 100 // 1000
+	for i, c := range counts {
+		if math.Abs(float64(c)-want) > want*0.2 {
+			t.Fatalf("element %d sampled %d times, want ~%.0f", i, c, want)
+		}
+	}
+}
+
+func TestArrivalProcessMonotonic(t *testing.T) {
+	src := New(12)
+	ap := NewArrivalProcess(src, 10)
+	prev := 0.0
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		next := ap.Next()
+		if next < prev {
+			t.Fatalf("arrivals not monotonic: %v < %v", next, prev)
+		}
+		sum += next - prev
+		prev = next
+	}
+	mean := sum / n
+	if math.Abs(mean-10) > 0.3 {
+		t.Fatalf("mean inter-arrival = %v, want ~10", mean)
+	}
+}
+
+func TestIntnPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) should panic")
+		}
+	}()
+	New(13).Intn(0)
+}

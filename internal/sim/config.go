@@ -1,0 +1,245 @@
+// Package sim implements the trace-driven discrete-event cluster simulator
+// used for the paper's evaluation (§4.1): single-slot FIFO nodes, 0.5 ms
+// network delay, Sparrow batch sampling, Hawk's hybrid scheduling with
+// partitioning and randomized stealing, a fully centralized baseline, and
+// the split-cluster baseline — plus the three Hawk ablations of Figure 7.
+package sim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Mode selects the scheduler under simulation.
+type Mode int
+
+const (
+	// ModeSparrow is the fully distributed baseline: batch sampling with
+	// ProbeRatio probes per task over the entire cluster for all jobs.
+	ModeSparrow Mode = iota
+	// ModeHawk is the paper's hybrid scheduler: centralized long jobs in
+	// the general partition, distributed short jobs over the whole
+	// cluster, randomized work stealing.
+	ModeHawk
+	// ModeCentralized schedules all jobs with the §3.7 centralized
+	// algorithm over the whole cluster (no partition, no stealing).
+	ModeCentralized
+	// ModeSplit is the §4.6 baseline: a short partition running only
+	// short jobs (distributed) and a long partition running only long
+	// jobs (centralized); no overlap, no stealing.
+	ModeSplit
+)
+
+// String returns the mode name used in reports.
+func (m Mode) String() string {
+	switch m {
+	case ModeSparrow:
+		return "sparrow"
+	case ModeHawk:
+		return "hawk"
+	case ModeCentralized:
+		return "centralized"
+	case ModeSplit:
+		return "split"
+	default:
+		return fmt.Sprintf("mode(%d)", int(m))
+	}
+}
+
+// Config parameterizes one simulation run. Zero values select the paper's
+// defaults where meaningful (see field comments).
+type Config struct {
+	// NumNodes is the cluster size; required (> 0). Each node has
+	// SlotsPerNode slots, each served by its own FIFO queue (§4.1).
+	NumNodes int
+	// SlotsPerNode expands every node into this many independently
+	// queued slots (default 1). The paper notes that one-slot nodes are
+	// "analogous to having multi-slot nodes with each slot served by a
+	// different queue" (§4.1); this knob makes the analogy executable:
+	// the simulation runs NumNodes*SlotsPerNode single-slot queues.
+	SlotsPerNode int
+	// Mode selects the scheduler (default ModeSparrow).
+	Mode Mode
+	// Cutoff is the long/short classification threshold in seconds of
+	// estimated task runtime. Zero means "use the trace default".
+	Cutoff float64
+	// ShortPartitionFraction is the fraction of nodes reserved for short
+	// tasks. Negative means "use the trace default". Ignored by
+	// ModeSparrow and ModeCentralized.
+	ShortPartitionFraction float64
+	// ProbeRatio is the batch-sampling probes-per-task ratio (default 2).
+	ProbeRatio int
+	// StealCap bounds the random nodes contacted per steal attempt
+	// (default 10). Only ModeHawk steals.
+	StealCap int
+	// DisableStealing turns off work stealing (Figure 7 ablation).
+	DisableStealing bool
+	// StealRandomPositions replaces Figure 3's consecutive-group rule
+	// with stealing the same number of short entries from random queue
+	// positions — the alternative the paper argues against in §3.6.
+	// Ablation only; off by default.
+	StealRandomPositions bool
+	// DisablePartition makes the general partition span the whole
+	// cluster (Figure 7 ablation).
+	DisablePartition bool
+	// DisableCentral schedules long jobs with distributed probing over
+	// the general partition instead of centrally (Figure 7 ablation).
+	DisableCentral bool
+	// NetworkDelay is the one-way message delay in seconds (default
+	// 0.5 ms, §4.1).
+	NetworkDelay float64
+	// MisestimateLo/Hi define the uniform mis-estimation factor range of
+	// §4.8. Both zero (or both one) means exact estimates.
+	MisestimateLo, MisestimateHi float64
+	// Seed drives all randomness (probe placement, steal victims,
+	// mis-estimation draws). Equal seeds give identical runs.
+	Seed int64
+	// UtilizationInterval is the utilization sampling period in seconds
+	// (default 100, §2.3/§4.2).
+	UtilizationInterval float64
+}
+
+func (c Config) withDefaults(t *workload.Trace) (Config, error) {
+	if c.NumNodes <= 0 {
+		return c, fmt.Errorf("sim: NumNodes must be positive, got %d", c.NumNodes)
+	}
+	if c.SlotsPerNode < 0 {
+		return c, fmt.Errorf("sim: SlotsPerNode must be non-negative, got %d", c.SlotsPerNode)
+	}
+	if c.SlotsPerNode == 0 {
+		c.SlotsPerNode = 1
+	}
+	c.NumNodes *= c.SlotsPerNode
+	if c.Cutoff == 0 {
+		c.Cutoff = t.Cutoff
+	}
+	if c.Cutoff <= 0 {
+		return c, fmt.Errorf("sim: cutoff must be positive, got %g", c.Cutoff)
+	}
+	if c.ShortPartitionFraction < 0 || c.ShortPartitionFraction == 0 {
+		c.ShortPartitionFraction = t.ShortPartitionFraction
+	}
+	if c.ProbeRatio <= 0 {
+		c.ProbeRatio = core.DefaultProbeRatio
+	}
+	if c.StealCap <= 0 {
+		c.StealCap = core.DefaultStealCap
+	}
+	if c.NetworkDelay <= 0 {
+		c.NetworkDelay = core.DefaultNetworkDelay
+	}
+	if c.UtilizationInterval <= 0 {
+		c.UtilizationInterval = 100
+	}
+	return c, nil
+}
+
+// JobResult records the outcome for one job.
+type JobResult struct {
+	ID         int
+	SubmitTime float64
+	Runtime    float64 // completion of last task − submission
+	Tasks      int
+	// Long is the scheduler's classification (with mis-estimation, if
+	// configured); TrueLong is the classification under exact estimates,
+	// used by Figure 14's reporting.
+	Long     bool
+	TrueLong bool
+	Estimate float64
+}
+
+// Result aggregates one run's outputs.
+type Result struct {
+	Mode     Mode
+	Jobs     []JobResult
+	Makespan float64
+	// Utilization is the 100 s-sampled fraction of busy nodes.
+	Utilization stats.UtilizationSeries
+
+	// Mechanism counters.
+	ProbesSent     int
+	Cancels        int
+	TasksExecuted  int
+	StealAttempts  int // idle transitions that tried to steal
+	StealContacts  int // victim nodes contacted
+	StealSuccesses int // attempts that stole a group
+	EntriesStolen  int // queue entries moved by stealing
+	CentralAssigns int
+	Events         uint64
+
+	// Per-entry queueing waits (time from arrival at a node to the slot
+	// opening), split by the owning job's class. Diagnostics for the
+	// head-of-line-blocking analyses.
+	ShortEntryWaits []float64
+	LongEntryWaits  []float64
+}
+
+// runtimes returns per-class runtimes selected by sel.
+func (r *Result) runtimes(sel func(JobResult) bool) []float64 {
+	out := make([]float64, 0, len(r.Jobs))
+	for _, j := range r.Jobs {
+		if sel(j) {
+			out = append(out, j.Runtime)
+		}
+	}
+	return out
+}
+
+// ShortRuntimes returns runtimes of jobs the scheduler classified short.
+func (r *Result) ShortRuntimes() []float64 {
+	return r.runtimes(func(j JobResult) bool { return !j.Long })
+}
+
+// LongRuntimes returns runtimes of jobs the scheduler classified long.
+func (r *Result) LongRuntimes() []float64 {
+	return r.runtimes(func(j JobResult) bool { return j.Long })
+}
+
+// TrueShortRuntimes returns runtimes of jobs that are short under exact
+// estimates (regardless of how mis-estimation classified them).
+func (r *Result) TrueShortRuntimes() []float64 {
+	return r.runtimes(func(j JobResult) bool { return !j.TrueLong })
+}
+
+// TrueLongRuntimes returns runtimes of jobs that are long under exact
+// estimates.
+func (r *Result) TrueLongRuntimes() []float64 {
+	return r.runtimes(func(j JobResult) bool { return j.TrueLong })
+}
+
+// RuntimesByID returns a job-id → runtime map for the class selected by
+// long (using the true classification so paired comparisons across
+// schedulers and mis-estimation settings align).
+func (r *Result) RuntimesByID(long bool) map[int]float64 {
+	out := make(map[int]float64)
+	for _, j := range r.Jobs {
+		if j.TrueLong == long {
+			out[j.ID] = j.Runtime
+		}
+	}
+	return out
+}
+
+// Percentile returns the p-th percentile runtime for the class.
+func (r *Result) Percentile(long bool, p float64) float64 {
+	if long {
+		return stats.Percentile(r.LongRuntimes(), p)
+	}
+	return stats.Percentile(r.ShortRuntimes(), p)
+}
+
+// Summary formats the headline numbers of the run.
+func (r *Result) Summary() string {
+	short := stats.Summarize(r.ShortRuntimes())
+	long := stats.Summarize(r.LongRuntimes())
+	util := r.Utilization.Median()
+	if math.IsNaN(util) {
+		util = 0
+	}
+	return fmt.Sprintf("%s: short[%s] long[%s] medianUtil=%.1f%% makespan=%.0fs",
+		r.Mode, short, long, 100*util, r.Makespan)
+}

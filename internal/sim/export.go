@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// WriteResultsCSV exports per-job outcomes as CSV with a header row:
+//
+//	jobID,submitTime,runtime,tasks,long,trueLong,estimate
+//
+// so runs can be post-processed or plotted outside Go.
+func WriteResultsCSV(w io.Writer, r *Result) error {
+	bw := bufio.NewWriter(w)
+	cw := csv.NewWriter(bw)
+	if err := cw.Write([]string{"jobID", "submitTime", "runtime", "tasks", "long", "trueLong", "estimate"}); err != nil {
+		return err
+	}
+	for _, j := range r.Jobs {
+		rec := []string{
+			strconv.Itoa(j.ID),
+			strconv.FormatFloat(j.SubmitTime, 'g', -1, 64),
+			strconv.FormatFloat(j.Runtime, 'g', -1, 64),
+			strconv.Itoa(j.Tasks),
+			strconv.FormatBool(j.Long),
+			strconv.FormatBool(j.TrueLong),
+			strconv.FormatFloat(j.Estimate, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("sim: writing job %d: %w", j.ID, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// SaveResultsCSV writes per-job outcomes to path.
+func SaveResultsCSV(path string, r *Result) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteResultsCSV(f, r); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadResultsCSV parses a file written by WriteResultsCSV back into job
+// results (the scalar Result fields are not part of the format).
+func ReadResultsCSV(r io.Reader) ([]JobResult, error) {
+	cr := csv.NewReader(bufio.NewReader(r))
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("sim: empty results file")
+	}
+	out := make([]JobResult, 0, len(recs)-1)
+	for i, rec := range recs[1:] {
+		if len(rec) != 7 {
+			return nil, fmt.Errorf("sim: results row %d has %d fields, want 7", i+2, len(rec))
+		}
+		id, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("sim: results row %d: bad id: %w", i+2, err)
+		}
+		submit, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("sim: results row %d: bad submit: %w", i+2, err)
+		}
+		runtime, err := strconv.ParseFloat(rec[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("sim: results row %d: bad runtime: %w", i+2, err)
+		}
+		tasks, err := strconv.Atoi(rec[3])
+		if err != nil {
+			return nil, fmt.Errorf("sim: results row %d: bad tasks: %w", i+2, err)
+		}
+		long, err := strconv.ParseBool(rec[4])
+		if err != nil {
+			return nil, fmt.Errorf("sim: results row %d: bad long flag: %w", i+2, err)
+		}
+		trueLong, err := strconv.ParseBool(rec[5])
+		if err != nil {
+			return nil, fmt.Errorf("sim: results row %d: bad trueLong flag: %w", i+2, err)
+		}
+		est, err := strconv.ParseFloat(rec[6], 64)
+		if err != nil {
+			return nil, fmt.Errorf("sim: results row %d: bad estimate: %w", i+2, err)
+		}
+		out = append(out, JobResult{
+			ID: id, SubmitTime: submit, Runtime: runtime,
+			Tasks: tasks, Long: long, TrueLong: trueLong, Estimate: est,
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestResultsCSVRoundTrip(t *testing.T) {
+	tr := workload.Generate(workload.Google(), workload.GenConfig{NumJobs: 100, MeanInterArrival: 1, Seed: 2})
+	res := mustRun(t, tr, Config{NumNodes: 500, Mode: ModeHawk, Seed: 1})
+
+	var buf bytes.Buffer
+	if err := WriteResultsCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadResultsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(res.Jobs) {
+		t.Fatalf("round trip: %d rows, want %d", len(got), len(res.Jobs))
+	}
+	for i := range got {
+		a, b := got[i], res.Jobs[i]
+		if a != b {
+			t.Fatalf("row %d mismatch: %+v != %+v", i, a, b)
+		}
+	}
+}
+
+func TestSaveResultsCSV(t *testing.T) {
+	tr := tinyTrace(job(1, 0, 10))
+	res := mustRun(t, tr, Config{NumNodes: 10, Mode: ModeSparrow, Seed: 1})
+	path := filepath.Join(t.TempDir(), "out.csv")
+	if err := SaveResultsCSV(path, res); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := readResultsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func readResultsFile(path string) ([]JobResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadResultsCSV(f)
+}
+
+func TestReadResultsCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"jobID,submitTime,runtime,tasks,long,trueLong,estimate\n1,2,3\n",
+		"jobID,submitTime,runtime,tasks,long,trueLong,estimate\nx,0,1,1,false,false,1\n",
+		"jobID,submitTime,runtime,tasks,long,trueLong,estimate\n1,0,1,1,maybe,false,1\n",
+	}
+	for i, in := range cases {
+		if _, err := ReadResultsCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// randomTrace builds a random but structurally valid heterogeneous trace.
+func randomTrace(rng *rand.Rand, jobs int) *workload.Trace {
+	tr := &workload.Trace{
+		Name:                   "random",
+		Cutoff:                 500,
+		ShortPartitionFraction: 0.2,
+	}
+	submit := 0.0
+	for i := 0; i < jobs; i++ {
+		submit += rng.Float64() * 10
+		var durs []float64
+		if rng.Float64() < 0.1 { // long job
+			n := rng.Intn(20) + 1
+			for k := 0; k < n; k++ {
+				durs = append(durs, 500+rng.Float64()*3000)
+			}
+		} else {
+			n := rng.Intn(10) + 1
+			for k := 0; k < n; k++ {
+				durs = append(durs, 1+rng.Float64()*200)
+			}
+		}
+		tr.Jobs = append(tr.Jobs, &workload.Job{ID: i, SubmitTime: submit, Durations: durs})
+	}
+	return tr
+}
+
+// Invariants that must hold for every scheduler on every trace:
+//   - every job completes, exactly once, with a non-negative runtime
+//   - runtime >= the job's longest task duration (tasks never shrink)
+//   - the number of executed tasks equals the trace's task count
+//   - probe accounting balances: probes = tasks handed out + cancels for
+//     probe-scheduled jobs
+func TestSchedulerInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 5; trial++ {
+		tr := randomTrace(rng, 150)
+		maxDur := map[int]float64{}
+		totalTasks := 0
+		for _, j := range tr.Jobs {
+			m := 0.0
+			for _, d := range j.Durations {
+				if d > m {
+					m = d
+				}
+			}
+			maxDur[j.ID] = m
+			totalTasks += j.NumTasks()
+		}
+		for _, mode := range []Mode{ModeSparrow, ModeHawk, ModeCentralized, ModeSplit} {
+			res, err := Run(tr, Config{NumNodes: 100, Mode: mode, Seed: int64(trial)})
+			if err != nil {
+				t.Fatalf("trial %d %v: %v", trial, mode, err)
+			}
+			if len(res.Jobs) != tr.Len() {
+				t.Fatalf("trial %d %v: %d results for %d jobs", trial, mode, len(res.Jobs), tr.Len())
+			}
+			seen := map[int]bool{}
+			for _, j := range res.Jobs {
+				if seen[j.ID] {
+					t.Fatalf("trial %d %v: job %d completed twice", trial, mode, j.ID)
+				}
+				seen[j.ID] = true
+				if j.Runtime < maxDur[j.ID]-1e-9 {
+					t.Fatalf("trial %d %v: job %d runtime %v < max task duration %v",
+						trial, mode, j.ID, j.Runtime, maxDur[j.ID])
+				}
+			}
+			if res.TasksExecuted != totalTasks {
+				t.Fatalf("trial %d %v: executed %d of %d tasks", trial, mode, res.TasksExecuted, totalTasks)
+			}
+			if res.ProbesSent > 0 {
+				handedOut := res.ProbesSent - res.Cancels
+				if handedOut < 0 || handedOut > totalTasks {
+					t.Fatalf("trial %d %v: probe accounting broken: %d probes, %d cancels",
+						trial, mode, res.ProbesSent, res.Cancels)
+				}
+			}
+			if res.Makespan < tr.MakespanLowerBound() {
+				t.Fatalf("trial %d %v: makespan %v before last submission %v",
+					trial, mode, res.Makespan, tr.MakespanLowerBound())
+			}
+		}
+	}
+}
+
+// Stealing must never lose or duplicate work: totals already checked above;
+// here we additionally verify steal counters are consistent.
+func TestStealCountersConsistent(t *testing.T) {
+	tr := workload.Generate(workload.Google(), workload.GenConfig{NumJobs: 400, MeanInterArrival: 0.5, Seed: 2})
+	res, err := Run(tr, Config{NumNodes: 1500, Mode: ModeHawk, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.StealSuccesses > res.StealAttempts {
+		t.Fatalf("successes %d > attempts %d", res.StealSuccesses, res.StealAttempts)
+	}
+	if res.EntriesStolen < res.StealSuccesses {
+		t.Fatalf("every successful steal moves at least one entry: %d < %d",
+			res.EntriesStolen, res.StealSuccesses)
+	}
+	if res.StealContacts < res.StealAttempts {
+		t.Fatalf("every attempt contacts at least one node: %d < %d",
+			res.StealContacts, res.StealAttempts)
+	}
+}
+
+// Ablations behave sanely: disabling stealing reports zero steals, and
+// disabling the partition uses the whole cluster for long jobs.
+func TestAblationFlags(t *testing.T) {
+	tr := workload.Generate(workload.Google(), workload.GenConfig{NumJobs: 300, MeanInterArrival: 0.5, Seed: 5})
+	noSteal, err := Run(tr, Config{NumNodes: 1500, Mode: ModeHawk, Seed: 1, DisableStealing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noSteal.StealAttempts != 0 || noSteal.StealSuccesses != 0 {
+		t.Fatal("DisableStealing still stole")
+	}
+	noCentral, err := Run(tr, Config{NumNodes: 1500, Mode: ModeHawk, Seed: 1, DisableCentral: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if noCentral.CentralAssigns != 0 {
+		t.Fatal("DisableCentral still assigned centrally")
+	}
+	full, err := Run(tr, Config{NumNodes: 1500, Mode: ModeHawk, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.CentralAssigns == 0 {
+		t.Fatal("full Hawk should centrally assign long tasks")
+	}
+}
+
+// A cluster under extreme overload must still complete all jobs (queues
+// drain after submissions stop) — no deadlock, no lost work.
+func TestOverloadDrains(t *testing.T) {
+	tr := workload.Generate(workload.Google(), workload.GenConfig{NumJobs: 150, MeanInterArrival: 0.05, Seed: 6})
+	for _, mode := range []Mode{ModeSparrow, ModeHawk, ModeCentralized, ModeSplit} {
+		res, err := Run(tr, Config{NumNodes: 120, Mode: mode, Seed: 1})
+		if err != nil {
+			// Probe feasibility may legitimately reject wide jobs on the
+			// tiny cluster; cap and retry.
+			capped := tr.CapTasks(20)
+			res, err = Run(capped, Config{NumNodes: 120, Mode: mode, Seed: 1})
+			if err != nil {
+				t.Fatalf("%v: %v", mode, err)
+			}
+		}
+		if len(res.Jobs) == 0 {
+			t.Fatalf("%v: no jobs completed", mode)
+		}
+	}
+}
+
+// The empty trace runs and produces an empty result.
+func TestEmptyTrace(t *testing.T) {
+	tr := &workload.Trace{Name: "empty", Cutoff: 100, ShortPartitionFraction: 0.1}
+	res, err := Run(tr, Config{NumNodes: 10, Mode: ModeHawk, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != 0 || res.TasksExecuted != 0 {
+		t.Fatalf("empty trace produced work: %+v", res)
+	}
+}
+
+// One-node cluster: everything serializes but still completes.
+func TestOneNodeCluster(t *testing.T) {
+	tr := &workload.Trace{
+		Name:                   "one",
+		Cutoff:                 100,
+		ShortPartitionFraction: 0.1,
+		Jobs: []*workload.Job{
+			{ID: 1, SubmitTime: 0, Durations: []float64{10}},
+			{ID: 2, SubmitTime: 0, Durations: []float64{20}},
+			{ID: 3, SubmitTime: 0, Durations: []float64{500}},
+		},
+	}
+	for _, mode := range []Mode{ModeSparrow, ModeCentralized} {
+		res, err := Run(tr, Config{NumNodes: 1, Mode: mode, Seed: 1})
+		if err != nil {
+			t.Fatalf("%v: %v", mode, err)
+		}
+		if res.TasksExecuted != 3 {
+			t.Fatalf("%v: executed %d tasks", mode, res.TasksExecuted)
+		}
+		// All 530 task-seconds serialize on the single node.
+		if res.Makespan < 530 {
+			t.Fatalf("%v: makespan %v < 530", mode, res.Makespan)
+		}
+	}
+}
+
+// Random-position stealing preserves the same global invariants as the
+// Figure 3 rule: no lost or duplicated work.
+func TestRandomPositionStealingInvariants(t *testing.T) {
+	tr := workload.Generate(workload.Google(), workload.GenConfig{NumJobs: 300, MeanInterArrival: 0.5, Seed: 11})
+	wantTasks := 0
+	for _, j := range tr.Jobs {
+		wantTasks += j.NumTasks()
+	}
+	res, err := Run(tr, Config{NumNodes: 1500, Mode: ModeHawk, Seed: 2, StealRandomPositions: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksExecuted != wantTasks {
+		t.Fatalf("executed %d tasks, want %d", res.TasksExecuted, wantTasks)
+	}
+	if len(res.Jobs) != tr.Len() {
+		t.Fatalf("%d results for %d jobs", len(res.Jobs), tr.Len())
+	}
+	if res.StealSuccesses == 0 {
+		t.Fatal("expected steals under load")
+	}
+}

@@ -1,0 +1,156 @@
+package sim
+
+// entryKind distinguishes the two things a node queue can hold.
+type entryKind uint8
+
+const (
+	// probeEntry is a batch-sampling placeholder: when it reaches the
+	// head of the queue the node asks the job's scheduler for a task and
+	// receives either a task or a cancel (§3.5).
+	probeEntry entryKind = iota
+	// taskEntry is a concrete task placed directly by the centralized
+	// scheduler (§3.7), carrying its actual duration.
+	taskEntry
+)
+
+// entry is one element of a node's FIFO queue.
+type entry struct {
+	kind entryKind
+	js   *jobState
+	dur  float64 // taskEntry only: actual task duration
+	enq  float64 // time the entry first arrived at a node (survives stealing)
+}
+
+// long reports whether this entry belongs to a long job, the property the
+// stealing policy classifies queue contents by.
+func (e entry) long() bool { return e.js.long }
+
+// node models one worker: a single execution slot plus a FIFO queue (§3.1).
+type node struct {
+	id  int
+	sim *simulation
+
+	queue []entry
+	// busy is true while the slot is occupied: executing a task or
+	// holding the request/response round-trip of a probe at the head of
+	// the queue.
+	busy bool
+	// runningLong is valid while busy: whether the occupying work
+	// belongs to a long job. The stealing policy's Figure 3 cases branch
+	// on it.
+	runningLong bool
+}
+
+// enqueue appends an entry and starts it immediately if the node is idle.
+func (n *node) enqueue(e entry) {
+	n.queue = append(n.queue, e)
+	n.advance()
+}
+
+// enqueueFront pushes entries to the head of the queue, preserving their
+// order. Stolen groups land at the thief's head so they run before anything
+// else already queued there (the thief is idle when it steals, so in
+// practice the queue is empty).
+func (n *node) enqueueFront(es []entry) {
+	n.queue = append(append(make([]entry, 0, len(es)+len(n.queue)), es...), n.queue...)
+	n.advance()
+}
+
+// advance starts the head-of-queue entry if the slot is free.
+func (n *node) advance() {
+	if n.busy || len(n.queue) == 0 {
+		return
+	}
+	head := n.queue[0]
+	n.queue = n.queue[1:]
+	n.busy = true
+	n.runningLong = head.long()
+	n.sim.nodeBecameBusy()
+	n.sim.observeWait(head, n.sim.eng.Now())
+	switch head.kind {
+	case taskEntry:
+		// Centrally placed task: the central queue observes its start so
+		// waiting times track the server's actual queue state (§3.7).
+		// The estimate leaves the queued sum; the running term uses the
+		// task's actual duration, which the executing node knows — this
+		// is what keeps a server with an overrunning task from looking
+		// idle to the centralized scheduler.
+		n.sim.central.TaskStarted(n.id, n.sim.eng.Now(), head.js.estimate, head.dur)
+		n.execute(head.js, head.dur, true)
+	case probeEntry:
+		// Request/response round trip to the job's scheduler: the node
+		// asks for a task; the scheduler answers with a task or cancel.
+		n.sim.eng.After(2*n.sim.cfg.NetworkDelay, func() {
+			dur, ok := head.js.nextTaskDuration()
+			if !ok {
+				n.sim.res.Cancels++
+				n.finishSlot()
+				return
+			}
+			n.execute(head.js, dur, false)
+		})
+	}
+}
+
+// execute runs one task to completion. central marks tasks placed by the
+// centralized scheduler, whose completion it observes.
+func (n *node) execute(js *jobState, dur float64, central bool) {
+	n.sim.res.TasksExecuted++
+	n.sim.eng.After(dur, func() {
+		now := n.sim.eng.Now()
+		if central {
+			n.sim.central.TaskFinished(n.id, now)
+		}
+		js.taskFinished(now)
+		n.finishSlot()
+	})
+}
+
+// finishSlot releases the slot, continues with the queue, and — if the node
+// ran dry — performs one randomized steal attempt (§3.6).
+func (n *node) finishSlot() {
+	n.busy = false
+	n.sim.nodeBecameIdle()
+	n.advance()
+	if !n.busy && len(n.queue) == 0 {
+		n.sim.attemptSteal(n)
+	}
+}
+
+// queueLongFlags snapshots which queued entries belong to long jobs,
+// head-first, for the eligible-group computation.
+func (n *node) queueLongFlags() []bool {
+	flags := make([]bool, len(n.queue))
+	for i, e := range n.queue {
+		flags[i] = e.long()
+	}
+	return flags
+}
+
+// stealRange removes and returns queue entries [start, end).
+func (n *node) stealRange(start, end int) []entry {
+	stolen := append([]entry(nil), n.queue[start:end]...)
+	n.queue = append(n.queue[:start], n.queue[end:]...)
+	return stolen
+}
+
+// stealIndices removes and returns the entries at the given sorted queue
+// indices (the random-position stealing ablation).
+func (n *node) stealIndices(idx []int) []entry {
+	if len(idx) == 0 {
+		return nil
+	}
+	stolen := make([]entry, 0, len(idx))
+	kept := n.queue[:0]
+	next := 0
+	for i, e := range n.queue {
+		if next < len(idx) && i == idx[next] {
+			stolen = append(stolen, e)
+			next++
+			continue
+		}
+		kept = append(kept, e)
+	}
+	n.queue = kept
+	return stolen
+}

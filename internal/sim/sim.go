@@ -1,0 +1,341 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/eventq"
+	"repro/internal/randdist"
+	"repro/internal/workload"
+)
+
+// jobState tracks one job while it runs.
+type jobState struct {
+	job      *workload.Job
+	sim      *simulation
+	estimate float64
+	long     bool
+	trueLong bool
+	next     int // next task index to hand out (probe-scheduled jobs)
+	finished int
+}
+
+// nextTaskDuration hands out the next unassigned task, or reports that all
+// tasks have been given to other servers (the probe is cancelled).
+func (js *jobState) nextTaskDuration() (float64, bool) {
+	if js.next >= js.job.NumTasks() {
+		return 0, false
+	}
+	d := js.job.Durations[js.next]
+	js.next++
+	return d, true
+}
+
+// taskFinished accounts one completed task and records the job runtime when
+// the last task finishes (a job completes only after all its tasks, §3.1).
+func (js *jobState) taskFinished(now float64) {
+	js.finished++
+	if js.finished == js.job.NumTasks() {
+		js.sim.jobCompleted(js, now)
+	}
+}
+
+type simulation struct {
+	cfg        Config
+	eng        *eventq.Engine
+	trace      *workload.Trace
+	part       core.Partition
+	classifier core.Classifier
+	estimator  *core.Estimator
+	steal      core.StealPolicy
+	src        *randdist.Source
+	nodes      []*node
+	central    *core.CentralQueue
+	res        *Result
+
+	busyNodes int
+	jobsDone  int
+}
+
+// Run simulates the trace under the configuration and returns the collected
+// metrics. Runs are deterministic for a given (trace, config) pair.
+func Run(trace *workload.Trace, cfg Config) (*Result, error) {
+	cfg, err := cfg.withDefaults(trace)
+	if err != nil {
+		return nil, err
+	}
+	if err := trace.Validate(); err != nil {
+		return nil, err
+	}
+
+	s := &simulation{
+		cfg:        cfg,
+		eng:        eventq.New(),
+		trace:      trace,
+		classifier: core.Classifier{Cutoff: cfg.Cutoff},
+		estimator:  core.NewEstimator(cfg.MisestimateLo, cfg.MisestimateHi, cfg.Seed+1),
+		src:        randdist.New(cfg.Seed),
+		res:        &Result{Mode: cfg.Mode},
+	}
+
+	switch cfg.Mode {
+	case ModeSparrow, ModeCentralized:
+		// No reservation: the "partition" is the whole cluster.
+		s.part = core.NewPartition(cfg.NumNodes, 0)
+	case ModeHawk, ModeSplit:
+		frac := cfg.ShortPartitionFraction
+		if cfg.DisablePartition {
+			frac = 0
+		}
+		s.part = core.NewPartition(cfg.NumNodes, frac)
+	default:
+		return nil, fmt.Errorf("sim: unknown mode %v", cfg.Mode)
+	}
+
+	s.steal = core.StealPolicy{Cap: cfg.StealCap, Enabled: cfg.Mode == ModeHawk && !cfg.DisableStealing}
+
+	if s.usesCentral() {
+		ids := make([]int, 0, s.part.GeneralNodes())
+		if cfg.Mode == ModeCentralized {
+			for i := 0; i < cfg.NumNodes; i++ {
+				ids = append(ids, i)
+			}
+		} else {
+			for i := 0; i < s.part.GeneralNodes(); i++ {
+				ids = append(ids, s.part.GeneralID(i))
+			}
+		}
+		s.central = core.NewCentralQueue(ids)
+	}
+
+	s.nodes = make([]*node, cfg.NumNodes)
+	for i := range s.nodes {
+		s.nodes[i] = &node{id: i, sim: s}
+	}
+
+	if err := s.checkProbeFeasibility(); err != nil {
+		return nil, err
+	}
+
+	for _, j := range trace.Jobs {
+		job := j
+		s.eng.At(job.SubmitTime, func() { s.submit(job) })
+	}
+	s.eng.EverySample(cfg.UtilizationInterval, cfg.UtilizationInterval,
+		func() bool { return s.jobsDone < len(trace.Jobs) },
+		func(now float64) {
+			s.res.Utilization.AddAt(now, float64(s.busyNodes)/float64(cfg.NumNodes))
+		})
+
+	s.eng.Run()
+
+	if s.jobsDone != len(trace.Jobs) {
+		return nil, fmt.Errorf("sim: deadlock — %d of %d jobs completed", s.jobsDone, len(trace.Jobs))
+	}
+	s.res.Makespan = s.eng.Now()
+	s.res.Events = s.eng.Executed()
+	return s.res, nil
+}
+
+func (s *simulation) usesCentral() bool {
+	switch s.cfg.Mode {
+	case ModeCentralized, ModeSplit:
+		return true
+	case ModeHawk:
+		return !s.cfg.DisableCentral
+	default:
+		return false
+	}
+}
+
+// checkProbeFeasibility rejects traces whose jobs have more tasks than the
+// nodes eligible to receive their probes: with batch sampling one probe
+// yields at most one task, so such jobs could never finish. Callers should
+// scale the trace down first (workload.Trace.CapTasks), as the paper does
+// for its 100-node prototype runs.
+func (s *simulation) checkProbeFeasibility() error {
+	maxTasks := 0
+	maxLongTasks := 0
+	for _, j := range s.trace.Jobs {
+		n := j.NumTasks()
+		if n > maxTasks {
+			maxTasks = n
+		}
+		if j.AvgTaskDuration() >= s.cfg.Cutoff && n > maxLongTasks {
+			maxLongTasks = n
+		}
+	}
+	switch s.cfg.Mode {
+	case ModeSparrow:
+		if maxTasks > s.cfg.NumNodes {
+			return fmt.Errorf("sim: job with %d tasks exceeds %d nodes (probe-scheduled); cap tasks first", maxTasks, s.cfg.NumNodes)
+		}
+	case ModeHawk:
+		if maxTasks > s.cfg.NumNodes {
+			return fmt.Errorf("sim: job with %d tasks exceeds %d nodes; cap tasks first", maxTasks, s.cfg.NumNodes)
+		}
+		if s.cfg.DisableCentral && maxLongTasks > s.part.GeneralNodes() {
+			return fmt.Errorf("sim: long job with %d tasks exceeds %d general nodes (w/o central ablation)", maxLongTasks, s.part.GeneralNodes())
+		}
+	case ModeSplit:
+		shortNodes := s.part.ShortOnlyNodes()
+		for _, j := range s.trace.Jobs {
+			if j.AvgTaskDuration() < s.cfg.Cutoff && j.NumTasks() > shortNodes {
+				return fmt.Errorf("sim: short job with %d tasks exceeds %d short-partition nodes (split mode)", j.NumTasks(), shortNodes)
+			}
+		}
+	}
+	return nil
+}
+
+// submit routes a newly arrived job to its scheduler.
+func (s *simulation) submit(job *workload.Job) {
+	js := &jobState{
+		job:      job,
+		sim:      s,
+		estimate: s.estimator.Estimate(job),
+	}
+	js.long = s.classifier.IsLong(js.estimate)
+	js.trueLong = s.classifier.IsLong(job.AvgTaskDuration())
+
+	switch s.cfg.Mode {
+	case ModeSparrow:
+		s.probeJob(js, s.part.SampleAll(s.src, s.probeCount(js, s.cfg.NumNodes)))
+	case ModeHawk:
+		if js.long {
+			if s.cfg.DisableCentral {
+				s.probeJob(js, s.part.SampleGeneral(s.src, s.probeCount(js, s.part.GeneralNodes())))
+			} else {
+				s.centralJob(js)
+			}
+		} else {
+			// Short jobs probe the whole cluster: the short partition
+			// plus any idle general node (§3.4, §3.5).
+			s.probeJob(js, s.part.SampleAll(s.src, s.probeCount(js, s.cfg.NumNodes)))
+		}
+	case ModeCentralized:
+		s.centralJob(js)
+	case ModeSplit:
+		if js.long {
+			s.centralJob(js)
+		} else {
+			s.probeJob(js, sampleShortPartition(s.part, s.src, s.probeCount(js, s.part.ShortOnlyNodes())))
+		}
+	}
+}
+
+func (s *simulation) probeCount(js *jobState, candidates int) int {
+	return core.NumProbes(js.job.NumTasks(), s.cfg.ProbeRatio, candidates)
+}
+
+// probeJob sends batch-sampling probes to the chosen nodes; each arrives
+// after one network delay.
+func (s *simulation) probeJob(js *jobState, nodeIDs []int) {
+	s.res.ProbesSent += len(nodeIDs)
+	for _, id := range nodeIDs {
+		n := s.nodes[id]
+		s.eng.After(s.cfg.NetworkDelay, func() {
+			n.enqueue(entry{kind: probeEntry, js: js, enq: s.eng.Now()})
+		})
+	}
+}
+
+// centralJob places every task of the job with the §3.7 algorithm: each
+// task goes to the server with the smallest estimated waiting time, which
+// is then bumped by the job's estimated task runtime.
+func (s *simulation) centralJob(js *jobState) {
+	now := s.eng.Now()
+	for i := 0; i < js.job.NumTasks(); i++ {
+		nodeID, _ := s.central.Assign(now, js.estimate)
+		s.res.CentralAssigns++
+		dur := js.job.Durations[i]
+		n := s.nodes[nodeID]
+		s.eng.After(s.cfg.NetworkDelay, func() {
+			n.enqueue(entry{kind: taskEntry, js: js, dur: dur, enq: s.eng.Now()})
+		})
+	}
+}
+
+// attemptSteal performs one randomized steal attempt for an idle thief:
+// contact up to Cap random general-partition nodes and move the first
+// eligible group found (§3.6, Figure 3). Per §4.1 the decision itself is
+// free; stolen work restarts instantly at the thief.
+func (s *simulation) attemptSteal(thief *node) {
+	if !s.steal.Enabled {
+		return
+	}
+	candidates := s.steal.Candidates(s.part, s.src, thief.id)
+	if len(candidates) == 0 {
+		return
+	}
+	s.res.StealAttempts++
+	for _, id := range candidates {
+		s.res.StealContacts++
+		victim := s.nodes[id]
+		if len(victim.queue) == 0 {
+			continue
+		}
+		if !victim.busy {
+			// The victim is between entries at this very instant; its
+			// queue will advance on its own. Skip rather than race it.
+			continue
+		}
+		flags := victim.queueLongFlags()
+		start, end, ok := core.EligibleGroup(victim.runningLong, flags)
+		if !ok {
+			continue
+		}
+		var stolen []entry
+		if s.cfg.StealRandomPositions {
+			stolen = victim.stealIndices(core.RandomShortIndices(flags, end-start, s.src))
+		} else {
+			stolen = victim.stealRange(start, end)
+		}
+		if len(stolen) == 0 {
+			continue
+		}
+		s.res.StealSuccesses++
+		s.res.EntriesStolen += len(stolen)
+		thief.enqueueFront(stolen)
+		return
+	}
+}
+
+func (s *simulation) jobCompleted(js *jobState, now float64) {
+	s.jobsDone++
+	s.res.Jobs = append(s.res.Jobs, JobResult{
+		ID:         js.job.ID,
+		SubmitTime: js.job.SubmitTime,
+		Runtime:    now - js.job.SubmitTime,
+		Tasks:      js.job.NumTasks(),
+		Long:       js.long,
+		TrueLong:   js.trueLong,
+		Estimate:   js.estimate,
+	})
+}
+
+// observeWait records how long a queue entry waited at nodes before its
+// slot opened, split by job class — diagnostic for the queueing analyses.
+func (s *simulation) observeWait(e entry, now float64) {
+	w := now - e.enq
+	if e.js.long {
+		s.res.LongEntryWaits = append(s.res.LongEntryWaits, w)
+	} else {
+		s.res.ShortEntryWaits = append(s.res.ShortEntryWaits, w)
+	}
+}
+
+func (s *simulation) nodeBecameBusy() { s.busyNodes++ }
+
+func (s *simulation) nodeBecameIdle() { s.busyNodes-- }
+
+// sampleShortPartition returns k distinct node ids from the short
+// partition, used by split-cluster mode where short jobs may only run
+// there.
+func sampleShortPartition(p core.Partition, src *randdist.Source, k int) []int {
+	n := p.ShortOnlyNodes()
+	if k > n {
+		k = n
+	}
+	return src.SampleWithoutReplacement(n, k)
+}

@@ -1,0 +1,378 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// tinyTrace builds a deterministic hand-written trace.
+func tinyTrace(jobs ...*workload.Job) *workload.Trace {
+	return &workload.Trace{
+		Name:                   "tiny",
+		Jobs:                   jobs,
+		Cutoff:                 1000,
+		ShortPartitionFraction: 0.2,
+	}
+}
+
+func job(id int, submit float64, durs ...float64) *workload.Job {
+	return &workload.Job{ID: id, SubmitTime: submit, Durations: durs}
+}
+
+func mustRun(t *testing.T, tr *workload.Trace, cfg Config) *Result {
+	t.Helper()
+	res, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
+}
+
+func TestSingleJobIdleCluster(t *testing.T) {
+	// One 3-task short job on an idle cluster: runtime = max duration
+	// plus probe latency (1 delay to reach the node + RTT to fetch).
+	tr := tinyTrace(job(1, 0, 100, 200, 300))
+	for _, mode := range []Mode{ModeSparrow, ModeHawk, ModeCentralized, ModeSplit} {
+		res := mustRun(t, tr, Config{NumNodes: 50, Mode: mode, Seed: 1})
+		if len(res.Jobs) != 1 {
+			t.Fatalf("%v: %d jobs", mode, len(res.Jobs))
+		}
+		rt := res.Jobs[0].Runtime
+		if rt < 300 || rt > 300.01 {
+			t.Errorf("%v: runtime = %v, want ~300 (+ms latency)", mode, rt)
+		}
+	}
+}
+
+func TestAllTasksExecuteExactlyOnce(t *testing.T) {
+	tr := workload.Generate(workload.Google(), workload.GenConfig{NumJobs: 300, MeanInterArrival: 1, Seed: 3})
+	wantTasks := 0
+	for _, j := range tr.Jobs {
+		wantTasks += j.NumTasks()
+	}
+	for _, mode := range []Mode{ModeSparrow, ModeHawk, ModeCentralized, ModeSplit} {
+		res := mustRun(t, tr, Config{NumNodes: 2000, Mode: mode, Seed: 4})
+		if res.TasksExecuted != wantTasks {
+			t.Errorf("%v: executed %d tasks, want %d", mode, res.TasksExecuted, wantTasks)
+		}
+		if len(res.Jobs) != tr.Len() {
+			t.Errorf("%v: %d job results, want %d", mode, len(res.Jobs), tr.Len())
+		}
+	}
+}
+
+func TestProbeAccounting(t *testing.T) {
+	// Sparrow sends 2 probes per task; surplus probes are cancelled.
+	tr := tinyTrace(job(1, 0, 10, 10, 10, 10))
+	res := mustRun(t, tr, Config{NumNodes: 100, Mode: ModeSparrow, Seed: 1})
+	if res.ProbesSent != 8 {
+		t.Fatalf("probes = %d, want 8", res.ProbesSent)
+	}
+	if res.Cancels != 4 {
+		t.Fatalf("cancels = %d, want 4", res.Cancels)
+	}
+}
+
+func TestJobRuntimeIsLastTaskCompletion(t *testing.T) {
+	// Two jobs on one node: FIFO forces serialization. Job 1 has two
+	// tasks of 100 s; with a single node its runtime is ~200 s.
+	tr := tinyTrace(job(1, 0, 100, 100))
+	res := mustRun(t, tr, Config{NumNodes: 1, Mode: ModeCentralized, Seed: 1})
+	rt := res.Jobs[0].Runtime
+	if rt < 200 || rt > 200.01 {
+		t.Fatalf("serialized runtime = %v, want ~200", rt)
+	}
+}
+
+func TestClassificationAndCutoff(t *testing.T) {
+	tr := tinyTrace(job(1, 0, 10), job(2, 1, 5000))
+	res := mustRun(t, tr, Config{NumNodes: 10, Mode: ModeHawk, Seed: 1})
+	for _, j := range res.Jobs {
+		switch j.ID {
+		case 1:
+			if j.Long || j.TrueLong {
+				t.Error("job 1 should be short")
+			}
+		case 2:
+			if !j.Long || !j.TrueLong {
+				t.Error("job 2 should be long")
+			}
+		}
+	}
+	if len(res.ShortRuntimes()) != 1 || len(res.LongRuntimes()) != 1 {
+		t.Fatal("per-class runtime split wrong")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	tr := workload.Generate(workload.Google(), workload.GenConfig{NumJobs: 200, MeanInterArrival: 1, Seed: 8})
+	for _, mode := range []Mode{ModeSparrow, ModeHawk} {
+		a := mustRun(t, tr, Config{NumNodes: 1000, Mode: mode, Seed: 9})
+		b := mustRun(t, tr, Config{NumNodes: 1000, Mode: mode, Seed: 9})
+		if a.Makespan != b.Makespan || a.StealSuccesses != b.StealSuccesses {
+			t.Fatalf("%v: runs with equal seeds differ", mode)
+		}
+		for i := range a.Jobs {
+			if a.Jobs[i].Runtime != b.Jobs[i].Runtime {
+				t.Fatalf("%v: job %d runtime differs", mode, a.Jobs[i].ID)
+			}
+		}
+	}
+}
+
+func TestSeedsChangeOutcome(t *testing.T) {
+	tr := workload.Generate(workload.Google(), workload.GenConfig{NumJobs: 200, MeanInterArrival: 1, Seed: 8})
+	a := mustRun(t, tr, Config{NumNodes: 500, Mode: ModeSparrow, Seed: 1})
+	b := mustRun(t, tr, Config{NumNodes: 500, Mode: ModeSparrow, Seed: 2})
+	diff := false
+	for i := range a.Jobs {
+		if a.Jobs[i].Runtime != b.Jobs[i].Runtime {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical placements")
+	}
+}
+
+func TestHawkLongJobsStayInGeneralPartition(t *testing.T) {
+	// With a 50% short partition on 2 nodes, node 0 is short-only. A
+	// long job's tasks must all run on node 1, serialized.
+	tr := &workload.Trace{
+		Name:                   "conf",
+		Jobs:                   []*workload.Job{job(1, 0, 2000, 2000)},
+		Cutoff:                 1000,
+		ShortPartitionFraction: 0.5,
+	}
+	res := mustRun(t, tr, Config{NumNodes: 2, Mode: ModeHawk, Seed: 1})
+	rt := res.Jobs[0].Runtime
+	if rt < 4000 || rt > 4000.01 {
+		t.Fatalf("long job runtime = %v, want ~4000 (serialized on the single general node)", rt)
+	}
+}
+
+func TestSparrowUsesWholeCluster(t *testing.T) {
+	// Same trace under Sparrow: both nodes are usable, so the two tasks
+	// run in parallel.
+	tr := &workload.Trace{
+		Name:                   "conf",
+		Jobs:                   []*workload.Job{job(1, 0, 2000, 2000)},
+		Cutoff:                 1000,
+		ShortPartitionFraction: 0.5,
+	}
+	res := mustRun(t, tr, Config{NumNodes: 2, Mode: ModeSparrow, Seed: 1})
+	rt := res.Jobs[0].Runtime
+	if rt > 2000.02 {
+		t.Fatalf("runtime = %v, want ~2000 (parallel)", rt)
+	}
+}
+
+func TestSplitConfinesShortJobs(t *testing.T) {
+	// Split cluster with a 25% short partition on 8 nodes: two 2-task
+	// short jobs compete for the 2 short-only nodes, so the second job
+	// queues (~200 s total) even though 6 general nodes sit idle. Under
+	// Hawk the same jobs would spread over the whole cluster.
+	tr := &workload.Trace{
+		Name: "conf",
+		Jobs: []*workload.Job{
+			job(1, 0, 100, 100),
+			job(2, 1, 100, 100),
+		},
+		Cutoff:                 1000,
+		ShortPartitionFraction: 0.25,
+	}
+	res := mustRun(t, tr, Config{NumNodes: 8, Mode: ModeSplit, Seed: 1})
+	var rt2 float64
+	for _, j := range res.Jobs {
+		if j.ID == 2 {
+			rt2 = j.Runtime
+		}
+	}
+	if rt2 < 150 {
+		t.Fatalf("second short job runtime = %v, want ~200 (queued in the short partition)", rt2)
+	}
+	hawk := mustRun(t, tr, Config{NumNodes: 8, Mode: ModeHawk, Seed: 1})
+	for _, j := range hawk.Jobs {
+		if j.ID == 2 && j.Runtime > 150 {
+			t.Fatalf("hawk should spread short jobs cluster-wide, runtime = %v", j.Runtime)
+		}
+	}
+}
+
+func TestStealingRescuesShortJob(t *testing.T) {
+	// One general node (id 1) and one short-only node (id 0). A long job
+	// occupies the general node; a short job's probes (2 probes on 2
+	// nodes = both) put one probe behind the long task. Without stealing
+	// the short task behind the long task would wait 5000 s; with
+	// stealing the idle short-partition node rescues it.
+	tr := &workload.Trace{
+		Name: "steal",
+		Jobs: []*workload.Job{
+			{ID: 1, SubmitTime: 0, Durations: []float64{5000, 5000}},
+			{ID: 2, SubmitTime: 1, Durations: []float64{10, 10, 10}},
+		},
+		Cutoff:                 1000,
+		ShortPartitionFraction: 0.34, // 1 of 3 nodes reserved
+	}
+	withSteal := mustRun(t, tr, Config{NumNodes: 3, Mode: ModeHawk, Seed: 1})
+	without := mustRun(t, tr, Config{NumNodes: 3, Mode: ModeHawk, Seed: 1, DisableStealing: true})
+	var rtSteal, rtNo float64
+	for _, j := range withSteal.Jobs {
+		if j.ID == 2 {
+			rtSteal = j.Runtime
+		}
+	}
+	for _, j := range without.Jobs {
+		if j.ID == 2 {
+			rtNo = j.Runtime
+		}
+	}
+	if rtSteal > rtNo {
+		t.Fatalf("stealing made the short job slower: %v > %v", rtSteal, rtNo)
+	}
+	if withSteal.StealSuccesses == 0 && rtNo > 1000 && rtSteal > 1000 {
+		t.Fatalf("no steals happened and the short job queued: steal=%v no-steal=%v", rtSteal, rtNo)
+	}
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	tr := workload.Generate(workload.Google(), workload.GenConfig{NumJobs: 200, MeanInterArrival: 1, Seed: 8})
+	res := mustRun(t, tr, Config{NumNodes: 1000, Mode: ModeHawk, Seed: 1})
+	for _, u := range res.Utilization.Samples() {
+		if u < 0 || u > 1 {
+			t.Fatalf("utilization sample %v out of [0,1]", u)
+		}
+	}
+	if res.Utilization.Len() == 0 {
+		t.Fatal("no utilization samples collected")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tr := tinyTrace(job(1, 0, 10))
+	if _, err := Run(tr, Config{NumNodes: 0, Mode: ModeSparrow}); err == nil {
+		t.Error("zero nodes should error")
+	}
+	bad := tinyTrace(job(1, 0, 10))
+	bad.Cutoff = 0
+	if _, err := Run(bad, Config{NumNodes: 10, Mode: ModeSparrow}); err == nil {
+		t.Error("zero cutoff should error")
+	}
+	if _, err := Run(tr, Config{NumNodes: 10, Mode: Mode(99)}); err == nil {
+		t.Error("unknown mode should error")
+	}
+	invalid := tinyTrace(job(1, -5, 10))
+	if _, err := Run(invalid, Config{NumNodes: 10, Mode: ModeSparrow}); err == nil {
+		t.Error("invalid trace should error")
+	}
+}
+
+func TestProbeFeasibilityCheck(t *testing.T) {
+	// 20-task job on a 10-node cluster cannot be probe-scheduled.
+	wide := tinyTrace(job(1, 0, make([]float64, 20)...))
+	for i := range wide.Jobs[0].Durations {
+		wide.Jobs[0].Durations[i] = 10
+	}
+	if _, err := Run(wide, Config{NumNodes: 10, Mode: ModeSparrow}); err == nil {
+		t.Error("infeasible sparrow trace should error")
+	}
+	// Centralized mode has no such limit.
+	if _, err := Run(wide, Config{NumNodes: 10, Mode: ModeCentralized}); err != nil {
+		t.Errorf("centralized should handle wide jobs: %v", err)
+	}
+	// Capping fixes it.
+	capped := wide.CapTasks(10)
+	if _, err := Run(capped, Config{NumNodes: 10, Mode: ModeSparrow}); err != nil {
+		t.Errorf("capped trace should run: %v", err)
+	}
+}
+
+func TestMisestimationClassification(t *testing.T) {
+	// With an extreme downward mis-estimation every job classifies short.
+	tr := tinyTrace(job(1, 0, 5000, 5000), job(2, 1, 10))
+	res := mustRun(t, tr, Config{
+		NumNodes: 10, Mode: ModeHawk, Seed: 1,
+		MisestimateLo: 0.01, MisestimateHi: 0.02,
+	})
+	for _, j := range res.Jobs {
+		if j.Long {
+			t.Errorf("job %d classified long despite tiny estimates", j.ID)
+		}
+		if j.ID == 1 && !j.TrueLong {
+			t.Error("TrueLong must ignore mis-estimation")
+		}
+	}
+}
+
+func TestModeString(t *testing.T) {
+	names := map[Mode]string{
+		ModeSparrow: "sparrow", ModeHawk: "hawk",
+		ModeCentralized: "centralized", ModeSplit: "split", Mode(9): "mode(9)",
+	}
+	for m, want := range names {
+		if m.String() != want {
+			t.Errorf("Mode(%d).String() = %q", int(m), m.String())
+		}
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	tr := tinyTrace(job(1, 0, 10), job(2, 1, 5000))
+	res := mustRun(t, tr, Config{NumNodes: 10, Mode: ModeHawk, Seed: 1})
+	if got := res.RuntimesByID(false); len(got) != 1 {
+		t.Fatalf("RuntimesByID(short) = %v", got)
+	}
+	if got := res.RuntimesByID(true); len(got) != 1 {
+		t.Fatalf("RuntimesByID(long) = %v", got)
+	}
+	if math.IsNaN(res.Percentile(false, 50)) {
+		t.Fatal("short percentile NaN")
+	}
+	if res.Summary() == "" {
+		t.Fatal("summary empty")
+	}
+	if len(res.TrueShortRuntimes()) != 1 || len(res.TrueLongRuntimes()) != 1 {
+		t.Fatal("true-class runtime split wrong")
+	}
+}
+
+func TestNetworkDelayAddsUp(t *testing.T) {
+	// A 1-task short job: probe (delay) + request (delay) + response
+	// (delay) = 3 network delays before execution.
+	tr := tinyTrace(job(1, 0, 100))
+	res := mustRun(t, tr, Config{NumNodes: 4, Mode: ModeSparrow, Seed: 1, NetworkDelay: 1})
+	rt := res.Jobs[0].Runtime
+	if math.Abs(rt-103) > 1e-9 {
+		t.Fatalf("runtime = %v, want 103 (100 + 3 x 1 s delay)", rt)
+	}
+}
+
+func TestCentralizedDelayIsOneHop(t *testing.T) {
+	// A centrally placed task pays only the dispatch hop.
+	tr := tinyTrace(job(1, 0, 100))
+	res := mustRun(t, tr, Config{NumNodes: 4, Mode: ModeCentralized, Seed: 1, NetworkDelay: 1})
+	rt := res.Jobs[0].Runtime
+	if math.Abs(rt-101) > 1e-9 {
+		t.Fatalf("runtime = %v, want 101", rt)
+	}
+}
+
+func TestMultiSlotNodesAddCapacity(t *testing.T) {
+	// Four 100 s tasks on 2 nodes: with 1 slot each they run two-deep
+	// (~200 s); with 2 slots per node all four run in parallel (~100 s).
+	tr := tinyTrace(job(1, 0, 100, 100, 100, 100))
+	oneSlot := mustRun(t, tr, Config{NumNodes: 2, Mode: ModeCentralized, Seed: 1})
+	twoSlots := mustRun(t, tr, Config{NumNodes: 2, SlotsPerNode: 2, Mode: ModeCentralized, Seed: 1})
+	if rt := oneSlot.Jobs[0].Runtime; rt < 200 {
+		t.Fatalf("1-slot runtime = %v, want ~200", rt)
+	}
+	if rt := twoSlots.Jobs[0].Runtime; rt > 100.01 {
+		t.Fatalf("2-slot runtime = %v, want ~100", rt)
+	}
+	if _, err := Run(tr, Config{NumNodes: 2, SlotsPerNode: -1, Mode: ModeCentralized}); err == nil {
+		t.Fatal("negative slots should error")
+	}
+}

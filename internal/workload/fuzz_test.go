@@ -1,0 +1,39 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadCSV exercises the trace parser with arbitrary input: it must
+// never panic, and anything it accepts must be a valid trace that survives
+// a write/read round trip.
+func FuzzReadCSV(f *testing.F) {
+	f.Add("1,0,2,10,20\n")
+	f.Add("1,0,2,10,20,L\n2,5.5,1,7\n")
+	f.Add("")
+	f.Add("x,y,z\n")
+	f.Add("1,0,1,1e300\n")
+	f.Add("1,0,3,1,2\n")
+	f.Fuzz(func(t *testing.T, input string) {
+		tr, err := ReadCSV(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("accepted trace fails validation: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, tr); err != nil {
+			t.Fatalf("accepted trace fails to serialize: %v", err)
+		}
+		back, err := ReadCSV(&buf)
+		if err != nil {
+			t.Fatalf("serialized trace fails to parse: %v", err)
+		}
+		if back.Len() != tr.Len() {
+			t.Fatalf("round trip changed job count: %d != %d", back.Len(), tr.Len())
+		}
+	})
+}

@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// CSV trace format, one job per record:
+//
+//	jobID,submitTime,numTasks,dur0,dur1,...,durN-1[,L]
+//
+// matching the tuples the paper's simulator consumes (§4.1): "(jobID, job
+// submission time, number of tasks in the job, duration of each task)". A
+// trailing "L" marks jobs that are long by construction.
+
+// WriteCSV serializes the trace.
+func WriteCSV(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	cw := csv.NewWriter(bw)
+	for _, j := range t.Jobs {
+		rec := make([]string, 0, 3+len(j.Durations)+1)
+		rec = append(rec,
+			strconv.Itoa(j.ID),
+			strconv.FormatFloat(j.SubmitTime, 'g', -1, 64),
+			strconv.Itoa(len(j.Durations)))
+		for _, d := range j.Durations {
+			rec = append(rec, strconv.FormatFloat(d, 'g', -1, 64))
+		}
+		if j.ConstructedLong {
+			rec = append(rec, "L")
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("workload: writing job %d: %w", j.ID, err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a trace written by WriteCSV. Name, Cutoff and
+// ShortPartitionFraction are not part of the format; callers set them after
+// loading (or use the defaults from the generating Spec).
+func ReadCSV(r io.Reader) (*Trace, error) {
+	cr := csv.NewReader(bufio.NewReader(r))
+	cr.FieldsPerRecord = -1 // variable-length records
+	t := &Trace{}
+	for line := 1; ; line++ {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", line, err)
+		}
+		if len(rec) < 4 {
+			return nil, fmt.Errorf("workload: line %d: record too short (%d fields)", line, len(rec))
+		}
+		id, err := strconv.Atoi(rec[0])
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: bad job id %q: %w", line, rec[0], err)
+		}
+		submit, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			return nil, fmt.Errorf("workload: line %d: bad submit time %q: %w", line, rec[1], err)
+		}
+		n, err := strconv.Atoi(rec[2])
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("workload: line %d: bad task count %q", line, rec[2])
+		}
+		rest := rec[3:]
+		long := false
+		if len(rest) == n+1 && rest[n] == "L" {
+			long = true
+			rest = rest[:n]
+		}
+		if len(rest) != n {
+			return nil, fmt.Errorf("workload: line %d: expected %d durations, got %d", line, n, len(rest))
+		}
+		durations := make([]float64, n)
+		for i, f := range rest {
+			d, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("workload: line %d: bad duration %q: %w", line, f, err)
+			}
+			durations[i] = d
+		}
+		t.Jobs = append(t.Jobs, &Job{ID: id, SubmitTime: submit, Durations: durations, ConstructedLong: long})
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// SaveFile writes the trace to path.
+func SaveFile(path string, t *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCSV(f, t); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a trace from path.
+func LoadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadCSV(f)
+}

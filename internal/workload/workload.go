@@ -1,0 +1,294 @@
+// Package workload defines the job/trace model and the synthetic trace
+// generators that substitute for the paper's Google, Cloudera, Facebook, and
+// Yahoo workloads.
+//
+// A trace is exactly what the paper's simulator consumes (§4.1): tuples of
+// (job id, submission time, number of tasks, duration of each task). The
+// generators reproduce the published marginals: Table 1's long-job and
+// task-second shares and Figure 4's task-duration / tasks-per-job CDFs.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/randdist"
+)
+
+// Job is one job of a trace. Durations are the *actual* per-task runtimes;
+// schedulers only ever see the estimate (average task duration, possibly
+// perturbed by the mis-estimation experiments).
+type Job struct {
+	ID         int
+	SubmitTime float64   // seconds since trace start
+	Durations  []float64 // actual runtime of each task, seconds
+	// ConstructedLong records whether the generator drew this job from a
+	// long cluster. Schedulers never read it; it exists for Table 1/2
+	// workload characterization, which the paper computes from cluster
+	// membership.
+	ConstructedLong bool
+}
+
+// NumTasks returns the number of tasks in the job.
+func (j *Job) NumTasks() int { return len(j.Durations) }
+
+// AvgTaskDuration returns the average task duration, the paper's per-job
+// runtime estimate (§3.3).
+func (j *Job) AvgTaskDuration() float64 {
+	if len(j.Durations) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, d := range j.Durations {
+		sum += d
+	}
+	return sum / float64(len(j.Durations))
+}
+
+// TaskSeconds returns the total work of the job (sum of task durations).
+func (j *Job) TaskSeconds() float64 {
+	sum := 0.0
+	for _, d := range j.Durations {
+		sum += d
+	}
+	return sum
+}
+
+// Trace is an ordered sequence of jobs plus the metadata the scheduler
+// experiments need.
+type Trace struct {
+	Name string
+	Jobs []*Job
+	// Cutoff is the default long/short cutoff (seconds of average task
+	// duration) used when scheduling this trace; jobs at or above the
+	// cutoff are long.
+	Cutoff float64
+	// ShortPartitionFraction is the default fraction of nodes reserved
+	// for short tasks, derived from the long-job task-second share
+	// (Table 1 / §4.1 parameters).
+	ShortPartitionFraction float64
+}
+
+// Len returns the number of jobs.
+func (t *Trace) Len() int { return len(t.Jobs) }
+
+// SortBySubmitTime orders jobs by submission time (stable, preserving id
+// order for ties), as the simulator requires.
+func (t *Trace) SortBySubmitTime() {
+	sort.SliceStable(t.Jobs, func(i, j int) bool {
+		return t.Jobs[i].SubmitTime < t.Jobs[j].SubmitTime
+	})
+}
+
+// MakespanLowerBound returns the last submission time, a lower bound on the
+// simulated horizon.
+func (t *Trace) MakespanLowerBound() float64 {
+	last := 0.0
+	for _, j := range t.Jobs {
+		if j.SubmitTime > last {
+			last = j.SubmitTime
+		}
+	}
+	return last
+}
+
+// Validate checks structural invariants: non-negative submit times and
+// durations, at least one task per job, unique ids.
+func (t *Trace) Validate() error {
+	seen := make(map[int]struct{}, len(t.Jobs))
+	for _, j := range t.Jobs {
+		if j == nil {
+			return fmt.Errorf("workload: trace %q contains nil job", t.Name)
+		}
+		if _, dup := seen[j.ID]; dup {
+			return fmt.Errorf("workload: duplicate job id %d", j.ID)
+		}
+		seen[j.ID] = struct{}{}
+		if j.SubmitTime < 0 {
+			return fmt.Errorf("workload: job %d has negative submit time %f", j.ID, j.SubmitTime)
+		}
+		if len(j.Durations) == 0 {
+			return fmt.Errorf("workload: job %d has no tasks", j.ID)
+		}
+		for i, d := range j.Durations {
+			if d < 0 {
+				return fmt.Errorf("workload: job %d task %d has negative duration %f", j.ID, i, d)
+			}
+		}
+	}
+	return nil
+}
+
+// Stats aggregates the workload-characterization numbers of Tables 1 and 2.
+type Stats struct {
+	TotalJobs          int
+	LongJobs           int
+	PctLongJobs        float64 // percentage, 0-100
+	PctLongTaskSeconds float64 // percentage of task-seconds in long jobs
+	PctLongTasks       float64 // percentage of tasks belonging to long jobs
+	AvgTaskDurRatio    float64 // avg task duration long / short (per-job averages)
+	TotalTasks         int
+	TotalTaskSeconds   float64
+}
+
+// ComputeStats classifies jobs by cutoff (average task duration >= cutoff is
+// long) and computes Table 1/2 statistics.
+func ComputeStats(t *Trace, cutoff float64) Stats {
+	var s Stats
+	var longTS, totalTS float64
+	var longTasks int
+	var longDurSum, shortDurSum float64
+	var shortJobs int
+	for _, j := range t.Jobs {
+		ts := j.TaskSeconds()
+		totalTS += ts
+		s.TotalTasks += j.NumTasks()
+		avg := j.AvgTaskDuration()
+		if avg >= cutoff {
+			s.LongJobs++
+			longTS += ts
+			longTasks += j.NumTasks()
+			longDurSum += avg
+		} else {
+			shortJobs++
+			shortDurSum += avg
+		}
+	}
+	s.TotalJobs = len(t.Jobs)
+	s.TotalTaskSeconds = totalTS
+	if s.TotalJobs > 0 {
+		s.PctLongJobs = 100 * float64(s.LongJobs) / float64(s.TotalJobs)
+	}
+	if totalTS > 0 {
+		s.PctLongTaskSeconds = 100 * longTS / totalTS
+	}
+	if s.TotalTasks > 0 {
+		s.PctLongTasks = 100 * float64(longTasks) / float64(s.TotalTasks)
+	}
+	if s.LongJobs > 0 && shortJobs > 0 && shortDurSum > 0 {
+		s.AvgTaskDurRatio = (longDurSum / float64(s.LongJobs)) / (shortDurSum / float64(shortJobs))
+	}
+	return s
+}
+
+// SplitByCutoff partitions the per-job values of f into (short, long) slices
+// by the cutoff classification, for the Figure 4 per-class CDFs.
+func SplitByCutoff(t *Trace, cutoff float64, f func(*Job) float64) (short, long []float64) {
+	for _, j := range t.Jobs {
+		v := f(j)
+		if j.AvgTaskDuration() >= cutoff {
+			long = append(long, v)
+		} else {
+			short = append(short, v)
+		}
+	}
+	return short, long
+}
+
+// Scale returns a copy of the trace with all task durations multiplied by
+// durFactor and all submit times by arrivalFactor. Used by the prototype
+// experiments, which scale the Google sample from seconds to milliseconds
+// (§4.1 "Real cluster run").
+func (t *Trace) Scale(durFactor, arrivalFactor float64) *Trace {
+	out := &Trace{
+		Name:                   t.Name,
+		Cutoff:                 t.Cutoff * durFactor,
+		ShortPartitionFraction: t.ShortPartitionFraction,
+		Jobs:                   make([]*Job, len(t.Jobs)),
+	}
+	for i, j := range t.Jobs {
+		nj := &Job{
+			ID:              j.ID,
+			SubmitTime:      j.SubmitTime * arrivalFactor,
+			Durations:       make([]float64, len(j.Durations)),
+			ConstructedLong: j.ConstructedLong,
+		}
+		for k, d := range j.Durations {
+			nj.Durations[k] = d * durFactor
+		}
+		out.Jobs[i] = nj
+	}
+	return out
+}
+
+// CapTasks returns a copy of the trace in which no job has more than
+// maxTasks tasks; removed tasks have their durations folded into the
+// remaining ones so each job keeps its original task-seconds, mirroring the
+// paper's scale-down procedure for the 100-node prototype run (§4.1).
+func (t *Trace) CapTasks(maxTasks int) *Trace {
+	out := &Trace{
+		Name:                   t.Name,
+		Cutoff:                 t.Cutoff,
+		ShortPartitionFraction: t.ShortPartitionFraction,
+		Jobs:                   make([]*Job, len(t.Jobs)),
+	}
+	for i, j := range t.Jobs {
+		nj := &Job{ID: j.ID, SubmitTime: j.SubmitTime, ConstructedLong: j.ConstructedLong}
+		if j.NumTasks() <= maxTasks {
+			nj.Durations = append([]float64(nil), j.Durations...)
+		} else {
+			factor := float64(j.NumTasks()) / float64(maxTasks)
+			avg := j.AvgTaskDuration()
+			nj.Durations = make([]float64, maxTasks)
+			for k := range nj.Durations {
+				nj.Durations[k] = avg * factor
+			}
+		}
+		out.Jobs[i] = nj
+	}
+	return out
+}
+
+// Sample returns a copy containing the first n jobs by submission order,
+// with submission times preserved. Used to take the 3300-job Google sample
+// of §4.10.
+func (t *Trace) Sample(n int) *Trace {
+	if n > len(t.Jobs) {
+		n = len(t.Jobs)
+	}
+	cp := &Trace{
+		Name:                   t.Name,
+		Cutoff:                 t.Cutoff,
+		ShortPartitionFraction: t.ShortPartitionFraction,
+	}
+	jobs := append([]*Job(nil), t.Jobs...)
+	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].SubmitTime < jobs[j].SubmitTime })
+	cp.Jobs = jobs[:n]
+	return cp
+}
+
+// rescaleArrivals multiplies all submission times so that the mean
+// inter-arrival time equals target. Helper for generators.
+func rescaleArrivals(jobs []*Job, targetMeanInterArrival float64, src *randdist.Source) {
+	arr := randdist.NewArrivalProcess(src, targetMeanInterArrival)
+	for _, j := range jobs {
+		j.SubmitTime = arr.Next()
+	}
+}
+
+// WithArrivals returns a copy of the trace whose submission times are
+// redrawn from a Poisson process with the given mean inter-arrival time.
+// The paper's prototype experiments vary cluster load exactly this way:
+// "We vary the cluster load by varying the mean job inter-arrival rate as a
+// multiple of the mean task runtime" (§4.1).
+func (t *Trace) WithArrivals(meanInterArrival float64, seed int64) *Trace {
+	out := t.Scale(1, 1)
+	rescaleArrivals(out.Jobs, meanInterArrival, randdist.New(seed))
+	out.SortBySubmitTime()
+	return out
+}
+
+// MeanTaskDuration returns the mean task duration across every task of the
+// trace, the unit in which the prototype experiments express load.
+func (t *Trace) MeanTaskDuration() float64 {
+	var sum float64
+	var n int
+	for _, j := range t.Jobs {
+		sum += j.TaskSeconds()
+		n += j.NumTasks()
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
