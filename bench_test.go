@@ -15,6 +15,7 @@ import (
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -217,7 +218,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	trace := experiments.GoogleTrace(benchScale)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := sim.Run(trace, sim.Config{NumNodes: 15000, Mode: sim.ModeHawk, Seed: 7})
+		res, err := sim.Run(trace, policy.Config{NumNodes: 15000, Policy: "hawk", Seed: 7})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -233,7 +234,7 @@ func BenchmarkCentralQueue(b *testing.B) {
 	})
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := sim.Run(trace, sim.Config{NumNodes: 10000, Mode: sim.ModeCentralized, Seed: 1})
+		res, err := sim.Run(trace, policy.Config{NumNodes: 10000, Policy: "centralized", Seed: 1})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -270,7 +271,7 @@ func BenchmarkAblationProbeRatio(b *testing.B) {
 			b.Fatal(err)
 		}
 		for _, p := range pts {
-			b.ReportMetric(p.ShortP50, fmt.Sprintf("shortP50_%s_d%d", p.Mode, p.Ratio))
+			b.ReportMetric(p.ShortP50, fmt.Sprintf("shortP50_%s_d%d", p.Policy, p.Ratio))
 		}
 	}
 }

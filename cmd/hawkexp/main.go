@@ -17,18 +17,20 @@ import (
 	"strings"
 	"time"
 
+	"repro/hawk"
 	"repro/internal/experiments"
 	"repro/internal/stats"
 )
 
 var (
-	expFlag   = flag.String("exp", "", "experiment id (table1, table2, fig1, fig4, fig5, fig6, fig7, fig8-9, fig10-11, fig12-13, fig14, fig15, fig16-17) or 'all'")
-	listFlag  = flag.Bool("list", false, "list experiment ids and exit")
-	jobsFlag  = flag.Int("jobs", 20000, "synthetic trace size in jobs")
-	seedFlag  = flag.Int64("seed", 42, "random seed")
-	runsFlag  = flag.Int("runs", 10, "runs to average where the paper averages (fig14)")
-	quickFlag = flag.Bool("quick", false, "use the reduced quick scale (fewer jobs, fewer runs)")
-	fullProto = flag.Bool("fullproto", false, "run fig16-17 at the paper's full prototype scale (3300 jobs, sec->ms; takes tens of minutes)")
+	expFlag    = flag.String("exp", "", "experiment id (table1, table2, fig1, fig4, fig5, fig6, fig7, fig8-9, fig10-11, fig12-13, fig14, fig15, fig16-17) or 'all'")
+	listFlag   = flag.Bool("list", false, "list experiment ids and exit")
+	jobsFlag   = flag.Int("jobs", 20000, "synthetic trace size in jobs")
+	seedFlag   = flag.Int64("seed", 42, "random seed")
+	runsFlag   = flag.Int("runs", 10, "runs to average where the paper averages (fig14)")
+	quickFlag  = flag.Bool("quick", false, "use the reduced quick scale (fewer jobs, fewer runs)")
+	policyFlag = flag.String("policy", "hawk", "candidate policy for the comparison figures; one of: "+strings.Join(hawk.Policies(), ", "))
+	fullProto  = flag.Bool("fullproto", false, "run fig16-17 at the paper's full prototype scale (3300 jobs, sec->ms; takes tens of minutes)")
 )
 
 type experiment struct {
@@ -68,11 +70,16 @@ func main() {
 		}
 		return
 	}
+	if !hawk.Registered(*policyFlag) {
+		fmt.Fprintf(os.Stderr, "hawkexp: unknown policy %q (registered: %v)\n", *policyFlag, hawk.Policies())
+		os.Exit(2)
+	}
 	sc := experiments.Scale{NumJobs: *jobsFlag, Seed: *seedFlag, Runs: *runsFlag}
 	if *quickFlag {
 		sc = experiments.QuickScale()
 		sc.Seed = *seedFlag
 	}
+	sc.Policy = *policyFlag
 	ids := map[string]experiment{}
 	order := []string{}
 	for _, e := range regs {
@@ -144,14 +151,14 @@ func runFig5(sc experiments.Scale) error {
 	if err != nil {
 		return err
 	}
-	fmt.Println("nodes  util | short p50 p90 | long p50 p90 | fracImp short long | avgRatio short long")
+	fmt.Printf("nodes  util | short p50 p90 | long p50 p90 | fracImp short long | avgRatio short long  (%s / sparrow)\n", sc.PolicyName())
 	for _, p := range pts {
 		fmt.Printf("%6.0f %.2f | %.2f %.2f | %.2f %.2f | %.2f %.2f | %.2f %.2f  %s\n",
 			p.X, p.BaselineUtil, p.ShortP50, p.ShortP90, p.LongP50, p.LongP90,
 			p.FracShortImproved, p.FracLongImproved, p.AvgRatioShort, p.AvgRatioLong,
 			bar(p.ShortP50))
 	}
-	fmt.Println("(bar: Hawk/Sparrow short p50; '|' marks ratio 1.0 — shorter is better)")
+	fmt.Printf("(bar: %s/sparrow short p50; '|' marks ratio 1.0 — shorter is better)\n", sc.PolicyName())
 	return nil
 }
 
@@ -190,7 +197,7 @@ func runFig6(sc experiments.Scale) error {
 		return err
 	}
 	for _, s := range series {
-		fmt.Printf("%s: nodes util | short p90 | long p90\n", s.Workload)
+		fmt.Printf("%s: nodes util | short p90 | long p90  (%s / sparrow)\n", s.Workload, sc.PolicyName())
 		for _, p := range s.Points {
 			fmt.Printf("  %6.0f %.2f | %.2f | %.2f\n", p.X, p.BaselineUtil, p.ShortP90, p.LongP90)
 		}
@@ -215,7 +222,7 @@ func runFig89(sc experiments.Scale) error {
 	if err != nil {
 		return err
 	}
-	fmt.Println("nodes | short p50 p90 | long p50 p90  (Hawk / Centralized)")
+	fmt.Printf("nodes | short p50 p90 | long p50 p90  (%s / centralized)\n", sc.PolicyName())
 	for _, p := range pts {
 		fmt.Printf("%6.0f | %.2f %.2f | %.2f %.2f\n", p.X, p.ShortP50, p.ShortP90, p.LongP50, p.LongP90)
 	}
@@ -227,7 +234,7 @@ func runFig1011(sc experiments.Scale) error {
 	if err != nil {
 		return err
 	}
-	fmt.Println("nodes | short p50 p90 | long p50 p90  (Hawk / Split cluster)")
+	fmt.Printf("nodes | short p50 p90 | long p50 p90  (%s / split cluster)\n", sc.PolicyName())
 	for _, p := range pts {
 		fmt.Printf("%6.0f | %.2f %.2f | %.2f %.2f\n", p.X, p.ShortP50, p.ShortP90, p.LongP50, p.LongP90)
 	}
@@ -239,7 +246,7 @@ func runFig1213(sc experiments.Scale) error {
 	if err != nil {
 		return err
 	}
-	fmt.Println("cutoff | short p50 p90 | long p50 p90  (Hawk / Sparrow, 15000 nodes)")
+	fmt.Printf("cutoff | short p50 p90 | long p50 p90  (%s / sparrow, 15000 nodes)\n", sc.PolicyName())
 	for _, p := range pts {
 		fmt.Printf("%6.0f | %.2f %.2f | %.2f %.2f\n", p.X, p.ShortP50, p.ShortP90, p.LongP50, p.LongP90)
 	}
@@ -251,7 +258,7 @@ func runFig14(sc experiments.Scale) error {
 	if err != nil {
 		return err
 	}
-	fmt.Println("mis-estimation | long p50 p90  (Hawk / Sparrow, avg over runs)")
+	fmt.Printf("mis-estimation | long p50 p90  (%s / sparrow, avg over runs)\n", sc.PolicyName())
 	for _, p := range pts {
 		fmt.Printf("%.1f-%.1f | %.2f %.2f\n", p.Lo, p.Hi, p.LongP50, p.LongP90)
 	}

@@ -12,7 +12,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/workload"
+	"repro/hawk"
 )
 
 var (
@@ -34,7 +34,7 @@ func main() {
 		os.Exit(1)
 	}
 	if *outFlag != "" {
-		if err := workload.SaveFile(*outFlag, t); err != nil {
+		if err := hawk.SaveTraceFile(*outFlag, t); err != nil {
 			fmt.Fprintf(os.Stderr, "hawkgen: writing %s: %v\n", *outFlag, err)
 			os.Exit(1)
 		}
@@ -45,9 +45,9 @@ func main() {
 	}
 }
 
-func obtainTrace() (*workload.Trace, float64, error) {
+func obtainTrace() (*hawk.Trace, float64, error) {
 	if *inFlag != "" {
-		t, err := workload.LoadFile(*inFlag)
+		t, err := hawk.LoadTraceFile(*inFlag)
 		if err != nil {
 			return nil, 0, err
 		}
@@ -58,14 +58,14 @@ func obtainTrace() (*workload.Trace, float64, error) {
 		return t, cutoff, nil
 	}
 	if *workloadFlag == "motivation" {
-		t := workload.MotivationWorkload(*seedFlag)
+		t := hawk.MotivationWorkload(*seedFlag)
 		return t, t.Cutoff, nil
 	}
-	spec, err := workload.SpecByName(*workloadFlag)
+	spec, err := hawk.SpecByName(*workloadFlag)
 	if err != nil {
 		return nil, 0, err
 	}
-	t := workload.Generate(spec, workload.GenConfig{
+	t := hawk.Generate(spec, hawk.GenConfig{
 		NumJobs:          *jobsFlag,
 		MeanInterArrival: *iaFlag,
 		Seed:             *seedFlag,
@@ -77,9 +77,9 @@ func obtainTrace() (*workload.Trace, float64, error) {
 	return t, cutoff, nil
 }
 
-func printStats(t *workload.Trace, cutoff float64) {
-	byCut := workload.ComputeStats(t, cutoff)
-	byGen := workload.ComputeStatsByConstruction(t)
+func printStats(t *hawk.Trace, cutoff float64) {
+	byCut := hawk.ComputeStats(t, cutoff)
+	byGen := hawk.ComputeStatsByConstruction(t)
 	fmt.Printf("trace: %s  jobs: %d  tasks: %d  task-seconds: %.3g\n",
 		t.Name, byCut.TotalJobs, byCut.TotalTasks, byCut.TotalTaskSeconds)
 	fmt.Printf("last submission: %.0f s\n", t.MakespanLowerBound())

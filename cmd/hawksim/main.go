@@ -1,20 +1,23 @@
 // Command hawksim runs a single trace-driven scheduling simulation and
-// prints the collected metrics.
+// prints the collected metrics. The scheduler is selected by name through
+// the hawk policy registry, so policies registered by linked-in code are
+// available without touching this file.
 //
 // Usage:
 //
-//	hawksim -workload google -nodes 15000 -mode hawk -jobs 20000
-//	hawksim -trace mytrace.csv -nodes 1000 -mode sparrow -cutoff 500
+//	hawksim -workload google -nodes 15000 -policy hawk -jobs 20000
+//	hawksim -trace mytrace.csv -nodes 1000 -policy sparrow -cutoff 500
+//	hawksim -nodes 1000 -policy split -json run.json
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"repro/internal/sim"
+	"repro/hawk"
 	"repro/internal/stats"
-	"repro/internal/workload"
 )
 
 var (
@@ -23,7 +26,8 @@ var (
 	jobsFlag      = flag.Int("jobs", 20000, "number of jobs to generate")
 	iaFlag        = flag.Float64("ia", 0, "mean job inter-arrival time in seconds (0 = workload default)")
 	nodesFlag     = flag.Int("nodes", 15000, "cluster size")
-	modeFlag      = flag.String("mode", "hawk", "scheduler: sparrow, hawk, centralized, split")
+	policyFlag    = flag.String("policy", "hawk", "scheduling policy: "+strings.Join(hawk.Policies(), ", "))
+	modeFlag      = flag.String("mode", "", "deprecated alias for -policy")
 	cutoffFlag    = flag.Float64("cutoff", 0, "long/short cutoff seconds (0 = trace default)")
 	partFlag      = flag.Float64("partition", 0, "short-partition fraction (0 = trace default)")
 	probesFlag    = flag.Int("probes", 2, "probes per task")
@@ -35,6 +39,7 @@ var (
 	misHiFlag     = flag.Float64("mishi", 0, "mis-estimation factor upper bound")
 	seedFlag      = flag.Int64("seed", 42, "random seed")
 	dumpFlag      = flag.String("dump", "", "write per-job results to this CSV file")
+	jsonFlag      = flag.String("json", "", "write the full report to this JSON file")
 )
 
 func main() {
@@ -44,14 +49,25 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hawksim: %v\n", err)
 		os.Exit(1)
 	}
-	mode, err := parseMode(*modeFlag)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "hawksim: %v\n", err)
+	name := *policyFlag
+	if *modeFlag != "" {
+		policySet := false
+		flag.Visit(func(f *flag.Flag) { policySet = policySet || f.Name == "policy" })
+		if policySet && *modeFlag != *policyFlag {
+			fmt.Fprintf(os.Stderr, "hawksim: conflicting -policy %q and deprecated -mode %q; drop -mode\n",
+				*policyFlag, *modeFlag)
+			os.Exit(2)
+		}
+		fmt.Fprintln(os.Stderr, "hawksim: -mode is deprecated; use -policy")
+		name = *modeFlag
+	}
+	if !hawk.Registered(name) {
+		fmt.Fprintf(os.Stderr, "hawksim: unknown policy %q (registered: %v)\n", name, hawk.Policies())
 		os.Exit(2)
 	}
-	res, err := sim.Run(trace, sim.Config{
+	res, err := hawk.Simulate(trace, hawk.Config{
+		Policy:                 name,
 		NumNodes:               *nodesFlag,
-		Mode:                   mode,
 		Cutoff:                 *cutoffFlag,
 		ShortPartitionFraction: *partFlag,
 		ProbeRatio:             *probesFlag,
@@ -69,17 +85,24 @@ func main() {
 	}
 	printResult(trace, res)
 	if *dumpFlag != "" {
-		if err := sim.SaveResultsCSV(*dumpFlag, res); err != nil {
+		if err := hawk.SaveResultsCSV(*dumpFlag, res); err != nil {
 			fmt.Fprintf(os.Stderr, "hawksim: writing %s: %v\n", *dumpFlag, err)
 			os.Exit(1)
 		}
 		fmt.Printf("wrote per-job results to %s\n", *dumpFlag)
 	}
+	if *jsonFlag != "" {
+		if err := hawk.SaveReportJSON(*jsonFlag, res); err != nil {
+			fmt.Fprintf(os.Stderr, "hawksim: writing %s: %v\n", *jsonFlag, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote report to %s\n", *jsonFlag)
+	}
 }
 
-func loadTrace() (*workload.Trace, error) {
+func loadTrace() (*hawk.Trace, error) {
 	if *traceFlag != "" {
-		t, err := workload.LoadFile(*traceFlag)
+		t, err := hawk.LoadTraceFile(*traceFlag)
 		if err != nil {
 			return nil, err
 		}
@@ -95,9 +118,9 @@ func loadTrace() (*workload.Trace, error) {
 		return t, nil
 	}
 	if *workloadFlag == "motivation" {
-		return workload.MotivationWorkload(*seedFlag), nil
+		return hawk.MotivationWorkload(*seedFlag), nil
 	}
-	spec, err := workload.SpecByName(*workloadFlag)
+	spec, err := hawk.SpecByName(*workloadFlag)
 	if err != nil {
 		return nil, err
 	}
@@ -105,7 +128,7 @@ func loadTrace() (*workload.Trace, error) {
 	if ia <= 0 {
 		ia = defaultInterArrival(spec.Name)
 	}
-	return workload.Generate(spec, workload.GenConfig{
+	return hawk.Generate(spec, hawk.GenConfig{
 		NumJobs:          *jobsFlag,
 		MeanInterArrival: ia,
 		Seed:             *seedFlag,
@@ -126,25 +149,11 @@ func defaultInterArrival(name string) float64 {
 	return 2.3
 }
 
-func parseMode(s string) (sim.Mode, error) {
-	switch s {
-	case "sparrow":
-		return sim.ModeSparrow, nil
-	case "hawk":
-		return sim.ModeHawk, nil
-	case "centralized":
-		return sim.ModeCentralized, nil
-	case "split":
-		return sim.ModeSplit, nil
-	}
-	return 0, fmt.Errorf("unknown mode %q", s)
-}
-
-func printResult(trace *workload.Trace, res *sim.Result) {
+func printResult(trace *hawk.Trace, res *hawk.Report) {
 	short := stats.Summarize(res.ShortRuntimes())
 	long := stats.Summarize(res.LongRuntimes())
-	fmt.Printf("mode: %s  jobs: %d  makespan: %.0f s  events: %d\n",
-		res.Mode, len(res.Jobs), res.Makespan, res.Events)
+	fmt.Printf("policy: %s  jobs: %d  makespan: %.0f s  events: %d\n",
+		res.Policy, len(res.Jobs), res.Makespan, res.Events)
 	fmt.Printf("short jobs: %s\n", short)
 	fmt.Printf("long jobs:  %s\n", long)
 	fmt.Printf("median utilization (arrival window): %.1f%%  max: %.1f%%\n",

@@ -2,16 +2,45 @@
 // Datacenter Scheduling" (Delgado, Dinu, Kermarrec, Zwaenepoel — USENIX ATC
 // 2015).
 //
+// # Public API
+//
+// Import repro/hawk. It is the one engine-agnostic scheduling surface:
+//
+//   - a Policy interface plus a string-keyed registry — "sparrow", "hawk",
+//     "centralized", and "split" are registered implementations, and
+//     hawk.Register plugs new policies into both engines without engine
+//     changes;
+//   - one shared hawk.Config (functional options, validation, defaults
+//     resolved once) consumed by every engine;
+//   - one hawk.Report result schema with CSV and JSON export, so engines
+//     compare apples-to-apples.
+//
+// Two engines execute policies: hawk.Simulate, the trace-driven
+// discrete-event simulator of the paper's evaluation (§4.1), and
+// hawk.RunLive, a goroutine-per-node prototype runtime in which messages
+// and task execution consume real time (§3.8, §4.10).
+//
+// # What is reproduced
+//
 // The library implements Hawk's hybrid scheduler — centralized scheduling
 // for long jobs, Sparrow-style distributed batch sampling for short jobs, a
 // reserved short partition, and randomized work stealing — together with
-// every substrate the paper's evaluation depends on: a discrete-event
+// every substrate the paper's evaluation depends on: the discrete-event
 // cluster simulator, synthetic Google/Cloudera/Facebook/Yahoo workload
 // generators, the Sparrow, fully-centralized, and split-cluster baselines,
-// and a live goroutine-based prototype runtime.
+// and the live prototype runtime.
 //
-// See README.md for a tour, DESIGN.md for the system inventory, and
-// EXPERIMENTS.md for the paper-vs-measured record. The benchmarks in
+// # Layout
+//
+// internal/policy holds the API implementation (registry, config, report);
+// internal/core holds the engine-independent scheduler building blocks
+// (estimation, classification, partitioning, probe placement, stealing, the
+// centralized waiting-time queue); internal/sim and internal/liverun are
+// the engines; internal/workload generates and serializes traces;
+// internal/experiments reproduces every table and figure of the paper.
+//
+// See README.md for a tour and a runnable quickstart. The benchmarks in
 // bench_test.go regenerate every table and figure of the paper's
-// evaluation at a reduced scale.
+// evaluation at a reduced scale; cmd/hawksim, cmd/hawkexp, and cmd/hawkgen
+// are the command-line entry points.
 package repro

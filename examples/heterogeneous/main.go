@@ -11,23 +11,23 @@ import (
 	"log"
 	"strings"
 
-	"repro/internal/sim"
+	"repro/hawk"
 	"repro/internal/stats"
-	"repro/internal/workload"
 )
 
 func main() {
 	// §2.3: 1000 jobs on 15000 nodes. 95% short jobs (100 tasks x 100 s),
 	// 5% long jobs (1000 tasks x 20000 s), Poisson arrivals, mean 50 s.
-	trace := workload.MotivationWorkload(7)
+	trace := hawk.MotivationWorkload(7)
 
-	for _, mode := range []sim.Mode{sim.ModeSparrow, sim.ModeHawk} {
-		res, err := sim.Run(trace, sim.Config{NumNodes: 15000, Mode: mode, Seed: 7})
+	for _, policy := range []string{"sparrow", "hawk"} {
+		res, err := hawk.Simulate(trace, hawk.NewConfig(policy,
+			hawk.WithNodes(15000), hawk.WithSeed(7)))
 		if err != nil {
 			log.Fatalf("simulation failed: %v", err)
 		}
 		short := res.ShortRuntimes()
-		fmt.Printf("%s:\n", res.Mode)
+		fmt.Printf("%s:\n", res.Policy)
 		fmt.Printf("  median utilization: %.1f%%  (enough idle servers for any short job)\n",
 			100*res.Utilization.MedianUpTo(trace.MakespanLowerBound()))
 		fmt.Printf("  short jobs over 15000 s: %.1f%%  (execution time is just 100 s)\n",

@@ -12,9 +12,8 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/liverun"
+	"repro/hawk"
 	"repro/internal/stats"
-	"repro/internal/workload"
 )
 
 var (
@@ -31,7 +30,7 @@ func main() {
 	// Build the prototype trace the way the paper does (§4.1): sample the
 	// Google workload, cap job widths for the small cluster while keeping
 	// task-seconds constant, scale durations down.
-	full := workload.Generate(workload.Google(), workload.GenConfig{
+	full := hawk.Generate(hawk.Google(), hawk.GenConfig{
 		NumJobs:          *jobsFlag,
 		MeanInterArrival: 1,
 		Seed:             *seedFlag,
@@ -43,22 +42,20 @@ func main() {
 	fmt.Printf("mean task runtime: %.1f ms; trace spans %.1f s\n\n",
 		1000*trace.MeanTaskDuration(), trace.MakespanLowerBound())
 
-	for _, mode := range []liverun.Mode{liverun.ModeSparrow, liverun.ModeHawk} {
-		res, err := liverun.Run(trace, liverun.Config{
-			NumNodes:      *nodesFlag,
-			NumSchedulers: 10,
-			Mode:          mode,
-			Seed:          *seedFlag,
-		})
+	for _, policy := range []string{"sparrow", "hawk"} {
+		res, err := hawk.RunLive(trace, hawk.NewConfig(policy,
+			hawk.WithNodes(*nodesFlag),
+			hawk.WithSchedulers(10),
+			hawk.WithSeed(*seedFlag)))
 		if err != nil {
 			log.Fatalf("live run failed: %v", err)
 		}
 		short := stats.Summarize(res.ShortRuntimes())
 		long := stats.Summarize(res.LongRuntimes())
 		fmt.Printf("%-8s wall clock %6.1fs | short p50=%6.0fms p90=%6.0fms | long p50=%6.0fms p90=%6.0fms\n",
-			res.Mode, res.Elapsed.Seconds(),
+			res.Policy, res.Makespan,
 			1000*short.P50, 1000*short.P90, 1000*long.P50, 1000*long.P90)
-		if mode == liverun.ModeHawk {
+		if policy == "hawk" {
 			fmt.Printf("         steals: %d attempts, %d successes, %d entries moved\n",
 				res.StealAttempts, res.StealSuccesses, res.EntriesStolen)
 		}

@@ -8,14 +8,14 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/workload"
+	"repro/hawk"
 )
 
 func main() {
 	fmt.Printf("%-10s %-12s %-14s %-12s %-10s\n",
 		"workload", "% long jobs", "% task-secs", "long tasks%", "csv bytes")
-	for _, spec := range workload.AllSpecs() {
-		trace := workload.Generate(spec, workload.GenConfig{
+	for _, spec := range hawk.AllSpecs() {
+		trace := hawk.Generate(spec, hawk.GenConfig{
 			NumJobs:          2000,
 			MeanInterArrival: 2,
 			Seed:             11,
@@ -23,10 +23,10 @@ func main() {
 
 		// Round-trip through the CSV trace format.
 		var buf bytes.Buffer
-		if err := workload.WriteCSV(&buf, trace); err != nil {
+		if err := hawk.WriteTraceCSV(&buf, trace); err != nil {
 			log.Fatalf("writing %s: %v", spec.Name, err)
 		}
-		reloaded, err := workload.ReadCSV(bytes.NewReader(buf.Bytes()))
+		reloaded, err := hawk.ReadTraceCSV(bytes.NewReader(buf.Bytes()))
 		if err != nil {
 			log.Fatalf("reading %s back: %v", spec.Name, err)
 		}
@@ -34,7 +34,7 @@ func main() {
 			log.Fatalf("%s: round trip lost jobs: %d != %d", spec.Name, reloaded.Len(), trace.Len())
 		}
 
-		st := workload.ComputeStatsByConstruction(reloaded)
+		st := hawk.ComputeStatsByConstruction(reloaded)
 		fmt.Printf("%-10s %11.2f%% %13.2f%% %11.2f%% %10d\n",
 			spec.Name, st.PctLongJobs, st.PctLongTaskSeconds, st.PctLongTasks, buf.Len())
 	}

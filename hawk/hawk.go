@@ -1,0 +1,197 @@
+// Package hawk is the public, engine-agnostic scheduling API of this
+// repository — a Go reproduction of "Hawk: Hybrid Datacenter Scheduling"
+// (Delgado, Dinu, Kermarrec, Zwaenepoel — USENIX ATC 2015).
+//
+// The package decouples scheduling policy from execution engine. A Policy
+// decides where each job's work goes — probe-sample a pool of nodes,
+// Sparrow-style, or hand the job to the centralized waiting-time queue —
+// and which cluster mechanisms (reserved short partition, randomized work
+// stealing) are active. Two engines execute policies: Simulate, the
+// trace-driven discrete-event simulator the paper evaluates with, and
+// RunLive, the goroutine-per-node prototype in which messages and task
+// execution consume real time. Both consume the same Config and produce
+// the same Report, so results compare apples-to-apples.
+//
+// The four schedulers the paper studies — "sparrow", "hawk", "centralized",
+// "split" — are registered policies; list them with Policies, validate a
+// CLI flag with Registered, and plug in new policies with Register
+// without touching engine code:
+//
+//	trace := hawk.Generate(hawk.Google(), hawk.GenConfig{
+//		NumJobs: 4000, MeanInterArrival: 2.3, Seed: 1,
+//	})
+//	report, err := hawk.Simulate(trace, hawk.NewConfig("hawk",
+//		hawk.WithNodes(15000), hawk.WithSeed(1)))
+//	if err != nil {
+//		log.Fatal(err)
+//	}
+//	fmt.Println(report.Summary())
+//
+// The underlying implementation lives in internal/policy (API types and
+// built-in policies, assembled from the internal/core primitives),
+// internal/sim, and internal/liverun; this package re-exports the stable
+// surface.
+package hawk
+
+import (
+	"io"
+
+	"repro/internal/liverun"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Core API types, re-exported from the internal policy layer.
+type (
+	// Policy is a scheduling policy: it routes classified jobs and
+	// declares the cluster mechanisms a run needs.
+	Policy = policy.Policy
+	// Factory builds a Policy from a run Config; pass one to Register.
+	Factory = policy.Factory
+	// Config is the engine-agnostic run configuration shared by
+	// Simulate and RunLive.
+	Config = policy.Config
+	// Option is a functional option for NewConfig.
+	Option = policy.Option
+	// Report is the unified result schema every engine produces.
+	Report = policy.Report
+	// JobReport is one job's outcome within a Report.
+	JobReport = policy.JobReport
+	// Decision is a Policy's placement verdict for one job.
+	Decision = policy.Decision
+	// JobInfo is the engine-independent view of a job being routed.
+	JobInfo = policy.JobInfo
+	// Pool identifies a candidate node set relative to the partition.
+	Pool = policy.Pool
+	// Action is the placement kind a Decision requests.
+	Action = policy.Action
+)
+
+// Decision actions and candidate pools.
+const (
+	ActionProbe   = policy.ActionProbe
+	ActionCentral = policy.ActionCentral
+
+	PoolNone    = policy.PoolNone
+	PoolAll     = policy.PoolAll
+	PoolGeneral = policy.PoolGeneral
+	PoolShort   = policy.PoolShort
+)
+
+// Register makes a policy available under the given name, alongside the
+// built-in "sparrow", "hawk", "centralized", and "split". Registered
+// policies run unmodified on every engine. It panics on empty or duplicate
+// names.
+func Register(name string, f Factory) { policy.Register(name, f) }
+
+// Policies returns the sorted names of all registered policies.
+func Policies() []string { return policy.Policies() }
+
+// Registered reports whether a policy name is in the registry without
+// instantiating it — the right check for validating a flag value.
+func Registered(name string) bool { return policy.Registered(name) }
+
+// ParsePolicy resolves a policy name to a default-configured instance, so
+// ParsePolicy(name).String() == name for every built-in. It errors on
+// unknown names, listing the registered ones. It instantiates the factory
+// with a zero Config, so for pure flag validation — where a custom factory
+// might reject a zero config — prefer Registered.
+func ParsePolicy(name string) (Policy, error) { return policy.ParsePolicy(name) }
+
+// NewPolicy instantiates a registered policy for a run configuration.
+// Engines call this internally; it is exported for tests and tools that
+// inspect policy decisions directly.
+func NewPolicy(name string, cfg Config) (Policy, error) { return policy.New(name, cfg) }
+
+// NewConfig builds a Config for the named policy from functional options;
+// see the package example. Zero/omitted knobs resolve to the paper's
+// defaults at run time.
+func NewConfig(policyName string, opts ...Option) Config {
+	return policy.NewConfig(policyName, opts...)
+}
+
+// Functional options for NewConfig.
+var (
+	WithNodes                  = policy.WithNodes
+	WithSlotsPerNode           = policy.WithSlotsPerNode
+	WithSchedulers             = policy.WithSchedulers
+	WithCutoff                 = policy.WithCutoff
+	WithShortPartitionFraction = policy.WithShortPartitionFraction
+	WithProbeRatio             = policy.WithProbeRatio
+	WithStealCap               = policy.WithStealCap
+	WithoutStealing            = policy.WithoutStealing
+	WithRandomPositionStealing = policy.WithRandomPositionStealing
+	WithoutPartition           = policy.WithoutPartition
+	WithoutCentral             = policy.WithoutCentral
+	WithNetworkDelay           = policy.WithNetworkDelay
+	WithMisestimation          = policy.WithMisestimation
+	WithSeed                   = policy.WithSeed
+	WithUtilizationInterval    = policy.WithUtilizationInterval
+)
+
+// Engine runs a trace under a configuration and produces a Report. Both
+// Simulate and RunLive satisfy it, so experiment drivers can be written
+// once and pointed at either engine.
+type Engine func(*Trace, Config) (*Report, error)
+
+// Simulate runs the trace-driven discrete-event simulator (§4.1). Runs are
+// deterministic for a given (trace, config) pair.
+func Simulate(trace *Trace, cfg Config) (*Report, error) { return sim.Run(trace, cfg) }
+
+// RunLive runs the goroutine-per-node live prototype (§3.8, §4.10): real
+// messages, injected network latency, tasks that really execute
+// (time.Sleep). Trace durations are interpreted as seconds of real time;
+// scale traces down first.
+func RunLive(trace *Trace, cfg Config) (*Report, error) { return liverun.Run(trace, cfg) }
+
+// WriteResultsCSV exports a report's per-job outcomes as CSV.
+func WriteResultsCSV(w io.Writer, r *Report) error {
+	return policy.WriteResultsCSV(w, r)
+}
+
+// SaveResultsCSV writes a report's per-job outcomes to path.
+func SaveResultsCSV(path string, r *Report) error { return policy.SaveResultsCSV(path, r) }
+
+// ReadResultsCSV parses a file written by WriteResultsCSV back into job
+// reports (the scalar Report fields are not part of the format).
+func ReadResultsCSV(r io.Reader) ([]JobReport, error) { return policy.ReadResultsCSV(r) }
+
+// SaveReportJSON writes the full report (resolved config, jobs, counters,
+// utilization samples) to path as JSON.
+func SaveReportJSON(path string, r *Report) error { return policy.SaveReportJSON(path, r) }
+
+// Workload surface: traces, synthetic generators, and trace I/O, re-exported
+// so a quickstart can be written against this package alone.
+type (
+	// Trace is an ordered set of jobs plus workload-level defaults
+	// (cutoff, short-partition fraction).
+	Trace = workload.Trace
+	// Job is one job: a submit time and per-task durations.
+	Job = workload.Job
+	// Spec describes a synthetic workload family (Google, Cloudera, ...).
+	Spec = workload.Spec
+	// GenConfig parameterizes synthetic trace generation.
+	GenConfig = workload.GenConfig
+	// WorkloadStats is the Table 1/2 characterization of a trace.
+	WorkloadStats = workload.Stats
+)
+
+// Synthetic workload generators for the paper's four traces (§4.1) and the
+// §2.3 motivation scenario, plus trace statistics and CSV I/O.
+var (
+	Google                     = workload.Google
+	Cloudera                   = workload.ClouderaC
+	Facebook                   = workload.Facebook
+	Yahoo                      = workload.Yahoo
+	AllSpecs                   = workload.AllSpecs
+	SpecByName                 = workload.SpecByName
+	Generate                   = workload.Generate
+	MotivationWorkload         = workload.MotivationWorkload
+	ComputeStats               = workload.ComputeStats
+	ComputeStatsByConstruction = workload.ComputeStatsByConstruction
+	WriteTraceCSV              = workload.WriteCSV
+	ReadTraceCSV               = workload.ReadCSV
+	LoadTraceFile              = workload.LoadFile
+	SaveTraceFile              = workload.SaveFile
+)

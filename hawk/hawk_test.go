@@ -1,0 +1,160 @@
+package hawk_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/hawk"
+)
+
+func smallTrace() *hawk.Trace {
+	// Durations in milliseconds-as-seconds so the live engine finishes
+	// fast; cutoff separates job 3 as long.
+	return &hawk.Trace{
+		Name: "small",
+		Jobs: []*hawk.Job{
+			{ID: 1, SubmitTime: 0, Durations: []float64{0.010, 0.020, 0.030}},
+			{ID: 2, SubmitTime: 0, Durations: []float64{0.005}},
+			{ID: 3, SubmitTime: 0.01, Durations: []float64{2.0, 2.0}},
+			{ID: 4, SubmitTime: 0.02, Durations: []float64{0.015, 0.015}},
+		},
+		Cutoff:                 0.5,
+		ShortPartitionFraction: 0.2,
+	}
+}
+
+// Both engines consume the same Config and produce the same Report schema.
+func TestEnginesShareConfigAndReport(t *testing.T) {
+	trace := smallTrace()
+	cfg := hawk.NewConfig("hawk",
+		hawk.WithNodes(20),
+		hawk.WithSchedulers(3),
+		hawk.WithNetworkDelay((50 * time.Microsecond).Seconds()),
+		hawk.WithSeed(1))
+
+	simRep, err := hawk.Simulate(trace, cfg)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	liveRep, err := hawk.RunLive(trace, cfg)
+	if err != nil {
+		t.Fatalf("RunLive: %v", err)
+	}
+
+	for _, rep := range []*hawk.Report{simRep, liveRep} {
+		if rep.Policy != "hawk" {
+			t.Errorf("%s report policy = %q", rep.Engine, rep.Policy)
+		}
+		if len(rep.Jobs) != trace.Len() {
+			t.Errorf("%s report has %d jobs, want %d", rep.Engine, len(rep.Jobs), trace.Len())
+		}
+		if rep.TasksExecuted != 8 {
+			t.Errorf("%s executed %d tasks, want 8", rep.Engine, rep.TasksExecuted)
+		}
+		if rep.Config.NumNodes != 20 {
+			t.Errorf("%s report lost the requested node count: %d", rep.Engine, rep.Config.NumNodes)
+		}
+	}
+	if simRep.Engine != "sim" || liveRep.Engine != "live" {
+		t.Errorf("engine labels = %q/%q", simRep.Engine, liveRep.Engine)
+	}
+
+	// Both engines agree on classification for the same trace and cutoff.
+	for _, rep := range []*hawk.Report{simRep, liveRep} {
+		if n := len(rep.LongRuntimes()); n != 1 {
+			t.Errorf("%s classified %d jobs long, want 1", rep.Engine, n)
+		}
+	}
+}
+
+// Engine is a common function type: drivers can be written once.
+func TestEngineFuncType(t *testing.T) {
+	trace := smallTrace()
+	engines := map[string]hawk.Engine{"sim": hawk.Simulate, "live": hawk.RunLive}
+	for name, run := range engines {
+		rep, err := run(trace, hawk.NewConfig("sparrow",
+			hawk.WithNodes(20), hawk.WithSeed(1),
+			hawk.WithNetworkDelay((50*time.Microsecond).Seconds())))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if rep.Engine != name {
+			t.Errorf("engine %q reported as %q", name, rep.Engine)
+		}
+	}
+}
+
+// A custom policy registered through the public API runs on both engines
+// without any engine change. "nosteal-hawk" routes exactly like hawk with
+// stealing off, so on the simulator its results must be identical to the
+// built-in hawk policy with DisableStealing — the decisions, not the
+// policy's name, drive the engine.
+func TestRegisterCustomPolicy(t *testing.T) {
+	hawk.Register("nosteal-hawk", func(cfg hawk.Config) (hawk.Policy, error) {
+		return noStealHawk{frac: cfg.ShortPartitionFraction}, nil
+	})
+	found := false
+	for _, name := range hawk.Policies() {
+		if name == "nosteal-hawk" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("registered policy missing from Policies(): %v", hawk.Policies())
+	}
+
+	trace := hawk.Generate(hawk.Google(), hawk.GenConfig{
+		NumJobs: 300, MeanInterArrival: 1, Seed: 3,
+	})
+	custom, err := hawk.Simulate(trace, hawk.NewConfig("nosteal-hawk",
+		hawk.WithNodes(2000), hawk.WithSeed(4)))
+	if err != nil {
+		t.Fatalf("custom policy run: %v", err)
+	}
+	builtin, err := hawk.Simulate(trace, hawk.NewConfig("hawk",
+		hawk.WithNodes(2000), hawk.WithSeed(4), hawk.WithoutStealing()))
+	if err != nil {
+		t.Fatalf("builtin run: %v", err)
+	}
+	if len(custom.Jobs) != len(builtin.Jobs) {
+		t.Fatalf("job counts differ: %d vs %d", len(custom.Jobs), len(builtin.Jobs))
+	}
+	for i := range custom.Jobs {
+		c, b := custom.Jobs[i], builtin.Jobs[i]
+		if c.ID != b.ID || c.Runtime != b.Runtime {
+			t.Fatalf("job %d: custom runtime %v != builtin %v", c.ID, c.Runtime, b.Runtime)
+		}
+	}
+	if custom.StealAttempts != 0 {
+		t.Errorf("nosteal policy stole %d times", custom.StealAttempts)
+	}
+}
+
+// noStealHawk is the test's custom policy: hawk's routing, stealing off.
+type noStealHawk struct{ frac float64 }
+
+func (noStealHawk) String() string                    { return "nosteal-hawk" }
+func (p noStealHawk) ShortPartitionFraction() float64 { return p.frac }
+func (noStealHawk) CentralPool() hawk.Pool            { return hawk.PoolGeneral }
+func (noStealHawk) Steal() bool                       { return false }
+func (noStealHawk) Route(j hawk.JobInfo) hawk.Decision {
+	if j.Long {
+		return hawk.Decision{Action: hawk.ActionCentral}
+	}
+	return hawk.Decision{Action: hawk.ActionProbe, Pool: hawk.PoolAll}
+}
+
+func TestParsePolicyReExport(t *testing.T) {
+	for _, name := range []string{"sparrow", "hawk", "centralized", "split"} {
+		p, err := hawk.ParsePolicy(name)
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q): %v", name, err)
+		}
+		if p.String() != name {
+			t.Errorf("ParsePolicy(%q).String() = %q", name, p.String())
+		}
+	}
+	if _, err := hawk.ParsePolicy("bogus"); err == nil {
+		t.Error("bogus policy accepted")
+	}
+}

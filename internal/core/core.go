@@ -15,6 +15,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/randdist"
 	"repro/internal/workload"
@@ -92,7 +93,20 @@ func NewPartition(numNodes int, shortFraction float64) Partition {
 	if shortFraction > 1 {
 		shortFraction = 1
 	}
-	short := int(shortFraction*float64(numNodes) + 0.5)
+	p := shortFraction * float64(numNodes)
+	short := int(math.Ceil(p))
+	// Guard the ceiling against upward float noise: 0.07*100 is
+	// 7.0000000000000009 in float64, and the true ceiling of the intended
+	// product is 7, not 8. The tolerance is relative so the guard still
+	// holds at huge products (0.07*3e8 is off by ~4e-9 absolute).
+	if r := math.Round(p); p > r && p-r < 1e-9*math.Max(1, r) {
+		short = int(r)
+	}
+	// Any positive fraction reserves at least one node, per the ceiling
+	// contract — even when the guard clamped a near-zero product.
+	if short == 0 && p > 0 {
+		short = 1
+	}
 	if short >= numNodes && numNodes > 0 {
 		short = numNodes - 1
 	}
@@ -135,6 +149,16 @@ func (p Partition) SampleAll(src *randdist.Source, k int) []int {
 		k = p.numNodes
 	}
 	return src.SampleWithoutReplacement(p.numNodes, k)
+}
+
+// SampleShort returns k distinct random short-partition node ids, used by
+// policies that confine short jobs to the reserved partition (the §4.6
+// split-cluster baseline).
+func (p Partition) SampleShort(src *randdist.Source, k int) []int {
+	if k > p.shortOnly {
+		k = p.shortOnly
+	}
+	return src.SampleWithoutReplacement(p.shortOnly, k)
 }
 
 func (p Partition) String() string {

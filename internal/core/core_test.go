@@ -103,6 +103,28 @@ func TestPartitionMembership(t *testing.T) {
 	}
 }
 
+func TestPartitionCeiling(t *testing.T) {
+	// The reservation is ceil(fraction * nodes): any positive fraction
+	// reserves at least one node, and fractional products round up.
+	cases := []struct {
+		nodes int
+		frac  float64
+		want  int
+	}{
+		{3, 0.34, 2},   // 1.02 rounds up
+		{10, 0.01, 1},  // 0.1 rounds up
+		{10, 0.25, 3},  // 2.5 rounds up
+		{100, 0.2, 20}, // exact products stay exact
+		{100, 0.07, 7}, // 0.07*100 is 7.0000000000000009 in float64; noise must not ceil to 8
+		{15000, 0.17, 2550},
+	}
+	for _, c := range cases {
+		if got := NewPartition(c.nodes, c.frac).ShortOnlyNodes(); got != c.want {
+			t.Errorf("NewPartition(%d, %g) reserved %d, want %d", c.nodes, c.frac, got, c.want)
+		}
+	}
+}
+
 func TestPartitionClamping(t *testing.T) {
 	// A full reservation must still leave one general node.
 	p := NewPartition(10, 1.0)
@@ -167,5 +189,21 @@ func TestNumProbes(t *testing.T) {
 func TestPartitionString(t *testing.T) {
 	if s := NewPartition(10, 0.2).String(); s == "" {
 		t.Fatal("String should be non-empty")
+	}
+}
+
+func TestPartitionCeilingLargeProducts(t *testing.T) {
+	// The noise guard must be relative: 0.07*3e8 is 21000000.000000004 in
+	// float64, ~4e-9 above the intended integer.
+	if got := NewPartition(300000000, 0.07).ShortOnlyNodes(); got != 21000000 {
+		t.Fatalf("reserved %d, want 21000000", got)
+	}
+}
+
+func TestPartitionTinyPositiveFraction(t *testing.T) {
+	// The ceiling contract: any positive fraction reserves at least one
+	// node, even when the noise guard clamps a near-zero product.
+	if got := NewPartition(100, 1e-12).ShortOnlyNodes(); got != 1 {
+		t.Fatalf("reserved %d, want 1", got)
 	}
 }

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/policy"
 	"repro/internal/sim"
 )
 
@@ -31,7 +32,7 @@ type StealPositionRow struct {
 func AblationStealPosition(sc Scale) ([]StealPositionRow, error) {
 	t := GoogleTrace(sc)
 	const nodes = 15000
-	rs, err := sim.Run(t, sim.Config{NumNodes: nodes, Mode: sim.ModeSparrow, Seed: sc.Seed})
+	rs, err := sim.Run(t, policy.Config{NumNodes: nodes, Policy: "sparrow", Seed: sc.Seed})
 	if err != nil {
 		return nil, err
 	}
@@ -43,8 +44,8 @@ func AblationStealPosition(sc Scale) ([]StealPositionRow, error) {
 		{"figure3-group", false},
 		{"random-positions", true},
 	} {
-		r, err := sim.Run(t, sim.Config{
-			NumNodes: nodes, Mode: sim.ModeHawk, Seed: sc.Seed,
+		r, err := sim.Run(t, policy.Config{
+			NumNodes: nodes, Policy: "hawk", Seed: sc.Seed,
 			StealRandomPositions: variant.random,
 		})
 		if err != nil {
@@ -68,10 +69,10 @@ func AblationStealPosition(sc Scale) ([]StealPositionRow, error) {
 // the Sparrow authors found best and the paper adopts (§4.1).
 type ProbeRatioPoint struct {
 	Ratio    int
-	Mode     string
+	Policy   string
 	ShortP50 float64
 	ShortP90 float64
-	Probes   int // messaging cost
+	Probes   int64 // messaging cost
 }
 
 // AblationProbeRatio sweeps the batch-sampling probe ratio for both
@@ -80,22 +81,22 @@ func AblationProbeRatio(sc Scale) ([]ProbeRatioPoint, error) {
 	t := GoogleTrace(sc)
 	const nodes = 15000
 	points := make([]ProbeRatioPoint, 0, 8)
-	for _, mode := range []sim.Mode{sim.ModeSparrow, sim.ModeHawk} {
-		base, err := sim.Run(t, sim.Config{NumNodes: nodes, Mode: mode, Seed: sc.Seed, ProbeRatio: 2})
+	for _, pol := range []string{"sparrow", "hawk"} {
+		base, err := sim.Run(t, policy.Config{NumNodes: nodes, Policy: pol, Seed: sc.Seed, ProbeRatio: 2})
 		if err != nil {
 			return nil, err
 		}
 		for _, ratio := range []int{1, 2, 3, 4} {
 			r := base
 			if ratio != 2 {
-				r, err = sim.Run(t, sim.Config{NumNodes: nodes, Mode: mode, Seed: sc.Seed, ProbeRatio: ratio})
+				r, err = sim.Run(t, policy.Config{NumNodes: nodes, Policy: pol, Seed: sc.Seed, ProbeRatio: ratio})
 				if err != nil {
 					return nil, fmt.Errorf("probe ratio %d: %w", ratio, err)
 				}
 			}
 			s50, s90, _, _ := ratiosFor(t, r, base, t.Cutoff)
 			points = append(points, ProbeRatioPoint{
-				Ratio: ratio, Mode: mode.String(),
+				Ratio: ratio, Policy: pol,
 				ShortP50: s50, ShortP90: s90,
 				Probes: r.ProbesSent,
 			})

@@ -54,15 +54,15 @@ func TestProbeRatioAblation(t *testing.T) {
 	for _, p := range pts {
 		if p.Ratio == 2 && (p.ShortP50 != 1 || p.ShortP90 != 1) {
 			t.Errorf("%s ratio 2 should be the normalization baseline, got %.2f/%.2f",
-				p.Mode, p.ShortP50, p.ShortP90)
+				p.Policy, p.ShortP50, p.ShortP90)
 		}
 		// One probe per task must be clearly worse than two (no slack
 		// for late binding).
 		if p.Ratio == 1 && p.ShortP50 < 1.02 {
-			t.Errorf("%s ratio 1 p50 = %.2f, expected worse than baseline", p.Mode, p.ShortP50)
+			t.Errorf("%s ratio 1 p50 = %.2f, expected worse than baseline", p.Policy, p.ShortP50)
 		}
 		if p.Probes <= 0 {
-			t.Errorf("%s ratio %d: no probes recorded", p.Mode, p.Ratio)
+			t.Errorf("%s ratio %d: no probes recorded", p.Policy, p.Ratio)
 		}
 	}
 }

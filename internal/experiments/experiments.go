@@ -5,6 +5,7 @@
 package experiments
 
 import (
+	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -22,6 +23,18 @@ type Scale struct {
 	// Runs averages metrics over this many seeds where the paper does
 	// (Figure 14 averages ten runs). Zero means one run.
 	Runs int
+	// Policy is the registry name of the candidate policy the comparison
+	// figures evaluate against their baselines. Empty means "hawk", the
+	// paper's system; cmd/hawkexp threads its -policy flag through here.
+	Policy string
+}
+
+// PolicyName returns the candidate policy, defaulting to "hawk".
+func (s Scale) PolicyName() string {
+	if s.Policy == "" {
+		return "hawk"
+	}
+	return s.Policy
 }
 
 // DefaultScale is the scale used by cmd/hawkexp and EXPERIMENTS.md.
@@ -101,13 +114,13 @@ func TraceFor(spec workload.Spec, sc Scale) *workload.Trace {
 	return t.CapTasks(minNodes)
 }
 
-// runPair runs the candidate and baseline schedulers on the same trace.
-func runPair(t *workload.Trace, nodes int, candidate, baseline sim.Mode, seed int64) (*sim.Result, *sim.Result, error) {
-	rc, err := sim.Run(t, sim.Config{NumNodes: nodes, Mode: candidate, Seed: seed})
+// runPair runs the candidate and baseline policies on the same trace.
+func runPair(t *workload.Trace, nodes int, candidate, baseline string, seed int64) (*policy.Report, *policy.Report, error) {
+	rc, err := sim.Run(t, policy.Config{NumNodes: nodes, Policy: candidate, Seed: seed})
 	if err != nil {
 		return nil, nil, err
 	}
-	rb, err := sim.Run(t, sim.Config{NumNodes: nodes, Mode: baseline, Seed: seed})
+	rb, err := sim.Run(t, policy.Config{NumNodes: nodes, Policy: baseline, Seed: seed})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -129,7 +142,7 @@ type RatioPoint struct {
 // ratiosFor computes the RatioPoint percentile ratios for two results over
 // a common trace, classifying jobs by exact estimate at the given cutoff so
 // both sides use identical job sets.
-func ratiosFor(t *workload.Trace, cand, base *sim.Result, cutoff float64) (shortP50, shortP90, longP50, longP90 float64) {
+func ratiosFor(t *workload.Trace, cand, base *policy.Report, cutoff float64) (shortP50, shortP90, longP50, longP90 float64) {
 	classes := make(map[int]bool, t.Len())
 	for _, j := range t.Jobs {
 		classes[j.ID] = j.AvgTaskDuration() >= cutoff
@@ -158,7 +171,7 @@ func ratiosFor(t *workload.Trace, cand, base *sim.Result, cutoff float64) (short
 	return shortP50, shortP90, longP50, longP90
 }
 
-func allRuntimes(r *sim.Result) map[int]float64 {
+func allRuntimes(r *policy.Report) map[int]float64 {
 	out := make(map[int]float64, len(r.Jobs))
 	for _, j := range r.Jobs {
 		out[j.ID] = j.Runtime

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -245,7 +246,7 @@ func TestRatiosForAlignsJobSets(t *testing.T) {
 	// ratiosFor must compare identical job sets: with candidate ==
 	// baseline, every ratio is exactly 1.
 	tr := GoogleTrace(Scale{NumJobs: 500, Seed: 3})
-	res, err := sim.Run(tr, sim.Config{NumNodes: 5000, Mode: sim.ModeHawk, Seed: 3})
+	res, err := sim.Run(tr, policy.Config{NumNodes: 5000, Policy: "hawk", Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}

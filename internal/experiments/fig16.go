@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/liverun"
+	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -76,26 +77,26 @@ func Fig16And17(cfg Fig16Config) ([]Fig16Point, error) {
 	for _, k := range cfg.LoadFactors {
 		t := base.WithArrivals(k*meanDur, cfg.Seed+int64(1000*k))
 
-		implHawk, err := liverun.Run(t, liverun.Config{
+		implHawk, err := liverun.Run(t, policy.Config{
 			NumNodes: cfg.NumNodes, NumSchedulers: cfg.NumSchedulers,
-			Mode: liverun.ModeHawk, Seed: cfg.Seed,
+			Policy: "hawk", Seed: cfg.Seed,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("fig16 live hawk k=%.2f: %w", k, err)
 		}
-		implSparrow, err := liverun.Run(t, liverun.Config{
+		implSparrow, err := liverun.Run(t, policy.Config{
 			NumNodes: cfg.NumNodes, NumSchedulers: cfg.NumSchedulers,
-			Mode: liverun.ModeSparrow, Seed: cfg.Seed,
+			Policy: "sparrow", Seed: cfg.Seed,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("fig16 live sparrow k=%.2f: %w", k, err)
 		}
 
-		simHawk, err := sim.Run(t, sim.Config{NumNodes: cfg.NumNodes, Mode: sim.ModeHawk, Seed: cfg.Seed})
+		simHawk, err := sim.Run(t, policy.Config{NumNodes: cfg.NumNodes, Policy: "hawk", Seed: cfg.Seed})
 		if err != nil {
 			return nil, fmt.Errorf("fig16 sim hawk k=%.2f: %w", k, err)
 		}
-		simSparrow, err := sim.Run(t, sim.Config{NumNodes: cfg.NumNodes, Mode: sim.ModeSparrow, Seed: cfg.Seed})
+		simSparrow, err := sim.Run(t, policy.Config{NumNodes: cfg.NumNodes, Policy: "sparrow", Seed: cfg.Seed})
 		if err != nil {
 			return nil, fmt.Errorf("fig16 sim sparrow k=%.2f: %w", k, err)
 		}
@@ -125,12 +126,12 @@ func buildPrototypeTrace(cfg Fig16Config) *workload.Trace {
 	return full.CapTasks(capTasks).Scale(cfg.DurationScale, 1)
 }
 
-func liveRatios(t *workload.Trace, cand, base *liverun.Result) RatioQuad {
+func liveRatios(t *workload.Trace, cand, base *policy.Report) RatioQuad {
 	classes := make(map[int]bool, t.Len())
 	for _, j := range t.Jobs {
 		classes[j.ID] = j.AvgTaskDuration() >= t.Cutoff
 	}
-	collect := func(r *liverun.Result, long bool) []float64 {
+	collect := func(r *policy.Report, long bool) []float64 {
 		var out []float64
 		for _, j := range r.Jobs {
 			if classes[j.ID] == long {

@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -25,7 +26,7 @@ type Fig1Result struct {
 // 15000 nodes, Sparrow.
 func Fig1(seed int64) (*Fig1Result, error) {
 	t := workload.MotivationWorkload(seed)
-	r, err := sim.Run(t, sim.Config{NumNodes: 15000, Mode: sim.ModeSparrow, Seed: seed})
+	r, err := sim.Run(t, policy.Config{NumNodes: 15000, Policy: "sparrow", Seed: seed})
 	if err != nil {
 		return nil, err
 	}
@@ -84,7 +85,7 @@ type Fig5Point struct {
 	AvgRatioShort      float64 // mean Hawk runtime / mean Sparrow runtime
 	AvgRatioLong       float64
 	FracShortBy50      float64 // fraction of short jobs improved by > 50%
-	HawkStealSuccesses int
+	HawkStealSuccesses int64
 }
 
 // Fig5 sweeps cluster size on the Google trace, comparing Hawk to Sparrow
@@ -93,7 +94,7 @@ func Fig5(sc Scale) ([]Fig5Point, error) {
 	t := GoogleTrace(sc)
 	points := make([]Fig5Point, 0, len(NodeSweep("google")))
 	for _, nodes := range NodeSweep("google") {
-		rh, rs, err := runPair(t, nodes, sim.ModeHawk, sim.ModeSparrow, sc.Seed)
+		rh, rs, err := runPair(t, nodes, sc.PolicyName(), "sparrow", sc.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -111,7 +112,7 @@ func Fig5(sc Scale) ([]Fig5Point, error) {
 	return points, nil
 }
 
-func ratioPoint(t *workload.Trace, cand, base *sim.Result, x float64) RatioPoint {
+func ratioPoint(t *workload.Trace, cand, base *policy.Report, x float64) RatioPoint {
 	s50, s90, l50, l90 := ratiosFor(t, cand, base, t.Cutoff)
 	return RatioPoint{
 		X:            x,
@@ -137,7 +138,7 @@ func Fig6(sc Scale) ([]Fig6Series, error) {
 		t := TraceFor(spec, sc)
 		s := Fig6Series{Workload: spec.Name}
 		for _, nodes := range NodeSweep(spec.Name) {
-			rh, rs, err := runPair(t, nodes, sim.ModeHawk, sim.ModeSparrow, sc.Seed)
+			rh, rs, err := runPair(t, nodes, sc.PolicyName(), "sparrow", sc.Seed)
 			if err != nil {
 				return nil, fmt.Errorf("fig6 %s at %d nodes: %w", spec.Name, nodes, err)
 			}
@@ -163,17 +164,17 @@ type Fig7Row struct {
 func Fig7(sc Scale) ([]Fig7Row, error) {
 	t := GoogleTrace(sc)
 	const nodes = 15000
-	full, err := sim.Run(t, sim.Config{NumNodes: nodes, Mode: sim.ModeHawk, Seed: sc.Seed})
+	full, err := sim.Run(t, policy.Config{NumNodes: nodes, Policy: "hawk", Seed: sc.Seed})
 	if err != nil {
 		return nil, err
 	}
 	variants := []struct {
 		name string
-		cfg  sim.Config
+		cfg  policy.Config
 	}{
-		{"w/o centralized", sim.Config{NumNodes: nodes, Mode: sim.ModeHawk, Seed: sc.Seed, DisableCentral: true}},
-		{"w/o partition", sim.Config{NumNodes: nodes, Mode: sim.ModeHawk, Seed: sc.Seed, DisablePartition: true}},
-		{"w/o stealing", sim.Config{NumNodes: nodes, Mode: sim.ModeHawk, Seed: sc.Seed, DisableStealing: true}},
+		{"w/o centralized", policy.Config{NumNodes: nodes, Policy: "hawk", Seed: sc.Seed, DisableCentral: true}},
+		{"w/o partition", policy.Config{NumNodes: nodes, Policy: "hawk", Seed: sc.Seed, DisablePartition: true}},
+		{"w/o stealing", policy.Config{NumNodes: nodes, Policy: "hawk", Seed: sc.Seed, DisableStealing: true}},
 	}
 	rows := make([]Fig7Row, 0, len(variants))
 	for _, v := range variants {
@@ -193,7 +194,7 @@ func Fig8And9(sc Scale) ([]RatioPoint, error) {
 	t := GoogleTrace(sc)
 	points := make([]RatioPoint, 0)
 	for _, nodes := range NodeSweep("google") {
-		rh, rc, err := runPair(t, nodes, sim.ModeHawk, sim.ModeCentralized, sc.Seed)
+		rh, rc, err := runPair(t, nodes, sc.PolicyName(), "centralized", sc.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -208,7 +209,7 @@ func Fig10And11(sc Scale) ([]RatioPoint, error) {
 	t := GoogleTrace(sc)
 	points := make([]RatioPoint, 0)
 	for _, nodes := range NodeSweep("google") {
-		rh, rsp, err := runPair(t, nodes, sim.ModeHawk, sim.ModeSplit, sc.Seed)
+		rh, rsp, err := runPair(t, nodes, sc.PolicyName(), "split", sc.Seed)
 		if err != nil {
 			return nil, err
 		}
@@ -223,14 +224,14 @@ func Fig10And11(sc Scale) ([]RatioPoint, error) {
 func Fig12And13(sc Scale) ([]RatioPoint, error) {
 	t := GoogleTrace(sc)
 	const nodes = 15000
-	rs, err := sim.Run(t, sim.Config{NumNodes: nodes, Mode: sim.ModeSparrow, Seed: sc.Seed})
+	rs, err := sim.Run(t, policy.Config{NumNodes: nodes, Policy: "sparrow", Seed: sc.Seed})
 	if err != nil {
 		return nil, err
 	}
 	cutoffs := []float64{750, 1000, 1129, 1300, 1500, 2000}
 	points := make([]RatioPoint, 0, len(cutoffs))
 	for _, cutoff := range cutoffs {
-		rh, err := sim.Run(t, sim.Config{NumNodes: nodes, Mode: sim.ModeHawk, Seed: sc.Seed, Cutoff: cutoff})
+		rh, err := sim.Run(t, policy.Config{NumNodes: nodes, Policy: sc.PolicyName(), Seed: sc.Seed, Cutoff: cutoff})
 		if err != nil {
 			return nil, fmt.Errorf("fig12 cutoff %.0f: %w", cutoff, err)
 		}
@@ -267,12 +268,12 @@ func Fig14(sc Scale) ([]Fig14Point, error) {
 		var sum50, sum90 float64
 		for run := 0; run < runs; run++ {
 			seed := sc.Seed + int64(run)
-			rs, err := sim.Run(t, sim.Config{NumNodes: nodes, Mode: sim.ModeSparrow, Seed: seed})
+			rs, err := sim.Run(t, policy.Config{NumNodes: nodes, Policy: "sparrow", Seed: seed})
 			if err != nil {
 				return nil, err
 			}
-			rh, err := sim.Run(t, sim.Config{
-				NumNodes: nodes, Mode: sim.ModeHawk, Seed: seed,
+			rh, err := sim.Run(t, policy.Config{
+				NumNodes: nodes, Policy: sc.PolicyName(), Seed: seed,
 				MisestimateLo: rg[0], MisestimateHi: rg[1],
 			})
 			if err != nil {
@@ -307,14 +308,14 @@ type Fig15Point struct {
 func Fig15(sc Scale) ([]Fig15Point, error) {
 	t := GoogleTrace(sc)
 	const nodes = 15000
-	base, err := sim.Run(t, sim.Config{NumNodes: nodes, Mode: sim.ModeHawk, Seed: sc.Seed, StealCap: 1})
+	base, err := sim.Run(t, policy.Config{NumNodes: nodes, Policy: "hawk", Seed: sc.Seed, StealCap: 1})
 	if err != nil {
 		return nil, err
 	}
 	caps := []int{1, 2, 3, 4, 5, 10, 15, 20, 25, 50, 75, 100, 250}
 	points := make([]Fig15Point, 0, len(caps))
 	for _, cap := range caps {
-		r, err := sim.Run(t, sim.Config{NumNodes: nodes, Mode: sim.ModeHawk, Seed: sc.Seed, StealCap: cap})
+		r, err := sim.Run(t, policy.Config{NumNodes: nodes, Policy: "hawk", Seed: sc.Seed, StealCap: cap})
 		if err != nil {
 			return nil, fmt.Errorf("fig15 cap %d: %w", cap, err)
 		}

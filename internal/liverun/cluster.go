@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/policy"
 	"repro/internal/randdist"
 	"repro/internal/workload"
 )
@@ -13,40 +14,40 @@ import (
 // cluster wires the node monitors, the distributed schedulers, and the
 // centralized scheduler together.
 type cluster struct {
-	cfg     Config
-	part    core.Partition
-	steal   core.StealPolicy
-	nodes   []*nodeMonitor
-	dscheds []*distScheduler
-	central *centralScheduler
-	stop    chan struct{}
-	started time.Time
+	cfg      policy.Config
+	pol      policy.Policy
+	part     core.Partition
+	steal    core.StealPolicy
+	netDelay time.Duration
+	nodes    []*nodeMonitor
+	dscheds  []*distScheduler
+	central  *centralScheduler
+	stop     chan struct{}
+	started  time.Time
 
 	stealAttempts  atomic.Int64
 	stealSuccesses atomic.Int64
 	entriesStolen  atomic.Int64
 	cancels        atomic.Int64
 	tasksExecuted  atomic.Int64
+	probesSent     atomic.Int64
+	centralAssigns atomic.Int64
 }
 
-func newCluster(cfg Config) *cluster {
+func newCluster(cfg policy.Config, pol policy.Policy) *cluster {
 	c := &cluster{
-		cfg:     cfg,
-		stop:    make(chan struct{}),
-		started: time.Now(),
+		cfg:      cfg,
+		pol:      pol,
+		netDelay: time.Duration(cfg.NetworkDelay * float64(time.Second)),
+		stop:     make(chan struct{}),
+		started:  time.Now(),
 	}
-	frac := 0.0
-	if cfg.Mode == ModeHawk {
-		frac = cfg.ShortPartitionFraction
-	}
-	c.part = core.NewPartition(cfg.NumNodes, frac)
-	c.steal = core.StealPolicy{
-		Cap:     cfg.StealCap,
-		Enabled: cfg.Mode == ModeHawk && !cfg.DisableStealing,
-	}
+	slots := cfg.TotalSlots()
+	c.part = core.NewPartition(slots, pol.ShortPartitionFraction())
+	c.steal = core.StealPolicy{Cap: cfg.StealCap, Enabled: pol.Steal()}
 
 	root := randdist.New(cfg.Seed)
-	c.nodes = make([]*nodeMonitor, cfg.NumNodes)
+	c.nodes = make([]*nodeMonitor, slots)
 	for i := range c.nodes {
 		c.nodes[i] = newNodeMonitor(i, c, root.Fork())
 	}
@@ -54,12 +55,8 @@ func newCluster(cfg Config) *cluster {
 	for i := range c.dscheds {
 		c.dscheds[i] = &distScheduler{c: c, src: root.Fork()}
 	}
-	if cfg.Mode == ModeHawk {
-		ids := make([]int, c.part.GeneralNodes())
-		for i := range ids {
-			ids[i] = c.part.GeneralID(i)
-		}
-		c.central = newCentralScheduler(c, ids)
+	if pool := pol.CentralPool(); pool != policy.PoolNone {
+		c.central = newCentralScheduler(c, pool.IDs(c.part))
 	}
 	for _, n := range c.nodes {
 		go n.run()
@@ -74,19 +71,23 @@ func (c *cluster) nowSeconds() float64 { return time.Since(c.started).Seconds() 
 
 // latency injects one network hop of delay.
 func (c *cluster) latency() {
-	if c.cfg.NetworkDelay > 0 {
-		time.Sleep(c.cfg.NetworkDelay)
+	if c.netDelay > 0 {
+		time.Sleep(c.netDelay)
 	}
 }
 
-// submit routes one job to a distributed scheduler or the centralized one.
+// submit routes one job per the policy's decision: to the centralized
+// scheduler or to a distributed scheduler chosen round-robin.
 func (c *cluster) submit(jr *jobRuntime, seq int) {
-	if c.cfg.Mode == ModeHawk && jr.long {
+	dec := c.pol.Route(policy.JobInfo{
+		ID: jr.job.ID, Tasks: jr.job.NumTasks(), Estimate: jr.est, Long: jr.long,
+	})
+	if dec.Action == policy.ActionCentral {
 		go c.central.schedule(jr)
 		return
 	}
 	ds := c.dscheds[seq%len(c.dscheds)]
-	go ds.schedule(jr)
+	go ds.schedule(jr, dec.Pool)
 }
 
 // distScheduler is one of the paper's per-job distributed schedulers
@@ -98,14 +99,15 @@ type distScheduler struct {
 	src *randdist.Source
 }
 
-// schedule places 2t probes for the job via batch sampling (§3.5).
-func (d *distScheduler) schedule(jr *jobRuntime) {
+// schedule places ProbeRatio*t probes for the job via batch sampling
+// (§3.5) over the decision's candidate pool.
+func (d *distScheduler) schedule(jr *jobRuntime, pool policy.Pool) {
 	c := d.c
-	// Short jobs may probe the entire cluster (§3.4); in Sparrow mode all
-	// jobs do.
+	k := core.NumProbes(jr.job.NumTasks(), c.cfg.ProbeRatio, pool.Size(c.part))
 	d.mu.Lock()
-	ids := c.part.SampleAll(d.src, core.NumProbes(jr.job.NumTasks(), c.cfg.ProbeRatio, c.cfg.NumNodes))
+	ids := pool.Sample(c.part, d.src, k)
 	d.mu.Unlock()
+	c.probesSent.Add(int64(len(ids)))
 	for _, id := range ids {
 		node := c.nodes[id]
 		go func() {
@@ -115,7 +117,7 @@ func (d *distScheduler) schedule(jr *jobRuntime) {
 	}
 }
 
-// centralScheduler runs the §3.7 algorithm over the general partition.
+// centralScheduler runs the §3.7 algorithm over its node pool.
 type centralScheduler struct {
 	c  *cluster
 	mu sync.Mutex
@@ -126,7 +128,7 @@ func newCentralScheduler(c *cluster, nodeIDs []int) *centralScheduler {
 	return &centralScheduler{c: c, q: core.NewCentralQueue(nodeIDs)}
 }
 
-// schedule places every task of a long job on the least-waiting servers.
+// schedule places every task of a job on the least-waiting servers.
 func (s *centralScheduler) schedule(jr *jobRuntime) {
 	c := s.c
 	for i := 0; i < jr.job.NumTasks(); i++ {
@@ -134,6 +136,7 @@ func (s *centralScheduler) schedule(jr *jobRuntime) {
 		s.mu.Lock()
 		nodeID, _ := s.q.Assign(c.nowSeconds(), jr.est)
 		s.mu.Unlock()
+		c.centralAssigns.Add(1)
 		node := c.nodes[nodeID]
 		go func() {
 			c.latency()

@@ -6,10 +6,11 @@
 // Sparrow node monitors plus a centralized scheduler and work stealing
 // (§3.8, §4.10).
 //
-// The scheduling policies are the same core package components the
-// simulator uses; what differs is that here scheduling, probing, and
-// stealing have real, nonzero costs — exactly the delta the paper's
-// "implementation vs simulation" experiment measures (Figures 16 and 17).
+// The engine executes any registered policy.Policy (see repro/hawk) — the
+// same policy code the simulator runs; what differs is that here
+// scheduling, probing, and stealing have real, nonzero costs — exactly the
+// delta the paper's "implementation vs simulation" experiment measures
+// (Figures 16 and 17).
 package liverun
 
 import (
@@ -19,150 +20,56 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/policy"
 	"repro/internal/workload"
 )
 
-// Mode selects the scheduler for a live run. The paper's prototype
-// implements Sparrow and Hawk.
-type Mode int
-
-const (
-	// ModeSparrow runs batch sampling for every job.
-	ModeSparrow Mode = iota
-	// ModeHawk runs the hybrid scheduler: centralized long jobs in the
-	// general partition, distributed short jobs, randomized stealing.
-	ModeHawk
-)
-
-// String returns the mode name.
-func (m Mode) String() string {
-	if m == ModeHawk {
-		return "hawk"
-	}
-	return "sparrow"
-}
-
-// Config parameterizes a live cluster run. Durations in the trace are
-// interpreted as seconds of real execution (sleep) time; callers scale
-// traces down first (the paper scales the Google sample by 1000x).
-type Config struct {
-	// NumNodes is the number of node-monitor goroutines (paper: 100).
-	NumNodes int
-	// NumSchedulers is the number of distributed schedulers; jobs are
-	// spread over them round-robin (paper: 10).
-	NumSchedulers int
-	Mode          Mode
-	// Cutoff classifies long vs short jobs, in the trace's (scaled) time
-	// unit. Zero means the trace default.
-	Cutoff float64
-	// ShortPartitionFraction reserves nodes for short tasks (Hawk only).
-	// Negative or zero means the trace default.
-	ShortPartitionFraction float64
-	// ProbeRatio is probes-per-task for batch sampling (default 2).
-	ProbeRatio int
-	// StealCap bounds steal contacts per idle transition (default 10).
-	StealCap int
-	// NetworkDelay is the injected one-way message latency (default
-	// 0.5 ms, matching the simulator's model).
-	NetworkDelay time.Duration
-	// DisableStealing turns stealing off (Hawk only).
-	DisableStealing bool
-	// Seed drives probe placement and steal-victim sampling.
-	Seed int64
-}
-
-func (c Config) withDefaults(t *workload.Trace) (Config, error) {
-	if c.NumNodes <= 0 {
-		return c, fmt.Errorf("liverun: NumNodes must be positive, got %d", c.NumNodes)
-	}
-	if c.NumSchedulers <= 0 {
-		c.NumSchedulers = 10
-	}
-	if c.Cutoff == 0 {
-		c.Cutoff = t.Cutoff
-	}
-	if c.Cutoff <= 0 {
-		return c, fmt.Errorf("liverun: cutoff must be positive, got %g", c.Cutoff)
-	}
-	if c.ShortPartitionFraction <= 0 {
-		c.ShortPartitionFraction = t.ShortPartitionFraction
-	}
-	if c.ProbeRatio <= 0 {
-		c.ProbeRatio = core.DefaultProbeRatio
-	}
-	if c.StealCap <= 0 {
-		c.StealCap = core.DefaultStealCap
-	}
-	if c.NetworkDelay < 0 {
-		return c, fmt.Errorf("liverun: negative network delay")
-	}
-	if c.NetworkDelay == 0 {
-		c.NetworkDelay = 500 * time.Microsecond
-	}
-	return c, nil
-}
-
-// JobResult records one job's live outcome.
-type JobResult struct {
-	ID      int
-	Runtime float64 // seconds, submission to last task completion
-	Long    bool
-	Tasks   int
-}
-
-// Result aggregates a live run.
-type Result struct {
-	Mode           Mode
-	Jobs           []JobResult
-	Elapsed        time.Duration
-	StealAttempts  int64
-	StealSuccesses int64
-	EntriesStolen  int64
-	Cancels        int64
-	TasksExecuted  int64
-}
-
-// ShortRuntimes returns runtimes of short-classified jobs in seconds.
-func (r *Result) ShortRuntimes() []float64 { return r.classRuntimes(false) }
-
-// LongRuntimes returns runtimes of long-classified jobs in seconds.
-func (r *Result) LongRuntimes() []float64 { return r.classRuntimes(true) }
-
-func (r *Result) classRuntimes(long bool) []float64 {
-	var out []float64
-	for _, j := range r.Jobs {
-		if j.Long == long {
-			out = append(out, j.Runtime)
-		}
-	}
-	return out
-}
-
-// Run executes the trace on a live goroutine cluster and blocks until every
-// job completes.
-func Run(trace *workload.Trace, cfg Config) (*Result, error) {
-	cfg, err := cfg.withDefaults(trace)
+// Run executes the trace on a live goroutine cluster under the policy named
+// by cfg.Policy and blocks until every job completes. Durations in the
+// trace are interpreted as seconds of real execution (sleep) time; callers
+// scale traces down first (the paper scales the Google sample by 1000x).
+func Run(trace *workload.Trace, cfg policy.Config) (*policy.Report, error) {
+	cfg, err := cfg.Normalize(trace)
 	if err != nil {
 		return nil, err
+	}
+	// Simulator-only knobs: the prototype estimates exactly (§3.3) and
+	// steals Figure 3 groups only. Rejecting loudly beats a Report whose
+	// Config records settings the run silently ignored.
+	if !cfg.ExactEstimates() {
+		return nil, fmt.Errorf("liverun: mis-estimation [%g, %g] is simulator-only; the live engine estimates exactly",
+			cfg.MisestimateLo, cfg.MisestimateHi)
+	}
+	if cfg.StealRandomPositions {
+		return nil, fmt.Errorf("liverun: StealRandomPositions is a simulator-only ablation")
 	}
 	if err := trace.Validate(); err != nil {
 		return nil, err
 	}
-	for _, j := range trace.Jobs {
-		if j.NumTasks() > cfg.NumNodes {
-			return nil, fmt.Errorf("liverun: job %d has %d tasks > %d nodes; cap tasks first", j.ID, j.NumTasks(), cfg.NumNodes)
-		}
+	pol, err := policy.New(cfg.Policy, cfg)
+	if err != nil {
+		return nil, err
 	}
 
-	c := newCluster(cfg)
+	c := newCluster(cfg, pol)
 	defer c.stopAll()
+
+	// The live engine classifies exactly, so only each job's true route
+	// is checked.
+	cls := core.Classifier{Cutoff: cfg.Cutoff}
+	if err := policy.CheckFeasibility(trace, pol, c.part,
+		func(j *workload.Job) []bool {
+			return []bool{cls.IsLong(j.AvgTaskDuration())}
+		}); err != nil {
+		return nil, err
+	}
 
 	jobs := append([]*workload.Job(nil), trace.Jobs...)
 	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].SubmitTime < jobs[j].SubmitTime })
 
 	start := time.Now()
 	var wg sync.WaitGroup
-	results := make([]JobResult, len(jobs))
+	results := make([]policy.JobReport, len(jobs))
 
 	for i, j := range jobs {
 		// Pace submissions by the trace's submit times in real time.
@@ -172,14 +79,17 @@ func Run(trace *workload.Trace, cfg Config) (*Result, error) {
 		}
 		wg.Add(1)
 		idx, job := i, j
-		long := job.AvgTaskDuration() >= cfg.Cutoff
+		long := cls.IsLong(job.AvgTaskDuration())
 		jr := newJobRuntime(job, long, time.Now())
 		jr.onDone = func(runtime time.Duration) {
-			results[idx] = JobResult{
-				ID:      job.ID,
-				Runtime: runtime.Seconds(),
-				Long:    long,
-				Tasks:   job.NumTasks(),
+			results[idx] = policy.JobReport{
+				ID:         job.ID,
+				SubmitTime: job.SubmitTime,
+				Runtime:    runtime.Seconds(),
+				Tasks:      job.NumTasks(),
+				Long:       long,
+				TrueLong:   long, // the live engine estimates exactly (§3.3)
+				Estimate:   job.AvgTaskDuration(),
 			}
 			wg.Done()
 		}
@@ -187,15 +97,19 @@ func Run(trace *workload.Trace, cfg Config) (*Result, error) {
 	}
 	wg.Wait()
 
-	res := &Result{
-		Mode:           cfg.Mode,
+	res := &policy.Report{
+		Engine:         "live",
+		Policy:         c.pol.String(),
+		Config:         cfg,
 		Jobs:           results,
-		Elapsed:        time.Since(start),
+		Makespan:       time.Since(start).Seconds(),
 		StealAttempts:  c.stealAttempts.Load(),
 		StealSuccesses: c.stealSuccesses.Load(),
 		EntriesStolen:  c.entriesStolen.Load(),
 		Cancels:        c.cancels.Load(),
 		TasksExecuted:  c.tasksExecuted.Load(),
+		ProbesSent:     c.probesSent.Load(),
+		CentralAssigns: c.centralAssigns.Load(),
 	}
 	return res, nil
 }

@@ -4,16 +4,17 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/policy"
 	"repro/internal/workload"
 )
 
 // fastConfig returns a config with minimal latency so tests run quickly.
-func fastConfig(mode Mode) Config {
-	return Config{
+func fastConfig(pol string) policy.Config {
+	return policy.Config{
 		NumNodes:      20,
 		NumSchedulers: 3,
-		Mode:          mode,
-		NetworkDelay:  50 * time.Microsecond,
+		Policy:        pol,
+		NetworkDelay:  (50 * time.Microsecond).Seconds(),
 		Seed:          1,
 	}
 }
@@ -45,20 +46,20 @@ func TestLiveAllJobsComplete(t *testing.T) {
 		job(3, 0.01, 2000, 2000), // long
 		job(4, 0.02, 15, 15),
 	)
-	for _, mode := range []Mode{ModeSparrow, ModeHawk} {
-		res, err := Run(tr, fastConfig(mode))
+	for _, pol := range []string{"sparrow", "hawk"} {
+		res, err := Run(tr, fastConfig(pol))
 		if err != nil {
-			t.Fatalf("%v: %v", mode, err)
+			t.Fatalf("%s: %v", pol, err)
 		}
 		if len(res.Jobs) != 4 {
-			t.Fatalf("%v: %d results", mode, len(res.Jobs))
+			t.Fatalf("%s: %d results", pol, len(res.Jobs))
 		}
 		if res.TasksExecuted != 8 {
-			t.Fatalf("%v: executed %d tasks, want 8", mode, res.TasksExecuted)
+			t.Fatalf("%s: executed %d tasks, want 8", pol, res.TasksExecuted)
 		}
 		for _, j := range res.Jobs {
 			if j.Runtime <= 0 {
-				t.Fatalf("%v: job %d runtime %v", mode, j.ID, j.Runtime)
+				t.Fatalf("%s: job %d runtime %v", pol, j.ID, j.Runtime)
 			}
 		}
 	}
@@ -66,7 +67,7 @@ func TestLiveAllJobsComplete(t *testing.T) {
 
 func TestLiveClassification(t *testing.T) {
 	tr := msTrace(500, job(1, 0, 10), job(2, 0, 2000))
-	res, err := Run(tr, fastConfig(ModeHawk))
+	res, err := Run(tr, fastConfig("hawk"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestLiveClassification(t *testing.T) {
 
 func TestLiveRuntimeAtLeastTaskDuration(t *testing.T) {
 	tr := msTrace(500, job(1, 0, 50, 50))
-	res, err := Run(tr, fastConfig(ModeSparrow))
+	res, err := Run(tr, fastConfig("sparrow"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,19 +97,19 @@ func TestLiveRuntimeAtLeastTaskDuration(t *testing.T) {
 
 func TestLiveValidation(t *testing.T) {
 	tr := msTrace(500, job(1, 0, 10))
-	if _, err := Run(tr, Config{NumNodes: 0}); err == nil {
+	if _, err := Run(tr, policy.Config{NumNodes: 0}); err == nil {
 		t.Error("zero nodes should error")
 	}
 	bad := msTrace(500, job(1, 0, 10))
 	bad.Cutoff = 0
-	if _, err := Run(bad, Config{NumNodes: 10}); err == nil {
+	if _, err := Run(bad, policy.Config{NumNodes: 10}); err == nil {
 		t.Error("zero cutoff should error")
 	}
 	wide := msTrace(500, job(1, 0, make([]float64, 30)...))
 	for i := range wide.Jobs[0].Durations {
 		wide.Jobs[0].Durations[i] = 0.001
 	}
-	if _, err := Run(wide, fastConfig(ModeSparrow)); err == nil {
+	if _, err := Run(wide, fastConfig("sparrow")); err == nil {
 		t.Error("job wider than the cluster should error")
 	}
 }
@@ -127,7 +128,7 @@ func TestLiveHawkSteals(t *testing.T) {
 		jobs = append(jobs, job(id, 0.005, 10, 10))
 	}
 	tr := msTrace(100, jobs...)
-	res, err := Run(tr, fastConfig(ModeHawk))
+	res, err := Run(tr, fastConfig("hawk"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,15 +137,30 @@ func TestLiveHawkSteals(t *testing.T) {
 	}
 }
 
-func TestLiveModeString(t *testing.T) {
-	if ModeSparrow.String() != "sparrow" || ModeHawk.String() != "hawk" {
-		t.Fatal("mode names wrong")
+// The live engine executes registry policies the simulator also runs; the
+// split-cluster baseline exercises the short-only probe pool and a central
+// queue in the same live run.
+func TestLiveSplitPolicy(t *testing.T) {
+	tr := msTrace(500, job(1, 0, 10, 10), job(2, 0, 2000), job(3, 0.01, 5))
+	tr.ShortPartitionFraction = 0.5
+	res, err := Run(tr, fastConfig("split"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TasksExecuted != 4 {
+		t.Fatalf("executed %d tasks, want 4", res.TasksExecuted)
+	}
+	if res.CentralAssigns == 0 {
+		t.Fatal("split must place long jobs centrally")
+	}
+	if res.StealAttempts != 0 {
+		t.Fatal("split must not steal")
 	}
 }
 
 func TestLiveDisableStealing(t *testing.T) {
 	tr := msTrace(500, job(1, 0, 10), job(2, 0, 2000))
-	cfg := fastConfig(ModeHawk)
+	cfg := fastConfig("hawk")
 	cfg.DisableStealing = true
 	res, err := Run(tr, cfg)
 	if err != nil {
@@ -165,7 +181,7 @@ func TestLiveCentralFeedbackSerializesLongs(t *testing.T) {
 		job(2, 0.001, 200, 200),
 	)
 	tr.ShortPartitionFraction = 0.5 // 10 of 20 nodes short-only
-	cfg := fastConfig(ModeHawk)
+	cfg := fastConfig("hawk")
 	res, err := Run(tr, cfg)
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,111 @@
+package policy
+
+// The four schedulers the Hawk paper evaluates, as registry entries. Each
+// is a small value type resolved from the run Config once at construction;
+// Route itself is pure, so engines may call it from any goroutine.
+
+func init() {
+	Register("sparrow", newSparrow)
+	Register("hawk", newHawk)
+	Register("centralized", newCentralized)
+	Register("split", newSplit)
+}
+
+// sparrow is the fully distributed baseline: batch sampling with
+// ProbeRatio probes per task over the entire cluster for all jobs. No
+// reservation, no central queue, no stealing.
+type sparrow struct{}
+
+func newSparrow(Config) (Policy, error) { return sparrow{}, nil }
+
+func (sparrow) String() string                  { return "sparrow" }
+func (sparrow) ShortPartitionFraction() float64 { return 0 }
+func (sparrow) Route(JobInfo) Decision          { return Decision{Action: ActionProbe, Pool: PoolAll} }
+func (sparrow) CentralPool() Pool               { return PoolNone }
+func (sparrow) Steal() bool                     { return false }
+
+// hawkPolicy is the paper's hybrid scheduler: long jobs centrally placed in
+// the general partition, short jobs probed over the whole cluster (§3.4,
+// §3.5), a reserved short partition, and randomized work stealing. The
+// Figure 7 ablation switches carve individual mechanisms out.
+type hawkPolicy struct {
+	fraction       float64
+	disableCentral bool
+	steal          bool
+}
+
+func newHawk(cfg Config) (Policy, error) {
+	frac := cfg.ShortPartitionFraction
+	if cfg.DisablePartition {
+		frac = 0
+	}
+	return hawkPolicy{
+		fraction:       frac,
+		disableCentral: cfg.DisableCentral,
+		steal:          !cfg.DisableStealing,
+	}, nil
+}
+
+func (hawkPolicy) String() string                    { return "hawk" }
+func (p hawkPolicy) ShortPartitionFraction() float64 { return p.fraction }
+
+func (p hawkPolicy) Route(j JobInfo) Decision {
+	if j.Long {
+		if p.disableCentral {
+			return Decision{Action: ActionProbe, Pool: PoolGeneral}
+		}
+		return Decision{Action: ActionCentral}
+	}
+	// Short jobs probe the whole cluster: the short partition plus any
+	// idle general node (§3.4, §3.5).
+	return Decision{Action: ActionProbe, Pool: PoolAll}
+}
+
+func (p hawkPolicy) CentralPool() Pool {
+	if p.disableCentral {
+		return PoolNone
+	}
+	return PoolGeneral
+}
+
+func (p hawkPolicy) Steal() bool { return p.steal }
+
+// centralized schedules all jobs with the §3.7 centralized algorithm over
+// the whole cluster (no partition, no stealing).
+type centralized struct{}
+
+func newCentralized(Config) (Policy, error) { return centralized{}, nil }
+
+func (centralized) String() string                  { return "centralized" }
+func (centralized) ShortPartitionFraction() float64 { return 0 }
+func (centralized) Route(JobInfo) Decision          { return Decision{Action: ActionCentral} }
+func (centralized) CentralPool() Pool               { return PoolAll }
+func (centralized) Steal() bool                     { return false }
+
+// split is the §4.6 baseline: a short partition running only short jobs
+// (distributed) and a long partition running only long jobs (centralized);
+// no overlap, no stealing.
+type split struct {
+	fraction float64
+}
+
+func newSplit(cfg Config) (Policy, error) {
+	frac := cfg.ShortPartitionFraction
+	if cfg.DisablePartition {
+		frac = 0
+	}
+	return split{fraction: frac}, nil
+}
+
+func (split) String() string                    { return "split" }
+func (p split) ShortPartitionFraction() float64 { return p.fraction }
+
+func (p split) Route(j JobInfo) Decision {
+	if j.Long {
+		return Decision{Action: ActionCentral}
+	}
+	return Decision{Action: ActionProbe, Pool: PoolShort}
+}
+
+func (split) CentralPool() Pool { return PoolGeneral }
+func (split) Steal() bool       { return false }

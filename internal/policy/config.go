@@ -1,0 +1,222 @@
+package policy
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// Config parameterizes one scheduling run and is consumed by every engine.
+// Zero values select the paper's defaults where meaningful (see field
+// comments); Normalize resolves them against a trace exactly once, so the
+// values recorded in a Report are the values the run actually used — with
+// the user's requested NumNodes and SlotsPerNode kept distinct rather than
+// folded together.
+type Config struct {
+	// Policy is the registry name of the scheduling policy (see Policies).
+	// Empty selects "hawk".
+	Policy string `json:"policy"`
+	// NumNodes is the cluster size as requested by the user; required
+	// (> 0). Engines run NumNodes*SlotsPerNode single-slot queues — see
+	// TotalSlots — but this field always reports the requested value.
+	NumNodes int `json:"numNodes"`
+	// SlotsPerNode expands every node into this many independently queued
+	// slots (default 1). The paper notes that one-slot nodes are
+	// "analogous to having multi-slot nodes with each slot served by a
+	// different queue" (§4.1); this knob makes the analogy executable.
+	SlotsPerNode int `json:"slotsPerNode"`
+	// NumSchedulers is the number of distributed schedulers in the live
+	// engine; jobs spread over them round-robin (default 10, §4.10). The
+	// simulator models schedulers as free and ignores it.
+	NumSchedulers int `json:"numSchedulers,omitempty"`
+	// Cutoff is the long/short classification threshold in seconds of
+	// estimated task runtime. Zero means "use the trace default".
+	Cutoff float64 `json:"cutoff"`
+	// ShortPartitionFraction is the fraction of nodes reserved for short
+	// tasks. Zero or negative means "use the trace default". Policies
+	// without a reserved partition ignore it.
+	ShortPartitionFraction float64 `json:"shortPartitionFraction"`
+	// ProbeRatio is the batch-sampling probes-per-task ratio (default 2).
+	ProbeRatio int `json:"probeRatio"`
+	// StealCap bounds the random nodes contacted per steal attempt
+	// (default 10). Only stealing policies use it.
+	StealCap int `json:"stealCap"`
+	// DisableStealing turns off work stealing (Figure 7 ablation).
+	DisableStealing bool `json:"disableStealing,omitempty"`
+	// StealRandomPositions replaces Figure 3's consecutive-group rule
+	// with stealing the same number of short entries from random queue
+	// positions — the alternative the paper argues against in §3.6.
+	// Ablation only; off by default. Simulator only: the live engine
+	// rejects it rather than silently stealing groups.
+	StealRandomPositions bool `json:"stealRandomPositions,omitempty"`
+	// DisablePartition makes the general partition span the whole
+	// cluster (Figure 7 ablation).
+	DisablePartition bool `json:"disablePartition,omitempty"`
+	// DisableCentral schedules long jobs with distributed probing over
+	// the general partition instead of centrally (Figure 7 ablation).
+	DisableCentral bool `json:"disableCentral,omitempty"`
+	// NetworkDelay is the one-way message delay in seconds (default
+	// 0.5 ms, §4.1). The simulator models it; the live engine injects it
+	// as real sleep.
+	NetworkDelay float64 `json:"networkDelay"`
+	// MisestimateLo/Hi define the uniform mis-estimation factor range of
+	// §4.8. Both zero (or both one) means exact estimates. Simulator
+	// only: the live prototype estimates exactly (§3.3) and rejects a
+	// config requesting otherwise.
+	MisestimateLo float64 `json:"misestimateLo,omitempty"`
+	MisestimateHi float64 `json:"misestimateHi,omitempty"`
+	// Seed drives all randomness (probe placement, steal victims,
+	// mis-estimation draws). Equal seeds give identical simulator runs.
+	Seed int64 `json:"seed"`
+	// UtilizationInterval is the utilization sampling period in seconds
+	// (default 100, §2.3/§4.2). Simulator only.
+	UtilizationInterval float64 `json:"utilizationInterval,omitempty"`
+}
+
+// Option mutates a Config under construction; see NewConfig.
+type Option func(*Config)
+
+// NewConfig builds a Config for the named policy from functional options:
+//
+//	cfg := policy.NewConfig("hawk", policy.WithNodes(15000), policy.WithSeed(42))
+//
+// Defaults are still resolved by Normalize at run time, so an option left
+// out means "paper default", exactly as for a zero struct field.
+func NewConfig(policyName string, opts ...Option) Config {
+	c := Config{Policy: policyName}
+	for _, o := range opts {
+		o(&c)
+	}
+	return c
+}
+
+// WithNodes sets the cluster size.
+func WithNodes(n int) Option { return func(c *Config) { c.NumNodes = n } }
+
+// WithSlotsPerNode sets the execution slots per node.
+func WithSlotsPerNode(s int) Option { return func(c *Config) { c.SlotsPerNode = s } }
+
+// WithSchedulers sets the live engine's distributed scheduler count.
+func WithSchedulers(n int) Option { return func(c *Config) { c.NumSchedulers = n } }
+
+// WithCutoff sets the long/short cutoff in seconds.
+func WithCutoff(sec float64) Option { return func(c *Config) { c.Cutoff = sec } }
+
+// WithShortPartitionFraction sets the reserved short-partition fraction.
+func WithShortPartitionFraction(f float64) Option {
+	return func(c *Config) { c.ShortPartitionFraction = f }
+}
+
+// WithProbeRatio sets the batch-sampling probes-per-task ratio.
+func WithProbeRatio(r int) Option { return func(c *Config) { c.ProbeRatio = r } }
+
+// WithStealCap bounds the nodes contacted per steal attempt.
+func WithStealCap(n int) Option { return func(c *Config) { c.StealCap = n } }
+
+// WithoutStealing disables randomized work stealing.
+func WithoutStealing() Option { return func(c *Config) { c.DisableStealing = true } }
+
+// WithRandomPositionStealing enables the §3.6 random-position ablation.
+func WithRandomPositionStealing() Option {
+	return func(c *Config) { c.StealRandomPositions = true }
+}
+
+// WithoutPartition disables the reserved short partition.
+func WithoutPartition() Option { return func(c *Config) { c.DisablePartition = true } }
+
+// WithoutCentral replaces centralized long-job placement with probing.
+func WithoutCentral() Option { return func(c *Config) { c.DisableCentral = true } }
+
+// WithNetworkDelay sets the one-way message delay in seconds.
+func WithNetworkDelay(sec float64) Option { return func(c *Config) { c.NetworkDelay = sec } }
+
+// WithMisestimation sets the uniform mis-estimation factor range of §4.8.
+func WithMisestimation(lo, hi float64) Option {
+	return func(c *Config) { c.MisestimateLo, c.MisestimateHi = lo, hi }
+}
+
+// WithSeed sets the seed driving all randomness.
+func WithSeed(seed int64) Option { return func(c *Config) { c.Seed = seed } }
+
+// WithUtilizationInterval sets the simulator's utilization sampling period.
+func WithUtilizationInterval(sec float64) Option {
+	return func(c *Config) { c.UtilizationInterval = sec }
+}
+
+// TotalSlots is the number of single-slot FIFO queues an engine runs: the
+// requested node count times the slots per node. An unset SlotsPerNode
+// counts as the default 1, so the method is meaningful before Normalize.
+func (c Config) TotalSlots() int {
+	if c.SlotsPerNode <= 0 {
+		return c.NumNodes
+	}
+	return c.NumNodes * c.SlotsPerNode
+}
+
+// Normalize validates the configuration and resolves defaults against the
+// trace. It is idempotent; engines call it once on entry so defaults are
+// resolved exactly once per run and the returned Config is what the run
+// actually used.
+func (c Config) Normalize(t *workload.Trace) (Config, error) {
+	if c.Policy == "" {
+		c.Policy = "hawk"
+	}
+	if !Registered(c.Policy) {
+		return c, fmt.Errorf("policy: unknown policy %q (registered: %v)", c.Policy, Policies())
+	}
+	if c.NumNodes <= 0 {
+		return c, fmt.Errorf("config: NumNodes must be positive, got %d", c.NumNodes)
+	}
+	if c.SlotsPerNode < 0 {
+		return c, fmt.Errorf("config: SlotsPerNode must be non-negative, got %d", c.SlotsPerNode)
+	}
+	if c.SlotsPerNode == 0 {
+		c.SlotsPerNode = 1
+	}
+	if c.NumSchedulers < 0 {
+		return c, fmt.Errorf("config: NumSchedulers must be non-negative, got %d", c.NumSchedulers)
+	}
+	if c.NumSchedulers == 0 {
+		c.NumSchedulers = 10
+	}
+	if c.Cutoff == 0 {
+		c.Cutoff = t.Cutoff
+	}
+	if c.Cutoff <= 0 {
+		return c, fmt.Errorf("config: cutoff must be positive, got %g", c.Cutoff)
+	}
+	if c.ShortPartitionFraction <= 0 {
+		c.ShortPartitionFraction = t.ShortPartitionFraction
+	}
+	if c.ShortPartitionFraction > 1 {
+		return c, fmt.Errorf("config: ShortPartitionFraction must be at most 1, got %g", c.ShortPartitionFraction)
+	}
+	if c.ProbeRatio <= 0 {
+		c.ProbeRatio = core.DefaultProbeRatio
+	}
+	if c.StealCap <= 0 {
+		c.StealCap = core.DefaultStealCap
+	}
+	if c.NetworkDelay < 0 {
+		return c, fmt.Errorf("config: NetworkDelay must be non-negative, got %g", c.NetworkDelay)
+	}
+	if c.NetworkDelay == 0 {
+		c.NetworkDelay = core.DefaultNetworkDelay
+	}
+	if c.MisestimateLo < 0 || c.MisestimateHi < c.MisestimateLo {
+		return c, fmt.Errorf("config: mis-estimation range [%g, %g] invalid: need 0 <= lo <= hi",
+			c.MisestimateLo, c.MisestimateHi)
+	}
+	if c.UtilizationInterval <= 0 {
+		c.UtilizationInterval = 100
+	}
+	return c, nil
+}
+
+// ExactEstimates reports whether the mis-estimation range leaves estimates
+// exact (see core.Estimator): both bounds zero or both one.
+func (c Config) ExactEstimates() bool {
+	return (c.MisestimateLo == 0 && c.MisestimateHi == 0) ||
+		(c.MisestimateLo == 1 && c.MisestimateHi == 1)
+}

@@ -1,4 +1,4 @@
-package sim
+package policy
 
 import (
 	"bufio"
@@ -13,8 +13,10 @@ import (
 //
 //	jobID,submitTime,runtime,tasks,long,trueLong,estimate
 //
-// so runs can be post-processed or plotted outside Go.
-func WriteResultsCSV(w io.Writer, r *Result) error {
+// so runs can be post-processed or plotted outside Go. The format is
+// engine-independent: both the simulator and the live engine fill every
+// column.
+func WriteResultsCSV(w io.Writer, r *Report) error {
 	bw := bufio.NewWriter(w)
 	cw := csv.NewWriter(bw)
 	if err := cw.Write([]string{"jobID", "submitTime", "runtime", "tasks", "long", "trueLong", "estimate"}); err != nil {
@@ -31,7 +33,7 @@ func WriteResultsCSV(w io.Writer, r *Result) error {
 			strconv.FormatFloat(j.Estimate, 'g', -1, 64),
 		}
 		if err := cw.Write(rec); err != nil {
-			return fmt.Errorf("sim: writing job %d: %w", j.ID, err)
+			return fmt.Errorf("policy: writing job %d: %w", j.ID, err)
 		}
 	}
 	cw.Flush()
@@ -42,7 +44,7 @@ func WriteResultsCSV(w io.Writer, r *Result) error {
 }
 
 // SaveResultsCSV writes per-job outcomes to path.
-func SaveResultsCSV(path string, r *Result) error {
+func SaveResultsCSV(path string, r *Report) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
@@ -55,50 +57,50 @@ func SaveResultsCSV(path string, r *Result) error {
 }
 
 // ReadResultsCSV parses a file written by WriteResultsCSV back into job
-// results (the scalar Result fields are not part of the format).
-func ReadResultsCSV(r io.Reader) ([]JobResult, error) {
+// reports (the scalar Report fields are not part of the format).
+func ReadResultsCSV(r io.Reader) ([]JobReport, error) {
 	cr := csv.NewReader(bufio.NewReader(r))
 	recs, err := cr.ReadAll()
 	if err != nil {
 		return nil, err
 	}
 	if len(recs) == 0 {
-		return nil, fmt.Errorf("sim: empty results file")
+		return nil, fmt.Errorf("policy: empty results file")
 	}
-	out := make([]JobResult, 0, len(recs)-1)
+	out := make([]JobReport, 0, len(recs)-1)
 	for i, rec := range recs[1:] {
 		if len(rec) != 7 {
-			return nil, fmt.Errorf("sim: results row %d has %d fields, want 7", i+2, len(rec))
+			return nil, fmt.Errorf("policy: results row %d has %d fields, want 7", i+2, len(rec))
 		}
 		id, err := strconv.Atoi(rec[0])
 		if err != nil {
-			return nil, fmt.Errorf("sim: results row %d: bad id: %w", i+2, err)
+			return nil, fmt.Errorf("policy: results row %d: bad id: %w", i+2, err)
 		}
 		submit, err := strconv.ParseFloat(rec[1], 64)
 		if err != nil {
-			return nil, fmt.Errorf("sim: results row %d: bad submit: %w", i+2, err)
+			return nil, fmt.Errorf("policy: results row %d: bad submit: %w", i+2, err)
 		}
 		runtime, err := strconv.ParseFloat(rec[2], 64)
 		if err != nil {
-			return nil, fmt.Errorf("sim: results row %d: bad runtime: %w", i+2, err)
+			return nil, fmt.Errorf("policy: results row %d: bad runtime: %w", i+2, err)
 		}
 		tasks, err := strconv.Atoi(rec[3])
 		if err != nil {
-			return nil, fmt.Errorf("sim: results row %d: bad tasks: %w", i+2, err)
+			return nil, fmt.Errorf("policy: results row %d: bad tasks: %w", i+2, err)
 		}
 		long, err := strconv.ParseBool(rec[4])
 		if err != nil {
-			return nil, fmt.Errorf("sim: results row %d: bad long flag: %w", i+2, err)
+			return nil, fmt.Errorf("policy: results row %d: bad long flag: %w", i+2, err)
 		}
 		trueLong, err := strconv.ParseBool(rec[5])
 		if err != nil {
-			return nil, fmt.Errorf("sim: results row %d: bad trueLong flag: %w", i+2, err)
+			return nil, fmt.Errorf("policy: results row %d: bad trueLong flag: %w", i+2, err)
 		}
 		est, err := strconv.ParseFloat(rec[6], 64)
 		if err != nil {
-			return nil, fmt.Errorf("sim: results row %d: bad estimate: %w", i+2, err)
+			return nil, fmt.Errorf("policy: results row %d: bad estimate: %w", i+2, err)
 		}
-		out = append(out, JobResult{
+		out = append(out, JobReport{
 			ID: id, SubmitTime: submit, Runtime: runtime,
 			Tasks: tasks, Long: long, TrueLong: trueLong, Estimate: est,
 		})

@@ -1,0 +1,42 @@
+package policy
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// CheckFeasibility verifies, before any engine starts work, that every
+// route the policy can take for every job is executable: a probe-scheduled
+// job needs a candidate pool at least as wide as its task count (with
+// batch sampling one probe yields at most one task, so a wider job could
+// never finish — callers should scale traces down first with
+// workload.Trace.CapTasks, as the paper does for its 100-node prototype),
+// and a central route needs a declared central pool.
+//
+// classes returns the job classifications to check. Engines with exact
+// estimates pass the single true class; the simulator passes both classes
+// when mis-estimation can flip a job's class at runtime.
+func CheckFeasibility(trace *workload.Trace, pol Policy, part core.Partition, classes func(*workload.Job) []bool) error {
+	hasCentral := pol.CentralPool() != PoolNone
+	for _, j := range trace.Jobs {
+		for _, long := range classes(j) {
+			dec := pol.Route(JobInfo{
+				ID: j.ID, Tasks: j.NumTasks(), Estimate: j.AvgTaskDuration(), Long: long,
+			})
+			switch dec.Action {
+			case ActionCentral:
+				if !hasCentral {
+					return fmt.Errorf("policy: %q routes jobs centrally but declares no central pool", pol.String())
+				}
+			default:
+				if n := dec.Pool.Size(part); j.NumTasks() > n {
+					return fmt.Errorf("policy: job %d with %d tasks exceeds the %d-node %q probe pool; cap tasks first",
+						j.ID, j.NumTasks(), n, dec.Pool)
+				}
+			}
+		}
+	}
+	return nil
+}

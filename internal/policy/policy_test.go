@@ -1,0 +1,331 @@
+package policy_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/liverun"
+	"repro/internal/policy"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+var builtins = []string{"sparrow", "hawk", "centralized", "split"}
+
+func tinyTrace(jobs ...*workload.Job) *workload.Trace {
+	return &workload.Trace{
+		Name:                   "tiny",
+		Jobs:                   jobs,
+		Cutoff:                 1000,
+		ShortPartitionFraction: 0.2,
+	}
+}
+
+func job(id int, submit float64, durs ...float64) *workload.Job {
+	return &workload.Job{ID: id, SubmitTime: submit, Durations: durs}
+}
+
+func TestPoliciesListsBuiltins(t *testing.T) {
+	names := policy.Policies()
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Fatalf("Policies() not sorted: %v", names)
+		}
+	}
+	have := map[string]bool{}
+	for _, n := range names {
+		have[n] = true
+	}
+	for _, want := range builtins {
+		if !have[want] {
+			t.Errorf("Policies() = %v, missing built-in %q", names, want)
+		}
+	}
+}
+
+func TestParsePolicyStringRoundTrip(t *testing.T) {
+	for _, name := range builtins {
+		p, err := policy.ParsePolicy(name)
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q): %v", name, err)
+		}
+		if p.String() != name {
+			t.Errorf("ParsePolicy(%q).String() = %q", name, p.String())
+		}
+	}
+}
+
+func TestParsePolicyUnknown(t *testing.T) {
+	_, err := policy.ParsePolicy("no-such-policy")
+	if err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	// The error should help the user find a valid name.
+	if !strings.Contains(err.Error(), "hawk") {
+		t.Errorf("error %q does not list registered policies", err)
+	}
+}
+
+func TestRegistryLookupBuildsFromConfig(t *testing.T) {
+	p, err := policy.New("hawk", policy.Config{ShortPartitionFraction: 0.25, DisableStealing: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.ShortPartitionFraction(); got != 0.25 {
+		t.Errorf("fraction = %v, want 0.25", got)
+	}
+	if p.Steal() {
+		t.Error("DisableStealing ignored")
+	}
+	if p.CentralPool() != policy.PoolGeneral {
+		t.Errorf("central pool = %v", p.CentralPool())
+	}
+}
+
+func TestRegisterRejectsDuplicatesAndEmpty(t *testing.T) {
+	mustPanic := func(name string, f policy.Factory) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("Register(%q) did not panic", name)
+			}
+		}()
+		policy.Register(name, f)
+	}
+	factory := func(policy.Config) (policy.Policy, error) { return nil, nil }
+	mustPanic("hawk", factory) // duplicate of a built-in
+	mustPanic("", factory)
+	mustPanic("nil-factory", nil)
+}
+
+// Built-in route decisions: the table the engines execute.
+func TestBuiltinRouting(t *testing.T) {
+	cases := []struct {
+		name        string
+		long        bool
+		wantAction  policy.Action
+		wantPool    policy.Pool
+		wantCentral policy.Pool
+		wantSteal   bool
+	}{
+		{"sparrow", false, policy.ActionProbe, policy.PoolAll, policy.PoolNone, false},
+		{"sparrow", true, policy.ActionProbe, policy.PoolAll, policy.PoolNone, false},
+		{"hawk", false, policy.ActionProbe, policy.PoolAll, policy.PoolGeneral, true},
+		{"hawk", true, policy.ActionCentral, policy.PoolNone, policy.PoolGeneral, true},
+		{"centralized", false, policy.ActionCentral, policy.PoolNone, policy.PoolAll, false},
+		{"centralized", true, policy.ActionCentral, policy.PoolNone, policy.PoolAll, false},
+		{"split", false, policy.ActionProbe, policy.PoolShort, policy.PoolGeneral, false},
+		{"split", true, policy.ActionCentral, policy.PoolNone, policy.PoolGeneral, false},
+	}
+	for _, c := range cases {
+		p, err := policy.New(c.name, policy.Config{ShortPartitionFraction: 0.2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dec := p.Route(policy.JobInfo{Long: c.long})
+		if dec.Action != c.wantAction {
+			t.Errorf("%s long=%v: action %v, want %v", c.name, c.long, dec.Action, c.wantAction)
+		}
+		if dec.Action == policy.ActionProbe && dec.Pool != c.wantPool {
+			t.Errorf("%s long=%v: pool %v, want %v", c.name, c.long, dec.Pool, c.wantPool)
+		}
+		if p.CentralPool() != c.wantCentral {
+			t.Errorf("%s: central pool %v, want %v", c.name, p.CentralPool(), c.wantCentral)
+		}
+		if p.Steal() != c.wantSteal {
+			t.Errorf("%s: steal %v, want %v", c.name, p.Steal(), c.wantSteal)
+		}
+	}
+}
+
+func TestHawkAblationKnobs(t *testing.T) {
+	p, err := policy.New("hawk", policy.Config{
+		ShortPartitionFraction: 0.2, DisableCentral: true, DisablePartition: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.ShortPartitionFraction() != 0 {
+		t.Error("DisablePartition should zero the reservation")
+	}
+	if p.CentralPool() != policy.PoolNone {
+		t.Error("DisableCentral should drop the central queue")
+	}
+	if dec := p.Route(policy.JobInfo{Long: true}); dec.Action != policy.ActionProbe || dec.Pool != policy.PoolGeneral {
+		t.Errorf("w/o central long jobs should probe the general pool, got %+v", dec)
+	}
+}
+
+func TestNormalizeDefaults(t *testing.T) {
+	tr := tinyTrace(job(1, 0, 10))
+	cfg, err := policy.Config{NumNodes: 4, SlotsPerNode: 2}.Normalize(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Policy != "hawk" {
+		t.Errorf("default policy = %q", cfg.Policy)
+	}
+	// The user's requested sizes stay visible; engines expand via
+	// TotalSlots instead of mutating NumNodes.
+	if cfg.NumNodes != 4 || cfg.SlotsPerNode != 2 {
+		t.Errorf("requested sizes mutated: NumNodes=%d SlotsPerNode=%d", cfg.NumNodes, cfg.SlotsPerNode)
+	}
+	if cfg.TotalSlots() != 8 {
+		t.Errorf("TotalSlots = %d, want 8", cfg.TotalSlots())
+	}
+	if cfg.Cutoff != tr.Cutoff || cfg.ShortPartitionFraction != tr.ShortPartitionFraction {
+		t.Errorf("trace defaults not applied: %+v", cfg)
+	}
+	if cfg.ProbeRatio != 2 || cfg.StealCap != 10 || cfg.NetworkDelay != 0.0005 {
+		t.Errorf("paper defaults not applied: %+v", cfg)
+	}
+	if cfg.UtilizationInterval != 100 || cfg.NumSchedulers != 10 {
+		t.Errorf("engine defaults not applied: %+v", cfg)
+	}
+	// Normalize is idempotent.
+	again, err := cfg.Normalize(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != cfg {
+		t.Errorf("Normalize not idempotent: %+v != %+v", again, cfg)
+	}
+}
+
+func TestNewConfigOptions(t *testing.T) {
+	cfg := policy.NewConfig("split",
+		policy.WithNodes(100),
+		policy.WithSlotsPerNode(2),
+		policy.WithSchedulers(5),
+		policy.WithCutoff(700),
+		policy.WithShortPartitionFraction(0.3),
+		policy.WithProbeRatio(3),
+		policy.WithStealCap(7),
+		policy.WithoutStealing(),
+		policy.WithRandomPositionStealing(),
+		policy.WithoutPartition(),
+		policy.WithoutCentral(),
+		policy.WithNetworkDelay(0.001),
+		policy.WithMisestimation(0.5, 1.5),
+		policy.WithSeed(9),
+		policy.WithUtilizationInterval(50),
+	)
+	want := policy.Config{
+		Policy: "split", NumNodes: 100, SlotsPerNode: 2, NumSchedulers: 5,
+		Cutoff: 700, ShortPartitionFraction: 0.3, ProbeRatio: 3, StealCap: 7,
+		DisableStealing: true, StealRandomPositions: true, DisablePartition: true,
+		DisableCentral: true, NetworkDelay: 0.001, MisestimateLo: 0.5,
+		MisestimateHi: 1.5, Seed: 9, UtilizationInterval: 50,
+	}
+	if cfg != want {
+		t.Errorf("NewConfig = %+v, want %+v", cfg, want)
+	}
+}
+
+// Config validation is shared: both engines must reject the same bad
+// configurations, through the same Normalize path.
+func TestConfigValidationSharedAcrossEngines(t *testing.T) {
+	tr := tinyTrace(job(1, 0, 10))
+	noCutoff := tinyTrace(job(1, 0, 10))
+	noCutoff.Cutoff = 0
+	cases := []struct {
+		name  string
+		trace *workload.Trace
+		cfg   policy.Config
+	}{
+		{"zero nodes", tr, policy.Config{NumNodes: 0}},
+		{"negative slots", tr, policy.Config{NumNodes: 4, SlotsPerNode: -1}},
+		{"negative schedulers", tr, policy.Config{NumNodes: 4, NumSchedulers: -2}},
+		{"no cutoff anywhere", noCutoff, policy.Config{NumNodes: 4}},
+		{"negative cutoff", tr, policy.Config{NumNodes: 4, Cutoff: -1}},
+		{"unknown policy", tr, policy.Config{NumNodes: 4, Policy: "no-such-policy"}},
+		{"fraction above one", tr, policy.Config{NumNodes: 4, ShortPartitionFraction: 1.5}},
+		{"negative delay", tr, policy.Config{NumNodes: 4, NetworkDelay: -0.1}},
+		{"negative misestimation", tr, policy.Config{NumNodes: 4, MisestimateLo: -0.5, MisestimateHi: 0.5}},
+		{"inverted misestimation", tr, policy.Config{NumNodes: 4, MisestimateLo: 1.5, MisestimateHi: 0.5}},
+	}
+	for _, c := range cases {
+		if _, err := c.cfg.Normalize(c.trace); err == nil {
+			t.Errorf("Normalize accepted %s", c.name)
+		}
+		if _, err := sim.Run(c.trace, c.cfg); err == nil {
+			t.Errorf("sim.Run accepted %s", c.name)
+		}
+		if _, err := liverun.Run(c.trace, c.cfg); err == nil {
+			t.Errorf("liverun.Run accepted %s", c.name)
+		}
+	}
+}
+
+func TestResultsCSVRoundTrip(t *testing.T) {
+	tr := workload.Generate(workload.Google(), workload.GenConfig{NumJobs: 100, MeanInterArrival: 1, Seed: 2})
+	res, err := sim.Run(tr, policy.Config{NumNodes: 500, Policy: "hawk", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := policy.WriteResultsCSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	got, err := policy.ReadResultsCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(res.Jobs) {
+		t.Fatalf("round trip: %d rows, want %d", len(got), len(res.Jobs))
+	}
+	for i := range got {
+		if got[i] != res.Jobs[i] {
+			t.Fatalf("row %d mismatch: %+v != %+v", i, got[i], res.Jobs[i])
+		}
+	}
+}
+
+func TestReadResultsCSVErrors(t *testing.T) {
+	cases := []string{
+		"",
+		"jobID,submitTime,runtime,tasks,long,trueLong,estimate\n1,2,3\n",
+		"jobID,submitTime,runtime,tasks,long,trueLong,estimate\nx,0,1,1,false,false,1\n",
+		"jobID,submitTime,runtime,tasks,long,trueLong,estimate\n1,0,1,1,maybe,false,1\n",
+	}
+	for i, in := range cases {
+		if _, err := policy.ReadResultsCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestReportJSONExport(t *testing.T) {
+	tr := tinyTrace(job(1, 0, 10), job(2, 1, 5000))
+	res, err := sim.Run(tr, policy.Config{NumNodes: 10, SlotsPerNode: 2, Policy: "hawk", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var decoded struct {
+		Engine string           `json:"engine"`
+		Policy string           `json:"policy"`
+		Config policy.Config    `json:"config"`
+		Jobs   []map[string]any `json:"jobs"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &decoded); err != nil {
+		t.Fatalf("exported JSON unparseable: %v", err)
+	}
+	if decoded.Engine != "sim" || decoded.Policy != "hawk" {
+		t.Errorf("engine/policy = %q/%q", decoded.Engine, decoded.Policy)
+	}
+	if len(decoded.Jobs) != 2 {
+		t.Errorf("jobs = %d, want 2", len(decoded.Jobs))
+	}
+	// The report's config keeps the user's requested cluster size rather
+	// than the slot-expanded one.
+	if decoded.Config.NumNodes != 10 || decoded.Config.SlotsPerNode != 2 {
+		t.Errorf("config sizes = %d/%d, want 10/2",
+			decoded.Config.NumNodes, decoded.Config.SlotsPerNode)
+	}
+}

@@ -1,0 +1,53 @@
+package policy
+
+import (
+	"repro/internal/core"
+	"repro/internal/randdist"
+)
+
+// The Pool → node-set mapping is a pure function of the cluster partition,
+// shared by every engine so a new Pool value needs exactly one dispatch
+// site per operation.
+
+// Size returns the node count of the pool under a partition. Unknown Pool
+// values size to zero so a buggy custom Decision fails loudly at the
+// feasibility check instead of silently probing the whole cluster.
+func (p Pool) Size(part core.Partition) int {
+	switch p {
+	case PoolAll:
+		return part.NumNodes()
+	case PoolGeneral:
+		return part.GeneralNodes()
+	case PoolShort:
+		return part.ShortOnlyNodes()
+	default:
+		return 0
+	}
+}
+
+// IDs enumerates the pool's node ids in increasing order.
+func (p Pool) IDs(part core.Partition) []int {
+	ids := make([]int, p.Size(part))
+	for i := range ids {
+		if p == PoolGeneral {
+			ids[i] = part.GeneralID(i)
+		} else {
+			ids[i] = i
+		}
+	}
+	return ids
+}
+
+// Sample draws k distinct random node ids from the pool.
+func (p Pool) Sample(part core.Partition, src *randdist.Source, k int) []int {
+	switch p {
+	case PoolAll:
+		return part.SampleAll(src, k)
+	case PoolGeneral:
+		return part.SampleGeneral(src, k)
+	case PoolShort:
+		return part.SampleShort(src, k)
+	default:
+		return nil
+	}
+}

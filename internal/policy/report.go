@@ -1,0 +1,171 @@
+package policy
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/stats"
+)
+
+// JobReport records the outcome for one job, in any engine.
+type JobReport struct {
+	ID         int     `json:"id"`
+	SubmitTime float64 `json:"submitTime"`
+	// Runtime is the completion of the job's last task minus its
+	// submission, in seconds (a job completes only after all its tasks,
+	// §3.1). Simulated seconds in the simulator, wall-clock seconds in
+	// the live engine.
+	Runtime float64 `json:"runtime"`
+	Tasks   int     `json:"tasks"`
+	// Long is the scheduler's classification (with mis-estimation, if
+	// configured); TrueLong is the classification under exact estimates,
+	// used by Figure 14's reporting.
+	Long     bool    `json:"long"`
+	TrueLong bool    `json:"trueLong"`
+	Estimate float64 `json:"estimate"`
+}
+
+// Report aggregates one run's outputs in the schema shared by every
+// engine, so experiments, benchmarks, and CLIs compare engines
+// apples-to-apples. Engine-specific fields are zero where an engine does
+// not produce them.
+type Report struct {
+	// Engine names the engine that produced the report: "sim" for the
+	// discrete-event simulator, "live" for the goroutine prototype.
+	Engine string `json:"engine"`
+	// Policy is the registry name of the scheduling policy that ran.
+	Policy string `json:"policy"`
+	// Config is the fully resolved configuration of the run, with the
+	// user's requested NumNodes and SlotsPerNode kept as requested.
+	Config Config `json:"config"`
+
+	Jobs []JobReport `json:"jobs"`
+	// Makespan is the completion time of the last job in seconds:
+	// simulated time for the simulator, wall-clock time for the live
+	// engine.
+	Makespan float64 `json:"makespan"`
+	// Utilization is the periodically sampled fraction of busy slots
+	// (simulator only).
+	Utilization stats.UtilizationSeries `json:"-"`
+
+	// Mechanism counters.
+	ProbesSent     int64  `json:"probesSent"`
+	Cancels        int64  `json:"cancels"`
+	TasksExecuted  int64  `json:"tasksExecuted"`
+	StealAttempts  int64  `json:"stealAttempts"`  // idle transitions that tried to steal
+	StealContacts  int64  `json:"stealContacts"`  // victim nodes contacted (simulator only)
+	StealSuccesses int64  `json:"stealSuccesses"` // attempts that stole a group
+	EntriesStolen  int64  `json:"entriesStolen"`  // queue entries moved by stealing
+	CentralAssigns int64  `json:"centralAssigns"`
+	Events         uint64 `json:"events,omitempty"` // simulator event count
+
+	// Per-entry queueing waits (time from arrival at a node to the slot
+	// opening), split by the owning job's class. Diagnostics for the
+	// head-of-line-blocking analyses (simulator only).
+	ShortEntryWaits []float64 `json:"-"`
+	LongEntryWaits  []float64 `json:"-"`
+}
+
+// runtimes returns per-class runtimes selected by sel.
+func (r *Report) runtimes(sel func(JobReport) bool) []float64 {
+	out := make([]float64, 0, len(r.Jobs))
+	for _, j := range r.Jobs {
+		if sel(j) {
+			out = append(out, j.Runtime)
+		}
+	}
+	return out
+}
+
+// ShortRuntimes returns runtimes of jobs the scheduler classified short.
+func (r *Report) ShortRuntimes() []float64 {
+	return r.runtimes(func(j JobReport) bool { return !j.Long })
+}
+
+// LongRuntimes returns runtimes of jobs the scheduler classified long.
+func (r *Report) LongRuntimes() []float64 {
+	return r.runtimes(func(j JobReport) bool { return j.Long })
+}
+
+// TrueShortRuntimes returns runtimes of jobs that are short under exact
+// estimates (regardless of how mis-estimation classified them).
+func (r *Report) TrueShortRuntimes() []float64 {
+	return r.runtimes(func(j JobReport) bool { return !j.TrueLong })
+}
+
+// TrueLongRuntimes returns runtimes of jobs that are long under exact
+// estimates.
+func (r *Report) TrueLongRuntimes() []float64 {
+	return r.runtimes(func(j JobReport) bool { return j.TrueLong })
+}
+
+// RuntimesByID returns a job-id → runtime map for the class selected by
+// long (using the true classification so paired comparisons across
+// schedulers and mis-estimation settings align).
+func (r *Report) RuntimesByID(long bool) map[int]float64 {
+	out := make(map[int]float64)
+	for _, j := range r.Jobs {
+		if j.TrueLong == long {
+			out[j.ID] = j.Runtime
+		}
+	}
+	return out
+}
+
+// Percentile returns the p-th percentile runtime for the class.
+func (r *Report) Percentile(long bool, p float64) float64 {
+	if long {
+		return stats.Percentile(r.LongRuntimes(), p)
+	}
+	return stats.Percentile(r.ShortRuntimes(), p)
+}
+
+// Summary formats the headline numbers of the run.
+func (r *Report) Summary() string {
+	short := stats.Summarize(r.ShortRuntimes())
+	long := stats.Summarize(r.LongRuntimes())
+	util := r.Utilization.Median()
+	if math.IsNaN(util) {
+		util = 0
+	}
+	return fmt.Sprintf("%s: short[%s] long[%s] medianUtil=%.1f%% makespan=%.0fs",
+		r.Policy, short, long, 100*util, r.Makespan)
+}
+
+// jsonReport is the serialized form of Report: the Report fields plus the
+// utilization samples, which live behind accessors in stats.
+type jsonReport struct {
+	Report
+	UtilizationSamples []float64 `json:"utilizationSamples,omitempty"`
+	MedianUtilization  float64   `json:"medianUtilization,omitempty"`
+}
+
+// WriteJSON writes the report as indented JSON, including the utilization
+// samples, so runs from either engine can be archived and diffed with
+// standard tooling.
+func (r *Report) WriteJSON(w io.Writer) error {
+	jr := jsonReport{Report: *r, UtilizationSamples: r.Utilization.Samples()}
+	if med := r.Utilization.Median(); !math.IsNaN(med) {
+		jr.MedianUtilization = med
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jr)
+}
+
+// SaveReportJSON writes the full report to path as JSON, the file-level
+// counterpart of SaveResultsCSV.
+func SaveReportJSON(path string, r *Report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/policy"
 	"repro/internal/workload"
 )
 
@@ -56,38 +57,38 @@ func TestSchedulerInvariants(t *testing.T) {
 			maxDur[j.ID] = m
 			totalTasks += j.NumTasks()
 		}
-		for _, mode := range []Mode{ModeSparrow, ModeHawk, ModeCentralized, ModeSplit} {
-			res, err := Run(tr, Config{NumNodes: 100, Mode: mode, Seed: int64(trial)})
+		for _, pol := range []string{"sparrow", "hawk", "centralized", "split"} {
+			res, err := Run(tr, policy.Config{NumNodes: 100, Policy: pol, Seed: int64(trial)})
 			if err != nil {
-				t.Fatalf("trial %d %v: %v", trial, mode, err)
+				t.Fatalf("trial %d %v: %v", trial, pol, err)
 			}
 			if len(res.Jobs) != tr.Len() {
-				t.Fatalf("trial %d %v: %d results for %d jobs", trial, mode, len(res.Jobs), tr.Len())
+				t.Fatalf("trial %d %v: %d results for %d jobs", trial, pol, len(res.Jobs), tr.Len())
 			}
 			seen := map[int]bool{}
 			for _, j := range res.Jobs {
 				if seen[j.ID] {
-					t.Fatalf("trial %d %v: job %d completed twice", trial, mode, j.ID)
+					t.Fatalf("trial %d %v: job %d completed twice", trial, pol, j.ID)
 				}
 				seen[j.ID] = true
 				if j.Runtime < maxDur[j.ID]-1e-9 {
 					t.Fatalf("trial %d %v: job %d runtime %v < max task duration %v",
-						trial, mode, j.ID, j.Runtime, maxDur[j.ID])
+						trial, pol, j.ID, j.Runtime, maxDur[j.ID])
 				}
 			}
-			if res.TasksExecuted != totalTasks {
-				t.Fatalf("trial %d %v: executed %d of %d tasks", trial, mode, res.TasksExecuted, totalTasks)
+			if res.TasksExecuted != int64(totalTasks) {
+				t.Fatalf("trial %d %v: executed %d of %d tasks", trial, pol, res.TasksExecuted, totalTasks)
 			}
 			if res.ProbesSent > 0 {
 				handedOut := res.ProbesSent - res.Cancels
-				if handedOut < 0 || handedOut > totalTasks {
+				if handedOut < 0 || handedOut > int64(totalTasks) {
 					t.Fatalf("trial %d %v: probe accounting broken: %d probes, %d cancels",
-						trial, mode, res.ProbesSent, res.Cancels)
+						trial, pol, res.ProbesSent, res.Cancels)
 				}
 			}
 			if res.Makespan < tr.MakespanLowerBound() {
 				t.Fatalf("trial %d %v: makespan %v before last submission %v",
-					trial, mode, res.Makespan, tr.MakespanLowerBound())
+					trial, pol, res.Makespan, tr.MakespanLowerBound())
 			}
 		}
 	}
@@ -97,7 +98,7 @@ func TestSchedulerInvariants(t *testing.T) {
 // here we additionally verify steal counters are consistent.
 func TestStealCountersConsistent(t *testing.T) {
 	tr := workload.Generate(workload.Google(), workload.GenConfig{NumJobs: 400, MeanInterArrival: 0.5, Seed: 2})
-	res, err := Run(tr, Config{NumNodes: 1500, Mode: ModeHawk, Seed: 3})
+	res, err := Run(tr, policy.Config{NumNodes: 1500, Policy: "hawk", Seed: 3})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -118,21 +119,21 @@ func TestStealCountersConsistent(t *testing.T) {
 // disabling the partition uses the whole cluster for long jobs.
 func TestAblationFlags(t *testing.T) {
 	tr := workload.Generate(workload.Google(), workload.GenConfig{NumJobs: 300, MeanInterArrival: 0.5, Seed: 5})
-	noSteal, err := Run(tr, Config{NumNodes: 1500, Mode: ModeHawk, Seed: 1, DisableStealing: true})
+	noSteal, err := Run(tr, policy.Config{NumNodes: 1500, Policy: "hawk", Seed: 1, DisableStealing: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if noSteal.StealAttempts != 0 || noSteal.StealSuccesses != 0 {
 		t.Fatal("DisableStealing still stole")
 	}
-	noCentral, err := Run(tr, Config{NumNodes: 1500, Mode: ModeHawk, Seed: 1, DisableCentral: true})
+	noCentral, err := Run(tr, policy.Config{NumNodes: 1500, Policy: "hawk", Seed: 1, DisableCentral: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if noCentral.CentralAssigns != 0 {
 		t.Fatal("DisableCentral still assigned centrally")
 	}
-	full, err := Run(tr, Config{NumNodes: 1500, Mode: ModeHawk, Seed: 1})
+	full, err := Run(tr, policy.Config{NumNodes: 1500, Policy: "hawk", Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,19 +146,19 @@ func TestAblationFlags(t *testing.T) {
 // drain after submissions stop) — no deadlock, no lost work.
 func TestOverloadDrains(t *testing.T) {
 	tr := workload.Generate(workload.Google(), workload.GenConfig{NumJobs: 150, MeanInterArrival: 0.05, Seed: 6})
-	for _, mode := range []Mode{ModeSparrow, ModeHawk, ModeCentralized, ModeSplit} {
-		res, err := Run(tr, Config{NumNodes: 120, Mode: mode, Seed: 1})
+	for _, pol := range []string{"sparrow", "hawk", "centralized", "split"} {
+		res, err := Run(tr, policy.Config{NumNodes: 120, Policy: pol, Seed: 1})
 		if err != nil {
 			// Probe feasibility may legitimately reject wide jobs on the
 			// tiny cluster; cap and retry.
 			capped := tr.CapTasks(20)
-			res, err = Run(capped, Config{NumNodes: 120, Mode: mode, Seed: 1})
+			res, err = Run(capped, policy.Config{NumNodes: 120, Policy: pol, Seed: 1})
 			if err != nil {
-				t.Fatalf("%v: %v", mode, err)
+				t.Fatalf("%s: %v", pol, err)
 			}
 		}
 		if len(res.Jobs) == 0 {
-			t.Fatalf("%v: no jobs completed", mode)
+			t.Fatalf("%s: no jobs completed", pol)
 		}
 	}
 }
@@ -165,7 +166,7 @@ func TestOverloadDrains(t *testing.T) {
 // The empty trace runs and produces an empty result.
 func TestEmptyTrace(t *testing.T) {
 	tr := &workload.Trace{Name: "empty", Cutoff: 100, ShortPartitionFraction: 0.1}
-	res, err := Run(tr, Config{NumNodes: 10, Mode: ModeHawk, Seed: 1})
+	res, err := Run(tr, policy.Config{NumNodes: 10, Policy: "hawk", Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,17 +187,17 @@ func TestOneNodeCluster(t *testing.T) {
 			{ID: 3, SubmitTime: 0, Durations: []float64{500}},
 		},
 	}
-	for _, mode := range []Mode{ModeSparrow, ModeCentralized} {
-		res, err := Run(tr, Config{NumNodes: 1, Mode: mode, Seed: 1})
+	for _, pol := range []string{"sparrow", "centralized"} {
+		res, err := Run(tr, policy.Config{NumNodes: 1, Policy: pol, Seed: 1})
 		if err != nil {
-			t.Fatalf("%v: %v", mode, err)
+			t.Fatalf("%s: %v", pol, err)
 		}
 		if res.TasksExecuted != 3 {
-			t.Fatalf("%v: executed %d tasks", mode, res.TasksExecuted)
+			t.Fatalf("%s: executed %d tasks", pol, res.TasksExecuted)
 		}
 		// All 530 task-seconds serialize on the single node.
 		if res.Makespan < 530 {
-			t.Fatalf("%v: makespan %v < 530", mode, res.Makespan)
+			t.Fatalf("%s: makespan %v < 530", pol, res.Makespan)
 		}
 	}
 }
@@ -209,11 +210,11 @@ func TestRandomPositionStealingInvariants(t *testing.T) {
 	for _, j := range tr.Jobs {
 		wantTasks += j.NumTasks()
 	}
-	res, err := Run(tr, Config{NumNodes: 1500, Mode: ModeHawk, Seed: 2, StealRandomPositions: true})
+	res, err := Run(tr, policy.Config{NumNodes: 1500, Policy: "hawk", Seed: 2, StealRandomPositions: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if res.TasksExecuted != wantTasks {
+	if res.TasksExecuted != int64(wantTasks) {
 		t.Fatalf("executed %d tasks, want %d", res.TasksExecuted, wantTasks)
 	}
 	if len(res.Jobs) != tr.Len() {

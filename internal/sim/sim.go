@@ -1,3 +1,13 @@
+// Package sim implements the trace-driven discrete-event cluster simulator
+// used for the paper's evaluation (§4.1): single-slot FIFO nodes, 0.5 ms
+// network delay, Sparrow batch sampling, Hawk's hybrid scheduling with
+// partitioning and randomized stealing, a fully centralized baseline, and
+// the split-cluster baseline — plus the three Hawk ablations of Figure 7.
+//
+// The scheduler itself is not hard-coded here: the engine executes whatever
+// policy.Policy the run configuration names, so registered policies (see
+// repro/hawk) run unmodified on this engine and on the live prototype in
+// internal/liverun.
 package sim
 
 import (
@@ -5,6 +15,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/eventq"
+	"repro/internal/policy"
 	"repro/internal/randdist"
 	"repro/internal/workload"
 )
@@ -41,7 +52,8 @@ func (js *jobState) taskFinished(now float64) {
 }
 
 type simulation struct {
-	cfg        Config
+	cfg        policy.Config
+	pol        policy.Policy
 	eng        *eventq.Engine
 	trace      *workload.Trace
 	part       core.Partition
@@ -51,69 +63,53 @@ type simulation struct {
 	src        *randdist.Source
 	nodes      []*node
 	central    *core.CentralQueue
-	res        *Result
+	res        *policy.Report
 
 	busyNodes int
 	jobsDone  int
 }
 
-// Run simulates the trace under the configuration and returns the collected
-// metrics. Runs are deterministic for a given (trace, config) pair.
-func Run(trace *workload.Trace, cfg Config) (*Result, error) {
-	cfg, err := cfg.withDefaults(trace)
+// Run simulates the trace under the configuration, executing the policy
+// named by cfg.Policy, and returns the collected metrics. Runs are
+// deterministic for a given (trace, config) pair.
+func Run(trace *workload.Trace, cfg policy.Config) (*policy.Report, error) {
+	cfg, err := cfg.Normalize(trace)
 	if err != nil {
 		return nil, err
 	}
 	if err := trace.Validate(); err != nil {
 		return nil, err
 	}
+	pol, err := policy.New(cfg.Policy, cfg)
+	if err != nil {
+		return nil, err
+	}
 
 	s := &simulation{
 		cfg:        cfg,
+		pol:        pol,
 		eng:        eventq.New(),
 		trace:      trace,
 		classifier: core.Classifier{Cutoff: cfg.Cutoff},
 		estimator:  core.NewEstimator(cfg.MisestimateLo, cfg.MisestimateHi, cfg.Seed+1),
 		src:        randdist.New(cfg.Seed),
-		res:        &Result{Mode: cfg.Mode},
+		res:        &policy.Report{Engine: "sim", Policy: pol.String(), Config: cfg},
 	}
 
-	switch cfg.Mode {
-	case ModeSparrow, ModeCentralized:
-		// No reservation: the "partition" is the whole cluster.
-		s.part = core.NewPartition(cfg.NumNodes, 0)
-	case ModeHawk, ModeSplit:
-		frac := cfg.ShortPartitionFraction
-		if cfg.DisablePartition {
-			frac = 0
-		}
-		s.part = core.NewPartition(cfg.NumNodes, frac)
-	default:
-		return nil, fmt.Errorf("sim: unknown mode %v", cfg.Mode)
+	slots := cfg.TotalSlots()
+	s.part = core.NewPartition(slots, pol.ShortPartitionFraction())
+	s.steal = core.StealPolicy{Cap: cfg.StealCap, Enabled: pol.Steal()}
+
+	if pool := pol.CentralPool(); pool != policy.PoolNone {
+		s.central = core.NewCentralQueue(pool.IDs(s.part))
 	}
 
-	s.steal = core.StealPolicy{Cap: cfg.StealCap, Enabled: cfg.Mode == ModeHawk && !cfg.DisableStealing}
-
-	if s.usesCentral() {
-		ids := make([]int, 0, s.part.GeneralNodes())
-		if cfg.Mode == ModeCentralized {
-			for i := 0; i < cfg.NumNodes; i++ {
-				ids = append(ids, i)
-			}
-		} else {
-			for i := 0; i < s.part.GeneralNodes(); i++ {
-				ids = append(ids, s.part.GeneralID(i))
-			}
-		}
-		s.central = core.NewCentralQueue(ids)
-	}
-
-	s.nodes = make([]*node, cfg.NumNodes)
+	s.nodes = make([]*node, slots)
 	for i := range s.nodes {
 		s.nodes[i] = &node{id: i, sim: s}
 	}
 
-	if err := s.checkProbeFeasibility(); err != nil {
+	if err := s.checkFeasibility(); err != nil {
 		return nil, err
 	}
 
@@ -124,7 +120,7 @@ func Run(trace *workload.Trace, cfg Config) (*Result, error) {
 	s.eng.EverySample(cfg.UtilizationInterval, cfg.UtilizationInterval,
 		func() bool { return s.jobsDone < len(trace.Jobs) },
 		func(now float64) {
-			s.res.Utilization.AddAt(now, float64(s.busyNodes)/float64(cfg.NumNodes))
+			s.res.Utilization.AddAt(now, float64(s.busyNodes)/float64(slots))
 		})
 
 	s.eng.Run()
@@ -137,58 +133,21 @@ func Run(trace *workload.Trace, cfg Config) (*Result, error) {
 	return s.res, nil
 }
 
-func (s *simulation) usesCentral() bool {
-	switch s.cfg.Mode {
-	case ModeCentralized, ModeSplit:
-		return true
-	case ModeHawk:
-		return !s.cfg.DisableCentral
-	default:
-		return false
-	}
-}
-
-// checkProbeFeasibility rejects traces whose jobs have more tasks than the
-// nodes eligible to receive their probes: with batch sampling one probe
-// yields at most one task, so such jobs could never finish. Callers should
-// scale the trace down first (workload.Trace.CapTasks), as the paper does
-// for its 100-node prototype runs.
-func (s *simulation) checkProbeFeasibility() error {
-	maxTasks := 0
-	maxLongTasks := 0
-	for _, j := range s.trace.Jobs {
-		n := j.NumTasks()
-		if n > maxTasks {
-			maxTasks = n
-		}
-		if j.AvgTaskDuration() >= s.cfg.Cutoff && n > maxLongTasks {
-			maxLongTasks = n
-		}
-	}
-	switch s.cfg.Mode {
-	case ModeSparrow:
-		if maxTasks > s.cfg.NumNodes {
-			return fmt.Errorf("sim: job with %d tasks exceeds %d nodes (probe-scheduled); cap tasks first", maxTasks, s.cfg.NumNodes)
-		}
-	case ModeHawk:
-		if maxTasks > s.cfg.NumNodes {
-			return fmt.Errorf("sim: job with %d tasks exceeds %d nodes; cap tasks first", maxTasks, s.cfg.NumNodes)
-		}
-		if s.cfg.DisableCentral && maxLongTasks > s.part.GeneralNodes() {
-			return fmt.Errorf("sim: long job with %d tasks exceeds %d general nodes (w/o central ablation)", maxLongTasks, s.part.GeneralNodes())
-		}
-	case ModeSplit:
-		shortNodes := s.part.ShortOnlyNodes()
-		for _, j := range s.trace.Jobs {
-			if j.AvgTaskDuration() < s.cfg.Cutoff && j.NumTasks() > shortNodes {
-				return fmt.Errorf("sim: short job with %d tasks exceeds %d short-partition nodes (split mode)", j.NumTasks(), shortNodes)
+// checkFeasibility runs the shared pre-flight check. With exact estimates
+// each job's true class determines its route; under mis-estimation a job's
+// class can flip at runtime, so both routes must be feasible.
+func (s *simulation) checkFeasibility() error {
+	exact := s.cfg.ExactEstimates()
+	return policy.CheckFeasibility(s.trace, s.pol, s.part,
+		func(j *workload.Job) []bool {
+			if exact {
+				return []bool{s.classifier.IsLong(j.AvgTaskDuration())}
 			}
-		}
-	}
-	return nil
+			return []bool{false, true}
+		})
 }
 
-// submit routes a newly arrived job to its scheduler.
+// submit routes a newly arrived job per the policy's decision.
 func (s *simulation) submit(job *workload.Job) {
 	js := &jobState{
 		job:      job,
@@ -198,29 +157,14 @@ func (s *simulation) submit(job *workload.Job) {
 	js.long = s.classifier.IsLong(js.estimate)
 	js.trueLong = s.classifier.IsLong(job.AvgTaskDuration())
 
-	switch s.cfg.Mode {
-	case ModeSparrow:
-		s.probeJob(js, s.part.SampleAll(s.src, s.probeCount(js, s.cfg.NumNodes)))
-	case ModeHawk:
-		if js.long {
-			if s.cfg.DisableCentral {
-				s.probeJob(js, s.part.SampleGeneral(s.src, s.probeCount(js, s.part.GeneralNodes())))
-			} else {
-				s.centralJob(js)
-			}
-		} else {
-			// Short jobs probe the whole cluster: the short partition
-			// plus any idle general node (§3.4, §3.5).
-			s.probeJob(js, s.part.SampleAll(s.src, s.probeCount(js, s.cfg.NumNodes)))
-		}
-	case ModeCentralized:
+	dec := s.pol.Route(policy.JobInfo{
+		ID: job.ID, Tasks: job.NumTasks(), Estimate: js.estimate, Long: js.long,
+	})
+	switch dec.Action {
+	case policy.ActionCentral:
 		s.centralJob(js)
-	case ModeSplit:
-		if js.long {
-			s.centralJob(js)
-		} else {
-			s.probeJob(js, sampleShortPartition(s.part, s.src, s.probeCount(js, s.part.ShortOnlyNodes())))
-		}
+	default:
+		s.probeJob(js, dec.Pool.Sample(s.part, s.src, s.probeCount(js, dec.Pool.Size(s.part))))
 	}
 }
 
@@ -231,7 +175,7 @@ func (s *simulation) probeCount(js *jobState, candidates int) int {
 // probeJob sends batch-sampling probes to the chosen nodes; each arrives
 // after one network delay.
 func (s *simulation) probeJob(js *jobState, nodeIDs []int) {
-	s.res.ProbesSent += len(nodeIDs)
+	s.res.ProbesSent += int64(len(nodeIDs))
 	for _, id := range nodeIDs {
 		n := s.nodes[id]
 		s.eng.After(s.cfg.NetworkDelay, func() {
@@ -295,7 +239,7 @@ func (s *simulation) attemptSteal(thief *node) {
 			continue
 		}
 		s.res.StealSuccesses++
-		s.res.EntriesStolen += len(stolen)
+		s.res.EntriesStolen += int64(len(stolen))
 		thief.enqueueFront(stolen)
 		return
 	}
@@ -303,7 +247,7 @@ func (s *simulation) attemptSteal(thief *node) {
 
 func (s *simulation) jobCompleted(js *jobState, now float64) {
 	s.jobsDone++
-	s.res.Jobs = append(s.res.Jobs, JobResult{
+	s.res.Jobs = append(s.res.Jobs, policy.JobReport{
 		ID:         js.job.ID,
 		SubmitTime: js.job.SubmitTime,
 		Runtime:    now - js.job.SubmitTime,
@@ -328,14 +272,3 @@ func (s *simulation) observeWait(e entry, now float64) {
 func (s *simulation) nodeBecameBusy() { s.busyNodes++ }
 
 func (s *simulation) nodeBecameIdle() { s.busyNodes-- }
-
-// sampleShortPartition returns k distinct node ids from the short
-// partition, used by split-cluster mode where short jobs may only run
-// there.
-func sampleShortPartition(p core.Partition, src *randdist.Source, k int) []int {
-	n := p.ShortOnlyNodes()
-	if k > n {
-		k = n
-	}
-	return src.SampleWithoutReplacement(n, k)
-}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/policy"
 	"repro/internal/workload"
 )
 
@@ -21,7 +22,7 @@ func job(id int, submit float64, durs ...float64) *workload.Job {
 	return &workload.Job{ID: id, SubmitTime: submit, Durations: durs}
 }
 
-func mustRun(t *testing.T, tr *workload.Trace, cfg Config) *Result {
+func mustRun(t *testing.T, tr *workload.Trace, cfg policy.Config) *policy.Report {
 	t.Helper()
 	res, err := Run(tr, cfg)
 	if err != nil {
@@ -34,14 +35,14 @@ func TestSingleJobIdleCluster(t *testing.T) {
 	// One 3-task short job on an idle cluster: runtime = max duration
 	// plus probe latency (1 delay to reach the node + RTT to fetch).
 	tr := tinyTrace(job(1, 0, 100, 200, 300))
-	for _, mode := range []Mode{ModeSparrow, ModeHawk, ModeCentralized, ModeSplit} {
-		res := mustRun(t, tr, Config{NumNodes: 50, Mode: mode, Seed: 1})
+	for _, pol := range []string{"sparrow", "hawk", "centralized", "split"} {
+		res := mustRun(t, tr, policy.Config{NumNodes: 50, Policy: pol, Seed: 1})
 		if len(res.Jobs) != 1 {
-			t.Fatalf("%v: %d jobs", mode, len(res.Jobs))
+			t.Fatalf("%s: %d jobs", pol, len(res.Jobs))
 		}
 		rt := res.Jobs[0].Runtime
 		if rt < 300 || rt > 300.01 {
-			t.Errorf("%v: runtime = %v, want ~300 (+ms latency)", mode, rt)
+			t.Errorf("%s: runtime = %v, want ~300 (+ms latency)", pol, rt)
 		}
 	}
 }
@@ -52,13 +53,13 @@ func TestAllTasksExecuteExactlyOnce(t *testing.T) {
 	for _, j := range tr.Jobs {
 		wantTasks += j.NumTasks()
 	}
-	for _, mode := range []Mode{ModeSparrow, ModeHawk, ModeCentralized, ModeSplit} {
-		res := mustRun(t, tr, Config{NumNodes: 2000, Mode: mode, Seed: 4})
-		if res.TasksExecuted != wantTasks {
-			t.Errorf("%v: executed %d tasks, want %d", mode, res.TasksExecuted, wantTasks)
+	for _, pol := range []string{"sparrow", "hawk", "centralized", "split"} {
+		res := mustRun(t, tr, policy.Config{NumNodes: 2000, Policy: pol, Seed: 4})
+		if res.TasksExecuted != int64(wantTasks) {
+			t.Errorf("%s: executed %d tasks, want %d", pol, res.TasksExecuted, wantTasks)
 		}
 		if len(res.Jobs) != tr.Len() {
-			t.Errorf("%v: %d job results, want %d", mode, len(res.Jobs), tr.Len())
+			t.Errorf("%s: %d job results, want %d", pol, len(res.Jobs), tr.Len())
 		}
 	}
 }
@@ -66,7 +67,7 @@ func TestAllTasksExecuteExactlyOnce(t *testing.T) {
 func TestProbeAccounting(t *testing.T) {
 	// Sparrow sends 2 probes per task; surplus probes are cancelled.
 	tr := tinyTrace(job(1, 0, 10, 10, 10, 10))
-	res := mustRun(t, tr, Config{NumNodes: 100, Mode: ModeSparrow, Seed: 1})
+	res := mustRun(t, tr, policy.Config{NumNodes: 100, Policy: "sparrow", Seed: 1})
 	if res.ProbesSent != 8 {
 		t.Fatalf("probes = %d, want 8", res.ProbesSent)
 	}
@@ -79,7 +80,7 @@ func TestJobRuntimeIsLastTaskCompletion(t *testing.T) {
 	// Two jobs on one node: FIFO forces serialization. Job 1 has two
 	// tasks of 100 s; with a single node its runtime is ~200 s.
 	tr := tinyTrace(job(1, 0, 100, 100))
-	res := mustRun(t, tr, Config{NumNodes: 1, Mode: ModeCentralized, Seed: 1})
+	res := mustRun(t, tr, policy.Config{NumNodes: 1, Policy: "centralized", Seed: 1})
 	rt := res.Jobs[0].Runtime
 	if rt < 200 || rt > 200.01 {
 		t.Fatalf("serialized runtime = %v, want ~200", rt)
@@ -88,7 +89,7 @@ func TestJobRuntimeIsLastTaskCompletion(t *testing.T) {
 
 func TestClassificationAndCutoff(t *testing.T) {
 	tr := tinyTrace(job(1, 0, 10), job(2, 1, 5000))
-	res := mustRun(t, tr, Config{NumNodes: 10, Mode: ModeHawk, Seed: 1})
+	res := mustRun(t, tr, policy.Config{NumNodes: 10, Policy: "hawk", Seed: 1})
 	for _, j := range res.Jobs {
 		switch j.ID {
 		case 1:
@@ -108,15 +109,15 @@ func TestClassificationAndCutoff(t *testing.T) {
 
 func TestDeterminism(t *testing.T) {
 	tr := workload.Generate(workload.Google(), workload.GenConfig{NumJobs: 200, MeanInterArrival: 1, Seed: 8})
-	for _, mode := range []Mode{ModeSparrow, ModeHawk} {
-		a := mustRun(t, tr, Config{NumNodes: 1000, Mode: mode, Seed: 9})
-		b := mustRun(t, tr, Config{NumNodes: 1000, Mode: mode, Seed: 9})
+	for _, pol := range []string{"sparrow", "hawk"} {
+		a := mustRun(t, tr, policy.Config{NumNodes: 1000, Policy: pol, Seed: 9})
+		b := mustRun(t, tr, policy.Config{NumNodes: 1000, Policy: pol, Seed: 9})
 		if a.Makespan != b.Makespan || a.StealSuccesses != b.StealSuccesses {
-			t.Fatalf("%v: runs with equal seeds differ", mode)
+			t.Fatalf("%s: runs with equal seeds differ", pol)
 		}
 		for i := range a.Jobs {
 			if a.Jobs[i].Runtime != b.Jobs[i].Runtime {
-				t.Fatalf("%v: job %d runtime differs", mode, a.Jobs[i].ID)
+				t.Fatalf("%s: job %d runtime differs", pol, a.Jobs[i].ID)
 			}
 		}
 	}
@@ -124,8 +125,8 @@ func TestDeterminism(t *testing.T) {
 
 func TestSeedsChangeOutcome(t *testing.T) {
 	tr := workload.Generate(workload.Google(), workload.GenConfig{NumJobs: 200, MeanInterArrival: 1, Seed: 8})
-	a := mustRun(t, tr, Config{NumNodes: 500, Mode: ModeSparrow, Seed: 1})
-	b := mustRun(t, tr, Config{NumNodes: 500, Mode: ModeSparrow, Seed: 2})
+	a := mustRun(t, tr, policy.Config{NumNodes: 500, Policy: "sparrow", Seed: 1})
+	b := mustRun(t, tr, policy.Config{NumNodes: 500, Policy: "sparrow", Seed: 2})
 	diff := false
 	for i := range a.Jobs {
 		if a.Jobs[i].Runtime != b.Jobs[i].Runtime {
@@ -147,7 +148,7 @@ func TestHawkLongJobsStayInGeneralPartition(t *testing.T) {
 		Cutoff:                 1000,
 		ShortPartitionFraction: 0.5,
 	}
-	res := mustRun(t, tr, Config{NumNodes: 2, Mode: ModeHawk, Seed: 1})
+	res := mustRun(t, tr, policy.Config{NumNodes: 2, Policy: "hawk", Seed: 1})
 	rt := res.Jobs[0].Runtime
 	if rt < 4000 || rt > 4000.01 {
 		t.Fatalf("long job runtime = %v, want ~4000 (serialized on the single general node)", rt)
@@ -163,7 +164,7 @@ func TestSparrowUsesWholeCluster(t *testing.T) {
 		Cutoff:                 1000,
 		ShortPartitionFraction: 0.5,
 	}
-	res := mustRun(t, tr, Config{NumNodes: 2, Mode: ModeSparrow, Seed: 1})
+	res := mustRun(t, tr, policy.Config{NumNodes: 2, Policy: "sparrow", Seed: 1})
 	rt := res.Jobs[0].Runtime
 	if rt > 2000.02 {
 		t.Fatalf("runtime = %v, want ~2000 (parallel)", rt)
@@ -184,7 +185,7 @@ func TestSplitConfinesShortJobs(t *testing.T) {
 		Cutoff:                 1000,
 		ShortPartitionFraction: 0.25,
 	}
-	res := mustRun(t, tr, Config{NumNodes: 8, Mode: ModeSplit, Seed: 1})
+	res := mustRun(t, tr, policy.Config{NumNodes: 8, Policy: "split", Seed: 1})
 	var rt2 float64
 	for _, j := range res.Jobs {
 		if j.ID == 2 {
@@ -194,7 +195,7 @@ func TestSplitConfinesShortJobs(t *testing.T) {
 	if rt2 < 150 {
 		t.Fatalf("second short job runtime = %v, want ~200 (queued in the short partition)", rt2)
 	}
-	hawk := mustRun(t, tr, Config{NumNodes: 8, Mode: ModeHawk, Seed: 1})
+	hawk := mustRun(t, tr, policy.Config{NumNodes: 8, Policy: "hawk", Seed: 1})
 	for _, j := range hawk.Jobs {
 		if j.ID == 2 && j.Runtime > 150 {
 			t.Fatalf("hawk should spread short jobs cluster-wide, runtime = %v", j.Runtime)
@@ -215,10 +216,10 @@ func TestStealingRescuesShortJob(t *testing.T) {
 			{ID: 2, SubmitTime: 1, Durations: []float64{10, 10, 10}},
 		},
 		Cutoff:                 1000,
-		ShortPartitionFraction: 0.34, // 1 of 3 nodes reserved
+		ShortPartitionFraction: 1.0 / 3, // ceil(n/3) = 1 of 3 nodes reserved
 	}
-	withSteal := mustRun(t, tr, Config{NumNodes: 3, Mode: ModeHawk, Seed: 1})
-	without := mustRun(t, tr, Config{NumNodes: 3, Mode: ModeHawk, Seed: 1, DisableStealing: true})
+	withSteal := mustRun(t, tr, policy.Config{NumNodes: 3, Policy: "hawk", Seed: 1})
+	without := mustRun(t, tr, policy.Config{NumNodes: 3, Policy: "hawk", Seed: 1, DisableStealing: true})
 	var rtSteal, rtNo float64
 	for _, j := range withSteal.Jobs {
 		if j.ID == 2 {
@@ -240,7 +241,7 @@ func TestStealingRescuesShortJob(t *testing.T) {
 
 func TestUtilizationBounds(t *testing.T) {
 	tr := workload.Generate(workload.Google(), workload.GenConfig{NumJobs: 200, MeanInterArrival: 1, Seed: 8})
-	res := mustRun(t, tr, Config{NumNodes: 1000, Mode: ModeHawk, Seed: 1})
+	res := mustRun(t, tr, policy.Config{NumNodes: 1000, Policy: "hawk", Seed: 1})
 	for _, u := range res.Utilization.Samples() {
 		if u < 0 || u > 1 {
 			t.Fatalf("utilization sample %v out of [0,1]", u)
@@ -253,19 +254,19 @@ func TestUtilizationBounds(t *testing.T) {
 
 func TestConfigValidation(t *testing.T) {
 	tr := tinyTrace(job(1, 0, 10))
-	if _, err := Run(tr, Config{NumNodes: 0, Mode: ModeSparrow}); err == nil {
+	if _, err := Run(tr, policy.Config{NumNodes: 0, Policy: "sparrow"}); err == nil {
 		t.Error("zero nodes should error")
 	}
 	bad := tinyTrace(job(1, 0, 10))
 	bad.Cutoff = 0
-	if _, err := Run(bad, Config{NumNodes: 10, Mode: ModeSparrow}); err == nil {
+	if _, err := Run(bad, policy.Config{NumNodes: 10, Policy: "sparrow"}); err == nil {
 		t.Error("zero cutoff should error")
 	}
-	if _, err := Run(tr, Config{NumNodes: 10, Mode: Mode(99)}); err == nil {
-		t.Error("unknown mode should error")
+	if _, err := Run(tr, policy.Config{NumNodes: 10, Policy: "no-such-policy"}); err == nil {
+		t.Error("unknown policy should error")
 	}
 	invalid := tinyTrace(job(1, -5, 10))
-	if _, err := Run(invalid, Config{NumNodes: 10, Mode: ModeSparrow}); err == nil {
+	if _, err := Run(invalid, policy.Config{NumNodes: 10, Policy: "sparrow"}); err == nil {
 		t.Error("invalid trace should error")
 	}
 }
@@ -276,16 +277,16 @@ func TestProbeFeasibilityCheck(t *testing.T) {
 	for i := range wide.Jobs[0].Durations {
 		wide.Jobs[0].Durations[i] = 10
 	}
-	if _, err := Run(wide, Config{NumNodes: 10, Mode: ModeSparrow}); err == nil {
+	if _, err := Run(wide, policy.Config{NumNodes: 10, Policy: "sparrow"}); err == nil {
 		t.Error("infeasible sparrow trace should error")
 	}
 	// Centralized mode has no such limit.
-	if _, err := Run(wide, Config{NumNodes: 10, Mode: ModeCentralized}); err != nil {
+	if _, err := Run(wide, policy.Config{NumNodes: 10, Policy: "centralized"}); err != nil {
 		t.Errorf("centralized should handle wide jobs: %v", err)
 	}
 	// Capping fixes it.
 	capped := wide.CapTasks(10)
-	if _, err := Run(capped, Config{NumNodes: 10, Mode: ModeSparrow}); err != nil {
+	if _, err := Run(capped, policy.Config{NumNodes: 10, Policy: "sparrow"}); err != nil {
 		t.Errorf("capped trace should run: %v", err)
 	}
 }
@@ -293,8 +294,8 @@ func TestProbeFeasibilityCheck(t *testing.T) {
 func TestMisestimationClassification(t *testing.T) {
 	// With an extreme downward mis-estimation every job classifies short.
 	tr := tinyTrace(job(1, 0, 5000, 5000), job(2, 1, 10))
-	res := mustRun(t, tr, Config{
-		NumNodes: 10, Mode: ModeHawk, Seed: 1,
+	res := mustRun(t, tr, policy.Config{
+		NumNodes: 10, Policy: "hawk", Seed: 1,
 		MisestimateLo: 0.01, MisestimateHi: 0.02,
 	})
 	for _, j := range res.Jobs {
@@ -307,21 +308,9 @@ func TestMisestimationClassification(t *testing.T) {
 	}
 }
 
-func TestModeString(t *testing.T) {
-	names := map[Mode]string{
-		ModeSparrow: "sparrow", ModeHawk: "hawk",
-		ModeCentralized: "centralized", ModeSplit: "split", Mode(9): "mode(9)",
-	}
-	for m, want := range names {
-		if m.String() != want {
-			t.Errorf("Mode(%d).String() = %q", int(m), m.String())
-		}
-	}
-}
-
 func TestResultHelpers(t *testing.T) {
 	tr := tinyTrace(job(1, 0, 10), job(2, 1, 5000))
-	res := mustRun(t, tr, Config{NumNodes: 10, Mode: ModeHawk, Seed: 1})
+	res := mustRun(t, tr, policy.Config{NumNodes: 10, Policy: "hawk", Seed: 1})
 	if got := res.RuntimesByID(false); len(got) != 1 {
 		t.Fatalf("RuntimesByID(short) = %v", got)
 	}
@@ -343,7 +332,7 @@ func TestNetworkDelayAddsUp(t *testing.T) {
 	// A 1-task short job: probe (delay) + request (delay) + response
 	// (delay) = 3 network delays before execution.
 	tr := tinyTrace(job(1, 0, 100))
-	res := mustRun(t, tr, Config{NumNodes: 4, Mode: ModeSparrow, Seed: 1, NetworkDelay: 1})
+	res := mustRun(t, tr, policy.Config{NumNodes: 4, Policy: "sparrow", Seed: 1, NetworkDelay: 1})
 	rt := res.Jobs[0].Runtime
 	if math.Abs(rt-103) > 1e-9 {
 		t.Fatalf("runtime = %v, want 103 (100 + 3 x 1 s delay)", rt)
@@ -353,7 +342,7 @@ func TestNetworkDelayAddsUp(t *testing.T) {
 func TestCentralizedDelayIsOneHop(t *testing.T) {
 	// A centrally placed task pays only the dispatch hop.
 	tr := tinyTrace(job(1, 0, 100))
-	res := mustRun(t, tr, Config{NumNodes: 4, Mode: ModeCentralized, Seed: 1, NetworkDelay: 1})
+	res := mustRun(t, tr, policy.Config{NumNodes: 4, Policy: "centralized", Seed: 1, NetworkDelay: 1})
 	rt := res.Jobs[0].Runtime
 	if math.Abs(rt-101) > 1e-9 {
 		t.Fatalf("runtime = %v, want 101", rt)
@@ -364,15 +353,15 @@ func TestMultiSlotNodesAddCapacity(t *testing.T) {
 	// Four 100 s tasks on 2 nodes: with 1 slot each they run two-deep
 	// (~200 s); with 2 slots per node all four run in parallel (~100 s).
 	tr := tinyTrace(job(1, 0, 100, 100, 100, 100))
-	oneSlot := mustRun(t, tr, Config{NumNodes: 2, Mode: ModeCentralized, Seed: 1})
-	twoSlots := mustRun(t, tr, Config{NumNodes: 2, SlotsPerNode: 2, Mode: ModeCentralized, Seed: 1})
+	oneSlot := mustRun(t, tr, policy.Config{NumNodes: 2, Policy: "centralized", Seed: 1})
+	twoSlots := mustRun(t, tr, policy.Config{NumNodes: 2, SlotsPerNode: 2, Policy: "centralized", Seed: 1})
 	if rt := oneSlot.Jobs[0].Runtime; rt < 200 {
 		t.Fatalf("1-slot runtime = %v, want ~200", rt)
 	}
 	if rt := twoSlots.Jobs[0].Runtime; rt > 100.01 {
 		t.Fatalf("2-slot runtime = %v, want ~100", rt)
 	}
-	if _, err := Run(tr, Config{NumNodes: 2, SlotsPerNode: -1, Mode: ModeCentralized}); err == nil {
+	if _, err := Run(tr, policy.Config{NumNodes: 2, SlotsPerNode: -1, Policy: "centralized"}); err == nil {
 		t.Fatal("negative slots should error")
 	}
 }
