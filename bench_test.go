@@ -26,7 +26,10 @@ var benchScale = experiments.Scale{NumJobs: 4000, Seed: 42, Runs: 1}
 
 func BenchmarkTable1(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := experiments.Table1(benchScale)
+		rows, err := experiments.Table1(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
 		for _, r := range rows {
 			b.ReportMetric(r.PctLongJobs, "pctLongJobs_"+r.Workload)
 			b.ReportMetric(r.PctLongTaskSeconds, "pctTaskSec_"+r.Workload)
@@ -36,7 +39,10 @@ func BenchmarkTable1(b *testing.B) {
 
 func BenchmarkTable2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows := experiments.Table2(benchScale)
+		rows, err := experiments.Table2(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
 		for _, r := range rows {
 			b.ReportMetric(float64(r.TotalJobs), "jobs_"+r.Workload)
 		}
@@ -56,7 +62,10 @@ func BenchmarkFig1(b *testing.B) {
 
 func BenchmarkFig4(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		data := experiments.Fig4(benchScale)
+		data, err := experiments.Fig4(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
 		for _, d := range data {
 			if len(d.LongDur) == 0 {
 				b.Fatalf("%s: empty CDF", d.Workload)

@@ -1,0 +1,191 @@
+package main
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSimulatorThroughput-4 	       2	 535154571 ns/op	    452472 events/op	122210656 B/op	 2271496 allocs/op
+BenchmarkSimulatorThroughput-4 	       2	 521495500 ns/op	    452472 events/op	122210688 B/op	 2271496 allocs/op
+BenchmarkSimulatorThroughput-4 	       2	 526799683 ns/op	    452472 events/op	122210640 B/op	 2271496 allocs/op
+BenchmarkCentralQueue-4        	      36	  34265197 ns/op	     13593 assigns/op	 6443664 B/op	  118084 allocs/op
+BenchmarkCentralQueue-4        	      39	  32822202 ns/op	     13593 assigns/op	 6443664 B/op	  118084 allocs/op
+PASS
+ok  	repro	8.603s
+`
+
+func TestParse(t *testing.T) {
+	f, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Goos != "linux" || f.Goarch != "amd64" || f.Pkg != "repro" {
+		t.Errorf("env = %q/%q/%q", f.Goos, f.Goarch, f.Pkg)
+	}
+	if len(f.Benchmarks) != 2 {
+		t.Fatalf("benchmarks = %d, want 2", len(f.Benchmarks))
+	}
+	st, ok := f.Benchmarks["SimulatorThroughput"]
+	if !ok {
+		t.Fatalf("missing SimulatorThroughput (GOMAXPROCS suffix must be stripped); have %v", f.Benchmarks)
+	}
+	if st.Runs != 3 {
+		t.Errorf("runs = %d, want 3", st.Runs)
+	}
+	ns := st.Metrics["ns/op"]
+	if ns.Min != 521495500 || ns.Max != 535154571 {
+		t.Errorf("ns/op min/max = %v/%v", ns.Min, ns.Max)
+	}
+	wantMean := (535154571.0 + 521495500.0 + 526799683.0) / 3
+	if math.Abs(ns.Mean-wantMean) > 1 {
+		t.Errorf("ns/op mean = %v, want %v", ns.Mean, wantMean)
+	}
+	if ev := st.Metrics["events/op"]; ev.Min != 452472 || ev.Max != 452472 {
+		t.Errorf("custom metric events/op = %+v", ev)
+	}
+	if al := st.Metrics["allocs/op"]; al.Mean != 2271496 {
+		t.Errorf("allocs/op mean = %v", al.Mean)
+	}
+	cq := f.Benchmarks["CentralQueue"]
+	if cq.Runs != 2 || cq.Metrics["ns/op"].Min != 32822202 {
+		t.Errorf("CentralQueue = %+v", cq)
+	}
+}
+
+func TestParseRejectsEmpty(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok repro 1s\n")); err == nil {
+		t.Fatal("expected error on output with no benchmark lines")
+	}
+}
+
+func TestNormalizeName(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkFoo-8":       "Foo",
+		"BenchmarkFoo":         "Foo",
+		"BenchmarkFig8And9-16": "Fig8And9",
+		"BenchmarkFig8And9":    "Fig8And9",
+	}
+	for in, want := range cases {
+		if got := normalizeName(in); got != want {
+			t.Errorf("normalizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func bench(nsMin float64) Benchmark {
+	return Benchmark{Runs: 1, Metrics: map[string]Stat{"ns/op": {Min: nsMin, Mean: nsMin, Max: nsMin}}}
+}
+
+func TestCompare(t *testing.T) {
+	base := &File{Benchmarks: map[string]Benchmark{
+		"A":        bench(100),
+		"B":        bench(1000),
+		"BaseOnly": bench(5),
+	}}
+	head := &File{Benchmarks: map[string]Benchmark{
+		"A":        bench(130), // +30%
+		"B":        bench(900), // -10%
+		"HeadOnly": bench(7),
+	}}
+	deltas, missing := Compare(base, head)
+	if len(deltas) != 2 {
+		t.Fatalf("deltas = %d, want 2 (head-only benchmarks skipped)", len(deltas))
+	}
+	// Sorted worst-first.
+	if deltas[0].Name != "A" || math.Abs(deltas[0].Percent-30) > 1e-9 {
+		t.Errorf("worst delta = %+v", deltas[0])
+	}
+	if deltas[1].Name != "B" || math.Abs(deltas[1].Percent+10) > 1e-9 {
+		t.Errorf("second delta = %+v", deltas[1])
+	}
+	// A benchmark present in base but absent from head is lost coverage
+	// and must be reported, not silently dropped.
+	if len(missing) != 1 || missing[0] != "BaseOnly" {
+		t.Errorf("missing = %v, want [BaseOnly]", missing)
+	}
+}
+
+// A base benchmark vanishing from head must fail the compare run even when
+// every common benchmark is within threshold.
+func TestRunFailsOnLostCoverage(t *testing.T) {
+	dir := t.TempDir()
+	base := &File{Benchmarks: map[string]Benchmark{"A": bench(100), "Gone": bench(50)}}
+	head := &File{Benchmarks: map[string]Benchmark{"A": bench(100)}}
+	basePath := filepath.Join(dir, "base.json")
+	headPath := filepath.Join(dir, "head.json")
+	writeJSON(t, basePath, base)
+	writeJSON(t, headPath, head)
+	err := run("", "", true, 15, []string{basePath, headPath})
+	if err == nil || !strings.Contains(err.Error(), "Gone") {
+		t.Fatalf("err = %v, want failure naming the missing benchmark", err)
+	}
+}
+
+// End-to-end through run(): convert a log to JSON, then compare against a
+// slower base and verify the threshold trips.
+func TestRunConvertAndCompare(t *testing.T) {
+	dir := t.TempDir()
+	log := filepath.Join(dir, "bench.txt")
+	headJSON := filepath.Join(dir, "head.json")
+	writeFile(t, log, sampleOutput)
+	if err := run("abc123", headJSON, false, 15, []string{log}); err != nil {
+		t.Fatalf("convert: %v", err)
+	}
+	head, err := readFile(headJSON)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if head.SHA != "abc123" {
+		t.Errorf("sha = %q", head.SHA)
+	}
+
+	// Same numbers: no regression at any threshold.
+	if err := run("", "", true, 0.1, []string{headJSON, headJSON}); err != nil {
+		t.Errorf("self-compare should pass: %v", err)
+	}
+
+	// Base 30% faster than head: a 15% gate must fail.
+	base := *head
+	base.Benchmarks = map[string]Benchmark{}
+	for name, b := range head.Benchmarks {
+		ns := b.Metrics["ns/op"]
+		ns.Min *= 0.7
+		nb := Benchmark{Runs: b.Runs, Metrics: map[string]Stat{"ns/op": ns}}
+		base.Benchmarks[name] = nb
+	}
+	baseJSON := filepath.Join(dir, "base.json")
+	writeJSON(t, baseJSON, &base)
+	err = run("", "", true, 15, []string{baseJSON, headJSON})
+	if err == nil {
+		t.Fatal("expected regression failure")
+	}
+	if !strings.Contains(err.Error(), "regressed") {
+		t.Fatalf("error = %v", err)
+	}
+}
+
+func writeFile(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func writeJSON(t *testing.T, path string, f *File) {
+	t.Helper()
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

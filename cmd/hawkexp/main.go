@@ -5,8 +5,14 @@
 // Usage:
 //
 //	hawkexp -list
-//	hawkexp -exp fig5 [-jobs 20000] [-seed 42] [-runs 10]
+//	hawkexp -exp fig5 [-numjobs 20000] [-seed 42] [-runs 10]
+//	hawkexp -exp fig6 -jobs 8    # fan the sweep over 8 workers
 //	hawkexp -exp all -quick
+//
+// Every experiment is a sweep of independent simulations, fanned out over
+// a bounded worker pool (internal/sweep); -jobs bounds the pool, make
+// style, and defaults to one worker per CPU. Results are byte-identical
+// for any -jobs value.
 package main
 
 import (
@@ -23,14 +29,15 @@ import (
 )
 
 var (
-	expFlag    = flag.String("exp", "", "experiment id (table1, table2, fig1, fig4, fig5, fig6, fig7, fig8-9, fig10-11, fig12-13, fig14, fig15, fig16-17) or 'all'")
-	listFlag   = flag.Bool("list", false, "list experiment ids and exit")
-	jobsFlag   = flag.Int("jobs", 20000, "synthetic trace size in jobs")
-	seedFlag   = flag.Int64("seed", 42, "random seed")
-	runsFlag   = flag.Int("runs", 10, "runs to average where the paper averages (fig14)")
-	quickFlag  = flag.Bool("quick", false, "use the reduced quick scale (fewer jobs, fewer runs)")
-	policyFlag = flag.String("policy", "hawk", "candidate policy for the comparison figures; one of: "+strings.Join(hawk.Policies(), ", "))
-	fullProto  = flag.Bool("fullproto", false, "run fig16-17 at the paper's full prototype scale (3300 jobs, sec->ms; takes tens of minutes)")
+	expFlag     = flag.String("exp", "", "experiment id (table1, table2, fig1, fig4, fig5, fig6, fig7, fig8-9, fig10-11, fig12-13, fig14, fig15, fig16-17) or 'all'")
+	listFlag    = flag.Bool("list", false, "list experiment ids and exit")
+	numJobsFlag = flag.Int("numjobs", 20000, "synthetic trace size in jobs")
+	jobsFlag    = flag.Int("jobs", 0, "max concurrent simulations (0 = one per CPU)")
+	seedFlag    = flag.Int64("seed", 42, "random seed")
+	runsFlag    = flag.Int("runs", 10, "runs to average where the paper averages (fig14)")
+	quickFlag   = flag.Bool("quick", false, "use the reduced quick scale (fewer jobs, fewer runs)")
+	policyFlag  = flag.String("policy", "hawk", "candidate policy for the comparison figures; one of: "+strings.Join(hawk.Policies(), ", "))
+	fullProto   = flag.Bool("fullproto", false, "run fig16-17 at the paper's full prototype scale (3300 jobs, sec->ms; takes tens of minutes)")
 )
 
 type experiment struct {
@@ -74,12 +81,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "hawkexp: unknown policy %q (registered: %v)\n", *policyFlag, hawk.Policies())
 		os.Exit(2)
 	}
-	sc := experiments.Scale{NumJobs: *jobsFlag, Seed: *seedFlag, Runs: *runsFlag}
+	sc := experiments.Scale{NumJobs: *numJobsFlag, Seed: *seedFlag, Runs: *runsFlag}
 	if *quickFlag {
 		sc = experiments.QuickScale()
 		sc.Seed = *seedFlag
 	}
 	sc.Policy = *policyFlag
+	// -jobs used to mean the synthetic trace size (now -numjobs); catch
+	// scripts written against the old meaning rather than silently running
+	// the default-sized trace with an absurd worker bound.
+	if *jobsFlag > 256 {
+		fmt.Fprintf(os.Stderr, "hawkexp: -jobs is the worker-pool bound (got %d); trace size moved to -numjobs\n", *jobsFlag)
+		os.Exit(2)
+	}
+	sc.Workers = *jobsFlag
 	ids := map[string]experiment{}
 	order := []string{}
 	for _, e := range regs {
@@ -109,12 +124,20 @@ func main() {
 }
 
 func runTable1(sc experiments.Scale) error {
-	fmt.Print(experiments.FormatTable1(experiments.Table1(sc)))
+	rows, err := experiments.Table1(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatTable1(rows))
 	return nil
 }
 
 func runTable2(sc experiments.Scale) error {
-	fmt.Print(experiments.FormatTable2(experiments.Table2(sc)))
+	rows, err := experiments.Table2(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Print(experiments.FormatTable2(rows))
 	return nil
 }
 
@@ -135,7 +158,10 @@ func runFig1(sc experiments.Scale) error {
 }
 
 func runFig4(sc experiments.Scale) error {
-	data := experiments.Fig4(sc)
+	data, err := experiments.Fig4(sc)
+	if err != nil {
+		return err
+	}
 	for _, d := range data {
 		fmt.Printf("%s:\n", d.Workload)
 		fmt.Printf("  long  dur  p50=%.0f p90=%.0f | tasks p50=%.0f p90=%.0f\n",
@@ -283,6 +309,7 @@ func runFig1617(sc experiments.Scale) error {
 		cfg = experiments.DefaultFig16Config()
 	}
 	cfg.Seed = sc.Seed
+	cfg.Workers = sc.Workers
 	pts, err := experiments.Fig16And17(cfg)
 	if err != nil {
 		return err

@@ -36,11 +36,23 @@
 // internal/core holds the engine-independent scheduler building blocks
 // (estimation, classification, partitioning, probe placement, stealing, the
 // centralized waiting-time queue); internal/sim and internal/liverun are
-// the engines; internal/workload generates and serializes traces;
-// internal/experiments reproduces every table and figure of the paper.
+// the engines; internal/sweep fans independent runs out over a bounded
+// worker pool (hawk.RunSweep) with results byte-identical to a serial
+// loop; internal/workload generates and serializes traces;
+// internal/experiments reproduces every table and figure of the paper on
+// top of the sweep layer.
 //
 // See README.md for a tour and a runnable quickstart. The benchmarks in
 // bench_test.go regenerate every table and figure of the paper's
 // evaluation at a reduced scale; cmd/hawksim, cmd/hawkexp, and cmd/hawkgen
 // are the command-line entry points.
+//
+// # Benchmark-regression gate
+//
+// CI treats simulator performance as a tested invariant: every push to
+// main benchmarks SimulatorThroughput and CentralQueue (-benchmem,
+// -count=5) and uploads the result as a BENCH_<sha>.json artifact, and
+// every pull request re-runs the same benchmarks on its base commit on
+// the same runner and fails if min ns/op regresses by more than 15%.
+// cmd/benchjson does the conversion and comparison.
 package repro

@@ -1,6 +1,8 @@
 package hawk_test
 
 import (
+	"context"
+	"reflect"
 	"testing"
 	"time"
 
@@ -90,9 +92,13 @@ func TestEngineFuncType(t *testing.T) {
 // built-in hawk policy with DisableStealing — the decisions, not the
 // policy's name, drive the engine.
 func TestRegisterCustomPolicy(t *testing.T) {
-	hawk.Register("nosteal-hawk", func(cfg hawk.Config) (hawk.Policy, error) {
-		return noStealHawk{frac: cfg.ShortPartitionFraction}, nil
-	})
+	// The registry is process-global and Register panics on duplicates, so
+	// guard for in-process test reruns (go test -count=N).
+	if !hawk.Registered("nosteal-hawk") {
+		hawk.Register("nosteal-hawk", func(cfg hawk.Config) (hawk.Policy, error) {
+			return noStealHawk{frac: cfg.ShortPartitionFraction}, nil
+		})
+	}
 	found := false
 	for _, name := range hawk.Policies() {
 		if name == "nosteal-hawk" {
@@ -156,5 +162,66 @@ func TestParsePolicyReExport(t *testing.T) {
 	}
 	if _, err := hawk.ParsePolicy("bogus"); err == nil {
 		t.Error("bogus policy accepted")
+	}
+}
+
+// RunSweep fans independent runs over a worker pool; results come back in
+// point order and match serial Simulate calls exactly.
+func TestRunSweepMatchesSerialSimulate(t *testing.T) {
+	trace := smallTrace()
+	var pts []hawk.SweepPoint
+	for _, pol := range []string{"sparrow", "hawk", "centralized", "split"} {
+		pts = append(pts, hawk.SweepPoint{
+			Trace:  trace,
+			Config: hawk.NewConfig(pol, hawk.WithNodes(20), hawk.WithSeed(9)),
+		})
+	}
+	reports, err := hawk.RunSweep(context.Background(), hawk.Sweep{Points: pts, Jobs: 4})
+	if err != nil {
+		t.Fatalf("RunSweep: %v", err)
+	}
+	if len(reports) != len(pts) {
+		t.Fatalf("reports = %d, want %d", len(reports), len(pts))
+	}
+	for i, p := range pts {
+		want, err := hawk.Simulate(p.Trace, p.Config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(reports[i], want) {
+			t.Errorf("point %d (%s): sweep report differs from serial Simulate", i, p.Config.Policy)
+		}
+	}
+}
+
+// A Sweep accepts any Engine, including the live prototype and custom fakes.
+func TestSweepCustomEngine(t *testing.T) {
+	calls := 0
+	var eng hawk.Engine = func(tr *hawk.Trace, cfg hawk.Config) (*hawk.Report, error) {
+		calls++
+		return &hawk.Report{Engine: "fake"}, nil
+	}
+	reports, err := hawk.RunSweep(context.Background(), hawk.Sweep{
+		Points: []hawk.SweepPoint{{Trace: smallTrace(), Config: hawk.NewConfig("hawk", hawk.WithNodes(5))}},
+		Engine: eng,
+		Jobs:   1,
+	})
+	if err != nil || calls != 1 || reports[0].Engine != "fake" {
+		t.Fatalf("custom engine: reports=%v calls=%d err=%v", reports, calls, err)
+	}
+}
+
+func TestDeriveSeedReExport(t *testing.T) {
+	if hawk.DeriveSeed(1, 0) == hawk.DeriveSeed(1, 1) {
+		t.Error("adjacent indices should derive different seeds")
+	}
+	pts := hawk.SeededPoints(smallTrace(), hawk.NewConfig("hawk", hawk.WithNodes(5)), 3, 4)
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	for i, p := range pts {
+		if p.Config.Seed != hawk.DeriveSeed(3, i) {
+			t.Errorf("point %d seed = %d", i, p.Config.Seed)
+		}
 	}
 }

@@ -2,12 +2,24 @@
 // trace-driven cluster simulator.
 //
 // The engine is a binary-heap priority queue of timestamped callbacks with a
-// virtual clock. Events scheduled for the same instant fire in scheduling
-// order (FIFO tie-breaking via a sequence number), which keeps simulations
-// deterministic for a given seed.
+// virtual clock. The heap is hand-rolled over a []event rather than built on
+// container/heap so that pushing and popping events never boxes them through
+// interface{} — the engine is the simulator's hottest allocation site, and a
+// run executes hundreds of thousands of events.
+//
+// # Ordering invariant
+//
+// Events fire in nondecreasing timestamp order, and events scheduled for the
+// same instant fire in scheduling (insertion) order: every event carries a
+// monotonically increasing sequence number assigned by At, and the heap
+// orders by (timestamp, sequence). This FIFO tie-breaking is load-bearing:
+// it makes every simulation a pure function of (trace, config, seed), which
+// is what lets internal/sweep fan runs out over worker pools while
+// guaranteeing byte-identical results to a serial run. Periodic samplers
+// registered with EverySample are ordinary events and obey the same rule: a
+// sampler tick scheduled before another event at the same instant fires
+// before it, and one scheduled after fires after it.
 package eventq
-
-import "container/heap"
 
 // Engine is a discrete-event simulation engine. The zero value is not
 // usable; call New.
@@ -34,13 +46,14 @@ func (e *Engine) Pending() int { return len(e.events) }
 
 // At schedules fn to run at absolute virtual time t. Scheduling in the past
 // (t < Now) is clamped to Now: the event fires before any later event but
-// virtual time never runs backwards.
+// virtual time never runs backwards. Among events with equal timestamps,
+// earlier At calls fire first (see the package ordering invariant).
 func (e *Engine) At(t float64, fn func()) {
 	if t < e.now {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	e.events.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // After schedules fn to run d seconds after the current virtual time.
@@ -54,7 +67,7 @@ func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
+	ev := e.events.pop()
 	e.now = ev.at
 	e.count++
 	ev.fn()
@@ -81,7 +94,10 @@ func (e *Engine) RunUntil(deadline float64) {
 
 // EverySample registers fn to run every interval seconds, starting at
 // start, for as long as keepGoing returns true. It is used for periodic
-// cluster-utilization snapshots (the paper samples every 100 s).
+// cluster-utilization snapshots (the paper samples every 100 s). Each tick
+// is a regular event: relative to other events at the same instant it fires
+// in insertion order, and the next tick is scheduled only after the current
+// one runs.
 func (e *Engine) EverySample(start, interval float64, keepGoing func() bool, fn func(now float64)) {
 	var tick func()
 	next := start
@@ -102,25 +118,63 @@ type event struct {
 	fn  func()
 }
 
+// eventHeap is a hand-rolled binary min-heap ordered by (at, seq). It
+// deliberately does not implement container/heap.Interface: that interface
+// moves elements through interface{}, which would allocate on every push
+// and pop.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
 
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) push(ev event) {
+	*h = append(*h, ev)
+	h.siftUp(len(*h) - 1)
+}
 
-func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
-
-func (h *eventHeap) Pop() any {
+func (h *eventHeap) pop() event {
 	old := *h
-	n := len(old)
-	ev := old[n-1]
-	*h = old[:n-1]
-	return ev
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = event{} // drop the fn reference so the closure can be collected
+	*h = old[:n]
+	if n > 1 {
+		old[:n].siftDown(0)
+	}
+	return top
+}
+
+func (h eventHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h eventHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		j := left
+		if right := left + 1; right < n && h.less(right, left) {
+			j = right
+		}
+		if !h.less(j, i) {
+			return
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
 }

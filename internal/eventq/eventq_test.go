@@ -222,6 +222,142 @@ func TestInterleavedScheduling(t *testing.T) {
 	}
 }
 
+// TestTieBreakInsertionOrderInvariant is the invariant the parallel sweep
+// layer's determinism proof rests on: for ANY interleaving of At calls, the
+// global execution order equals a stable sort of the events by timestamp —
+// i.e. same-timestamp events fire exactly in insertion order.
+func TestTieBreakInsertionOrderInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	e := New()
+	type key struct {
+		at  float64
+		ins int
+	}
+	var want []key
+	var got []key
+	// Many events crowded onto few distinct timestamps forces heavy
+	// tie-breaking inside the heap.
+	timestamps := []float64{0, 1, 1, 2, 3, 3, 3, 5, 8}
+	for i := 0; i < 3000; i++ {
+		at := timestamps[rng.Intn(len(timestamps))]
+		k := key{at: at, ins: i}
+		want = append(want, k)
+		e.At(at, func() { got = append(got, k) })
+	}
+	sort.SliceStable(want, func(i, j int) bool { return want[i].at < want[j].at })
+	e.Run()
+	if len(got) != len(want) {
+		t.Fatalf("executed %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: got (t=%v, ins=%d), want (t=%v, ins=%d) — "+
+				"same-timestamp events must fire in insertion order",
+				i, got[i].at, got[i].ins, want[i].at, want[i].ins)
+		}
+	}
+}
+
+// TestTieBreakSurvivesNestedScheduling checks the invariant when ties are
+// created from inside running events (the simulator's normal mode: zero
+// network delay hops schedule more work at the current instant).
+func TestTieBreakSurvivesNestedScheduling(t *testing.T) {
+	e := New()
+	var order []int
+	e.At(10, func() {
+		// Scheduled while t=10 is executing: these tie with the events
+		// below that were scheduled before Run, and must fire after them.
+		e.At(10, func() { order = append(order, 103) })
+		e.At(10, func() { order = append(order, 104) })
+	})
+	e.At(10, func() { order = append(order, 101) })
+	e.At(10, func() { order = append(order, 102) })
+	e.Run()
+	want := []int{101, 102, 103, 104}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+// TestEverySampleTieOrder pins down EverySample's position among events at
+// the same instant: a sampler registered before an At for the same time
+// fires first, one registered after fires second.
+func TestEverySampleTieOrder(t *testing.T) {
+	e := New()
+	var order []string
+	active := true
+	e.EverySample(100, 100, func() bool { return active }, func(now float64) {
+		order = append(order, "sampler")
+		active = false
+	})
+	e.At(100, func() { order = append(order, "event") })
+	e.Run()
+	if len(order) != 2 || order[0] != "sampler" || order[1] != "event" {
+		t.Fatalf("order = %v, want [sampler event] — EverySample ticks are "+
+			"ordinary events and obey insertion-order tie-breaking", order)
+	}
+
+	e = New()
+	order = nil
+	active = true
+	e.At(100, func() { order = append(order, "event") })
+	e.EverySample(100, 100, func() bool { return active }, func(now float64) {
+		order = append(order, "sampler")
+		active = false
+	})
+	e.Run()
+	if len(order) != 2 || order[0] != "event" || order[1] != "sampler" {
+		t.Fatalf("order = %v, want [event sampler]", order)
+	}
+}
+
+// TestHeapMatchesReferenceModel drives the hand-rolled heap against a
+// stable-sorted reference model over a random interleaving of pushes and
+// pops, catching any sift bug that reorders equal-timestamp events.
+func TestHeapMatchesReferenceModel(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	e := New()
+	type rec struct {
+		at  float64
+		ins int
+	}
+	var model []rec
+	var fired []rec
+	ins := 0
+	for i := 0; i < 20000; i++ {
+		if e.Pending() == 0 || rng.Intn(3) > 0 {
+			at := e.Now() + float64(rng.Intn(8)) // few distinct values → many ties
+			r := rec{at: at, ins: ins}
+			ins++
+			model = append(model, r)
+			e.At(at, func() { fired = append(fired, r) })
+		} else {
+			e.Step()
+		}
+	}
+	e.Run()
+	sort.SliceStable(model, func(i, j int) bool { return model[i].at < model[j].at })
+	// The interleaved pops make the global fired order differ from the
+	// model, but within any single timestamp the insertion order must hold.
+	byTime := make(map[float64][]int)
+	for _, r := range fired {
+		byTime[r.at] = append(byTime[r.at], r.ins)
+	}
+	for at, seqs := range byTime {
+		if !sort.IntsAreSorted(seqs) {
+			t.Fatalf("t=%v: insertion order violated: %v", at, seqs)
+		}
+	}
+	if len(fired) != len(model) {
+		t.Fatalf("fired %d events, want %d", len(fired), len(model))
+	}
+}
+
 func BenchmarkEngine(b *testing.B) {
 	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/policy"
-	"repro/internal/sim"
 )
 
 // The paper justifies two design choices in prose without dedicated
@@ -32,28 +31,23 @@ type StealPositionRow struct {
 func AblationStealPosition(sc Scale) ([]StealPositionRow, error) {
 	t := GoogleTrace(sc)
 	const nodes = 15000
-	rs, err := sim.Run(t, policy.Config{NumNodes: nodes, Policy: "sparrow", Seed: sc.Seed})
-	if err != nil {
-		return nil, err
+	names := []string{"figure3-group", "random-positions"}
+	cfgs := []policy.Config{
+		{NumNodes: nodes, Policy: "sparrow", Seed: sc.Seed},
+		{NumNodes: nodes, Policy: "hawk", Seed: sc.Seed},
+		{NumNodes: nodes, Policy: "hawk", Seed: sc.Seed, StealRandomPositions: true},
 	}
-	rows := make([]StealPositionRow, 0, 2)
-	for _, variant := range []struct {
-		name   string
-		random bool
-	}{
-		{"figure3-group", false},
-		{"random-positions", true},
-	} {
-		r, err := sim.Run(t, policy.Config{
-			NumNodes: nodes, Policy: "hawk", Seed: sc.Seed,
-			StealRandomPositions: variant.random,
-		})
-		if err != nil {
-			return nil, fmt.Errorf("steal ablation %s: %w", variant.name, err)
-		}
+	reports, err := runConfigs(t, cfgs, sc.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("steal ablation: %w", err)
+	}
+	rs := reports[0]
+	rows := make([]StealPositionRow, 0, len(names))
+	for i, name := range names {
+		r := reports[i+1]
 		s50, s90, l50, l90 := ratiosFor(t, r, rs, t.Cutoff)
 		row := StealPositionRow{
-			Policy:   variant.name,
+			Policy:   name,
 			ShortP50: s50, ShortP90: s90, LongP50: l50, LongP90: l90,
 		}
 		if r.StealSuccesses > 0 {
@@ -80,20 +74,23 @@ type ProbeRatioPoint struct {
 func AblationProbeRatio(sc Scale) ([]ProbeRatioPoint, error) {
 	t := GoogleTrace(sc)
 	const nodes = 15000
-	points := make([]ProbeRatioPoint, 0, 8)
-	for _, pol := range []string{"sparrow", "hawk"} {
-		base, err := sim.Run(t, policy.Config{NumNodes: nodes, Policy: pol, Seed: sc.Seed, ProbeRatio: 2})
-		if err != nil {
-			return nil, err
+	policies := []string{"sparrow", "hawk"}
+	ratios := []int{1, 2, 3, 4}
+	cfgs := make([]policy.Config, 0, len(policies)*len(ratios))
+	for _, pol := range policies {
+		for _, ratio := range ratios {
+			cfgs = append(cfgs, policy.Config{NumNodes: nodes, Policy: pol, Seed: sc.Seed, ProbeRatio: ratio})
 		}
-		for _, ratio := range []int{1, 2, 3, 4} {
-			r := base
-			if ratio != 2 {
-				r, err = sim.Run(t, policy.Config{NumNodes: nodes, Policy: pol, Seed: sc.Seed, ProbeRatio: ratio})
-				if err != nil {
-					return nil, fmt.Errorf("probe ratio %d: %w", ratio, err)
-				}
-			}
+	}
+	reports, err := runConfigs(t, cfgs, sc.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("probe ratio ablation: %w", err)
+	}
+	points := make([]ProbeRatioPoint, 0, len(cfgs))
+	for pi, pol := range policies {
+		base := reports[pi*len(ratios)+1] // ratio 2, the normalization baseline
+		for ri, ratio := range ratios {
+			r := reports[pi*len(ratios)+ri]
 			s50, s90, _, _ := ratiosFor(t, r, base, t.Cutoff)
 			points = append(points, ProbeRatioPoint{
 				Ratio: ratio, Policy: pol,

@@ -5,9 +5,11 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/policy"
-	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -27,6 +29,12 @@ type Scale struct {
 	// figures evaluate against their baselines. Empty means "hawk", the
 	// paper's system; cmd/hawkexp threads its -policy flag through here.
 	Policy string
+	// Workers bounds how many simulations a sweep-shaped driver runs
+	// concurrently (every figure fans its independent runs out over
+	// internal/sweep). Zero means one worker per available CPU;
+	// cmd/hawkexp threads its -jobs flag through here. Results are
+	// byte-identical for any worker count, including 1 (serial).
+	Workers int
 }
 
 // PolicyName returns the candidate policy, defaulting to "hawk".
@@ -114,17 +122,47 @@ func TraceFor(spec workload.Spec, sc Scale) *workload.Trace {
 	return t.CapTasks(minNodes)
 }
 
-// runPair runs the candidate and baseline policies on the same trace.
-func runPair(t *workload.Trace, nodes int, candidate, baseline string, seed int64) (*policy.Report, *policy.Report, error) {
-	rc, err := sim.Run(t, policy.Config{NumNodes: nodes, Policy: candidate, Seed: seed})
+// runConfigs fans a set of simulator runs on a shared trace out over one
+// bounded worker pool and returns the reports in config order. Every
+// sweep-shaped driver funnels through here (or runPairs), so a single
+// Scale.Workers knob bounds the whole figure's parallelism.
+func runConfigs(t *workload.Trace, cfgs []policy.Config, workers int) ([]*policy.Report, error) {
+	pts := make([]sweep.Point, len(cfgs))
+	for i, cfg := range cfgs {
+		pts[i] = sweep.Point{Trace: t, Config: cfg}
+	}
+	return sweep.Run(context.Background(), sweep.Sweep{Points: pts, Jobs: workers})
+}
+
+// runPairs runs the candidate and baseline policies at every cluster size
+// of a node sweep, all fanned out over one worker pool, and returns the
+// (candidate, baseline) report pairs in nodes order.
+func runPairs(t *workload.Trace, nodes []int, candidate, baseline string, seed int64, workers int) ([][2]*policy.Report, error) {
+	cfgs := make([]policy.Config, 0, 2*len(nodes))
+	for _, n := range nodes {
+		cfgs = append(cfgs,
+			policy.Config{NumNodes: n, Policy: candidate, Seed: seed},
+			policy.Config{NumNodes: n, Policy: baseline, Seed: seed})
+	}
+	reports, err := runConfigs(t, cfgs, workers)
+	if err != nil {
+		return nil, err
+	}
+	pairs := make([][2]*policy.Report, len(nodes))
+	for i := range nodes {
+		pairs[i] = [2]*policy.Report{reports[2*i], reports[2*i+1]}
+	}
+	return pairs, nil
+}
+
+// runPair runs the candidate and baseline policies on the same trace at one
+// cluster size (concurrently, bounded by workers).
+func runPair(t *workload.Trace, nodes int, candidate, baseline string, seed int64, workers int) (*policy.Report, *policy.Report, error) {
+	pairs, err := runPairs(t, []int{nodes}, candidate, baseline, seed, workers)
 	if err != nil {
 		return nil, nil, err
 	}
-	rb, err := sim.Run(t, policy.Config{NumNodes: nodes, Policy: baseline, Seed: seed})
-	if err != nil {
-		return nil, nil, err
-	}
-	return rc, rb, nil
+	return pairs[0][0], pairs[0][1], nil
 }
 
 // RatioPoint is one x-position of a "candidate normalized to baseline"

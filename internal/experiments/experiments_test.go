@@ -15,7 +15,10 @@ import (
 var testScale = Scale{NumJobs: 1500, Seed: 42, Runs: 1}
 
 func TestTable1MatchesPaperShape(t *testing.T) {
-	rows := Table1(Scale{NumJobs: 8000, Seed: 42})
+	rows, err := Table1(Scale{NumJobs: 8000, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 4 {
 		t.Fatalf("rows = %d", len(rows))
 	}
@@ -40,7 +43,10 @@ func TestTable1MatchesPaperShape(t *testing.T) {
 }
 
 func TestTable2(t *testing.T) {
-	rows := Table2(Scale{NumJobs: 2000, Seed: 1})
+	rows, err := Table2(Scale{NumJobs: 2000, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, r := range rows {
 		if r.TotalJobs != 2000 {
 			t.Errorf("%s: jobs = %d", r.Workload, r.TotalJobs)
@@ -75,7 +81,10 @@ func TestFig1HeadOfLineBlocking(t *testing.T) {
 }
 
 func TestFig4Shapes(t *testing.T) {
-	data := Fig4(testScale)
+	data, err := Fig4(testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(data) != 4 {
 		t.Fatalf("workloads = %d", len(data))
 	}

@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/liverun"
 	"repro/internal/policy"
-	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -26,6 +25,11 @@ type Fig16Config struct {
 	// (mean task runtime); the paper sweeps 1 to 2.25.
 	LoadFactors []float64
 	Seed        int64
+	// Workers bounds how many simulator runs execute concurrently (the
+	// live-prototype runs stay serial regardless — they measure real
+	// wall-clock time, and co-running prototypes would contend for CPU
+	// and distort each other's latencies). Zero means GOMAXPROCS.
+	Workers int
 }
 
 // DefaultFig16Config reproduces the paper's setup. A full run takes tens of
@@ -92,13 +96,9 @@ func Fig16And17(cfg Fig16Config) ([]Fig16Point, error) {
 			return nil, fmt.Errorf("fig16 live sparrow k=%.2f: %w", k, err)
 		}
 
-		simHawk, err := sim.Run(t, policy.Config{NumNodes: cfg.NumNodes, Policy: "hawk", Seed: cfg.Seed})
+		simHawk, simSparrow, err := runPair(t, cfg.NumNodes, "hawk", "sparrow", cfg.Seed, cfg.Workers)
 		if err != nil {
-			return nil, fmt.Errorf("fig16 sim hawk k=%.2f: %w", k, err)
-		}
-		simSparrow, err := sim.Run(t, policy.Config{NumNodes: cfg.NumNodes, Policy: "sparrow", Seed: cfg.Seed})
-		if err != nil {
-			return nil, fmt.Errorf("fig16 sim sparrow k=%.2f: %w", k, err)
+			return nil, fmt.Errorf("fig16 sim k=%.2f: %w", k, err)
 		}
 
 		s50, s90, l50, l90 := ratiosFor(t, simHawk, simSparrow, t.Cutoff)

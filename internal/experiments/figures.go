@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/policy"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -49,30 +51,30 @@ type Fig4Data struct {
 	ShortTasks []stats.CDFPoint // (d) short jobs, tasks per job
 }
 
-// Fig4 computes the workload-property CDFs for all four traces.
-func Fig4(sc Scale) []Fig4Data {
-	out := make([]Fig4Data, 0, 4)
-	for _, spec := range workload.AllSpecs() {
-		t := TraceFor(spec, sc)
-		var longDur, shortDur, longTasks, shortTasks []float64
-		for _, j := range t.Jobs {
-			if j.ConstructedLong {
-				longDur = append(longDur, j.AvgTaskDuration())
-				longTasks = append(longTasks, float64(j.NumTasks()))
-			} else {
-				shortDur = append(shortDur, j.AvgTaskDuration())
-				shortTasks = append(shortTasks, float64(j.NumTasks()))
+// Fig4 computes the workload-property CDFs for all four traces, generating
+// and characterizing each trace on its own worker.
+func Fig4(sc Scale) ([]Fig4Data, error) {
+	return sweep.Map(context.Background(), workload.AllSpecs(), sc.Workers,
+		func(_ context.Context, _ int, spec workload.Spec) (Fig4Data, error) {
+			t := TraceFor(spec, sc)
+			var longDur, shortDur, longTasks, shortTasks []float64
+			for _, j := range t.Jobs {
+				if j.ConstructedLong {
+					longDur = append(longDur, j.AvgTaskDuration())
+					longTasks = append(longTasks, float64(j.NumTasks()))
+				} else {
+					shortDur = append(shortDur, j.AvgTaskDuration())
+					shortTasks = append(shortTasks, float64(j.NumTasks()))
+				}
 			}
-		}
-		out = append(out, Fig4Data{
-			Workload:   spec.Name,
-			LongDur:    stats.CDF(longDur),
-			ShortDur:   stats.CDF(shortDur),
-			LongTasks:  stats.CDF(longTasks),
-			ShortTasks: stats.CDF(shortTasks),
+			return Fig4Data{
+				Workload:   spec.Name,
+				LongDur:    stats.CDF(longDur),
+				ShortDur:   stats.CDF(shortDur),
+				LongTasks:  stats.CDF(longTasks),
+				ShortTasks: stats.CDF(shortTasks),
+			}, nil
 		})
-	}
-	return out
 }
 
 // Fig5Point is one cluster size of Figure 5: Hawk normalized to Sparrow on
@@ -92,12 +94,14 @@ type Fig5Point struct {
 // (Figures 5a, 5b, 5c).
 func Fig5(sc Scale) ([]Fig5Point, error) {
 	t := GoogleTrace(sc)
-	points := make([]Fig5Point, 0, len(NodeSweep("google")))
-	for _, nodes := range NodeSweep("google") {
-		rh, rs, err := runPair(t, nodes, sc.PolicyName(), "sparrow", sc.Seed)
-		if err != nil {
-			return nil, err
-		}
+	nodeSweep := NodeSweep("google")
+	pairs, err := runPairs(t, nodeSweep, sc.PolicyName(), "sparrow", sc.Seed, sc.Workers)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]Fig5Point, 0, len(nodeSweep))
+	for i, nodes := range nodeSweep {
+		rh, rs := pairs[i][0], pairs[i][1]
 		p := Fig5Point{RatioPoint: ratioPoint(t, rh, rs, float64(nodes))}
 		shortCmp := stats.ComparePaired(rh.RuntimesByID(false), rs.RuntimesByID(false))
 		longCmp := stats.ComparePaired(rh.RuntimesByID(true), rs.RuntimesByID(true))
@@ -132,17 +136,39 @@ type Fig6Series struct {
 }
 
 // Fig6 sweeps cluster sizes on the Cloudera, Facebook, and Yahoo traces.
+// Trace generation parallelizes per workload; the full cross product of
+// (workload, cluster size, scheduler) simulations — the Facebook series
+// alone reaches 170,000 simulated nodes — then fans out over one pool.
 func Fig6(sc Scale) ([]Fig6Series, error) {
-	series := make([]Fig6Series, 0, 3)
-	for _, spec := range []workload.Spec{workload.ClouderaC(), workload.Facebook(), workload.Yahoo()} {
-		t := TraceFor(spec, sc)
+	ctx := context.Background()
+	specs := []workload.Spec{workload.ClouderaC(), workload.Facebook(), workload.Yahoo()}
+	traces, err := sweep.Map(ctx, specs, sc.Workers,
+		func(_ context.Context, _ int, spec workload.Spec) (*workload.Trace, error) {
+			return TraceFor(spec, sc), nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	var pts []sweep.Point
+	for i, spec := range specs {
+		for _, nodes := range NodeSweep(spec.Name) {
+			pts = append(pts,
+				sweep.Point{Trace: traces[i], Config: policy.Config{NumNodes: nodes, Policy: sc.PolicyName(), Seed: sc.Seed}},
+				sweep.Point{Trace: traces[i], Config: policy.Config{NumNodes: nodes, Policy: "sparrow", Seed: sc.Seed}})
+		}
+	}
+	reports, err := sweep.Run(ctx, sweep.Sweep{Points: pts, Jobs: sc.Workers})
+	if err != nil {
+		return nil, fmt.Errorf("fig6: %w", err)
+	}
+	series := make([]Fig6Series, 0, len(specs))
+	idx := 0
+	for i, spec := range specs {
 		s := Fig6Series{Workload: spec.Name}
 		for _, nodes := range NodeSweep(spec.Name) {
-			rh, rs, err := runPair(t, nodes, sc.PolicyName(), "sparrow", sc.Seed)
-			if err != nil {
-				return nil, fmt.Errorf("fig6 %s at %d nodes: %w", spec.Name, nodes, err)
-			}
-			s.Points = append(s.Points, ratioPoint(t, rh, rs, float64(nodes)))
+			rh, rs := reports[idx], reports[idx+1]
+			idx += 2
+			s.Points = append(s.Points, ratioPoint(traces[i], rh, rs, float64(nodes)))
 		}
 		series = append(series, s)
 	}
@@ -164,26 +190,22 @@ type Fig7Row struct {
 func Fig7(sc Scale) ([]Fig7Row, error) {
 	t := GoogleTrace(sc)
 	const nodes = 15000
-	full, err := sim.Run(t, policy.Config{NumNodes: nodes, Policy: "hawk", Seed: sc.Seed})
+	names := []string{"w/o centralized", "w/o partition", "w/o stealing"}
+	cfgs := []policy.Config{
+		{NumNodes: nodes, Policy: "hawk", Seed: sc.Seed}, // full system, the normalization baseline
+		{NumNodes: nodes, Policy: "hawk", Seed: sc.Seed, DisableCentral: true},
+		{NumNodes: nodes, Policy: "hawk", Seed: sc.Seed, DisablePartition: true},
+		{NumNodes: nodes, Policy: "hawk", Seed: sc.Seed, DisableStealing: true},
+	}
+	reports, err := runConfigs(t, cfgs, sc.Workers)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("fig7: %w", err)
 	}
-	variants := []struct {
-		name string
-		cfg  policy.Config
-	}{
-		{"w/o centralized", policy.Config{NumNodes: nodes, Policy: "hawk", Seed: sc.Seed, DisableCentral: true}},
-		{"w/o partition", policy.Config{NumNodes: nodes, Policy: "hawk", Seed: sc.Seed, DisablePartition: true}},
-		{"w/o stealing", policy.Config{NumNodes: nodes, Policy: "hawk", Seed: sc.Seed, DisableStealing: true}},
-	}
-	rows := make([]Fig7Row, 0, len(variants))
-	for _, v := range variants {
-		r, err := sim.Run(t, v.cfg)
-		if err != nil {
-			return nil, fmt.Errorf("fig7 %s: %w", v.name, err)
-		}
-		s50, s90, l50, l90 := ratiosFor(t, r, full, t.Cutoff)
-		rows = append(rows, Fig7Row{Variant: v.name, ShortP50: s50, ShortP90: s90, LongP50: l50, LongP90: l90})
+	full := reports[0]
+	rows := make([]Fig7Row, 0, len(names))
+	for i, name := range names {
+		s50, s90, l50, l90 := ratiosFor(t, reports[i+1], full, t.Cutoff)
+		rows = append(rows, Fig7Row{Variant: name, ShortP50: s50, ShortP90: s90, LongP50: l50, LongP90: l90})
 	}
 	return rows, nil
 }
@@ -192,13 +214,14 @@ func Fig7(sc Scale) ([]Fig7Row, error) {
 // sizes on the Google trace (Figure 8: short jobs; Figure 9: long jobs).
 func Fig8And9(sc Scale) ([]RatioPoint, error) {
 	t := GoogleTrace(sc)
-	points := make([]RatioPoint, 0)
-	for _, nodes := range NodeSweep("google") {
-		rh, rc, err := runPair(t, nodes, sc.PolicyName(), "centralized", sc.Seed)
-		if err != nil {
-			return nil, err
-		}
-		points = append(points, ratioPoint(t, rh, rc, float64(nodes)))
+	nodeSweep := NodeSweep("google")
+	pairs, err := runPairs(t, nodeSweep, sc.PolicyName(), "centralized", sc.Seed, sc.Workers)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]RatioPoint, 0, len(nodeSweep))
+	for i, nodes := range nodeSweep {
+		points = append(points, ratioPoint(t, pairs[i][0], pairs[i][1], float64(nodes)))
 	}
 	return points, nil
 }
@@ -207,13 +230,14 @@ func Fig8And9(sc Scale) ([]RatioPoint, error) {
 // Google trace (Figure 10: short jobs; Figure 11: long jobs).
 func Fig10And11(sc Scale) ([]RatioPoint, error) {
 	t := GoogleTrace(sc)
-	points := make([]RatioPoint, 0)
-	for _, nodes := range NodeSweep("google") {
-		rh, rsp, err := runPair(t, nodes, sc.PolicyName(), "split", sc.Seed)
-		if err != nil {
-			return nil, err
-		}
-		points = append(points, ratioPoint(t, rh, rsp, float64(nodes)))
+	nodeSweep := NodeSweep("google")
+	pairs, err := runPairs(t, nodeSweep, sc.PolicyName(), "split", sc.Seed, sc.Workers)
+	if err != nil {
+		return nil, err
+	}
+	points := make([]RatioPoint, 0, len(nodeSweep))
+	for i, nodes := range nodeSweep {
+		points = append(points, ratioPoint(t, pairs[i][0], pairs[i][1], float64(nodes)))
 	}
 	return points, nil
 }
@@ -224,18 +248,20 @@ func Fig10And11(sc Scale) ([]RatioPoint, error) {
 func Fig12And13(sc Scale) ([]RatioPoint, error) {
 	t := GoogleTrace(sc)
 	const nodes = 15000
-	rs, err := sim.Run(t, policy.Config{NumNodes: nodes, Policy: "sparrow", Seed: sc.Seed})
-	if err != nil {
-		return nil, err
-	}
 	cutoffs := []float64{750, 1000, 1129, 1300, 1500, 2000}
-	points := make([]RatioPoint, 0, len(cutoffs))
+	cfgs := make([]policy.Config, 0, 1+len(cutoffs))
+	cfgs = append(cfgs, policy.Config{NumNodes: nodes, Policy: "sparrow", Seed: sc.Seed})
 	for _, cutoff := range cutoffs {
-		rh, err := sim.Run(t, policy.Config{NumNodes: nodes, Policy: sc.PolicyName(), Seed: sc.Seed, Cutoff: cutoff})
-		if err != nil {
-			return nil, fmt.Errorf("fig12 cutoff %.0f: %w", cutoff, err)
-		}
-		s50, s90, l50, l90 := ratiosFor(t, rh, rs, cutoff)
+		cfgs = append(cfgs, policy.Config{NumNodes: nodes, Policy: sc.PolicyName(), Seed: sc.Seed, Cutoff: cutoff})
+	}
+	reports, err := runConfigs(t, cfgs, sc.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("fig12: %w", err)
+	}
+	rs := reports[0]
+	points := make([]RatioPoint, 0, len(cutoffs))
+	for i, cutoff := range cutoffs {
+		s50, s90, l50, l90 := ratiosFor(t, reports[i+1], rs, cutoff)
 		points = append(points, RatioPoint{
 			X: cutoff, ShortP50: s50, ShortP90: s90, LongP50: l50, LongP90: l90,
 			BaselineUtil: rs.Utilization.MedianUpTo(t.MakespanLowerBound()),
@@ -263,25 +289,35 @@ func Fig14(sc Scale) ([]Fig14Point, error) {
 		runs = 1
 	}
 	ranges := [][2]float64{{0.1, 1.9}, {0.2, 1.8}, {0.3, 1.7}, {0.4, 1.6}, {0.5, 1.5}, {0.6, 1.4}, {0.7, 1.3}}
-	points := make([]Fig14Point, 0, len(ranges))
+	// One flat sweep covers the whole figure. The Sparrow baseline depends
+	// only on the seed, so it runs once per seed and is shared across
+	// mis-estimation ranges (the serial loop re-ran it per range); the
+	// reports are identical either way because runs are deterministic.
+	cfgs := make([]policy.Config, 0, runs+len(ranges)*runs)
+	for run := 0; run < runs; run++ {
+		cfgs = append(cfgs, policy.Config{NumNodes: nodes, Policy: "sparrow", Seed: sc.Seed + int64(run)})
+	}
 	for _, rg := range ranges {
-		var sum50, sum90 float64
 		for run := 0; run < runs; run++ {
-			seed := sc.Seed + int64(run)
-			rs, err := sim.Run(t, policy.Config{NumNodes: nodes, Policy: "sparrow", Seed: seed})
-			if err != nil {
-				return nil, err
-			}
-			rh, err := sim.Run(t, policy.Config{
-				NumNodes: nodes, Policy: sc.PolicyName(), Seed: seed,
+			cfgs = append(cfgs, policy.Config{
+				NumNodes: nodes, Policy: sc.PolicyName(), Seed: sc.Seed + int64(run),
 				MisestimateLo: rg[0], MisestimateHi: rg[1],
 			})
-			if err != nil {
-				return nil, err
-			}
+		}
+	}
+	reports, err := runConfigs(t, cfgs, sc.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("fig14: %w", err)
+	}
+	sparrow := reports[:runs]
+	points := make([]Fig14Point, 0, len(ranges))
+	for ri, rg := range ranges {
+		var sum50, sum90 float64
+		for run := 0; run < runs; run++ {
+			rh := reports[runs+ri*runs+run]
 			// Classify by exact estimates: "the set of jobs classified
 			// as long when no mis-estimations are present".
-			_, _, l50, l90 := ratiosFor(t, rh, rs, t.Cutoff)
+			_, _, l50, l90 := ratiosFor(t, rh, sparrow[run], t.Cutoff)
 			sum50 += l50
 			sum90 += l90
 		}
@@ -308,19 +344,20 @@ type Fig15Point struct {
 func Fig15(sc Scale) ([]Fig15Point, error) {
 	t := GoogleTrace(sc)
 	const nodes = 15000
-	base, err := sim.Run(t, policy.Config{NumNodes: nodes, Policy: "hawk", Seed: sc.Seed, StealCap: 1})
-	if err != nil {
-		return nil, err
-	}
 	caps := []int{1, 2, 3, 4, 5, 10, 15, 20, 25, 50, 75, 100, 250}
+	cfgs := make([]policy.Config, len(caps))
+	for i, stealCap := range caps {
+		cfgs[i] = policy.Config{NumNodes: nodes, Policy: "hawk", Seed: sc.Seed, StealCap: stealCap}
+	}
+	reports, err := runConfigs(t, cfgs, sc.Workers)
+	if err != nil {
+		return nil, fmt.Errorf("fig15: %w", err)
+	}
+	base := reports[0] // cap 1, the figure's normalization baseline
 	points := make([]Fig15Point, 0, len(caps))
-	for _, cap := range caps {
-		r, err := sim.Run(t, policy.Config{NumNodes: nodes, Policy: "hawk", Seed: sc.Seed, StealCap: cap})
-		if err != nil {
-			return nil, fmt.Errorf("fig15 cap %d: %w", cap, err)
-		}
-		s50, s90, l50, l90 := ratiosFor(t, r, base, t.Cutoff)
-		points = append(points, Fig15Point{Cap: cap, ShortP50: s50, ShortP90: s90, LongP50: l50, LongP90: l90})
+	for i, stealCap := range caps {
+		s50, s90, l50, l90 := ratiosFor(t, reports[i], base, t.Cutoff)
+		points = append(points, Fig15Point{Cap: stealCap, ShortP50: s50, ShortP90: s90, LongP50: l50, LongP90: l90})
 	}
 	return points, nil
 }

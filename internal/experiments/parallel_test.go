@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestFig7SerialVsParallelByteIdentical is the sweep subsystem's headline
+// guarantee at figure granularity: running Fig7 at QuickScale serially
+// (Workers=1) and in parallel (Workers=8) must produce byte-identical
+// reports for the same seed.
+func TestFig7SerialVsParallelByteIdentical(t *testing.T) {
+	t.Parallel()
+	serial := QuickScale()
+	serial.Workers = 1
+	parallel := QuickScale()
+	parallel.Workers = 8
+
+	rowsSerial, err := Fig7(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rowsParallel, err := Fig7(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bs, err := json.Marshal(rowsSerial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bp, err := json.Marshal(rowsParallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bs, bp) {
+		t.Fatalf("serial and parallel Fig7 reports differ:\nserial:   %s\nparallel: %s", bs, bp)
+	}
+}
+
+// TestTable1SerialVsParallel covers the sweep.Map-backed drivers: the
+// parallel table must equal the serial one row for row.
+func TestTable1SerialVsParallel(t *testing.T) {
+	t.Parallel()
+	serial := Scale{NumJobs: 1000, Seed: 42, Workers: 1}
+	parallel := serial
+	parallel.Workers = 4
+	a, err := Table1(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Table1(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("row counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}

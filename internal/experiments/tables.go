@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -16,19 +18,18 @@ type Table1Row struct {
 }
 
 // Table1 regenerates Table 1 over the four synthetic workloads, using the
-// paper's classification (every non-first k-means cluster is long).
-func Table1(sc Scale) []Table1Row {
-	rows := make([]Table1Row, 0, 4)
-	for _, spec := range workload.AllSpecs() {
-		t := TraceFor(spec, sc)
-		st := workload.ComputeStatsByConstruction(t)
-		rows = append(rows, Table1Row{
-			Workload:           spec.Name,
-			PctLongJobs:        st.PctLongJobs,
-			PctLongTaskSeconds: st.PctLongTaskSeconds,
+// paper's classification (every non-first k-means cluster is long). Each
+// workload generates and characterizes on its own worker.
+func Table1(sc Scale) ([]Table1Row, error) {
+	return sweep.Map(context.Background(), workload.AllSpecs(), sc.Workers,
+		func(_ context.Context, _ int, spec workload.Spec) (Table1Row, error) {
+			st := workload.ComputeStatsByConstruction(TraceFor(spec, sc))
+			return Table1Row{
+				Workload:           spec.Name,
+				PctLongJobs:        st.PctLongJobs,
+				PctLongTaskSeconds: st.PctLongTaskSeconds,
+			}, nil
 		})
-	}
-	return rows
 }
 
 // FormatTable1 renders the rows like the paper's Table 1.
@@ -49,19 +50,17 @@ type Table2Row struct {
 	TotalJobs   int
 }
 
-// Table2 regenerates Table 2.
-func Table2(sc Scale) []Table2Row {
-	rows := make([]Table2Row, 0, 4)
-	for _, spec := range workload.AllSpecs() {
-		t := TraceFor(spec, sc)
-		st := workload.ComputeStatsByConstruction(t)
-		rows = append(rows, Table2Row{
-			Workload:    spec.Name,
-			PctLongJobs: st.PctLongJobs,
-			TotalJobs:   st.TotalJobs,
+// Table2 regenerates Table 2, one workload per worker.
+func Table2(sc Scale) ([]Table2Row, error) {
+	return sweep.Map(context.Background(), workload.AllSpecs(), sc.Workers,
+		func(_ context.Context, _ int, spec workload.Spec) (Table2Row, error) {
+			st := workload.ComputeStatsByConstruction(TraceFor(spec, sc))
+			return Table2Row{
+				Workload:    spec.Name,
+				PctLongJobs: st.PctLongJobs,
+				TotalJobs:   st.TotalJobs,
+			}, nil
 		})
-	}
-	return rows
 }
 
 // FormatTable2 renders the rows like the paper's Table 2.

@@ -52,7 +52,13 @@ func (n *node) enqueue(e entry) {
 // else already queued there (the thief is idle when it steals, so in
 // practice the queue is empty).
 func (n *node) enqueueFront(es []entry) {
-	n.queue = append(append(make([]entry, 0, len(es)+len(n.queue)), es...), n.queue...)
+	if len(n.queue) == 0 {
+		// The common case — the thief stole because it ran dry — reuses
+		// the thief's queue capacity instead of allocating a fresh slice.
+		n.queue = append(n.queue, es...)
+	} else {
+		n.queue = append(append(make([]entry, 0, len(es)+len(n.queue)), es...), n.queue...)
+	}
 	n.advance()
 }
 
@@ -117,14 +123,14 @@ func (n *node) finishSlot() {
 	}
 }
 
-// queueLongFlags snapshots which queued entries belong to long jobs,
-// head-first, for the eligible-group computation.
-func (n *node) queueLongFlags() []bool {
-	flags := make([]bool, len(n.queue))
-	for i, e := range n.queue {
-		flags[i] = e.long()
+// appendQueueLongFlags appends, head-first, which queued entries belong to
+// long jobs onto buf and returns it, for the eligible-group computation.
+// Callers pass a reused scratch buffer (see simulation.stealFlags).
+func (n *node) appendQueueLongFlags(buf []bool) []bool {
+	for _, e := range n.queue {
+		buf = append(buf, e.long())
 	}
-	return flags
+	return buf
 }
 
 // stealRange removes and returns queue entries [start, end).

@@ -67,6 +67,13 @@ type simulation struct {
 
 	busyNodes int
 	jobsDone  int
+
+	// stealFlags is the scratch buffer appendQueueLongFlags snapshots
+	// into; one
+	// steal attempt fully overwrites it before reading, and the simulation
+	// is single-threaded, so reusing it across attempts is safe and keeps
+	// the steal path allocation-free.
+	stealFlags []bool
 }
 
 // Run simulates the trace under the configuration, executing the policy
@@ -95,6 +102,9 @@ func Run(trace *workload.Trace, cfg policy.Config) (*policy.Report, error) {
 		src:        randdist.New(cfg.Seed),
 		res:        &policy.Report{Engine: "sim", Policy: pol.String(), Config: cfg},
 	}
+	// Every job produces exactly one JobReport; reserving the slice up
+	// front keeps jobCompleted off the allocator's growth path.
+	s.res.Jobs = make([]policy.JobReport, 0, len(trace.Jobs))
 
 	slots := cfg.TotalSlots()
 	s.part = core.NewPartition(slots, pol.ShortPartitionFraction())
@@ -224,7 +234,8 @@ func (s *simulation) attemptSteal(thief *node) {
 			// queue will advance on its own. Skip rather than race it.
 			continue
 		}
-		flags := victim.queueLongFlags()
+		s.stealFlags = victim.appendQueueLongFlags(s.stealFlags[:0])
+		flags := s.stealFlags
 		start, end, ok := core.EligibleGroup(victim.runningLong, flags)
 		if !ok {
 			continue
