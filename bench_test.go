@@ -235,6 +235,29 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkLargeCluster gates scaling regressions that the 100-node-scale
+// figure benchmarks and the default SimulatorThroughput point cannot see:
+// a 12000-node cluster under a mixed short/long trace at an operating
+// point with heavy work stealing (tens of thousands of steal attempts per
+// run), so the steal path — candidate sampling, eligible-group scans,
+// queue surgery — dominates alongside raw event dispatch. It runs in CI's
+// benchmark-regression gate next to SimulatorThroughput and CentralQueue.
+func BenchmarkLargeCluster(b *testing.B) {
+	trace := workload.Generate(workload.Google(), workload.GenConfig{
+		NumJobs: 3000, MeanInterArrival: 0.5, Seed: 13,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(trace, policy.Config{NumNodes: 12000, Policy: "hawk", Seed: 5})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Events), "events/op")
+		b.ReportMetric(float64(res.StealAttempts), "stealAttempts/op")
+		b.ReportMetric(float64(res.EntriesStolen), "entriesStolen/op")
+	}
+}
+
 // BenchmarkCentralQueue measures the §3.7 priority queue in isolation at
 // cluster scale.
 func BenchmarkCentralQueue(b *testing.B) {

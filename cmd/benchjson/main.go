@@ -12,7 +12,13 @@
 //
 // Compare (exit status 1 on regression):
 //
-//	benchjson -compare base.json head.json -threshold 15
+//	benchjson -compare base.json head.json -threshold 15 -alloc-threshold 25
+//
+// Compare gates two metrics: min ns/op against -threshold, and min
+// allocs/op against -alloc-threshold — an allocation-count regression is a
+// structural change (a new allocation site on a hot path), is essentially
+// noise-free, and historically precedes the ns/op regression it causes, so
+// it gets its own, stricter-by-nature gate.
 //
 // With -count=N each benchmark aggregates to {min, mean, max} per unit;
 // comparisons use min, the estimate least sensitive to scheduler noise on
@@ -25,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -141,39 +148,71 @@ func normalizeName(s string) string {
 	return s
 }
 
-// Delta is one benchmark's base-vs-head comparison on min ns/op.
+// Delta is one benchmark's base-vs-head comparison on the min of one
+// gated metric (ns/op or allocs/op).
 type Delta struct {
 	Name    string
-	Base    float64 // min ns/op in base
-	Head    float64 // min ns/op in head
-	Percent float64 // (head-base)/base * 100; positive = slower
+	Unit    string  // "ns/op" or "allocs/op"
+	Base    float64 // min in base
+	Head    float64 // min in head
+	Percent float64 // (head-base)/base * 100; positive = worse
 }
 
-// Compare matches benchmarks by name and reports ns/op deltas, sorted
+// gatedUnits are the metrics Compare produces deltas for. ns/op is wall
+// time; allocs/op is gated separately because allocation counts are
+// deterministic — a regression there is a real new allocation site, not
+// runner noise.
+var gatedUnits = []string{"ns/op", "allocs/op"}
+
+// Compare matches benchmarks by name and reports per-metric deltas, sorted
 // worst-first, plus the names of base benchmarks missing from head.
-// Benchmarks new in head are skipped (no baseline to regress against), but
-// base benchmarks absent from head are coverage the gate would silently
-// lose — a deleted, renamed, or crashed benchmark — so they are returned
-// for the caller to fail on.
+// Benchmarks new in head are skipped (no baseline to regress against), as
+// are metrics absent on either side (e.g. allocs/op when a stored base
+// predates -benchmem), but base benchmarks absent from head are coverage
+// the gate would silently lose — a deleted, renamed, or crashed benchmark —
+// so they are returned for the caller to fail on.
 func Compare(base, head *File) (deltas []Delta, missing []string) {
 	for name, hb := range head.Benchmarks {
 		bb, ok := base.Benchmarks[name]
 		if !ok {
 			continue
 		}
-		hs, hok := hb.Metrics["ns/op"]
-		bs, bok := bb.Metrics["ns/op"]
-		if !hok || !bok || bs.Min == 0 {
-			continue
+		for _, unit := range gatedUnits {
+			hs, hok := hb.Metrics[unit]
+			bs, bok := bb.Metrics[unit]
+			if !hok || !bok {
+				continue
+			}
+			if bs.Min == 0 {
+				if hs.Min == 0 {
+					continue // both zero: nothing to gate
+				}
+				// A zero baseline (a benchmark driven to 0 allocs/op) has
+				// no finite percentage; any nonzero head is an infinite
+				// regression and must trip the gate, not be skipped.
+				deltas = append(deltas, Delta{
+					Name: name, Unit: unit, Base: 0, Head: hs.Min, Percent: math.Inf(1),
+				})
+				continue
+			}
+			deltas = append(deltas, Delta{
+				Name:    name,
+				Unit:    unit,
+				Base:    bs.Min,
+				Head:    hs.Min,
+				Percent: 100 * (hs.Min - bs.Min) / bs.Min,
+			})
 		}
-		deltas = append(deltas, Delta{
-			Name:    name,
-			Base:    bs.Min,
-			Head:    hs.Min,
-			Percent: 100 * (hs.Min - bs.Min) / bs.Min,
-		})
 	}
-	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Percent > deltas[j].Percent })
+	sort.Slice(deltas, func(i, j int) bool {
+		if deltas[i].Percent != deltas[j].Percent {
+			return deltas[i].Percent > deltas[j].Percent
+		}
+		if deltas[i].Name != deltas[j].Name {
+			return deltas[i].Name < deltas[j].Name
+		}
+		return deltas[i].Unit < deltas[j].Unit
+	})
 	for name := range base.Benchmarks {
 		if _, ok := head.Benchmarks[name]; !ok {
 			missing = append(missing, name)
@@ -185,19 +224,20 @@ func Compare(base, head *File) (deltas []Delta, missing []string) {
 
 func main() {
 	var (
-		sha       = flag.String("sha", "", "commit sha to record in the JSON")
-		out       = flag.String("o", "", "output path (default stdout)")
-		compare   = flag.Bool("compare", false, "compare two benchjson files: base.json head.json")
-		threshold = flag.Float64("threshold", 15, "with -compare: fail on ns/op regressions above this percent")
+		sha            = flag.String("sha", "", "commit sha to record in the JSON")
+		out            = flag.String("o", "", "output path (default stdout)")
+		compare        = flag.Bool("compare", false, "compare two benchjson files: base.json head.json")
+		threshold      = flag.Float64("threshold", 15, "with -compare: fail on ns/op regressions above this percent")
+		allocThreshold = flag.Float64("alloc-threshold", 25, "with -compare: fail on allocs/op regressions above this percent")
 	)
 	flag.Parse()
-	if err := run(*sha, *out, *compare, *threshold, flag.Args()); err != nil {
+	if err := run(*sha, *out, *compare, *threshold, *allocThreshold, flag.Args()); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(sha, out string, compare bool, threshold float64, args []string) error {
+func run(sha, out string, compare bool, threshold, allocThreshold float64, args []string) error {
 	if compare {
 		if len(args) != 2 {
 			return fmt.Errorf("-compare needs exactly two files: base.json head.json")
@@ -214,22 +254,26 @@ func run(sha, out string, compare bool, threshold float64, args []string) error 
 		if len(deltas) == 0 {
 			return fmt.Errorf("no common benchmarks between %s and %s", args[0], args[1])
 		}
-		failed := false
+		var failedUnits []string
 		for _, d := range deltas {
-			verdict := "ok"
-			if d.Percent > threshold {
-				verdict = "REGRESSION"
-				failed = true
+			limit := threshold
+			if d.Unit == "allocs/op" {
+				limit = allocThreshold
 			}
-			fmt.Printf("%-40s base %14.0f ns/op  head %14.0f ns/op  %+7.2f%%  %s\n",
-				d.Name, d.Base, d.Head, d.Percent, verdict)
+			verdict := "ok"
+			if d.Percent > limit {
+				verdict = "REGRESSION"
+				failedUnits = append(failedUnits, fmt.Sprintf("%s %s %+.2f%% (limit %g%%)", d.Name, d.Unit, d.Percent, limit))
+			}
+			fmt.Printf("%-40s base %14.0f %-9s head %14.0f %-9s %+7.2f%%  %s\n",
+				d.Name, d.Base, d.Unit, d.Head, d.Unit, d.Percent, verdict)
 		}
 		if len(missing) > 0 {
 			return fmt.Errorf("benchmarks in %s missing from %s (deleted, renamed, or crashed?): %s",
 				args[0], args[1], strings.Join(missing, ", "))
 		}
-		if failed {
-			return fmt.Errorf("ns/op regressed by more than %g%% on the benchmarks marked above", threshold)
+		if len(failedUnits) > 0 {
+			return fmt.Errorf("performance regressed beyond the gate: %s", strings.Join(failedUnits, "; "))
 		}
 		return nil
 	}

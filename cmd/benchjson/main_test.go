@@ -123,7 +123,7 @@ func TestRunFailsOnLostCoverage(t *testing.T) {
 	headPath := filepath.Join(dir, "head.json")
 	writeJSON(t, basePath, base)
 	writeJSON(t, headPath, head)
-	err := run("", "", true, 15, []string{basePath, headPath})
+	err := run("", "", true, 15, 25, []string{basePath, headPath})
 	if err == nil || !strings.Contains(err.Error(), "Gone") {
 		t.Fatalf("err = %v, want failure naming the missing benchmark", err)
 	}
@@ -136,7 +136,7 @@ func TestRunConvertAndCompare(t *testing.T) {
 	log := filepath.Join(dir, "bench.txt")
 	headJSON := filepath.Join(dir, "head.json")
 	writeFile(t, log, sampleOutput)
-	if err := run("abc123", headJSON, false, 15, []string{log}); err != nil {
+	if err := run("abc123", headJSON, false, 15, 25, []string{log}); err != nil {
 		t.Fatalf("convert: %v", err)
 	}
 	head, err := readFile(headJSON)
@@ -148,7 +148,7 @@ func TestRunConvertAndCompare(t *testing.T) {
 	}
 
 	// Same numbers: no regression at any threshold.
-	if err := run("", "", true, 0.1, []string{headJSON, headJSON}); err != nil {
+	if err := run("", "", true, 0.1, 0.1, []string{headJSON, headJSON}); err != nil {
 		t.Errorf("self-compare should pass: %v", err)
 	}
 
@@ -163,7 +163,7 @@ func TestRunConvertAndCompare(t *testing.T) {
 	}
 	baseJSON := filepath.Join(dir, "base.json")
 	writeJSON(t, baseJSON, &base)
-	err = run("", "", true, 15, []string{baseJSON, headJSON})
+	err = run("", "", true, 15, 25, []string{baseJSON, headJSON})
 	if err == nil {
 		t.Fatal("expected regression failure")
 	}
@@ -187,5 +187,102 @@ func writeJSON(t *testing.T, path string, f *File) {
 	}
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func benchWithAllocs(nsMin, allocMin float64) Benchmark {
+	return Benchmark{Runs: 1, Metrics: map[string]Stat{
+		"ns/op":     {Min: nsMin, Mean: nsMin, Max: nsMin},
+		"allocs/op": {Min: allocMin, Mean: allocMin, Max: allocMin},
+	}}
+}
+
+func TestCompareReportsAllocDeltas(t *testing.T) {
+	base := &File{Benchmarks: map[string]Benchmark{"A": benchWithAllocs(100, 1000)}}
+	head := &File{Benchmarks: map[string]Benchmark{"A": benchWithAllocs(110, 1500)}}
+	deltas, missing := Compare(base, head)
+	if len(missing) != 0 {
+		t.Fatalf("missing = %v", missing)
+	}
+	if len(deltas) != 2 {
+		t.Fatalf("deltas = %d, want 2 (ns/op and allocs/op)", len(deltas))
+	}
+	// Worst-first: the +50% allocs/op delta sorts above the +10% ns/op one.
+	if deltas[0].Unit != "allocs/op" || math.Abs(deltas[0].Percent-50) > 1e-9 {
+		t.Errorf("worst delta = %+v, want allocs/op +50%%", deltas[0])
+	}
+	if deltas[1].Unit != "ns/op" || math.Abs(deltas[1].Percent-10) > 1e-9 {
+		t.Errorf("second delta = %+v, want ns/op +10%%", deltas[1])
+	}
+}
+
+// A pure allocation regression — ns/op within its gate — must fail the
+// compare via the allocs/op threshold, and an allocation delta within the
+// threshold must pass.
+func TestRunGatesAllocRegression(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.json")
+	writeJSON(t, basePath, &File{Benchmarks: map[string]Benchmark{
+		"A": benchWithAllocs(100, 1000),
+	}})
+
+	// +40% allocs, +5% ns: trips the 25% alloc gate despite the 15% ns gate passing.
+	regressed := filepath.Join(dir, "regressed.json")
+	writeJSON(t, regressed, &File{Benchmarks: map[string]Benchmark{
+		"A": benchWithAllocs(105, 1400),
+	}})
+	err := run("", "", true, 15, 25, []string{basePath, regressed})
+	if err == nil || !strings.Contains(err.Error(), "allocs/op") {
+		t.Fatalf("err = %v, want failure naming allocs/op", err)
+	}
+
+	// +20% allocs stays under the 25% gate.
+	ok := filepath.Join(dir, "ok.json")
+	writeJSON(t, ok, &File{Benchmarks: map[string]Benchmark{
+		"A": benchWithAllocs(105, 1200),
+	}})
+	if err := run("", "", true, 15, 25, []string{basePath, ok}); err != nil {
+		t.Fatalf("within-threshold alloc delta should pass: %v", err)
+	}
+}
+
+// A base stored before -benchmem (no allocs/op metric) must not block the
+// compare: the alloc gate simply has no baseline for that benchmark.
+func TestRunTolerateMissingAllocBaseline(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.json")
+	headPath := filepath.Join(dir, "head.json")
+	writeJSON(t, basePath, &File{Benchmarks: map[string]Benchmark{"A": bench(100)}})
+	writeJSON(t, headPath, &File{Benchmarks: map[string]Benchmark{"A": benchWithAllocs(100, 999999)}})
+	if err := run("", "", true, 15, 25, []string{basePath, headPath}); err != nil {
+		t.Fatalf("missing alloc baseline should be skipped, got: %v", err)
+	}
+}
+
+// A benchmark whose baseline reached 0 (e.g. 0 allocs/op) must not lose its
+// gate: regressing from 0 to anything nonzero is an infinite regression and
+// fails; staying at 0 passes.
+func TestRunGatesZeroBaseline(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.json")
+	writeJSON(t, basePath, &File{Benchmarks: map[string]Benchmark{
+		"A": benchWithAllocs(100, 0),
+	}})
+
+	regressed := filepath.Join(dir, "regressed.json")
+	writeJSON(t, regressed, &File{Benchmarks: map[string]Benchmark{
+		"A": benchWithAllocs(100, 3),
+	}})
+	err := run("", "", true, 15, 25, []string{basePath, regressed})
+	if err == nil || !strings.Contains(err.Error(), "allocs/op") {
+		t.Fatalf("err = %v, want failure on 0 -> 3 allocs/op", err)
+	}
+
+	stillZero := filepath.Join(dir, "zero.json")
+	writeJSON(t, stillZero, &File{Benchmarks: map[string]Benchmark{
+		"A": benchWithAllocs(100, 0),
+	}})
+	if err := run("", "", true, 15, 25, []string{basePath, stillZero}); err != nil {
+		t.Fatalf("0 -> 0 should pass: %v", err)
 	}
 }

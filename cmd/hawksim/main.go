@@ -8,12 +8,19 @@
 //	hawksim -workload google -nodes 15000 -policy hawk -jobs 20000
 //	hawksim -trace mytrace.csv -nodes 1000 -policy sparrow -cutoff 500
 //	hawksim -nodes 1000 -policy split -json run.json
+//
+// For performance work, -cpuprofile and -memprofile write pprof profiles
+// of the run (inspect with `go tool pprof`):
+//
+//	hawksim -workload google -nodes 15000 -jobs 20000 -cpuprofile cpu.prof -memprofile mem.prof
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"repro/hawk"
@@ -40,14 +47,49 @@ var (
 	seedFlag      = flag.Int64("seed", 42, "random seed")
 	dumpFlag      = flag.String("dump", "", "write per-job results to this CSV file")
 	jsonFlag      = flag.String("json", "", "write the full report to this JSON file")
+	cpuProfFlag   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfFlag   = flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
 )
 
 func main() {
 	flag.Parse()
+	os.Exit(realMain())
+}
+
+// realMain holds the body so deferred profile writers run before the
+// process exits (os.Exit skips defers in main).
+func realMain() int {
+	if *cpuProfFlag != "" {
+		f, err := os.Create(*cpuProfFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hawksim: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "hawksim: starting CPU profile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfFlag != "" {
+		defer func() {
+			f, err := os.Create(*memProfFlag)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hawksim: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "hawksim: writing heap profile: %v\n", err)
+			}
+		}()
+	}
 	trace, err := loadTrace()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hawksim: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	name := *policyFlag
 	if *modeFlag != "" {
@@ -56,14 +98,14 @@ func main() {
 		if policySet && *modeFlag != *policyFlag {
 			fmt.Fprintf(os.Stderr, "hawksim: conflicting -policy %q and deprecated -mode %q; drop -mode\n",
 				*policyFlag, *modeFlag)
-			os.Exit(2)
+			return 2
 		}
 		fmt.Fprintln(os.Stderr, "hawksim: -mode is deprecated; use -policy")
 		name = *modeFlag
 	}
 	if !hawk.Registered(name) {
 		fmt.Fprintf(os.Stderr, "hawksim: unknown policy %q (registered: %v)\n", name, hawk.Policies())
-		os.Exit(2)
+		return 2
 	}
 	res, err := hawk.Simulate(trace, hawk.Config{
 		Policy:                 name,
@@ -81,23 +123,24 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hawksim: %v\n", err)
-		os.Exit(1)
+		return 1
 	}
 	printResult(trace, res)
 	if *dumpFlag != "" {
 		if err := hawk.SaveResultsCSV(*dumpFlag, res); err != nil {
 			fmt.Fprintf(os.Stderr, "hawksim: writing %s: %v\n", *dumpFlag, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("wrote per-job results to %s\n", *dumpFlag)
 	}
 	if *jsonFlag != "" {
 		if err := hawk.SaveReportJSON(*jsonFlag, res); err != nil {
 			fmt.Fprintf(os.Stderr, "hawksim: writing %s: %v\n", *jsonFlag, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("wrote report to %s\n", *jsonFlag)
 	}
+	return 0
 }
 
 func loadTrace() (*hawk.Trace, error) {

@@ -47,12 +47,28 @@
 // evaluation at a reduced scale; cmd/hawksim, cmd/hawkexp, and cmd/hawkgen
 // are the command-line entry points.
 //
+// # Performance
+//
+// The simulator is built around a typed-event engine (internal/eventq):
+// the event heap stores flat payload structs ordered by (timestamp,
+// sequence) and executes them through one dispatch switch, so scheduling
+// an event allocates nothing — no per-event closures. The surrounding hot
+// path holds the same line: probe and steal-victim sampling appends into
+// per-simulation scratch buffers (randdist.SampleWithoutReplacementInto),
+// node FIFO queues and the central queue's server heaps recycle their
+// backing arrays, and the heap is pre-sized with a trace-derived bound on peak
+// pending events.
+// Simulator output is pinned byte-identical across this work by golden
+// report diffs (internal/sim/testdata/golden). See README.md's
+// "Performance" section for the measured trajectory.
+//
 // # Benchmark-regression gate
 //
 // CI treats simulator performance as a tested invariant: every push to
-// main benchmarks SimulatorThroughput and CentralQueue (-benchmem,
-// -count=5) and uploads the result as a BENCH_<sha>.json artifact, and
-// every pull request re-runs the same benchmarks on its base commit on
-// the same runner and fails if min ns/op regresses by more than 15%.
-// cmd/benchjson does the conversion and comparison.
+// main benchmarks SimulatorThroughput, CentralQueue, and LargeCluster
+// (-benchmem, -count=5) and uploads the result as a BENCH_<sha>.json
+// artifact, and every pull request re-runs the same benchmarks on its base
+// commit on the same runner and fails if min ns/op regresses by more than
+// 15% or min allocs/op by more than 25%. cmd/benchjson does the conversion
+// and comparison.
 package repro

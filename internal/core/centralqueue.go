@@ -1,7 +1,5 @@
 package core
 
-import "container/heap"
-
 // CentralQueue is the centralized scheduler's data structure (§3.7): a
 // priority queue of <server, waiting time> tuples kept sorted by waiting
 // time. The waiting time of a server is the sum of the estimated execution
@@ -29,8 +27,13 @@ import "container/heap"
 // Assign compares the two roots' true waiting times and picks the smaller,
 // so assignments are exactly min-waiting at every instant.
 type CentralQueue struct {
-	now     float64
-	servers map[int]*serverState
+	now float64
+	// servers is indexed by node id (nil = node not tracked). Node ids are
+	// dense per partition, so a slice lookup replaces the obvious map: the
+	// queue is rebuilt for every simulation in a sweep, and a map would
+	// cost one allocation per server plus bucket churn on every rebuild.
+	servers []*serverState
+	count   int        // tracked servers (non-nil entries)
 	running serverHeap // key: runEnd + queued
 	idle    serverHeap // key: queued
 }
@@ -62,11 +65,24 @@ func (s *serverState) waiting(now float64) float64 {
 }
 
 // NewCentralQueue builds a queue over the given node ids, all initially
-// idle (zero waiting time).
+// idle (zero waiting time). Server state is allocated as one block — three
+// allocations total regardless of cluster size.
 func NewCentralQueue(nodeIDs []int) *CentralQueue {
-	q := &CentralQueue{servers: make(map[int]*serverState, len(nodeIDs))}
+	maxID := -1
 	for _, id := range nodeIDs {
-		s := &serverState{nodeID: id}
+		if id > maxID {
+			maxID = id
+		}
+	}
+	q := &CentralQueue{
+		servers: make([]*serverState, maxID+1),
+		count:   len(nodeIDs),
+	}
+	states := make([]serverState, len(nodeIDs))
+	q.idle.items = make([]*serverState, 0, len(nodeIDs))
+	for i, id := range nodeIDs {
+		s := &states[i]
+		s.nodeID = id
 		q.servers[id] = s
 		q.idle.push(s)
 	}
@@ -74,7 +90,15 @@ func NewCentralQueue(nodeIDs []int) *CentralQueue {
 }
 
 // Len returns the number of servers tracked.
-func (q *CentralQueue) Len() int { return len(q.servers) }
+func (q *CentralQueue) Len() int { return q.count }
+
+// lookup returns the tracked server for nodeID, or nil.
+func (q *CentralQueue) lookup(nodeID int) *serverState {
+	if nodeID < 0 || nodeID >= len(q.servers) {
+		return nil
+	}
+	return q.servers[nodeID]
+}
 
 func (q *CentralQueue) advance(now float64) {
 	if now > q.now {
@@ -126,7 +150,7 @@ func (q *CentralQueue) best() *serverState {
 // waiting time, and returns the chosen node id along with the waiting time
 // the scheduler expects the task to experience.
 func (q *CentralQueue) Assign(now, estDuration float64) (nodeID int, waiting float64) {
-	if len(q.servers) == 0 {
+	if q.count == 0 {
 		panic("core: Assign on empty CentralQueue")
 	}
 	q.advance(now)
@@ -150,8 +174,8 @@ func (q *CentralQueue) TaskStarted(nodeID int, now, estDuration, runDuration flo
 	if q == nil {
 		return
 	}
-	s, ok := q.servers[nodeID]
-	if !ok {
+	s := q.lookup(nodeID)
+	if s == nil {
 		return // node not tracked (e.g. outside the general partition)
 	}
 	q.advance(now)
@@ -168,8 +192,8 @@ func (q *CentralQueue) TaskFinished(nodeID int, now float64) {
 	if q == nil {
 		return
 	}
-	s, ok := q.servers[nodeID]
-	if !ok {
+	s := q.lookup(nodeID)
+	if s == nil {
 		return
 	}
 	q.advance(now)
@@ -204,7 +228,7 @@ func (q *CentralQueue) fix(s *serverState) {
 // MinWaiting returns the smallest waiting time across servers at instant
 // now: the queueing delay the next assigned task would see.
 func (q *CentralQueue) MinWaiting(now float64) float64 {
-	if len(q.servers) == 0 {
+	if q.count == 0 {
 		return 0
 	}
 	q.advance(now)
@@ -214,8 +238,8 @@ func (q *CentralQueue) MinWaiting(now float64) float64 {
 // Waiting returns the waiting time of a specific server at instant now, or
 // -1 if the server is not tracked.
 func (q *CentralQueue) Waiting(nodeID int, now float64) float64 {
-	s, ok := q.servers[nodeID]
-	if !ok {
+	s := q.lookup(nodeID)
+	if s == nil {
 		return -1
 	}
 	q.advance(now)
@@ -226,15 +250,23 @@ func (q *CentralQueue) Waiting(nodeID int, now float64) float64 {
 // in unspecified order. Intended for tests and introspection.
 func (q *CentralQueue) Waitings(now float64) []float64 {
 	q.advance(now)
-	out := make([]float64, 0, len(q.servers))
+	out := make([]float64, 0, q.count)
 	for _, s := range q.servers {
-		out = append(out, s.waiting(q.now))
+		if s != nil {
+			out = append(out, s.waiting(q.now))
+		}
 	}
 	return out
 }
 
 // serverHeap is an indexed binary heap of servers ordered by key() with
-// nodeID tie-breaking for determinism.
+// nodeID tie-breaking for determinism. Like internal/eventq's event heap it
+// is hand-rolled rather than built on container/heap: the heap sits on
+// CentralQueue.Assign's hot path, and container/heap both moves elements
+// through interface{} and pays an indirect call per comparison and swap.
+// Only the root is ever observed (best/advance), and (key, nodeID) is a
+// strict total order over members, so any valid heap arrangement yields
+// identical scheduling decisions.
 type serverHeap struct {
 	items []*serverState
 }
@@ -242,25 +274,7 @@ type serverHeap struct {
 func (h *serverHeap) len() int           { return len(h.items) }
 func (h *serverHeap) peek() *serverState { return h.items[0] }
 
-func (h *serverHeap) push(s *serverState) {
-	s.heapIdx = len(h.items)
-	h.items = append(h.items, s)
-	heap.Fix((*heapImpl)(h), s.heapIdx)
-}
-
-func (h *serverHeap) remove(s *serverState) {
-	heap.Remove((*heapImpl)(h), s.heapIdx)
-}
-
-func (h *serverHeap) fix(s *serverState) {
-	heap.Fix((*heapImpl)(h), s.heapIdx)
-}
-
-type heapImpl serverHeap
-
-func (h *heapImpl) Len() int { return len(h.items) }
-
-func (h *heapImpl) Less(i, j int) bool {
+func (h *serverHeap) less(i, j int) bool {
 	ki, kj := h.items[i].key(), h.items[j].key()
 	if ki != kj {
 		return ki < kj
@@ -268,22 +282,70 @@ func (h *heapImpl) Less(i, j int) bool {
 	return h.items[i].nodeID < h.items[j].nodeID
 }
 
-func (h *heapImpl) Swap(i, j int) {
+func (h *serverHeap) swap(i, j int) {
 	h.items[i], h.items[j] = h.items[j], h.items[i]
 	h.items[i].heapIdx = i
 	h.items[j].heapIdx = j
 }
 
-func (h *heapImpl) Push(x any) {
-	s := x.(*serverState)
+func (h *serverHeap) push(s *serverState) {
 	s.heapIdx = len(h.items)
 	h.items = append(h.items, s)
+	h.siftUp(s.heapIdx)
 }
 
-func (h *heapImpl) Pop() any {
-	old := h.items
-	n := len(old)
-	s := old[n-1]
-	h.items = old[:n-1]
-	return s
+func (h *serverHeap) remove(s *serverState) {
+	i := s.heapIdx
+	n := len(h.items) - 1
+	if i != n {
+		h.swap(i, n)
+	}
+	h.items[n] = nil // drop the reference so a departed server can be collected
+	h.items = h.items[:n]
+	if i != n {
+		if !h.siftDown(i) {
+			h.siftUp(i)
+		}
+	}
+}
+
+// fix restores heap order around position s after s's key changed in place.
+func (h *serverHeap) fix(s *serverState) {
+	if !h.siftDown(s.heapIdx) {
+		h.siftUp(s.heapIdx)
+	}
+}
+
+func (h *serverHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h.swap(i, parent)
+		i = parent
+	}
+}
+
+// siftDown reports whether it moved the element, mirroring container/heap's
+// down so fix and remove sift up only when no downward motion occurred.
+func (h *serverHeap) siftDown(i int) bool {
+	start := i
+	n := len(h.items)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		j := left
+		if right := left + 1; right < n && h.less(right, left) {
+			j = right
+		}
+		if !h.less(j, i) {
+			break
+		}
+		h.swap(i, j)
+		i = j
+	}
+	return i > start
 }

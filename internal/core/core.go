@@ -131,34 +131,56 @@ func (p Partition) GeneralID(i int) int { return p.shortOnly + i }
 
 // SampleGeneral returns k distinct random general-partition node ids.
 func (p Partition) SampleGeneral(src *randdist.Source, k int) []int {
+	return p.SampleGeneralInto(nil, src, k)
+}
+
+// SampleGeneralInto appends k distinct random general-partition node ids to
+// dst and returns the extended slice, drawing identically to SampleGeneral.
+// Zero heap allocations in steady state when dst has capacity; the
+// simulator threads a per-run scratch buffer through here on every probe
+// placement and steal attempt.
+func (p Partition) SampleGeneralInto(dst []int, src *randdist.Source, k int) []int {
 	n := p.GeneralNodes()
 	if k > n {
 		k = n
 	}
-	idx := src.SampleWithoutReplacement(n, k)
-	for i := range idx {
-		idx[i] += p.shortOnly
+	start := len(dst)
+	dst = src.SampleWithoutReplacementInto(dst, n, k)
+	for i := start; i < len(dst); i++ {
+		dst[i] += p.shortOnly
 	}
-	return idx
+	return dst
 }
 
 // SampleAll returns k distinct random node ids from the whole cluster
 // (short jobs may be probed anywhere, §3.4).
 func (p Partition) SampleAll(src *randdist.Source, k int) []int {
+	return p.SampleAllInto(nil, src, k)
+}
+
+// SampleAllInto is the scratch-buffer form of SampleAll; see
+// SampleGeneralInto.
+func (p Partition) SampleAllInto(dst []int, src *randdist.Source, k int) []int {
 	if k > p.numNodes {
 		k = p.numNodes
 	}
-	return src.SampleWithoutReplacement(p.numNodes, k)
+	return src.SampleWithoutReplacementInto(dst, p.numNodes, k)
 }
 
 // SampleShort returns k distinct random short-partition node ids, used by
 // policies that confine short jobs to the reserved partition (the §4.6
 // split-cluster baseline).
 func (p Partition) SampleShort(src *randdist.Source, k int) []int {
+	return p.SampleShortInto(nil, src, k)
+}
+
+// SampleShortInto is the scratch-buffer form of SampleShort; see
+// SampleGeneralInto.
+func (p Partition) SampleShortInto(dst []int, src *randdist.Source, k int) []int {
 	if k > p.shortOnly {
 		k = p.shortOnly
 	}
-	return src.SampleWithoutReplacement(p.shortOnly, k)
+	return src.SampleWithoutReplacementInto(dst, p.shortOnly, k)
 }
 
 func (p Partition) String() string {

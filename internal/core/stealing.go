@@ -24,23 +24,35 @@ func NewStealPolicy() StealPolicy {
 // thief itself when it happens to be sampled (a node cannot steal from its
 // own queue).
 func (s StealPolicy) Candidates(p Partition, src *randdist.Source, thiefID int) []int {
+	return s.CandidatesInto(nil, p, src, thiefID)
+}
+
+// CandidatesInto is the scratch-buffer form of Candidates: it appends the
+// contact list to dst and returns the extended slice, drawing identically
+// to Candidates. With a reused per-simulation buffer the default steal
+// path stays allocation-free. (The random-position ablation's
+// RandomShortIndices still allocates — it is off the paper's default
+// configuration and exists to be argued against.)
+func (s StealPolicy) CandidatesInto(dst []int, p Partition, src *randdist.Source, thiefID int) []int {
 	if !s.Enabled || s.Cap <= 0 {
-		return nil
+		return dst
 	}
 	// Sample one extra so that dropping the thief still yields Cap
 	// candidates when possible.
-	ids := p.SampleGeneral(src, s.Cap+1)
-	out := ids[:0]
-	for _, id := range ids {
+	start := len(dst)
+	dst = p.SampleGeneralInto(dst, src, s.Cap+1)
+	w := start
+	for _, id := range dst[start:] {
 		if id == thiefID {
 			continue
 		}
-		out = append(out, id)
-		if len(out) == s.Cap {
+		dst[w] = id
+		w++
+		if w-start == s.Cap {
 			break
 		}
 	}
-	return out
+	return dst[:w]
 }
 
 // EligibleGroup computes the stealable range of a victim's queue per

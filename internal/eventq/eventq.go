@@ -1,11 +1,23 @@
 // Package eventq implements the discrete-event engine underlying the
 // trace-driven cluster simulator.
 //
-// The engine is a binary-heap priority queue of timestamped callbacks with a
-// virtual clock. The heap is hand-rolled over a []event rather than built on
-// container/heap so that pushing and popping events never boxes them through
-// interface{} — the engine is the simulator's hottest allocation site, and a
-// run executes hundreds of thousands of events.
+// The engine is a typed-event design: a binary-heap priority queue of flat
+// event records — timestamp, sequence number, and a caller-defined payload —
+// with a virtual clock. Engine is generic over the payload type E, and
+// executing an event means handing its payload to the single dispatch
+// function supplied at construction. This is deliberate: the obvious
+// alternative, a queue of func() closures, heap-allocates one closure (plus
+// its captured variables) per scheduled event, and the engine is the
+// simulator's hottest call site — a run executes hundreds of thousands of
+// events. With a small struct payload (the simulator uses a kind tag plus
+// two pointers and a float64), pushing, popping, and dispatching events
+// performs zero heap allocations; the only allocations the engine ever
+// makes are the amortized growths of the backing array, and New's capacity
+// hint removes even those when the caller can bound the live event count.
+//
+// The heap is likewise hand-rolled over a []event[E] rather than built on
+// container/heap, whose interface would box every element through
+// interface{} on push and pop.
 //
 // # Ordering invariant
 //
@@ -16,66 +28,86 @@
 // it makes every simulation a pure function of (trace, config, seed), which
 // is what lets internal/sweep fan runs out over worker pools while
 // guaranteeing byte-identical results to a serial run. Periodic samplers
-// registered with EverySample are ordinary events and obey the same rule: a
-// sampler tick scheduled before another event at the same instant fires
+// (internal/sim's utilization ticks) are ordinary events and obey the same
+// rule: a tick scheduled before another event at the same instant fires
 // before it, and one scheduled after fires after it.
 package eventq
 
-// Engine is a discrete-event simulation engine. The zero value is not
-// usable; call New.
-type Engine struct {
-	now    float64
-	seq    uint64
-	events eventHeap
-	count  uint64 // total events executed
+// Engine is a discrete-event simulation engine over payloads of type E.
+// The zero value is not usable; call New.
+type Engine[E any] struct {
+	now      float64
+	seq      uint64
+	events   eventHeap[E]
+	count    uint64 // total events executed
+	dispatch func(now float64, ev E)
 }
 
-// New returns an empty engine with the clock at zero.
-func New() *Engine {
-	return &Engine{}
+// New returns an empty engine with the clock at zero. dispatch is invoked
+// once per executed event, with the clock already advanced to the event's
+// timestamp; it must not be nil. capacity pre-sizes the event heap,
+// eliminating growth-path copies on the hot loop: size it to the largest
+// number of events expected to be pending at once (internal/sim derives a
+// deliberately generous bound from its trace — see the hint comment in
+// sim.Run). Zero is valid and simply means "grow on demand".
+func New[E any](dispatch func(now float64, ev E), capacity int) *Engine[E] {
+	if dispatch == nil {
+		panic("eventq: nil dispatch")
+	}
+	e := &Engine[E]{dispatch: dispatch}
+	if capacity > 0 {
+		e.events = make(eventHeap[E], 0, capacity)
+	}
+	return e
 }
 
 // Now returns the current virtual time in seconds.
-func (e *Engine) Now() float64 { return e.now }
+func (e *Engine[E]) Now() float64 { return e.now }
 
 // Executed returns the number of events processed so far.
-func (e *Engine) Executed() uint64 { return e.count }
+func (e *Engine[E]) Executed() uint64 { return e.count }
 
 // Pending returns the number of events waiting in the queue.
-func (e *Engine) Pending() int { return len(e.events) }
+func (e *Engine[E]) Pending() int { return len(e.events) }
 
-// At schedules fn to run at absolute virtual time t. Scheduling in the past
-// (t < Now) is clamped to Now: the event fires before any later event but
-// virtual time never runs backwards. Among events with equal timestamps,
-// earlier At calls fire first (see the package ordering invariant).
-func (e *Engine) At(t float64, fn func()) {
+// Cap returns the current capacity of the event heap (for tests and
+// introspection of the pre-sizing hint).
+func (e *Engine[E]) Cap() int { return cap(e.events) }
+
+// At schedules ev to be dispatched at absolute virtual time t. Scheduling
+// in the past (t < Now) is clamped to Now: the event fires before any later
+// event but virtual time never runs backwards. Among events with equal
+// timestamps, earlier At calls fire first (see the package ordering
+// invariant).
+func (e *Engine[E]) At(t float64, ev E) {
 	if t < e.now {
 		t = e.now
 	}
 	e.seq++
-	e.events.push(event{at: t, seq: e.seq, fn: fn})
+	e.events.push(event[E]{at: t, seq: e.seq, payload: ev})
 }
 
-// After schedules fn to run d seconds after the current virtual time.
-func (e *Engine) After(d float64, fn func()) {
-	e.At(e.now+d, fn)
+// After schedules ev to be dispatched d seconds after the current virtual
+// time.
+func (e *Engine[E]) After(d float64, ev E) {
+	e.At(e.now+d, ev)
 }
 
 // Step executes the single earliest pending event, advancing the clock.
 // It returns false when the queue is empty.
-func (e *Engine) Step() bool {
+func (e *Engine[E]) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
 	ev := e.events.pop()
 	e.now = ev.at
 	e.count++
-	ev.fn()
+	e.dispatch(e.now, ev.payload)
 	return true
 }
 
 // Run executes events until the queue drains.
-func (e *Engine) Run() {
+func (e *Engine[E]) Run() {
 	for e.Step() {
 	}
 }
@@ -83,7 +115,7 @@ func (e *Engine) Run() {
 // RunUntil executes events with timestamps <= deadline, leaving later events
 // queued and the clock at the last executed event (or deadline if the first
 // pending event lies beyond it).
-func (e *Engine) RunUntil(deadline float64) {
+func (e *Engine[E]) RunUntil(deadline float64) {
 	for len(e.events) > 0 && e.events[0].at <= deadline {
 		e.Step()
 	}
@@ -92,56 +124,36 @@ func (e *Engine) RunUntil(deadline float64) {
 	}
 }
 
-// EverySample registers fn to run every interval seconds, starting at
-// start, for as long as keepGoing returns true. It is used for periodic
-// cluster-utilization snapshots (the paper samples every 100 s). Each tick
-// is a regular event: relative to other events at the same instant it fires
-// in insertion order, and the next tick is scheduled only after the current
-// one runs.
-func (e *Engine) EverySample(start, interval float64, keepGoing func() bool, fn func(now float64)) {
-	var tick func()
-	next := start
-	tick = func() {
-		if !keepGoing() {
-			return
-		}
-		fn(e.now)
-		next += interval
-		e.At(next, tick)
-	}
-	e.At(next, tick)
-}
-
-type event struct {
-	at  float64
-	seq uint64
-	fn  func()
+type event[E any] struct {
+	at      float64
+	seq     uint64
+	payload E
 }
 
 // eventHeap is a hand-rolled binary min-heap ordered by (at, seq). It
 // deliberately does not implement container/heap.Interface: that interface
 // moves elements through interface{}, which would allocate on every push
 // and pop.
-type eventHeap []event
+type eventHeap[E any] []event[E]
 
-func (h eventHeap) less(i, j int) bool {
+func (h eventHeap[E]) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
 
-func (h *eventHeap) push(ev event) {
+func (h *eventHeap[E]) push(ev event[E]) {
 	*h = append(*h, ev)
 	h.siftUp(len(*h) - 1)
 }
 
-func (h *eventHeap) pop() event {
+func (h *eventHeap[E]) pop() event[E] {
 	old := *h
 	top := old[0]
 	n := len(old) - 1
 	old[0] = old[n]
-	old[n] = event{} // drop the fn reference so the closure can be collected
+	old[n] = event[E]{} // drop payload references so they can be collected
 	*h = old[:n]
 	if n > 1 {
 		old[:n].siftDown(0)
@@ -149,7 +161,7 @@ func (h *eventHeap) pop() event {
 	return top
 }
 
-func (h eventHeap) siftUp(i int) {
+func (h eventHeap[E]) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
 		if !h.less(i, parent) {
@@ -160,7 +172,7 @@ func (h eventHeap) siftUp(i int) {
 	}
 }
 
-func (h eventHeap) siftDown(i int) {
+func (h eventHeap[E]) siftDown(i int) {
 	n := len(h)
 	for {
 		left := 2*i + 1

@@ -7,8 +7,16 @@ import (
 	"testing/quick"
 )
 
+// newClosureEngine instantiates the typed engine with a closure payload so
+// the ordering tests read naturally. Production users (internal/sim) use a
+// flat struct payload instead — see TestZeroAllocSteadyState for the
+// allocation contract that design exists to honor.
+func newClosureEngine() *Engine[func()] {
+	return New(func(_ float64, fn func()) { fn() }, 0)
+}
+
 func TestEventsFireInTimeOrder(t *testing.T) {
-	e := New()
+	e := newClosureEngine()
 	var fired []float64
 	times := []float64{5, 1, 3, 2, 4, 0.5}
 	for _, at := range times {
@@ -25,7 +33,7 @@ func TestEventsFireInTimeOrder(t *testing.T) {
 }
 
 func TestSameTimeFIFO(t *testing.T) {
-	e := New()
+	e := newClosureEngine()
 	var order []int
 	for i := 0; i < 100; i++ {
 		i := i
@@ -40,7 +48,7 @@ func TestSameTimeFIFO(t *testing.T) {
 }
 
 func TestClockAdvances(t *testing.T) {
-	e := New()
+	e := newClosureEngine()
 	e.At(10, func() {
 		if e.Now() != 10 {
 			t.Errorf("Now() = %v inside event at 10", e.Now())
@@ -52,8 +60,36 @@ func TestClockAdvances(t *testing.T) {
 	}
 }
 
+func TestDispatchSeesEventTime(t *testing.T) {
+	// The dispatch function receives the clock already advanced to the
+	// event's timestamp, and it matches Now().
+	var seen []float64
+	e := New(func(now float64, at float64) {
+		seen = append(seen, now)
+		if now != at {
+			t.Errorf("dispatched at now=%v, payload says %v", now, at)
+		}
+	}, 0)
+	for _, at := range []float64{3, 1, 2} {
+		e.At(at, at)
+	}
+	e.Run()
+	if !sort.Float64sAreSorted(seen) || len(seen) != 3 {
+		t.Fatalf("dispatch times = %v", seen)
+	}
+}
+
+func TestNilDispatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with nil dispatch did not panic")
+		}
+	}()
+	New[int](nil, 0)
+}
+
 func TestPastSchedulingClamps(t *testing.T) {
-	e := New()
+	e := newClosureEngine()
 	var secondTime float64 = -1
 	e.At(10, func() {
 		// Scheduling in the past must clamp to now, not rewind time.
@@ -66,7 +102,7 @@ func TestPastSchedulingClamps(t *testing.T) {
 }
 
 func TestAfterRelative(t *testing.T) {
-	e := New()
+	e := newClosureEngine()
 	var at float64
 	e.At(3, func() {
 		e.After(4, func() { at = e.Now() })
@@ -79,7 +115,7 @@ func TestAfterRelative(t *testing.T) {
 
 func TestNestedScheduling(t *testing.T) {
 	// A chain of events each scheduling the next must run to completion.
-	e := New()
+	e := newClosureEngine()
 	count := 0
 	var step func()
 	step = func() {
@@ -99,7 +135,7 @@ func TestNestedScheduling(t *testing.T) {
 }
 
 func TestRunUntil(t *testing.T) {
-	e := New()
+	e := newClosureEngine()
 	var fired []float64
 	for _, at := range []float64{1, 2, 3, 4, 5} {
 		at := at
@@ -119,7 +155,7 @@ func TestRunUntil(t *testing.T) {
 }
 
 func TestRunUntilAdvancesIdleClock(t *testing.T) {
-	e := New()
+	e := newClosureEngine()
 	e.RunUntil(42)
 	if e.Now() != 42 {
 		t.Fatalf("idle RunUntil left clock at %v, want 42", e.Now())
@@ -127,7 +163,7 @@ func TestRunUntilAdvancesIdleClock(t *testing.T) {
 }
 
 func TestStep(t *testing.T) {
-	e := New()
+	e := newClosureEngine()
 	if e.Step() {
 		t.Fatal("Step on empty engine should return false")
 	}
@@ -144,35 +180,61 @@ func TestStep(t *testing.T) {
 	}
 }
 
-func TestEverySample(t *testing.T) {
-	e := New()
-	active := true
-	var samples []float64
-	e.EverySample(100, 100, func() bool { return active }, func(now float64) {
-		samples = append(samples, now)
-		if now >= 500 {
-			active = false
-		}
-	})
-	e.Run()
-	want := []float64{100, 200, 300, 400, 500}
-	if len(samples) != len(want) {
-		t.Fatalf("samples = %v, want %v", samples, want)
+// TestCapacityHint pins New's pre-sizing contract: a positive hint reserves
+// heap capacity up front (no growth copies while pending stays within it),
+// and a zero hint is valid — the heap simply grows on demand.
+func TestCapacityHint(t *testing.T) {
+	e := New(func(float64, int) {}, 128)
+	if got := e.Cap(); got < 128 {
+		t.Fatalf("Cap() = %d after New with hint 128", got)
 	}
-	for i := range want {
-		if samples[i] != want[i] {
-			t.Fatalf("samples = %v, want %v", samples, want)
-		}
+	for i := 0; i < 128; i++ {
+		e.At(float64(i), i)
+	}
+	if got := e.Cap(); got != 128 {
+		t.Fatalf("heap grew to cap %d despite fitting the hint", got)
+	}
+
+	zero := New(func(float64, int) {}, 0)
+	if got := zero.Cap(); got != 0 {
+		t.Fatalf("Cap() = %d after New with hint 0, want 0", got)
+	}
+	sum := 0
+	dispatchSum := New(func(_ float64, v int) { sum += v }, 0)
+	for i := 1; i <= 100; i++ {
+		dispatchSum.At(float64(i), i)
+	}
+	dispatchSum.Run()
+	if sum != 5050 {
+		t.Fatalf("hint-0 engine dispatched sum %d, want 5050", sum)
 	}
 }
 
-func TestEverySampleStopsImmediately(t *testing.T) {
-	e := New()
-	count := 0
-	e.EverySample(10, 10, func() bool { return false }, func(float64) { count++ })
-	e.Run()
-	if count != 0 {
-		t.Fatalf("sampler ran %d times despite keepGoing=false", count)
+// TestZeroAllocSteadyState is the contract the typed-event redesign exists
+// for: with a struct payload and sufficient heap capacity, scheduling and
+// dispatching events performs zero heap allocations.
+func TestZeroAllocSteadyState(t *testing.T) {
+	type payload struct {
+		kind uint8
+		a, b *int
+		dur  float64
+	}
+	var x, y int
+	executed := 0
+	e := New(func(_ float64, p payload) { executed += int(p.kind) }, 4096)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		e.At(rng.Float64()*1000, payload{kind: 1, a: &x, b: &y, dur: 0.5})
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		e.After(rng.Float64()*10, payload{kind: 1, a: &x, b: &y})
+		e.Step()
+	})
+	if allocs != 0 {
+		t.Fatalf("push+pop allocated %v times per op, want 0", allocs)
+	}
+	if executed == 0 {
+		t.Fatal("no events dispatched")
 	}
 }
 
@@ -180,7 +242,7 @@ func TestEverySampleStopsImmediately(t *testing.T) {
 // permutation and the clock never runs backwards.
 func TestOrderingProperty(t *testing.T) {
 	check := func(times []float64) bool {
-		e := New()
+		e := newClosureEngine()
 		var fired []float64
 		for _, at := range times {
 			at := at
@@ -203,7 +265,7 @@ func TestOrderingProperty(t *testing.T) {
 // events at distinct times.
 func TestInterleavedScheduling(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
-	e := New()
+	e := newClosureEngine()
 	var fired []float64
 	pending := 0
 	for i := 0; i < 5000; i++ {
@@ -225,24 +287,26 @@ func TestInterleavedScheduling(t *testing.T) {
 // TestTieBreakInsertionOrderInvariant is the invariant the parallel sweep
 // layer's determinism proof rests on: for ANY interleaving of At calls, the
 // global execution order equals a stable sort of the events by timestamp —
-// i.e. same-timestamp events fire exactly in insertion order.
+// i.e. same-timestamp events fire exactly in insertion order. It runs on a
+// typed integer payload, the engine's production shape.
 func TestTieBreakInsertionOrderInvariant(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	e := New()
 	type key struct {
 		at  float64
 		ins int
 	}
 	var want []key
 	var got []key
+	e := New(func(now float64, ins int) {
+		got = append(got, key{at: now, ins: ins})
+	}, 0)
 	// Many events crowded onto few distinct timestamps forces heavy
 	// tie-breaking inside the heap.
 	timestamps := []float64{0, 1, 1, 2, 3, 3, 3, 5, 8}
 	for i := 0; i < 3000; i++ {
 		at := timestamps[rng.Intn(len(timestamps))]
-		k := key{at: at, ins: i}
-		want = append(want, k)
-		e.At(at, func() { got = append(got, k) })
+		want = append(want, key{at: at, ins: i})
+		e.At(at, i)
 	}
 	sort.SliceStable(want, func(i, j int) bool { return want[i].at < want[j].at })
 	e.Run()
@@ -262,7 +326,7 @@ func TestTieBreakInsertionOrderInvariant(t *testing.T) {
 // created from inside running events (the simulator's normal mode: zero
 // network delay hops schedule more work at the current instant).
 func TestTieBreakSurvivesNestedScheduling(t *testing.T) {
-	e := New()
+	e := newClosureEngine()
 	var order []int
 	e.At(10, func() {
 		// Scheduled while t=10 is executing: these tie with the events
@@ -284,50 +348,19 @@ func TestTieBreakSurvivesNestedScheduling(t *testing.T) {
 	}
 }
 
-// TestEverySampleTieOrder pins down EverySample's position among events at
-// the same instant: a sampler registered before an At for the same time
-// fires first, one registered after fires second.
-func TestEverySampleTieOrder(t *testing.T) {
-	e := New()
-	var order []string
-	active := true
-	e.EverySample(100, 100, func() bool { return active }, func(now float64) {
-		order = append(order, "sampler")
-		active = false
-	})
-	e.At(100, func() { order = append(order, "event") })
-	e.Run()
-	if len(order) != 2 || order[0] != "sampler" || order[1] != "event" {
-		t.Fatalf("order = %v, want [sampler event] — EverySample ticks are "+
-			"ordinary events and obey insertion-order tie-breaking", order)
-	}
-
-	e = New()
-	order = nil
-	active = true
-	e.At(100, func() { order = append(order, "event") })
-	e.EverySample(100, 100, func() bool { return active }, func(now float64) {
-		order = append(order, "sampler")
-		active = false
-	})
-	e.Run()
-	if len(order) != 2 || order[0] != "event" || order[1] != "sampler" {
-		t.Fatalf("order = %v, want [event sampler]", order)
-	}
-}
-
 // TestHeapMatchesReferenceModel drives the hand-rolled heap against a
 // stable-sorted reference model over a random interleaving of pushes and
-// pops, catching any sift bug that reorders equal-timestamp events.
+// pops, catching any sift bug that reorders equal-timestamp events. It uses
+// the typed payload path directly: the record IS the payload, no closures.
 func TestHeapMatchesReferenceModel(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
-	e := New()
 	type rec struct {
 		at  float64
 		ins int
 	}
 	var model []rec
 	var fired []rec
+	e := New(func(_ float64, r rec) { fired = append(fired, r) }, 0)
 	ins := 0
 	for i := 0; i < 20000; i++ {
 		if e.Pending() == 0 || rng.Intn(3) > 0 {
@@ -335,7 +368,7 @@ func TestHeapMatchesReferenceModel(t *testing.T) {
 			r := rec{at: at, ins: ins}
 			ins++
 			model = append(model, r)
-			e.At(at, func() { fired = append(fired, r) })
+			e.At(at, r)
 		} else {
 			e.Step()
 		}
@@ -358,18 +391,28 @@ func TestHeapMatchesReferenceModel(t *testing.T) {
 	}
 }
 
+// simShapedEvent mirrors internal/sim's event union so the benchmark
+// exercises the payload size the production hot path pays for.
+type simShapedEvent struct {
+	kind    uint8
+	central bool
+	a, b    *int
+	dur     float64
+}
+
 func BenchmarkEngine(b *testing.B) {
 	b.ReportAllocs()
 	rng := rand.New(rand.NewSource(1))
-	e := New()
-	nop := func() {}
+	var sink int
+	var x int
+	e := New(func(_ float64, ev simShapedEvent) { sink += int(ev.kind) }, 16384)
 	// Keep a rolling window of pending events like a live simulation.
 	for i := 0; i < 10000; i++ {
-		e.At(rng.Float64()*1000, nop)
+		e.At(rng.Float64()*1000, simShapedEvent{kind: 1, a: &x})
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e.After(rng.Float64()*10, nop)
+		e.After(rng.Float64()*10, simShapedEvent{kind: 1, a: &x})
 		e.Step()
 	}
 }

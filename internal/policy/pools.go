@@ -40,14 +40,22 @@ func (p Pool) IDs(part core.Partition) []int {
 
 // Sample draws k distinct random node ids from the pool.
 func (p Pool) Sample(part core.Partition, src *randdist.Source, k int) []int {
+	return p.SampleInto(nil, part, src, k)
+}
+
+// SampleInto is the scratch-buffer form of Sample: it appends the sampled
+// ids to dst and returns the extended slice, drawing identically to Sample.
+// The simulator threads a per-run buffer through here so probe placement
+// performs zero heap allocations in steady state.
+func (p Pool) SampleInto(dst []int, part core.Partition, src *randdist.Source, k int) []int {
 	switch p {
 	case PoolAll:
-		return part.SampleAll(src, k)
+		return part.SampleAllInto(dst, src, k)
 	case PoolGeneral:
-		return part.SampleGeneral(src, k)
+		return part.SampleGeneralInto(dst, src, k)
 	case PoolShort:
-		return part.SampleShort(src, k)
+		return part.SampleShortInto(dst, src, k)
 	default:
-		return nil
+		return dst
 	}
 }

@@ -16,6 +16,22 @@ import (
 // per goroutine.
 type Source struct {
 	rng *rand.Rand
+
+	// Scratch state reused by SampleWithoutReplacementInto so steady-state
+	// sampling performs zero heap allocations. The buffers are private to
+	// one call at a time (a Source is single-goroutine by contract), and
+	// only their capacity survives between calls — never their contents.
+	//
+	// stamp/gen implement the rejection set as a generation-stamped array
+	// rather than a map: value v is "seen this call" iff stamp[v] == gen,
+	// and bumping gen invalidates the whole set in O(1). A map here would
+	// pay a whole-table clear per call (Go's map clear zeroes every
+	// bucket), which profiles as the dominant cost of steal-candidate
+	// sampling — each steal attempt draws ~10 values but would clear a
+	// table sized by the largest probe burst ever drawn.
+	stamp       []uint32
+	gen         uint32
+	permScratch []int
 }
 
 // New returns a Source seeded with seed. Equal seeds yield equal streams.
@@ -92,34 +108,79 @@ func (s *Source) Poisson(mean float64) int {
 func (s *Source) Perm(n int) []int { return s.rng.Perm(n) }
 
 // SampleWithoutReplacement returns k distinct uniform values from [0, n).
-// If k >= n it returns a full permutation. For k much smaller than n it
-// uses rejection sampling via a set, which is O(k) expected time, so probe
-// and steal-victim selection stay cheap even on 50000-node clusters.
+// If k >= n it returns a full permutation. It is the allocating convenience
+// form of SampleWithoutReplacementInto and draws the identical value
+// sequence for identical (seed, n, k) call sequences.
 func (s *Source) SampleWithoutReplacement(n, k int) []int {
-	if k >= n {
-		return s.rng.Perm(n)
+	if k > n {
+		k = n
 	}
 	if k <= 0 {
 		return nil
 	}
-	// For large k relative to n, a partial Fisher-Yates avoids rejection
-	// stalls; for the common case (k << n) rejection is faster and
-	// allocates only the result slice plus a small map.
-	if k*3 >= n {
-		p := s.rng.Perm(n)
-		return p[:k]
+	return s.SampleWithoutReplacementInto(make([]int, 0, k), n, k)
+}
+
+// SampleWithoutReplacementInto appends k distinct uniform values from
+// [0, n) to dst and returns the extended slice, consuming exactly the same
+// random draws as SampleWithoutReplacement. When dst has capacity for the
+// appended values the call performs zero heap allocations in steady state:
+// the rejection set and the Fisher-Yates workspace are scratch buffers on
+// the Source, reused across calls. Callers on the simulator hot path thread
+// a per-simulation buffer through (see internal/sim); calls must not be
+// nested on one Source.
+//
+// For k much smaller than n it uses rejection sampling via the reused set,
+// which is O(k) expected time, so probe and steal-victim selection stay
+// cheap even on 50000-node clusters; for large k relative to n a partial
+// Fisher-Yates avoids rejection stalls.
+func (s *Source) SampleWithoutReplacementInto(dst []int, n, k int) []int {
+	if k > n {
+		k = n
 	}
-	out := make([]int, 0, k)
-	seen := make(map[int]struct{}, k)
-	for len(out) < k {
+	if k <= 0 {
+		return dst
+	}
+	if k*3 >= n {
+		s.permScratch = s.permInto(s.permScratch[:0], n)
+		return append(dst, s.permScratch[:k]...)
+	}
+	if n > len(s.stamp) {
+		s.stamp = append(s.stamp, make([]uint32, n-len(s.stamp))...)
+	}
+	s.gen++
+	if s.gen == 0 {
+		// Generation counter wrapped: stale stamps could alias the new
+		// generation, so reset them once and restart at 1.
+		clear(s.stamp)
+		s.gen = 1
+	}
+	for added := 0; added < k; {
 		v := s.rng.Intn(n)
-		if _, dup := seen[v]; dup {
+		if s.stamp[v] == s.gen {
 			continue
 		}
-		seen[v] = struct{}{}
-		out = append(out, v)
+		s.stamp[v] = s.gen
+		dst = append(dst, v)
+		added++
 	}
-	return out
+	return dst
+}
+
+// permInto appends a uniform permutation of [0, n) to dst, consuming the
+// exact random draws math/rand's Perm would — including the redundant
+// Intn(1) of the i = 0 iteration, which rand.Perm keeps for Go 1 stream
+// compatibility. That draw-for-draw equivalence is what lets the Into
+// sampling path reproduce the allocating path bit-for-bit.
+func (s *Source) permInto(dst []int, n int) []int {
+	start := len(dst)
+	for i := 0; i < n; i++ {
+		j := s.rng.Intn(i + 1)
+		dst = append(dst, 0)
+		dst[start+i] = dst[start+j]
+		dst[start+j] = i
+	}
+	return dst
 }
 
 // ArrivalProcess generates job submission times.

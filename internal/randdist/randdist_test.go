@@ -2,6 +2,7 @@ package randdist
 
 import (
 	"math"
+	"math/rand"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -232,4 +233,114 @@ func TestIntnPanicsOnZero(t *testing.T) {
 		}
 	}()
 	New(13).Intn(0)
+}
+
+// legacySampleWithoutReplacement is a frozen copy of the allocating
+// algorithm as it existed before the scratch-buffer variant was introduced.
+// The equivalence tests below pin SampleWithoutReplacementInto to this
+// reference draw-for-draw: identical (seed, n, k) call sequences must yield
+// identical values AND leave the underlying generator in the identical
+// state, or previously pinned simulation output would silently change.
+func legacySampleWithoutReplacement(rng *rand.Rand, n, k int) []int {
+	if k >= n {
+		return rng.Perm(n)
+	}
+	if k <= 0 {
+		return nil
+	}
+	if k*3 >= n {
+		p := rng.Perm(n)
+		return p[:k]
+	}
+	out := make([]int, 0, k)
+	seen := make(map[int]struct{}, k)
+	for len(out) < k {
+		v := rng.Intn(n)
+		if _, dup := seen[v]; dup {
+			continue
+		}
+		seen[v] = struct{}{}
+		out = append(out, v)
+	}
+	return out
+}
+
+// sampleEquivalenceCases covers every code path: rejection (k << n),
+// partial Fisher-Yates (k*3 >= n), full permutation (k == n), clamping
+// (k > n), and no-ops (k <= 0) — chained on ONE source so stream state
+// carries across calls.
+var sampleEquivalenceCases = []struct{ n, k int }{
+	{1000, 7}, {50, 40}, {10, 10}, {5, 9}, {5, 0}, {5, -2},
+	{3000, 999}, {3000, 1000}, {1, 1}, {2, 1}, {100, 33}, {100, 34},
+}
+
+func TestSampleIntoMatchesLegacyDrawForDraw(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		legacy := rand.New(rand.NewSource(seed))
+		src := New(seed)
+		buf := make([]int, 0, 64)
+		for _, c := range sampleEquivalenceCases {
+			want := legacySampleWithoutReplacement(legacy, c.n, c.k)
+			buf = src.SampleWithoutReplacementInto(buf[:0], c.n, c.k)
+			if len(buf) != len(want) {
+				t.Fatalf("seed %d (n=%d,k=%d): len %d, want %d", seed, c.n, c.k, len(buf), len(want))
+			}
+			for i := range want {
+				if buf[i] != want[i] {
+					t.Fatalf("seed %d (n=%d,k=%d): draw %d = %d, want %d",
+						seed, c.n, c.k, i, buf[i], want[i])
+				}
+			}
+		}
+		// The generators must also agree AFTER the sequence: equal next
+		// draws prove the scratch variant consumed exactly as many values.
+		if got, want := src.Int63(), legacy.Int63(); got != want {
+			t.Fatalf("seed %d: stream diverged after sampling: %d vs %d", seed, got, want)
+		}
+	}
+}
+
+func TestSampleIntoMatchesAllocatingVariant(t *testing.T) {
+	a := New(99)
+	b := New(99)
+	buf := make([]int, 0, 64)
+	for _, c := range sampleEquivalenceCases {
+		want := a.SampleWithoutReplacement(c.n, c.k)
+		buf = b.SampleWithoutReplacementInto(buf[:0], c.n, c.k)
+		if len(buf) != len(want) {
+			t.Fatalf("(n=%d,k=%d): len %d, want %d", c.n, c.k, len(buf), len(want))
+		}
+		for i := range want {
+			if buf[i] != want[i] {
+				t.Fatalf("(n=%d,k=%d): draw %d = %d, want %d", c.n, c.k, i, buf[i], want[i])
+			}
+		}
+	}
+	if got, want := b.Int63(), a.Int63(); got != want {
+		t.Fatalf("streams diverged after sampling: %d vs %d", got, want)
+	}
+}
+
+func TestSampleIntoAppends(t *testing.T) {
+	src := New(5)
+	dst := []int{-1, -2}
+	dst = src.SampleWithoutReplacementInto(dst, 100, 3)
+	if len(dst) != 5 || dst[0] != -1 || dst[1] != -2 {
+		t.Fatalf("Into must append after the existing prefix, got %v", dst)
+	}
+}
+
+func TestSampleIntoZeroAllocSteadyState(t *testing.T) {
+	src := New(6)
+	buf := make([]int, 0, 64)
+	// Warm the scratch buffers (rejection set + Fisher-Yates workspace).
+	buf = src.SampleWithoutReplacementInto(buf[:0], 1000, 10)
+	buf = src.SampleWithoutReplacementInto(buf[:0], 60, 40)
+	allocs := testing.AllocsPerRun(200, func() {
+		buf = src.SampleWithoutReplacementInto(buf[:0], 1000, 10) // rejection path
+		buf = src.SampleWithoutReplacementInto(buf[:0], 60, 40)   // Fisher-Yates path
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state sampling allocated %v times per op, want 0", allocs)
+	}
 }

@@ -1,0 +1,72 @@
+package sim
+
+// The simulator's typed-event union. Every discrete event a run executes is
+// one flat simEvent value stored directly in the engine's heap — there are
+// no per-event closures, so scheduling an event allocates nothing. The
+// payload is deliberately compact (24 bytes: one pointer, a float64, an
+// int32 ref, and two tag bytes): every heap sift copies it, so its size is
+// a direct multiplier on the engine's dominant loop.
+type evKind uint8
+
+const (
+	// evSubmit: a job arrives at its scheduler (ref = trace job index).
+	evSubmit evKind = iota
+	// evProbeArrive: a batch-sampling probe reaches the queue of node
+	// ref after one network delay (js).
+	evProbeArrive
+	// evTaskArrive: a centrally placed task reaches the queue of node
+	// ref after one network delay (js, dur).
+	evTaskArrive
+	// evProbeReply: the scheduler's answer to node ref's task request
+	// lands after the request/response round trip (js).
+	evProbeReply
+	// evTaskDone: the task running on node ref completes (js, central).
+	evTaskDone
+	// evSample: periodic cluster-utilization snapshot (no payload).
+	evSample
+)
+
+// simEvent is the event payload; which fields are meaningful depends on
+// kind (see the kind constants). ref is a deliberate union — the trace job
+// index for evSubmit, the node id otherwise — so the struct carries one
+// int32 instead of two pointers.
+type simEvent struct {
+	kind    evKind
+	central bool  // evTaskDone: task was placed by the centralized scheduler
+	ref     int32 // evSubmit: index into trace.Jobs; node events: node id
+	js      *jobState
+	dur     float64 // evTaskArrive: actual task duration
+}
+
+// dispatch executes one event. It is the single handler switch the engine
+// drives; the clock has already advanced to now.
+func (s *simulation) dispatch(now float64, ev simEvent) {
+	switch ev.kind {
+	case evSubmit:
+		s.submit(s.trace.Jobs[ev.ref])
+	case evProbeArrive:
+		s.nodes[ev.ref].enqueue(entry{kind: probeEntry, js: ev.js, enq: now})
+	case evTaskArrive:
+		s.nodes[ev.ref].enqueue(entry{kind: taskEntry, js: ev.js, dur: ev.dur, enq: now})
+	case evProbeReply:
+		s.nodes[ev.ref].probeReply(ev.js)
+	case evTaskDone:
+		s.nodes[ev.ref].taskDone(ev.js, ev.central, now)
+	case evSample:
+		s.sampleTick(now)
+	}
+}
+
+// sampleTick records one utilization sample and schedules the next, for as
+// long as jobs remain — the periodic sampler the paper uses for §2.3/§4.2
+// (every 100 s by default). Each tick is an ordinary event: relative to
+// other events at the same instant it fires in insertion order, and the
+// next tick is scheduled only after the current one runs.
+func (s *simulation) sampleTick(now float64) {
+	if s.jobsDone >= len(s.trace.Jobs) {
+		return
+	}
+	s.res.Utilization.AddAt(now, float64(s.busyNodes)/float64(s.slots))
+	s.nextSample += s.cfg.UtilizationInterval
+	s.eng.At(s.nextSample, simEvent{kind: evSample})
+}

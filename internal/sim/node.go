@@ -30,7 +30,16 @@ type node struct {
 	id  int
 	sim *simulation
 
+	// The FIFO queue's live entries are queue[head:]. Popping advances
+	// head instead of reslicing from the front, and the slice is rewound
+	// to its start whenever the queue drains — so the backing array's
+	// capacity is reused for the node's lifetime and steady-state
+	// enqueues never allocate. (Reslicing queue[1:] looks free but
+	// strands the popped prefix: the array can never be re-used from the
+	// front again, forcing a fresh allocation each time the window slides
+	// past the capacity.)
 	queue []entry
+	head  int
 	// busy is true while the slot is occupied: executing a task or
 	// holding the request/response round-trip of a probe at the head of
 	// the queue.
@@ -41,8 +50,21 @@ type node struct {
 	runningLong bool
 }
 
+// queueLen returns the number of live queued entries.
+func (n *node) queueLen() int { return len(n.queue) - n.head }
+
 // enqueue appends an entry and starts it immediately if the node is idle.
 func (n *node) enqueue(e entry) {
+	if n.head > 0 && len(n.queue) == cap(n.queue) {
+		// About to grow: compact live entries to the front first, so the
+		// stranded [0:head) prefix is not copied into (and retained by) a
+		// larger array. This keeps a queue that never fully drains — a
+		// node under sustained overload — at memory proportional to its
+		// peak depth rather than its total throughput.
+		live := copy(n.queue, n.queue[n.head:])
+		n.queue = n.queue[:live]
+		n.head = 0
+	}
 	n.queue = append(n.queue, e)
 	n.advance()
 }
@@ -52,23 +74,31 @@ func (n *node) enqueue(e entry) {
 // else already queued there (the thief is idle when it steals, so in
 // practice the queue is empty).
 func (n *node) enqueueFront(es []entry) {
-	if len(n.queue) == 0 {
+	if n.queueLen() == 0 {
 		// The common case — the thief stole because it ran dry — reuses
 		// the thief's queue capacity instead of allocating a fresh slice.
-		n.queue = append(n.queue, es...)
+		n.queue = append(n.queue[:0], es...)
+		n.head = 0
 	} else {
-		n.queue = append(append(make([]entry, 0, len(es)+len(n.queue)), es...), n.queue...)
+		merged := make([]entry, 0, len(es)+n.queueLen())
+		merged = append(merged, es...)
+		merged = append(merged, n.queue[n.head:]...)
+		n.queue, n.head = merged, 0
 	}
 	n.advance()
 }
 
 // advance starts the head-of-queue entry if the slot is free.
 func (n *node) advance() {
-	if n.busy || len(n.queue) == 0 {
+	if n.busy || n.queueLen() == 0 {
 		return
 	}
-	head := n.queue[0]
-	n.queue = n.queue[1:]
+	head := n.queue[n.head]
+	n.head++
+	if n.head == len(n.queue) {
+		// Drained: rewind so the backing array is reusable from the top.
+		n.queue, n.head = n.queue[:0], 0
+	}
 	n.busy = true
 	n.runningLong = head.long()
 	n.sim.nodeBecameBusy()
@@ -85,31 +115,39 @@ func (n *node) advance() {
 		n.execute(head.js, head.dur, true)
 	case probeEntry:
 		// Request/response round trip to the job's scheduler: the node
-		// asks for a task; the scheduler answers with a task or cancel.
-		n.sim.eng.After(2*n.sim.cfg.NetworkDelay, func() {
-			dur, ok := head.js.nextTaskDuration()
-			if !ok {
-				n.sim.res.Cancels++
-				n.finishSlot()
-				return
-			}
-			n.execute(head.js, dur, false)
-		})
+		// asks for a task; the scheduler answers with a task or cancel
+		// (the evProbeReply event, handled by probeReply).
+		n.sim.eng.After(2*n.sim.cfg.NetworkDelay, simEvent{kind: evProbeReply, ref: int32(n.id), js: head.js})
 	}
+}
+
+// probeReply handles the scheduler's answer to this node's task request:
+// either the job's next unassigned task, or a cancel because other probes
+// drained the job first (§3.5).
+func (n *node) probeReply(js *jobState) {
+	dur, ok := js.nextTaskDuration()
+	if !ok {
+		n.sim.res.Cancels++
+		n.finishSlot()
+		return
+	}
+	n.execute(js, dur, false)
 }
 
 // execute runs one task to completion. central marks tasks placed by the
 // centralized scheduler, whose completion it observes.
 func (n *node) execute(js *jobState, dur float64, central bool) {
 	n.sim.res.TasksExecuted++
-	n.sim.eng.After(dur, func() {
-		now := n.sim.eng.Now()
-		if central {
-			n.sim.central.TaskFinished(n.id, now)
-		}
-		js.taskFinished(now)
-		n.finishSlot()
-	})
+	n.sim.eng.After(dur, simEvent{kind: evTaskDone, central: central, ref: int32(n.id), js: js})
+}
+
+// taskDone accounts a completed task and frees the slot.
+func (n *node) taskDone(js *jobState, central bool, now float64) {
+	if central {
+		n.sim.central.TaskFinished(n.id, now)
+	}
+	js.taskFinished(now)
+	n.finishSlot()
 }
 
 // finishSlot releases the slot, continues with the queue, and — if the node
@@ -118,7 +156,7 @@ func (n *node) finishSlot() {
 	n.busy = false
 	n.sim.nodeBecameIdle()
 	n.advance()
-	if !n.busy && len(n.queue) == 0 {
+	if !n.busy && n.queueLen() == 0 {
 		n.sim.attemptSteal(n)
 	}
 }
@@ -127,36 +165,42 @@ func (n *node) finishSlot() {
 // long jobs onto buf and returns it, for the eligible-group computation.
 // Callers pass a reused scratch buffer (see simulation.stealFlags).
 func (n *node) appendQueueLongFlags(buf []bool) []bool {
-	for _, e := range n.queue {
+	for _, e := range n.queue[n.head:] {
 		buf = append(buf, e.long())
 	}
 	return buf
 }
 
-// stealRange removes and returns queue entries [start, end).
-func (n *node) stealRange(start, end int) []entry {
-	stolen := append([]entry(nil), n.queue[start:end]...)
-	n.queue = append(n.queue[:start], n.queue[end:]...)
-	return stolen
+// appendStealRange removes queue entries [start, end), appends them to buf,
+// and returns it. Callers pass a reused scratch buffer (see
+// simulation.stolen); the entries are copied into the thief's queue before
+// the buffer's next use.
+// Indices are relative to the live queue (head-first), matching the flags
+// appendQueueLongFlags reports.
+func (n *node) appendStealRange(buf []entry, start, end int) []entry {
+	live := n.queue[n.head:]
+	buf = append(buf, live[start:end]...)
+	n.queue = append(n.queue[:n.head+start], live[end:]...)
+	return buf
 }
 
-// stealIndices removes and returns the entries at the given sorted queue
-// indices (the random-position stealing ablation).
-func (n *node) stealIndices(idx []int) []entry {
+// appendStealIndices removes the entries at the given sorted queue indices
+// (the random-position stealing ablation), appending them to buf.
+func (n *node) appendStealIndices(buf []entry, idx []int) []entry {
 	if len(idx) == 0 {
-		return nil
+		return buf
 	}
-	stolen := make([]entry, 0, len(idx))
-	kept := n.queue[:0]
+	live := n.queue[n.head:]
+	kept := live[:0]
 	next := 0
-	for i, e := range n.queue {
+	for i, e := range live {
 		if next < len(idx) && i == idx[next] {
-			stolen = append(stolen, e)
+			buf = append(buf, e)
 			next++
 			continue
 		}
 		kept = append(kept, e)
 	}
-	n.queue = kept
-	return stolen
+	n.queue = n.queue[:n.head+len(kept)]
+	return buf
 }

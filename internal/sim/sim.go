@@ -54,7 +54,7 @@ func (js *jobState) taskFinished(now float64) {
 type simulation struct {
 	cfg        policy.Config
 	pol        policy.Policy
-	eng        *eventq.Engine
+	eng        *eventq.Engine[simEvent]
 	trace      *workload.Trace
 	part       core.Partition
 	classifier core.Classifier
@@ -65,15 +65,24 @@ type simulation struct {
 	central    *core.CentralQueue
 	res        *policy.Report
 
-	busyNodes int
-	jobsDone  int
+	slots      int // total execution slots (len(nodes))
+	busyNodes  int
+	jobsDone   int
+	nextSample float64 // absolute time of the next utilization tick
 
-	// stealFlags is the scratch buffer appendQueueLongFlags snapshots
-	// into; one
-	// steal attempt fully overwrites it before reading, and the simulation
-	// is single-threaded, so reusing it across attempts is safe and keeps
-	// the steal path allocation-free.
+	// Per-simulation scratch buffers. The simulation is single-threaded
+	// and each use fully overwrites its buffer before reading, so reusing
+	// them keeps the probe and steal paths allocation-free:
+	//
+	//   - stealFlags: appendQueueLongFlags snapshot of one victim's queue
+	//   - nodeIDs: probe targets (submit) and steal candidates; the two
+	//     uses never overlap — probe placement only schedules events, and
+	//     a steal attempt never submits
+	//   - stolen: entries moved by one steal, copied into the thief's
+	//     queue before the next attempt
 	stealFlags []bool
+	nodeIDs    []int
+	stolen     []entry
 }
 
 // Run simulates the trace under the configuration, executing the policy
@@ -95,26 +104,41 @@ func Run(trace *workload.Trace, cfg policy.Config) (*policy.Report, error) {
 	s := &simulation{
 		cfg:        cfg,
 		pol:        pol,
-		eng:        eventq.New(),
 		trace:      trace,
 		classifier: core.Classifier{Cutoff: cfg.Cutoff},
 		estimator:  core.NewEstimator(cfg.MisestimateLo, cfg.MisestimateHi, cfg.Seed+1),
 		src:        randdist.New(cfg.Seed),
 		res:        &policy.Report{Engine: "sim", Policy: pol.String(), Config: cfg},
 	}
+	// The heap holds flat simEvent records; pre-size it with a
+	// trace-derived bound (~3 events per task plus one submit per job).
+	// Peak *pending* events — unsubmitted jobs, messages in their 0.5 ms
+	// network flight, and one completion per busy slot — sits far below
+	// this bound, so the hot loop never pays a growth copy. (Total events
+	// *executed* can exceed it: probe-based policies run ~5 events per
+	// task. The bound is about peak, not volume.) A hint of 0 would
+	// merely grow on demand.
+	hint := len(trace.Jobs)
+	for _, j := range trace.Jobs {
+		hint += 3 * j.NumTasks()
+	}
+	s.eng = eventq.New(s.dispatch, hint)
 	// Every job produces exactly one JobReport; reserving the slice up
 	// front keeps jobCompleted off the allocator's growth path.
 	s.res.Jobs = make([]policy.JobReport, 0, len(trace.Jobs))
 
-	slots := cfg.TotalSlots()
-	s.part = core.NewPartition(slots, pol.ShortPartitionFraction())
+	s.slots = cfg.TotalSlots()
+	s.part = core.NewPartition(s.slots, pol.ShortPartitionFraction())
 	s.steal = core.StealPolicy{Cap: cfg.StealCap, Enabled: pol.Steal()}
+	if s.steal.Enabled && s.steal.Cap > 0 {
+		s.nodeIDs = make([]int, 0, s.steal.Cap+1)
+	}
 
 	if pool := pol.CentralPool(); pool != policy.PoolNone {
 		s.central = core.NewCentralQueue(pool.IDs(s.part))
 	}
 
-	s.nodes = make([]*node, slots)
+	s.nodes = make([]*node, s.slots)
 	for i := range s.nodes {
 		s.nodes[i] = &node{id: i, sim: s}
 	}
@@ -123,15 +147,11 @@ func Run(trace *workload.Trace, cfg policy.Config) (*policy.Report, error) {
 		return nil, err
 	}
 
-	for _, j := range trace.Jobs {
-		job := j
-		s.eng.At(job.SubmitTime, func() { s.submit(job) })
+	for i, j := range trace.Jobs {
+		s.eng.At(j.SubmitTime, simEvent{kind: evSubmit, ref: int32(i)})
 	}
-	s.eng.EverySample(cfg.UtilizationInterval, cfg.UtilizationInterval,
-		func() bool { return s.jobsDone < len(trace.Jobs) },
-		func(now float64) {
-			s.res.Utilization.AddAt(now, float64(s.busyNodes)/float64(slots))
-		})
+	s.nextSample = cfg.UtilizationInterval
+	s.eng.At(s.nextSample, simEvent{kind: evSample})
 
 	s.eng.Run()
 
@@ -174,7 +194,9 @@ func (s *simulation) submit(job *workload.Job) {
 	case policy.ActionCentral:
 		s.centralJob(js)
 	default:
-		s.probeJob(js, dec.Pool.Sample(s.part, s.src, s.probeCount(js, dec.Pool.Size(s.part))))
+		k := s.probeCount(js, dec.Pool.Size(s.part))
+		s.nodeIDs = dec.Pool.SampleInto(s.nodeIDs[:0], s.part, s.src, k)
+		s.probeJob(js, s.nodeIDs)
 	}
 }
 
@@ -187,10 +209,7 @@ func (s *simulation) probeCount(js *jobState, candidates int) int {
 func (s *simulation) probeJob(js *jobState, nodeIDs []int) {
 	s.res.ProbesSent += int64(len(nodeIDs))
 	for _, id := range nodeIDs {
-		n := s.nodes[id]
-		s.eng.After(s.cfg.NetworkDelay, func() {
-			n.enqueue(entry{kind: probeEntry, js: js, enq: s.eng.Now()})
-		})
+		s.eng.After(s.cfg.NetworkDelay, simEvent{kind: evProbeArrive, ref: int32(id), js: js})
 	}
 }
 
@@ -202,10 +221,8 @@ func (s *simulation) centralJob(js *jobState) {
 	for i := 0; i < js.job.NumTasks(); i++ {
 		nodeID, _ := s.central.Assign(now, js.estimate)
 		s.res.CentralAssigns++
-		dur := js.job.Durations[i]
-		n := s.nodes[nodeID]
-		s.eng.After(s.cfg.NetworkDelay, func() {
-			n.enqueue(entry{kind: taskEntry, js: js, dur: dur, enq: s.eng.Now()})
+		s.eng.After(s.cfg.NetworkDelay, simEvent{
+			kind: evTaskArrive, ref: int32(nodeID), js: js, dur: js.job.Durations[i],
 		})
 	}
 }
@@ -218,7 +235,8 @@ func (s *simulation) attemptSteal(thief *node) {
 	if !s.steal.Enabled {
 		return
 	}
-	candidates := s.steal.Candidates(s.part, s.src, thief.id)
+	s.nodeIDs = s.steal.CandidatesInto(s.nodeIDs[:0], s.part, s.src, thief.id)
+	candidates := s.nodeIDs
 	if len(candidates) == 0 {
 		return
 	}
@@ -226,7 +244,7 @@ func (s *simulation) attemptSteal(thief *node) {
 	for _, id := range candidates {
 		s.res.StealContacts++
 		victim := s.nodes[id]
-		if len(victim.queue) == 0 {
+		if victim.queueLen() == 0 {
 			continue
 		}
 		if !victim.busy {
@@ -240,18 +258,17 @@ func (s *simulation) attemptSteal(thief *node) {
 		if !ok {
 			continue
 		}
-		var stolen []entry
 		if s.cfg.StealRandomPositions {
-			stolen = victim.stealIndices(core.RandomShortIndices(flags, end-start, s.src))
+			s.stolen = victim.appendStealIndices(s.stolen[:0], core.RandomShortIndices(flags, end-start, s.src))
 		} else {
-			stolen = victim.stealRange(start, end)
+			s.stolen = victim.appendStealRange(s.stolen[:0], start, end)
 		}
-		if len(stolen) == 0 {
+		if len(s.stolen) == 0 {
 			continue
 		}
 		s.res.StealSuccesses++
-		s.res.EntriesStolen += int64(len(stolen))
-		thief.enqueueFront(stolen)
+		s.res.EntriesStolen += int64(len(s.stolen))
+		thief.enqueueFront(s.stolen)
 		return
 	}
 }
