@@ -235,6 +235,31 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkGoogleScale is the cluster-scale point the data-oriented core
+// exists for: a 50000-job Google trace on the paper's 15000-node headline
+// cluster — more than a million tasks through one simulation. At this size
+// memory traffic dominates: the node and job arenas, int32 event payloads,
+// and lazy chained submission (the event heap stays O(in-flight) instead
+// of preloading 50k submit events) are what keep it tractable. Runs in
+// CI's benchmark-regression gate alongside SimulatorThroughput,
+// LargeCluster, and CentralQueue.
+func BenchmarkGoogleScale(b *testing.B) {
+	trace := experiments.GoogleTrace(experiments.Scale{NumJobs: 50000, Seed: 42})
+	tasks := 0
+	for _, j := range trace.Jobs {
+		tasks += j.NumTasks()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(trace, policy.Config{NumNodes: 15000, Policy: "hawk", Seed: 7})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Events), "events/op")
+		b.ReportMetric(float64(tasks), "tasks/op")
+	}
+}
+
 // BenchmarkLargeCluster gates scaling regressions that the 100-node-scale
 // figure benchmarks and the default SimulatorThroughput point cannot see:
 // a 12000-node cluster under a mixed short/long trace at an operating

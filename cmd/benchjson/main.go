@@ -12,13 +12,17 @@
 //
 // Compare (exit status 1 on regression):
 //
-//	benchjson -compare base.json head.json -threshold 15 -alloc-threshold 25
+//	benchjson -compare base.json head.json -threshold 15 -alloc-threshold 25 -bytes-threshold 25
 //
-// Compare gates two metrics: min ns/op against -threshold, and min
-// allocs/op against -alloc-threshold — an allocation-count regression is a
-// structural change (a new allocation site on a hot path), is essentially
-// noise-free, and historically precedes the ns/op regression it causes, so
-// it gets its own, stricter-by-nature gate.
+// Compare gates three metrics: min ns/op against -threshold, min allocs/op
+// against -alloc-threshold, and min B/op against -bytes-threshold. An
+// allocation-count regression is a structural change (a new allocation
+// site on a hot path), is essentially noise-free, and historically
+// precedes the ns/op regression it causes, so it gets its own,
+// stricter-by-nature gate; bytes catch the complementary failure — the
+// same number of allocations growing larger (an over-sized hint, a struct
+// that gained a field, a buffer that stopped being reused) — which an
+// allocation count cannot see.
 //
 // With -count=N each benchmark aggregates to {min, mean, max} per unit;
 // comparisons use min, the estimate least sensitive to scheduler noise on
@@ -149,20 +153,20 @@ func normalizeName(s string) string {
 }
 
 // Delta is one benchmark's base-vs-head comparison on the min of one
-// gated metric (ns/op or allocs/op).
+// gated metric (ns/op, allocs/op, or B/op).
 type Delta struct {
 	Name    string
-	Unit    string  // "ns/op" or "allocs/op"
+	Unit    string  // "ns/op", "allocs/op", or "B/op"
 	Base    float64 // min in base
 	Head    float64 // min in head
 	Percent float64 // (head-base)/base * 100; positive = worse
 }
 
 // gatedUnits are the metrics Compare produces deltas for. ns/op is wall
-// time; allocs/op is gated separately because allocation counts are
-// deterministic — a regression there is a real new allocation site, not
-// runner noise.
-var gatedUnits = []string{"ns/op", "allocs/op"}
+// time; allocs/op and B/op are gated separately because allocation counts
+// and sizes are deterministic — a regression there is a real new or grown
+// allocation site, not runner noise.
+var gatedUnits = []string{"ns/op", "allocs/op", "B/op"}
 
 // Compare matches benchmarks by name and reports per-metric deltas, sorted
 // worst-first, plus the names of base benchmarks missing from head.
@@ -229,15 +233,16 @@ func main() {
 		compare        = flag.Bool("compare", false, "compare two benchjson files: base.json head.json")
 		threshold      = flag.Float64("threshold", 15, "with -compare: fail on ns/op regressions above this percent")
 		allocThreshold = flag.Float64("alloc-threshold", 25, "with -compare: fail on allocs/op regressions above this percent")
+		bytesThreshold = flag.Float64("bytes-threshold", 25, "with -compare: fail on B/op regressions above this percent")
 	)
 	flag.Parse()
-	if err := run(*sha, *out, *compare, *threshold, *allocThreshold, flag.Args()); err != nil {
+	if err := run(*sha, *out, *compare, *threshold, *allocThreshold, *bytesThreshold, flag.Args()); err != nil {
 		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(sha, out string, compare bool, threshold, allocThreshold float64, args []string) error {
+func run(sha, out string, compare bool, threshold, allocThreshold, bytesThreshold float64, args []string) error {
 	if compare {
 		if len(args) != 2 {
 			return fmt.Errorf("-compare needs exactly two files: base.json head.json")
@@ -257,8 +262,11 @@ func run(sha, out string, compare bool, threshold, allocThreshold float64, args 
 		var failedUnits []string
 		for _, d := range deltas {
 			limit := threshold
-			if d.Unit == "allocs/op" {
+			switch d.Unit {
+			case "allocs/op":
 				limit = allocThreshold
+			case "B/op":
+				limit = bytesThreshold
 			}
 			verdict := "ok"
 			if d.Percent > limit {

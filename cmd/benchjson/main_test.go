@@ -123,7 +123,7 @@ func TestRunFailsOnLostCoverage(t *testing.T) {
 	headPath := filepath.Join(dir, "head.json")
 	writeJSON(t, basePath, base)
 	writeJSON(t, headPath, head)
-	err := run("", "", true, 15, 25, []string{basePath, headPath})
+	err := run("", "", true, 15, 25, 25, []string{basePath, headPath})
 	if err == nil || !strings.Contains(err.Error(), "Gone") {
 		t.Fatalf("err = %v, want failure naming the missing benchmark", err)
 	}
@@ -136,7 +136,7 @@ func TestRunConvertAndCompare(t *testing.T) {
 	log := filepath.Join(dir, "bench.txt")
 	headJSON := filepath.Join(dir, "head.json")
 	writeFile(t, log, sampleOutput)
-	if err := run("abc123", headJSON, false, 15, 25, []string{log}); err != nil {
+	if err := run("abc123", headJSON, false, 15, 25, 25, []string{log}); err != nil {
 		t.Fatalf("convert: %v", err)
 	}
 	head, err := readFile(headJSON)
@@ -148,7 +148,7 @@ func TestRunConvertAndCompare(t *testing.T) {
 	}
 
 	// Same numbers: no regression at any threshold.
-	if err := run("", "", true, 0.1, 0.1, []string{headJSON, headJSON}); err != nil {
+	if err := run("", "", true, 0.1, 0.1, 0.1, []string{headJSON, headJSON}); err != nil {
 		t.Errorf("self-compare should pass: %v", err)
 	}
 
@@ -163,7 +163,7 @@ func TestRunConvertAndCompare(t *testing.T) {
 	}
 	baseJSON := filepath.Join(dir, "base.json")
 	writeJSON(t, baseJSON, &base)
-	err = run("", "", true, 15, 25, []string{baseJSON, headJSON})
+	err = run("", "", true, 15, 25, 25, []string{baseJSON, headJSON})
 	if err == nil {
 		t.Fatal("expected regression failure")
 	}
@@ -231,7 +231,7 @@ func TestRunGatesAllocRegression(t *testing.T) {
 	writeJSON(t, regressed, &File{Benchmarks: map[string]Benchmark{
 		"A": benchWithAllocs(105, 1400),
 	}})
-	err := run("", "", true, 15, 25, []string{basePath, regressed})
+	err := run("", "", true, 15, 25, 25, []string{basePath, regressed})
 	if err == nil || !strings.Contains(err.Error(), "allocs/op") {
 		t.Fatalf("err = %v, want failure naming allocs/op", err)
 	}
@@ -241,7 +241,7 @@ func TestRunGatesAllocRegression(t *testing.T) {
 	writeJSON(t, ok, &File{Benchmarks: map[string]Benchmark{
 		"A": benchWithAllocs(105, 1200),
 	}})
-	if err := run("", "", true, 15, 25, []string{basePath, ok}); err != nil {
+	if err := run("", "", true, 15, 25, 25, []string{basePath, ok}); err != nil {
 		t.Fatalf("within-threshold alloc delta should pass: %v", err)
 	}
 }
@@ -254,7 +254,7 @@ func TestRunTolerateMissingAllocBaseline(t *testing.T) {
 	headPath := filepath.Join(dir, "head.json")
 	writeJSON(t, basePath, &File{Benchmarks: map[string]Benchmark{"A": bench(100)}})
 	writeJSON(t, headPath, &File{Benchmarks: map[string]Benchmark{"A": benchWithAllocs(100, 999999)}})
-	if err := run("", "", true, 15, 25, []string{basePath, headPath}); err != nil {
+	if err := run("", "", true, 15, 25, 25, []string{basePath, headPath}); err != nil {
 		t.Fatalf("missing alloc baseline should be skipped, got: %v", err)
 	}
 }
@@ -273,7 +273,7 @@ func TestRunGatesZeroBaseline(t *testing.T) {
 	writeJSON(t, regressed, &File{Benchmarks: map[string]Benchmark{
 		"A": benchWithAllocs(100, 3),
 	}})
-	err := run("", "", true, 15, 25, []string{basePath, regressed})
+	err := run("", "", true, 15, 25, 25, []string{basePath, regressed})
 	if err == nil || !strings.Contains(err.Error(), "allocs/op") {
 		t.Fatalf("err = %v, want failure on 0 -> 3 allocs/op", err)
 	}
@@ -282,7 +282,71 @@ func TestRunGatesZeroBaseline(t *testing.T) {
 	writeJSON(t, stillZero, &File{Benchmarks: map[string]Benchmark{
 		"A": benchWithAllocs(100, 0),
 	}})
-	if err := run("", "", true, 15, 25, []string{basePath, stillZero}); err != nil {
+	if err := run("", "", true, 15, 25, 25, []string{basePath, stillZero}); err != nil {
 		t.Fatalf("0 -> 0 should pass: %v", err)
+	}
+}
+
+func benchWithBytes(nsMin, bytesMin float64) Benchmark {
+	return Benchmark{Runs: 1, Metrics: map[string]Stat{
+		"ns/op": {Min: nsMin, Mean: nsMin, Max: nsMin},
+		"B/op":  {Min: bytesMin, Mean: bytesMin, Max: bytesMin},
+	}}
+}
+
+// A pure bytes regression — same allocation count, bigger allocations, ns/op
+// within its gate — must fail the compare via the B/op threshold, and a
+// bytes delta within the threshold must pass.
+func TestRunGatesBytesRegression(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.json")
+	writeJSON(t, basePath, &File{Benchmarks: map[string]Benchmark{
+		"A": benchWithBytes(100, 1_000_000),
+	}})
+
+	// +40% B/op, +5% ns: trips the 25% bytes gate despite the ns gate passing.
+	regressed := filepath.Join(dir, "regressed.json")
+	writeJSON(t, regressed, &File{Benchmarks: map[string]Benchmark{
+		"A": benchWithBytes(105, 1_400_000),
+	}})
+	err := run("", "", true, 15, 25, 25, []string{basePath, regressed})
+	if err == nil || !strings.Contains(err.Error(), "B/op") {
+		t.Fatalf("err = %v, want failure naming B/op", err)
+	}
+
+	// +20% B/op stays under the 25% gate.
+	ok := filepath.Join(dir, "ok.json")
+	writeJSON(t, ok, &File{Benchmarks: map[string]Benchmark{
+		"A": benchWithBytes(105, 1_200_000),
+	}})
+	if err := run("", "", true, 15, 25, 25, []string{basePath, ok}); err != nil {
+		t.Fatalf("within-threshold bytes delta should pass: %v", err)
+	}
+}
+
+// A base stored before -benchmem (no B/op metric) must not block the
+// compare, and a zero-B/op baseline must keep its gate: 0 -> N bytes is an
+// infinite regression.
+func TestRunBytesBaselineEdgeCases(t *testing.T) {
+	dir := t.TempDir()
+
+	noBytesBase := filepath.Join(dir, "nobytes.json")
+	writeJSON(t, noBytesBase, &File{Benchmarks: map[string]Benchmark{"A": bench(100)}})
+	head := filepath.Join(dir, "head.json")
+	writeJSON(t, head, &File{Benchmarks: map[string]Benchmark{"A": benchWithBytes(100, 1<<30)}})
+	if err := run("", "", true, 15, 25, 25, []string{noBytesBase, head}); err != nil {
+		t.Fatalf("missing bytes baseline should be skipped, got: %v", err)
+	}
+
+	zeroBase := filepath.Join(dir, "zerobytes.json")
+	writeJSON(t, zeroBase, &File{Benchmarks: map[string]Benchmark{"A": benchWithBytes(100, 0)}})
+	err := run("", "", true, 15, 25, 25, []string{zeroBase, head})
+	if err == nil || !strings.Contains(err.Error(), "B/op") {
+		t.Fatalf("err = %v, want failure on 0 -> nonzero B/op", err)
+	}
+	stillZero := filepath.Join(dir, "stillzero.json")
+	writeJSON(t, stillZero, &File{Benchmarks: map[string]Benchmark{"A": benchWithBytes(100, 0)}})
+	if err := run("", "", true, 15, 25, 25, []string{zeroBase, stillZero}); err != nil {
+		t.Fatalf("0 -> 0 B/op should pass: %v", err)
 	}
 }

@@ -52,12 +52,21 @@
 // The simulator is built around a typed-event engine (internal/eventq):
 // the event heap stores flat payload structs ordered by (timestamp,
 // sequence) and executes them through one dispatch switch, so scheduling
-// an event allocates nothing — no per-event closures. The surrounding hot
+// an event allocates nothing — no per-event closures. The core state is
+// data-oriented: nodes and per-job state live in dense value-slice arenas
+// and queue entries and events refer to jobs by int32 arena index, so the
+// hot structs are small, pointer-free, and invisible to the garbage
+// collector, and each entry caches its job's class in a packed flag byte
+// so steal scans read queues linearly. Trace submission is lazily
+// chained — each submit event schedules the next — bounding the event
+// heap by in-flight state rather than trace length (the engine's
+// MaxPending high-water mark pins this in tests). The surrounding hot
 // path holds the same line: probe and steal-victim sampling appends into
-// per-simulation scratch buffers (randdist.SampleWithoutReplacementInto),
-// node FIFO queues and the central queue's server heaps recycle their
-// backing arrays, and the heap is pre-sized with a trace-derived bound on peak
-// pending events.
+// per-simulation scratch buffers (randdist.SampleWithoutReplacementInto,
+// core.RandomShortIndicesInto), and node FIFO queues and the central
+// queue's server heaps recycle their backing arrays. Zero steady-state
+// allocation on the submit→probe, steal, and central-assign paths is
+// asserted with testing.AllocsPerRun regression tests.
 // Simulator output is pinned byte-identical across this work by golden
 // report diffs (internal/sim/testdata/golden). See README.md's
 // "Performance" section for the measured trajectory.
@@ -65,10 +74,10 @@
 // # Benchmark-regression gate
 //
 // CI treats simulator performance as a tested invariant: every push to
-// main benchmarks SimulatorThroughput, CentralQueue, and LargeCluster
-// (-benchmem, -count=5) and uploads the result as a BENCH_<sha>.json
-// artifact, and every pull request re-runs the same benchmarks on its base
-// commit on the same runner and fails if min ns/op regresses by more than
-// 15% or min allocs/op by more than 25%. cmd/benchjson does the conversion
-// and comparison.
+// main benchmarks SimulatorThroughput, CentralQueue, LargeCluster, and
+// GoogleScale (-benchmem, -count=5) and uploads the result as a
+// BENCH_<sha>.json artifact, and every pull request re-runs the same
+// benchmarks on its base commit on the same runner and fails if min ns/op
+// regresses by more than 15%, or min allocs/op or min B/op by more than
+// 25%. cmd/benchjson does the conversion and comparison.
 package repro

@@ -30,9 +30,8 @@ func (s StealPolicy) Candidates(p Partition, src *randdist.Source, thiefID int) 
 // CandidatesInto is the scratch-buffer form of Candidates: it appends the
 // contact list to dst and returns the extended slice, drawing identically
 // to Candidates. With a reused per-simulation buffer the default steal
-// path stays allocation-free. (The random-position ablation's
-// RandomShortIndices still allocates — it is off the paper's default
-// configuration and exists to be argued against.)
+// path stays allocation-free (as does the random-position ablation's, via
+// RandomShortIndicesInto).
 func (s StealPolicy) CandidatesInto(dst []int, p Partition, src *randdist.Source, thiefID int) []int {
 	if !s.Enabled || s.Cap <= 0 {
 		return dst
@@ -103,8 +102,25 @@ func EligibleGroup(executingLong bool, isLong []bool) (start, end int, ok bool) 
 // on too many jobs at the same time while failing to improve most." The
 // ablation experiments use it to quantify that design argument.
 // The returned indices are sorted in increasing order.
+//
+// It is the allocating convenience form of RandomShortIndicesInto and draws
+// the identical value sequence.
 func RandomShortIndices(isLong []bool, count int, src *randdist.Source) []int {
-	shorts := make([]int, 0, len(isLong))
+	picks, _ := RandomShortIndicesInto(nil, nil, isLong, count, src)
+	return picks
+}
+
+// RandomShortIndicesInto is the scratch-buffer form of RandomShortIndices:
+// it appends the picked queue indices to dst and returns the extended slice
+// alongside the (possibly grown) shorts workspace, which the caller retains
+// for the next call. When both buffers have capacity the call performs zero
+// heap allocations, so the random-position ablation sweeps are as
+// allocation-free as the default Figure 3 rule; the simulator threads both
+// buffers through per-simulation scratch. Draw-for-draw identical to
+// RandomShortIndices: the sample is taken into dst and remapped in place,
+// consuming exactly the same random values.
+func RandomShortIndicesInto(dst, shorts []int, isLong []bool, count int, src *randdist.Source) (picks, shortsBuf []int) {
+	shorts = shorts[:0]
 	for i, l := range isLong {
 		if !l {
 			shorts = append(shorts, i)
@@ -114,15 +130,15 @@ func RandomShortIndices(isLong []bool, count int, src *randdist.Source) []int {
 		count = len(shorts)
 	}
 	if count <= 0 {
-		return nil
+		return dst, shorts
 	}
-	picks := src.SampleWithoutReplacement(len(shorts), count)
-	out := make([]int, count)
-	for i, p := range picks {
-		out[i] = shorts[p]
+	start := len(dst)
+	dst = src.SampleWithoutReplacementInto(dst, len(shorts), count)
+	for i := start; i < len(dst); i++ {
+		dst[i] = shorts[dst[i]]
 	}
-	sortInts(out)
-	return out
+	sortInts(dst[start:])
+	return dst, shorts
 }
 
 // sortInts is a small insertion sort; steal groups are tiny, so pulling in

@@ -174,3 +174,56 @@ func TestRandomShortIndices(t *testing.T) {
 		t.Fatalf("count 0 should pick nothing: %v", idx)
 	}
 }
+
+// RandomShortIndicesInto must draw identically to RandomShortIndices —
+// pick for pick across arbitrary flag patterns and counts, leaving the two
+// sources in the same state — and must not allocate once its buffers have
+// capacity. The simulator's random-position ablation threads scratch
+// buffers through it, and the golden-report pin only covers one operating
+// point; this covers the distribution.
+func TestRandomShortIndicesIntoEquivalence(t *testing.T) {
+	alloc := randdist.New(99)
+	into := randdist.New(99)
+	pattern := randdist.New(1234) // drives flag patterns and counts only
+	var picks, shorts []int
+	for trial := 0; trial < 500; trial++ {
+		flags := make([]bool, 1+pattern.Intn(40))
+		for i := range flags {
+			flags[i] = pattern.Float64() < 0.4
+		}
+		count := pattern.Intn(len(flags) + 3)
+		want := RandomShortIndices(flags, count, alloc)
+		picks, shorts = RandomShortIndicesInto(picks[:0], shorts[:0], flags, count, into)
+		if len(picks) != len(want) {
+			t.Fatalf("trial %d: len = %d, want %d", trial, len(picks), len(want))
+		}
+		for i := range want {
+			if picks[i] != want[i] {
+				t.Fatalf("trial %d: picks = %v, want %v", trial, picks, want)
+			}
+		}
+	}
+	// The streams must still agree after the whole sequence: any skipped
+	// or extra draw shows up here even if the picks happened to match.
+	for i := 0; i < 32; i++ {
+		if a, b := alloc.Int63(), into.Int63(); a != b {
+			t.Fatalf("rng streams diverged after equivalent call sequences (draw %d: %d vs %d)", i, a, b)
+		}
+	}
+}
+
+func TestRandomShortIndicesIntoZeroAllocs(t *testing.T) {
+	src := randdist.New(7)
+	flags := []bool{false, true, false, false, true, false, false}
+	picks := make([]int, 0, 8)
+	shorts := make([]int, 0, 8)
+	// Warm the source's internal sampling scratch.
+	picks, shorts = RandomShortIndicesInto(picks[:0], shorts[:0], flags, 3, src)
+	allocs := testing.AllocsPerRun(500, func() {
+		picks, shorts = RandomShortIndicesInto(picks[:0], shorts[:0], flags, 3, src)
+	})
+	if allocs != 0 {
+		t.Errorf("RandomShortIndicesInto allocated %v times per call with warm buffers", allocs)
+	}
+	_ = picks
+}

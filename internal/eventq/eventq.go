@@ -9,11 +9,13 @@
 // alternative, a queue of func() closures, heap-allocates one closure (plus
 // its captured variables) per scheduled event, and the engine is the
 // simulator's hottest call site — a run executes hundreds of thousands of
-// events. With a small struct payload (the simulator uses a kind tag plus
-// two pointers and a float64), pushing, popping, and dispatching events
-// performs zero heap allocations; the only allocations the engine ever
-// makes are the amortized growths of the backing array, and New's capacity
-// hint removes even those when the caller can bound the live event count.
+// events. With a small struct payload (the simulator uses a 16-byte
+// pointer-free union of tag bytes and int32 arena indices, so the heap is
+// also opaque to the garbage collector), pushing, popping, and dispatching
+// events performs zero heap allocations; the only allocations the engine
+// ever makes are the amortized growths of the backing array, and New's
+// capacity hint removes even those when the caller can bound the live
+// event count.
 //
 // The heap is likewise hand-rolled over a []event[E] rather than built on
 // container/heap, whose interface would box every element through
@@ -24,7 +26,10 @@
 // Events fire in nondecreasing timestamp order, and events scheduled for the
 // same instant fire in scheduling (insertion) order: every event carries a
 // monotonically increasing sequence number assigned by At, and the heap
-// orders by (timestamp, sequence). This FIFO tie-breaking is load-bearing:
+// orders by (timestamp, sequence). A caller that schedules events lazily
+// but needs them ordered as if scheduled up front can reserve the low end
+// of the sequence space with ReserveSeqs and place events there with
+// AtReserved. This FIFO tie-breaking is load-bearing:
 // it makes every simulation a pure function of (trace, config, seed), which
 // is what lets internal/sweep fan runs out over worker pools while
 // guaranteeing byte-identical results to a serial run. Periodic samplers
@@ -36,11 +41,14 @@ package eventq
 // Engine is a discrete-event simulation engine over payloads of type E.
 // The zero value is not usable; call New.
 type Engine[E any] struct {
-	now      float64
-	seq      uint64
-	events   eventHeap[E]
-	count    uint64 // total events executed
-	dispatch func(now float64, ev E)
+	now          float64
+	seq          uint64
+	reserved     uint64 // low sequence numbers set aside by ReserveSeqs
+	lastReserved uint64 // highest reserved seq used so far (must increase)
+	events       eventHeap[E]
+	count        uint64 // total events executed
+	maxLen       int    // peak number of simultaneously pending events
+	dispatch     func(now float64, ev E)
 }
 
 // New returns an empty engine with the clock at zero. dispatch is invoked
@@ -70,6 +78,14 @@ func (e *Engine[E]) Executed() uint64 { return e.count }
 // Pending returns the number of events waiting in the queue.
 func (e *Engine[E]) Pending() int { return len(e.events) }
 
+// MaxPending returns the peak number of events that were pending at any one
+// instant so far. It is the engine's live-memory high-water mark: the heap's
+// working set is MaxPending events, however many events a run executes in
+// total. Callers that feed the engine lazily (internal/sim chains trace
+// submissions one at a time instead of preloading them) use it to verify
+// the queue stays O(in-flight state) rather than O(trace).
+func (e *Engine[E]) MaxPending() int { return e.maxLen }
+
 // Cap returns the current capacity of the event heap (for tests and
 // introspection of the pre-sizing hint).
 func (e *Engine[E]) Cap() int { return cap(e.events) }
@@ -80,17 +96,60 @@ func (e *Engine[E]) Cap() int { return cap(e.events) }
 // timestamps, earlier At calls fire first (see the package ordering
 // invariant).
 func (e *Engine[E]) At(t float64, ev E) {
+	e.seq++
+	e.schedule(t, e.seq, ev)
+}
+
+// schedule clamps t to the clock, pushes the event, and maintains the
+// pending high-water mark — the single push path shared by At and
+// AtReserved.
+func (e *Engine[E]) schedule(t float64, seq uint64, ev E) {
 	if t < e.now {
 		t = e.now
 	}
-	e.seq++
-	e.events.push(event[E]{at: t, seq: e.seq, payload: ev})
+	e.events.push(event[E]{at: t, seq: seq, payload: ev})
+	if len(e.events) > e.maxLen {
+		e.maxLen = len(e.events)
+	}
 }
 
 // After schedules ev to be dispatched d seconds after the current virtual
 // time.
 func (e *Engine[E]) After(d float64, ev E) {
 	e.At(e.now+d, ev)
+}
+
+// ReserveSeqs reserves sequence numbers 1..n for AtReserved, starting
+// ordinary At/After assignment at n+1. It must be called on a fresh engine
+// (before anything is scheduled). Reserving lets a caller that schedules a
+// known set of events lazily — internal/sim chains one trace submission at
+// a time — keep the exact tie-break order those events would have had if
+// pushed up front, before anything else: a reserved event wins every
+// equal-timestamp tie against normally scheduled events.
+func (e *Engine[E]) ReserveSeqs(n uint64) {
+	if e.seq != 0 || len(e.events) != 0 {
+		panic("eventq: ReserveSeqs after events were scheduled")
+	}
+	e.seq = n
+	e.reserved = n
+}
+
+// AtReserved schedules ev at absolute virtual time t with the given
+// reserved sequence number (1-based, at most the ReserveSeqs count).
+// Scheduling in the past is clamped to Now, as in At. Reserved sequence
+// numbers must be used in strictly increasing order — enforced, because a
+// duplicated seq would give the heap two entries with an identical
+// (timestamp, sequence) rank and silently break the total order the
+// engine's determinism guarantee rests on.
+func (e *Engine[E]) AtReserved(t float64, seq uint64, ev E) {
+	if seq == 0 || seq > e.reserved {
+		panic("eventq: AtReserved sequence number outside the reserved range")
+	}
+	if seq <= e.lastReserved {
+		panic("eventq: AtReserved sequence numbers must strictly increase")
+	}
+	e.lastReserved = seq
+	e.schedule(t, seq, ev)
 }
 
 // Step executes the single earliest pending event, advancing the clock.

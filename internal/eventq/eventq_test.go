@@ -416,3 +416,89 @@ func BenchmarkEngine(b *testing.B) {
 		e.Step()
 	}
 }
+
+func TestMaxPendingTracksHighWaterMark(t *testing.T) {
+	e := New(func(float64, int) {}, 0)
+	if e.MaxPending() != 0 {
+		t.Fatalf("fresh engine MaxPending = %d", e.MaxPending())
+	}
+	for i := 0; i < 5; i++ {
+		e.At(float64(i), i)
+	}
+	if e.MaxPending() != 5 {
+		t.Fatalf("MaxPending = %d after 5 pushes, want 5", e.MaxPending())
+	}
+	for i := 0; i < 3; i++ {
+		e.Step()
+	}
+	// Draining must not lower the high-water mark…
+	if e.MaxPending() != 5 {
+		t.Fatalf("MaxPending = %d after draining to 2, want 5", e.MaxPending())
+	}
+	// …and refilling below it must not raise it.
+	e.At(10, 99)
+	if e.MaxPending() != 5 {
+		t.Fatalf("MaxPending = %d after refill to 3, want 5", e.MaxPending())
+	}
+	e.At(11, 100)
+	e.At(12, 101)
+	e.At(13, 102)
+	if e.MaxPending() != 6 {
+		t.Fatalf("MaxPending = %d after growing past the mark, want 6", e.MaxPending())
+	}
+}
+
+// Reserved sequence numbers let lazily scheduled events keep the tie-break
+// rank of an up-front schedule: a reserved event must fire before any
+// normally scheduled event at the same timestamp, even one pushed earlier
+// in wall-clock order.
+func TestReservedSeqsWinEqualTimestampTies(t *testing.T) {
+	var fired []string
+	e := New(func(_ float64, s string) { fired = append(fired, s) }, 0)
+	e.ReserveSeqs(2)
+	e.At(10, "normal-a") // scheduled first, seq 3
+	e.At(10, "normal-b") // seq 4
+	e.AtReserved(10, 1, "reserved-1")
+	e.AtReserved(10, 2, "reserved-2")
+	e.Run()
+	want := []string{"reserved-1", "reserved-2", "normal-a", "normal-b"}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %v, want %v", fired, want)
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Fatalf("fired %v, want %v", fired, want)
+		}
+	}
+}
+
+func TestReserveSeqsMisuse(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		fn()
+	}
+	e := New(func(float64, int) {}, 0)
+	e.At(1, 0)
+	mustPanic("ReserveSeqs after scheduling", func() { e.ReserveSeqs(5) })
+
+	e2 := New(func(float64, int) {}, 0)
+	e2.ReserveSeqs(3)
+	mustPanic("AtReserved seq 0", func() { e2.AtReserved(1, 0, 0) })
+	mustPanic("AtReserved beyond range", func() { e2.AtReserved(1, 4, 0) })
+	mustPanic("AtReserved without reservation", func() {
+		New(func(float64, int) {}, 0).AtReserved(1, 1, 0)
+	})
+
+	// Reusing or rewinding a reserved seq would create two events with an
+	// identical (timestamp, sequence) rank — unspecified pop order.
+	e3 := New(func(float64, int) {}, 0)
+	e3.ReserveSeqs(3)
+	e3.AtReserved(1, 2, 0)
+	mustPanic("AtReserved duplicate seq", func() { e3.AtReserved(1, 2, 0) })
+	mustPanic("AtReserved decreasing seq", func() { e3.AtReserved(1, 1, 0) })
+}

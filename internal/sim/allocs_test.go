@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/workload"
+)
+
+// The benchmarks sample allocation behavior; these tests pin it. After a
+// warm-up prefix has grown every scratch buffer, node queue, and the event
+// heap to its steady-state capacity, stepping the engine through the heart
+// of a run must allocate nothing — each subtest exercises one hot path on
+// the flat arena layout: submit→probe placement (Sparrow), the steal path
+// in both the Figure 3 and random-position forms (Hawk), and central
+// assignment (§3.7).
+//
+// The only amortized-growth slices left on the path are the wait
+// observations; their backing arrays are pre-grown here so the measurement
+// sees the steady state rather than a growth step. The utilization sampler
+// is pushed past the horizon for the same reason (its series lives in
+// internal/stats and cannot be pre-grown from here).
+func steadyStateSim(t *testing.T, tr *workload.Trace, cfg policy.Config, warm int) *simulation {
+	t.Helper()
+	cfg.UtilizationInterval = 1e18
+	s, err := newSimulation(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.res.ShortEntryWaits = make([]float64, 0, 1<<21)
+	s.res.LongEntryWaits = make([]float64, 0, 1<<21)
+	for i := 0; i < warm; i++ {
+		if !s.eng.Step() {
+			t.Fatalf("simulation drained after %d warm-up events — enlarge the trace", i)
+		}
+	}
+	return s
+}
+
+func measureSteadySteps(t *testing.T, s *simulation, steps int) {
+	t.Helper()
+	allocs := testing.AllocsPerRun(steps, func() { s.eng.Step() })
+	if s.eng.Pending() == 0 {
+		t.Fatal("simulation drained during measurement — enlarge the trace")
+	}
+	if allocs != 0 {
+		t.Errorf("steady-state event dispatch allocated %v times per event, want 0", allocs)
+	}
+}
+
+func TestSteadyStateZeroAllocs(t *testing.T) {
+	t.Run("submit-probe", func(t *testing.T) {
+		// All-short load on Sparrow: every measured event is a submit,
+		// probe arrival, probe round-trip, or completion.
+		tr := workload.Generate(workload.Google(), workload.GenConfig{
+			NumJobs: 4000, MeanInterArrival: 0.2, Seed: 7,
+		})
+		s := steadyStateSim(t, tr, policy.Config{NumNodes: 2000, Policy: "sparrow", Seed: 1}, 20000)
+		measureSteadySteps(t, s, 30000)
+	})
+
+	t.Run("steal", func(t *testing.T) {
+		// The BenchmarkLargeCluster regime scaled down: mixed trace under
+		// load so idle nodes steal constantly (candidate sampling,
+		// eligible-group scans, queue surgery, enqueueFront).
+		tr := workload.Generate(workload.Google(), workload.GenConfig{
+			NumJobs: 1500, MeanInterArrival: 0.5, Seed: 13,
+		})
+		s := steadyStateSim(t, tr, policy.Config{NumNodes: 6000, Policy: "hawk", Seed: 5}, 30000)
+		measureSteadySteps(t, s, 40000)
+		if s.res.StealAttempts == 0 {
+			t.Fatal("measured window exercised no steal attempts")
+		}
+	})
+
+	t.Run("steal-random-positions", func(t *testing.T) {
+		// The §3.6 ablation path: RandomShortIndicesInto through the
+		// threaded scratch buffers.
+		tr := workload.Generate(workload.Google(), workload.GenConfig{
+			NumJobs: 1500, MeanInterArrival: 0.5, Seed: 13,
+		})
+		s := steadyStateSim(t, tr, policy.Config{
+			NumNodes: 6000, Policy: "hawk", Seed: 5, StealRandomPositions: true,
+		}, 30000)
+		measureSteadySteps(t, s, 40000)
+		if s.res.StealSuccesses == 0 {
+			t.Fatal("measured window exercised no random-position steals")
+		}
+	})
+
+	t.Run("central-assign", func(t *testing.T) {
+		tr := workload.Generate(workload.Google(), workload.GenConfig{
+			NumJobs: 800, MeanInterArrival: 0.5, Seed: 3,
+		})
+		s := steadyStateSim(t, tr, policy.Config{NumNodes: 3000, Policy: "centralized", Seed: 2}, 10000)
+		measureSteadySteps(t, s, 20000)
+		if s.res.CentralAssigns == 0 {
+			t.Fatal("measured window exercised no central assignments")
+		}
+	})
+}

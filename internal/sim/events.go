@@ -2,40 +2,49 @@ package sim
 
 // The simulator's typed-event union. Every discrete event a run executes is
 // one flat simEvent value stored directly in the engine's heap — there are
-// no per-event closures, so scheduling an event allocates nothing. The
-// payload is deliberately compact (24 bytes: one pointer, a float64, an
-// int32 ref, and two tag bytes): every heap sift copies it, so its size is
-// a direct multiplier on the engine's dominant loop.
+// no per-event closures, so scheduling an event allocates nothing, and the
+// payload carries no pointers, so the heap's backing array is opaque to the
+// garbage collector. The payload is deliberately compact (16 bytes: three
+// int32 refs and two tag bytes): every heap sift copies it, so its size is
+// a direct multiplier on the engine's dominant loop. Job state lives in the
+// simulation's flat jobs arena and events refer to it by int32 index; even
+// a task's duration is carried as a task index (aux) into the job's
+// duration slice rather than as a float64.
 type evKind uint8
 
 const (
-	// evSubmit: a job arrives at its scheduler (ref = trace job index).
+	// evSubmit: the next trace job arrives at its scheduler (ref = the
+	// job's position in submission order). The handler chains the
+	// following submission, so at most one submit event is ever pending —
+	// the event heap holds in-flight state, never the unsubmitted trace.
 	evSubmit evKind = iota
 	// evProbeArrive: a batch-sampling probe reaches the queue of node
-	// ref after one network delay (js).
+	// ref after one network delay (jidx).
 	evProbeArrive
 	// evTaskArrive: a centrally placed task reaches the queue of node
-	// ref after one network delay (js, dur).
+	// ref after one network delay (jidx; aux = task index within the
+	// job, which determines its duration).
 	evTaskArrive
 	// evProbeReply: the scheduler's answer to node ref's task request
-	// lands after the request/response round trip (js).
+	// lands after the request/response round trip (jidx).
 	evProbeReply
-	// evTaskDone: the task running on node ref completes (js, central).
+	// evTaskDone: the task running on node ref completes (jidx, central).
 	evTaskDone
 	// evSample: periodic cluster-utilization snapshot (no payload).
 	evSample
 )
 
 // simEvent is the event payload; which fields are meaningful depends on
-// kind (see the kind constants). ref is a deliberate union — the trace job
-// index for evSubmit, the node id otherwise — so the struct carries one
-// int32 instead of two pointers.
+// kind (see the kind constants). ref is a deliberate union — the
+// submission-order position for evSubmit, the node id otherwise — and jidx
+// indexes the simulation's jobs arena, so the struct carries three int32s
+// instead of any pointer.
 type simEvent struct {
 	kind    evKind
 	central bool  // evTaskDone: task was placed by the centralized scheduler
-	ref     int32 // evSubmit: index into trace.Jobs; node events: node id
-	js      *jobState
-	dur     float64 // evTaskArrive: actual task duration
+	ref     int32 // evSubmit: submission-order position; node events: node id
+	jidx    int32 // index into simulation.jobs (the job-state arena)
+	aux     int32 // evTaskArrive: task index within the job
 }
 
 // dispatch executes one event. It is the single handler switch the engine
@@ -43,18 +52,40 @@ type simEvent struct {
 func (s *simulation) dispatch(now float64, ev simEvent) {
 	switch ev.kind {
 	case evSubmit:
-		s.submit(s.trace.Jobs[ev.ref])
+		s.submitNext(ev.ref)
 	case evProbeArrive:
-		s.nodes[ev.ref].enqueue(entry{kind: probeEntry, js: ev.js, enq: now})
+		js := &s.jobs[ev.jidx]
+		s.nodes[ev.ref].enqueue(s, entry{flags: longFlag(js.long), jidx: ev.jidx, enq: now})
 	case evTaskArrive:
-		s.nodes[ev.ref].enqueue(entry{kind: taskEntry, js: ev.js, dur: ev.dur, enq: now})
+		js := &s.jobs[ev.jidx]
+		s.nodes[ev.ref].enqueue(s, entry{
+			flags: entryTask | longFlag(js.long),
+			jidx:  ev.jidx,
+			dur:   js.durations[ev.aux],
+			enq:   now,
+		})
 	case evProbeReply:
-		s.nodes[ev.ref].probeReply(ev.js)
+		s.nodes[ev.ref].probeReply(s, ev.jidx)
 	case evTaskDone:
-		s.nodes[ev.ref].taskDone(ev.js, ev.central, now)
+		s.nodes[ev.ref].taskDone(s, ev.jidx, ev.central, now)
 	case evSample:
 		s.sampleTick(now)
 	}
+}
+
+// submitNext submits the job at submission-order position pos and chains
+// the next trace job's submit event. Only one submit event is ever
+// pending, which is what keeps the engine's peak heap length proportional
+// to in-flight messages and running tasks instead of to the trace length.
+// The chain runs on the engine's reserved sequence numbers (position+1),
+// reproducing the tie-break rank each submit would have had if every
+// submit were preloaded before the run started.
+func (s *simulation) submitNext(pos int32) {
+	if next := pos + 1; int(next) < len(s.trace.Jobs) {
+		idx := s.jobAt(next)
+		s.eng.AtReserved(s.trace.Jobs[idx].SubmitTime, uint64(next)+1, simEvent{kind: evSubmit, ref: next})
+	}
+	s.submit(s.jobAt(pos))
 }
 
 // sampleTick records one utilization sample and schedules the next, for as

@@ -1,0 +1,191 @@
+package sim
+
+import (
+	"testing"
+	"unsafe"
+
+	"repro/internal/policy"
+	"repro/internal/workload"
+)
+
+// The flat-layout size pins. The event payload is copied by every heap
+// sift and the queue entry by every steal and queue scan, so their sizes
+// are direct multipliers on the simulator's dominant loops. The pointered
+// layout this PR replaced was 24 bytes per event (kind, central, int32
+// ref, *jobState, float64 dur) and 32 bytes per entry (kind, *jobState,
+// two float64s); the int32-arena layout must stay strictly smaller, and
+// both must stay pointer-free so the event heap and node queues are opaque
+// to the garbage collector.
+func TestHotStructSizes(t *testing.T) {
+	if got := unsafe.Sizeof(simEvent{}); got != 16 {
+		t.Errorf("sizeof(simEvent) = %d, want 16 (was 24 with a *jobState field)", got)
+	}
+	if got := unsafe.Sizeof(entry{}); got != 24 {
+		t.Errorf("sizeof(entry) = %d, want 24 (was 32 with a *jobState field)", got)
+	}
+	// The arena elements are not copied per event, but node size scales
+	// with cluster size (170k nodes in the Figure 6 sweep) — keep it to
+	// one cache line per pair.
+	if got := unsafe.Sizeof(node{}); got > 40 {
+		t.Errorf("sizeof(node) = %d, want <= 40", got)
+	}
+}
+
+// Lazy chained submission must bound the event heap by in-flight state,
+// not by trace length: the eager engine preloaded one submit event per
+// trace job, so its peak pending length started at len(jobs)+1 and memory
+// scaled with the trace. With chaining, at most one submit event is
+// pending at a time and the peak tracks busy slots plus messages in their
+// network flight.
+func TestLazySubmissionBoundsEventHeap(t *testing.T) {
+	tr := workload.Generate(workload.Google(), workload.GenConfig{
+		NumJobs: 8000, MeanInterArrival: 1, Seed: 3,
+	})
+	s, err := newSimulation(tr, policy.Config{NumNodes: 500, Policy: "hawk", Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.run(); err != nil {
+		t.Fatal(err)
+	}
+	peak := s.eng.MaxPending()
+	// The in-flight model: at most one completion or probe round-trip
+	// pending per busy slot, plus the probe bursts of jobs whose messages
+	// are inside their 0.5 ms network flight (up to 2 probes per task),
+	// plus the single chained submit and the sampler tick. The widest
+	// job's burst bounds the flight term for this arrival rate.
+	maxTasks := 0
+	for _, j := range tr.Jobs {
+		if n := j.NumTasks(); n > maxTasks {
+			maxTasks = n
+		}
+	}
+	bound := s.slots + 2*s.cfg.ProbeRatio*maxTasks + 64
+	t.Logf("peak pending = %d for %d jobs on %d slots (in-flight bound %d)",
+		peak, tr.Len(), s.slots, bound)
+	// The eager engine's floor alone was len(jobs)+1 before the first
+	// event fired; the in-flight bound does not grow with the trace, so
+	// the peak must sit below both it and that old floor.
+	if peak > bound || peak > tr.Len() {
+		t.Errorf("peak pending events = %d, want O(in-flight) <= %d; O(trace) would be >= %d",
+			peak, bound, tr.Len()+1)
+	}
+}
+
+// An unsorted trace must schedule identically to its time-sorted form: the
+// submitOrder permutation exists precisely so lazy chaining reproduces the
+// eager heap's (submit time, trace position) ordering.
+func TestUnsortedTraceMatchesSorted(t *testing.T) {
+	sorted := workload.Generate(workload.Google(), workload.GenConfig{
+		NumJobs: 120, MeanInterArrival: 0.5, Seed: 21,
+	})
+	// Scramble deterministically, keeping the same *workload.Job values.
+	shuffled := &workload.Trace{
+		Name:                   sorted.Name,
+		Jobs:                   append([]*workload.Job(nil), sorted.Jobs...),
+		Cutoff:                 sorted.Cutoff,
+		ShortPartitionFraction: sorted.ShortPartitionFraction,
+	}
+	for i := range shuffled.Jobs {
+		j := (i*7 + 3) % len(shuffled.Jobs)
+		shuffled.Jobs[i], shuffled.Jobs[j] = shuffled.Jobs[j], shuffled.Jobs[i]
+	}
+
+	cfg := policy.Config{NumNodes: 400, Policy: "hawk", Seed: 5}
+	a, err := Run(sorted, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(shuffled, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Makespan != b.Makespan || a.StealSuccesses != b.StealSuccesses || a.Events != b.Events {
+		t.Fatalf("unsorted trace diverged: makespan %v vs %v, steals %d vs %d, events %d vs %d",
+			a.Makespan, b.Makespan, a.StealSuccesses, b.StealSuccesses, a.Events, b.Events)
+	}
+	if len(a.Jobs) != len(b.Jobs) {
+		t.Fatalf("job counts differ: %d vs %d", len(a.Jobs), len(b.Jobs))
+	}
+	for i := range a.Jobs {
+		if a.Jobs[i] != b.Jobs[i] {
+			t.Fatalf("job report %d differs: %+v vs %+v", i, a.Jobs[i], b.Jobs[i])
+		}
+	}
+}
+
+// enqueueFront on a non-empty thief queue must preserve order (stolen
+// entries first, then the previously queued ones) and reuse the backing
+// array instead of allocating a fresh merged slice.
+func TestEnqueueFrontNonEmptyQueue(t *testing.T) {
+	s := &simulation{} // advance is a no-op while the node is busy
+	mk := func(jidx int32) entry { return entry{jidx: jidx} }
+	queued := func(n *node) []int32 {
+		var ids []int32
+		for _, e := range n.queue[n.head:] {
+			ids = append(ids, e.jidx)
+		}
+		return ids
+	}
+	check := func(t *testing.T, n *node, want ...int32) {
+		t.Helper()
+		got := queued(n)
+		if len(got) != len(want) {
+			t.Fatalf("queue = %v, want %v", got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("queue = %v, want %v", got, want)
+			}
+		}
+	}
+
+	t.Run("head room", func(t *testing.T) {
+		// Two popped slots at the front: the stolen entries must land in
+		// them without touching the live region.
+		n := &node{busy: true, queue: []entry{mk(0), mk(1), mk(2), mk(3)}, head: 2}
+		before := &n.queue[0]
+		n.enqueueFront(s, []entry{mk(10), mk(11)})
+		check(t, n, 10, 11, 2, 3)
+		if &n.queue[0] != before {
+			t.Error("head-room path reallocated the queue")
+		}
+	})
+
+	t.Run("shift in place", func(t *testing.T) {
+		// No popped prefix, but spare capacity: live entries must slide
+		// up within the same backing array.
+		n := &node{busy: true}
+		n.queue = make([]entry, 0, 8)
+		n.queue = append(n.queue, mk(2), mk(3))
+		before := &n.queue[0]
+		n.enqueueFront(s, []entry{mk(10), mk(11), mk(12)})
+		check(t, n, 10, 11, 12, 2, 3)
+		if &n.queue[0] != before {
+			t.Error("in-place shift reallocated the queue")
+		}
+	})
+
+	t.Run("grow once", func(t *testing.T) {
+		n := &node{busy: true, queue: []entry{mk(2), mk(3)}}
+		n.queue = n.queue[:2:2] // no spare capacity
+		n.enqueueFront(s, []entry{mk(10)})
+		check(t, n, 10, 2, 3)
+	})
+
+	t.Run("steady state allocates nothing", func(t *testing.T) {
+		n := &node{busy: true}
+		n.queue = make([]entry, 0, 16)
+		n.queue = append(n.queue, mk(1), mk(2), mk(3), mk(4))
+		n.head = 0
+		es := []entry{mk(20), mk(21)}
+		allocs := testing.AllocsPerRun(100, func() {
+			n.enqueueFront(s, es)
+			// Restore the pre-steal shape without allocating.
+			n.head += int32(len(es))
+		})
+		if allocs != 0 {
+			t.Errorf("enqueueFront allocated %v times per merge with spare capacity", allocs)
+		}
+	})
+}

@@ -1,35 +1,53 @@
 package sim
 
-// entryKind distinguishes the two things a node queue can hold.
-type entryKind uint8
+// entryFlags packs the two properties the hot paths read per queue entry:
+// what the entry is (probe vs centrally placed task) and whether it belongs
+// to a long job. The long bit is cached at entry creation — a job's
+// classification never changes after submission — so the stealing policy's
+// queue scans (appendQueueLongFlags, the Figure-3 eligible-group rule) read
+// the queue linearly with no pointer chasing: at 12k+ nodes the steal scan
+// previously took a cache miss per queued entry dereferencing job state.
+type entryFlags uint8
 
 const (
-	// probeEntry is a batch-sampling placeholder: when it reaches the
-	// head of the queue the node asks the job's scheduler for a task and
-	// receives either a task or a cancel (§3.5).
-	probeEntry entryKind = iota
-	// taskEntry is a concrete task placed directly by the centralized
-	// scheduler (§3.7), carrying its actual duration.
-	taskEntry
+	// entryTask marks a concrete task placed directly by the centralized
+	// scheduler (§3.7), carrying its actual duration. Entries without it
+	// are batch-sampling probes: when a probe reaches the head of the
+	// queue the node asks the job's scheduler for a task and receives
+	// either a task or a cancel (§3.5).
+	entryTask entryFlags = 1 << iota
+	// entryLong marks entries belonging to long jobs, the property the
+	// stealing policy classifies queue contents by.
+	entryLong
 )
 
-// entry is one element of a node's FIFO queue.
-type entry struct {
-	kind entryKind
-	js   *jobState
-	dur  float64 // taskEntry only: actual task duration
-	enq  float64 // time the entry first arrived at a node (survives stealing)
+// longFlag converts a job's classification into its entry flag bit.
+func longFlag(long bool) entryFlags {
+	if long {
+		return entryLong
+	}
+	return 0
 }
 
-// long reports whether this entry belongs to a long job, the property the
-// stealing policy classifies queue contents by.
-func (e entry) long() bool { return e.js.long }
+// entry is one element of a node's FIFO queue: 24 pointer-free bytes (two
+// float64s, an int32 arena index, and the packed flags), down from 32 with
+// a *jobState pointer. Queue scans and steals copy entries around, so the
+// size and pointer-freeness both matter.
+type entry struct {
+	enq   float64 // time the entry first arrived at a node (survives stealing)
+	dur   float64 // task entries only: actual task duration
+	jidx  int32   // index into simulation.jobs
+	flags entryFlags
+}
+
+// long reports whether this entry belongs to a long job.
+func (e entry) long() bool { return e.flags&entryLong != 0 }
 
 // node models one worker: a single execution slot plus a FIFO queue (§3.1).
+// Nodes live in the simulation's dense []node arena (index = node id), so a
+// 170k-node cluster is one allocation of sequentially laid-out state, not
+// 170k heap objects; methods take the owning simulation explicitly.
 type node struct {
-	id  int
-	sim *simulation
-
 	// The FIFO queue's live entries are queue[head:]. Popping advances
 	// head instead of reslicing from the front, and the slice is rewound
 	// to its start whenever the queue drains — so the backing array's
@@ -39,7 +57,8 @@ type node struct {
 	// front again, forcing a fresh allocation each time the window slides
 	// past the capacity.)
 	queue []entry
-	head  int
+	head  int32
+	id    int32
 	// busy is true while the slot is occupied: executing a task or
 	// holding the request/response round-trip of a probe at the head of
 	// the queue.
@@ -51,10 +70,10 @@ type node struct {
 }
 
 // queueLen returns the number of live queued entries.
-func (n *node) queueLen() int { return len(n.queue) - n.head }
+func (n *node) queueLen() int { return len(n.queue) - int(n.head) }
 
 // enqueue appends an entry and starts it immediately if the node is idle.
-func (n *node) enqueue(e entry) {
+func (n *node) enqueue(s *simulation, e entry) {
 	if n.head > 0 && len(n.queue) == cap(n.queue) {
 		// About to grow: compact live entries to the front first, so the
 		// stranded [0:head) prefix is not copied into (and retained by) a
@@ -66,103 +85,124 @@ func (n *node) enqueue(e entry) {
 		n.head = 0
 	}
 	n.queue = append(n.queue, e)
-	n.advance()
+	n.advance(s)
 }
 
 // enqueueFront pushes entries to the head of the queue, preserving their
 // order. Stolen groups land at the thief's head so they run before anything
 // else already queued there (the thief is idle when it steals, so in
-// practice the queue is empty).
-func (n *node) enqueueFront(es []entry) {
-	if n.queueLen() == 0 {
-		// The common case — the thief stole because it ran dry — reuses
-		// the thief's queue capacity instead of allocating a fresh slice.
+// practice the queue is empty). Every path reuses the queue's backing array
+// when it has capacity; es is the caller's scratch buffer and is copied
+// from, never retained.
+func (n *node) enqueueFront(s *simulation, es []entry) {
+	live := n.queueLen()
+	switch {
+	case live == 0:
+		// The common case — the thief stole because it ran dry.
 		n.queue = append(n.queue[:0], es...)
 		n.head = 0
-	} else {
-		merged := make([]entry, 0, len(es)+n.queueLen())
-		merged = append(merged, es...)
-		merged = append(merged, n.queue[n.head:]...)
+	case int(n.head) >= len(es):
+		// The popped prefix has room: place the entries right before head.
+		n.head -= int32(len(es))
+		copy(n.queue[n.head:], es)
+	case cap(n.queue) >= live+len(es):
+		// Shift the live entries up in place (copy is memmove, so the
+		// overlapping ranges are safe) and fill the front.
+		n.queue = n.queue[:live+len(es)]
+		copy(n.queue[len(es):], n.queue[n.head:int(n.head)+live])
+		copy(n.queue, es)
+		n.head = 0
+	default:
+		// Capacity exhausted: one growth allocation sized for both.
+		merged := make([]entry, live+len(es))
+		copy(merged, es)
+		copy(merged[len(es):], n.queue[n.head:])
 		n.queue, n.head = merged, 0
 	}
-	n.advance()
+	n.advance(s)
 }
 
 // advance starts the head-of-queue entry if the slot is free.
-func (n *node) advance() {
+func (n *node) advance(s *simulation) {
 	if n.busy || n.queueLen() == 0 {
 		return
 	}
 	head := n.queue[n.head]
 	n.head++
-	if n.head == len(n.queue) {
+	if int(n.head) == len(n.queue) {
 		// Drained: rewind so the backing array is reusable from the top.
 		n.queue, n.head = n.queue[:0], 0
 	}
 	n.busy = true
 	n.runningLong = head.long()
-	n.sim.nodeBecameBusy()
-	n.sim.observeWait(head, n.sim.eng.Now())
-	switch head.kind {
-	case taskEntry:
+	s.nodeBecameBusy()
+	s.observeWait(head, s.eng.Now())
+	if head.flags&entryTask != 0 {
 		// Centrally placed task: the central queue observes its start so
 		// waiting times track the server's actual queue state (§3.7).
 		// The estimate leaves the queued sum; the running term uses the
 		// task's actual duration, which the executing node knows — this
 		// is what keeps a server with an overrunning task from looking
 		// idle to the centralized scheduler.
-		n.sim.central.TaskStarted(n.id, n.sim.eng.Now(), head.js.estimate, head.dur)
-		n.execute(head.js, head.dur, true)
-	case probeEntry:
-		// Request/response round trip to the job's scheduler: the node
-		// asks for a task; the scheduler answers with a task or cancel
-		// (the evProbeReply event, handled by probeReply).
-		n.sim.eng.After(2*n.sim.cfg.NetworkDelay, simEvent{kind: evProbeReply, ref: int32(n.id), js: head.js})
+		s.central.TaskStarted(int(n.id), s.eng.Now(), s.jobs[head.jidx].estimate, head.dur)
+		n.execute(s, head.jidx, head.dur, true)
+		return
 	}
+	// Probe: request/response round trip to the job's scheduler — the node
+	// asks for a task; the scheduler answers with a task or cancel (the
+	// evProbeReply event, handled by probeReply).
+	s.eng.After(2*s.cfg.NetworkDelay, simEvent{kind: evProbeReply, ref: n.id, jidx: head.jidx})
 }
 
 // probeReply handles the scheduler's answer to this node's task request:
 // either the job's next unassigned task, or a cancel because other probes
 // drained the job first (§3.5).
-func (n *node) probeReply(js *jobState) {
-	dur, ok := js.nextTaskDuration()
+func (n *node) probeReply(s *simulation, jidx int32) {
+	dur, ok := s.jobs[jidx].nextTaskDuration()
 	if !ok {
-		n.sim.res.Cancels++
-		n.finishSlot()
+		s.res.Cancels++
+		n.finishSlot(s)
 		return
 	}
-	n.execute(js, dur, false)
+	n.execute(s, jidx, dur, false)
 }
 
 // execute runs one task to completion. central marks tasks placed by the
 // centralized scheduler, whose completion it observes.
-func (n *node) execute(js *jobState, dur float64, central bool) {
-	n.sim.res.TasksExecuted++
-	n.sim.eng.After(dur, simEvent{kind: evTaskDone, central: central, ref: int32(n.id), js: js})
+func (n *node) execute(s *simulation, jidx int32, dur float64, central bool) {
+	s.res.TasksExecuted++
+	s.eng.After(dur, simEvent{kind: evTaskDone, central: central, ref: n.id, jidx: jidx})
 }
 
-// taskDone accounts a completed task and frees the slot.
-func (n *node) taskDone(js *jobState, central bool, now float64) {
+// taskDone accounts a completed task and frees the slot. A job completes
+// only after all its tasks (§3.1).
+func (n *node) taskDone(s *simulation, jidx int32, central bool, now float64) {
 	if central {
-		n.sim.central.TaskFinished(n.id, now)
+		s.central.TaskFinished(int(n.id), now)
 	}
-	js.taskFinished(now)
-	n.finishSlot()
+	js := &s.jobs[jidx]
+	js.finished++
+	if int(js.finished) == len(js.durations) {
+		s.jobCompleted(jidx, now)
+	}
+	n.finishSlot(s)
 }
 
 // finishSlot releases the slot, continues with the queue, and — if the node
 // ran dry — performs one randomized steal attempt (§3.6).
-func (n *node) finishSlot() {
+func (n *node) finishSlot(s *simulation) {
 	n.busy = false
-	n.sim.nodeBecameIdle()
-	n.advance()
+	s.nodeBecameIdle()
+	n.advance(s)
 	if !n.busy && n.queueLen() == 0 {
-		n.sim.attemptSteal(n)
+		s.attemptSteal(n)
 	}
 }
 
 // appendQueueLongFlags appends, head-first, which queued entries belong to
 // long jobs onto buf and returns it, for the eligible-group computation.
+// The long bit is read straight from the packed entry flags — one linear
+// scan of the queue's backing array, no job-state dereference per entry.
 // Callers pass a reused scratch buffer (see simulation.stealFlags).
 func (n *node) appendQueueLongFlags(buf []bool) []bool {
 	for _, e := range n.queue[n.head:] {
@@ -180,7 +220,7 @@ func (n *node) appendQueueLongFlags(buf []bool) []bool {
 func (n *node) appendStealRange(buf []entry, start, end int) []entry {
 	live := n.queue[n.head:]
 	buf = append(buf, live[start:end]...)
-	n.queue = append(n.queue[:n.head+start], live[end:]...)
+	n.queue = append(n.queue[:int(n.head)+start], live[end:]...)
 	return buf
 }
 
@@ -201,6 +241,6 @@ func (n *node) appendStealIndices(buf []entry, idx []int) []entry {
 		}
 		kept = append(kept, e)
 	}
-	n.queue = n.queue[:n.head+len(kept)]
+	n.queue = n.queue[:int(n.head)+len(kept)]
 	return buf
 }

@@ -8,10 +8,21 @@
 // policy.Policy the run configuration names, so registered policies (see
 // repro/hawk) run unmodified on this engine and on the live prototype in
 // internal/liverun.
+//
+// # Data layout
+//
+// The engine's hot state is data-oriented: nodes live in one dense []node
+// arena indexed by node id, per-job state lives in one preallocated
+// []jobState arena indexed by trace position, and queue entries and events
+// refer to jobs by int32 arena index instead of by pointer. Trace
+// submission is lazy — each submit event chains the next — so the event
+// heap's working set is bounded by in-flight messages and running tasks,
+// not by the trace length. See the README's Performance section.
 package sim
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/eventq"
@@ -20,35 +31,29 @@ import (
 	"repro/internal/workload"
 )
 
-// jobState tracks one job while it runs.
+// jobState tracks one job while it runs. States live in the simulation's
+// flat jobs arena (index = trace position) and are referenced everywhere by
+// that int32 index; the struct itself caches exactly what the hot paths
+// read — the duration slice for task hand-out and the classification bits —
+// so serving a probe reply touches one arena slot and one duration.
 type jobState struct {
-	job      *workload.Job
-	sim      *simulation
-	estimate float64
-	long     bool
-	trueLong bool
-	next     int // next task index to hand out (probe-scheduled jobs)
-	finished int
+	durations []float64 // the job's per-task durations (shares the trace's backing array)
+	estimate  float64
+	next      int32 // next task index to hand out (probe-scheduled jobs)
+	finished  int32
+	long      bool
+	trueLong  bool
 }
 
 // nextTaskDuration hands out the next unassigned task, or reports that all
 // tasks have been given to other servers (the probe is cancelled).
 func (js *jobState) nextTaskDuration() (float64, bool) {
-	if js.next >= js.job.NumTasks() {
+	if int(js.next) >= len(js.durations) {
 		return 0, false
 	}
-	d := js.job.Durations[js.next]
+	d := js.durations[js.next]
 	js.next++
 	return d, true
-}
-
-// taskFinished accounts one completed task and records the job runtime when
-// the last task finishes (a job completes only after all its tasks, §3.1).
-func (js *jobState) taskFinished(now float64) {
-	js.finished++
-	if js.finished == js.job.NumTasks() {
-		js.sim.jobCompleted(js, now)
-	}
 }
 
 type simulation struct {
@@ -61,9 +66,19 @@ type simulation struct {
 	estimator  *core.Estimator
 	steal      core.StealPolicy
 	src        *randdist.Source
-	nodes      []*node
 	central    *core.CentralQueue
 	res        *policy.Report
+
+	// nodes is the node arena: one dense value slice, index = node id.
+	nodes []node
+	// jobs is the job-state arena, index = trace position; slots are
+	// populated when their job submits.
+	jobs []jobState
+	// submitOrder maps submission-order position to trace position when
+	// the trace is not already sorted by submit time (nil when it is, the
+	// common case — generators sort). Ties keep trace order, matching the
+	// event heap's FIFO tie-break on the eager-preload engine.
+	submitOrder []int32
 
 	slots      int // total execution slots (len(nodes))
 	busyNodes  int
@@ -80,15 +95,30 @@ type simulation struct {
 	//     a steal attempt never submits
 	//   - stolen: entries moved by one steal, copied into the thief's
 	//     queue before the next attempt
+	//   - shortIdx, shortPos: the random-position ablation's picked queue
+	//     indices and its short-entry position list
 	stealFlags []bool
 	nodeIDs    []int
 	stolen     []entry
+	shortIdx   []int
+	shortPos   []int
 }
 
 // Run simulates the trace under the configuration, executing the policy
 // named by cfg.Policy, and returns the collected metrics. Runs are
 // deterministic for a given (trace, config) pair.
 func Run(trace *workload.Trace, cfg policy.Config) (*policy.Report, error) {
+	s, err := newSimulation(trace, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return s.run()
+}
+
+// newSimulation validates the inputs and builds the arenas and event
+// engine, leaving the first submit (and the first utilization tick)
+// scheduled. Split from run so tests can inspect engine state.
+func newSimulation(trace *workload.Trace, cfg policy.Config) (*simulation, error) {
 	cfg, err := cfg.Normalize(trace)
 	if err != nil {
 		return nil, err
@@ -110,24 +140,35 @@ func Run(trace *workload.Trace, cfg policy.Config) (*policy.Report, error) {
 		src:        randdist.New(cfg.Seed),
 		res:        &policy.Report{Engine: "sim", Policy: pol.String(), Config: cfg},
 	}
-	// The heap holds flat simEvent records; pre-size it with a
-	// trace-derived bound (~3 events per task plus one submit per job).
-	// Peak *pending* events — unsubmitted jobs, messages in their 0.5 ms
-	// network flight, and one completion per busy slot — sits far below
-	// this bound, so the hot loop never pays a growth copy. (Total events
-	// *executed* can exceed it: probe-based policies run ~5 events per
-	// task. The bound is about peak, not volume.) A hint of 0 would
-	// merely grow on demand.
-	hint := len(trace.Jobs)
+	s.slots = cfg.TotalSlots()
+
+	// The heap holds flat simEvent records. Submission is lazily chained
+	// (one pending submit at a time), so peak pending events track
+	// in-flight state: one completion or probe round-trip per busy slot,
+	// messages in their 0.5 ms network flight, the submit chain, and the
+	// sampler tick — O(slots + arrival burst), however long the trace.
+	// Pre-size with that bound, but never beyond what the whole trace
+	// could possibly keep pending at once (tiny traces on huge clusters).
+	// The hint is about avoiding growth copies in the hot loop; either
+	// way the heap grows on demand if a burst exceeds it.
+	traceBound := 2 + len(trace.Jobs)
 	for _, j := range trace.Jobs {
-		hint += 3 * j.NumTasks()
+		traceBound += 3 * j.NumTasks()
 	}
-	s.eng = eventq.New(s.dispatch, hint)
+	s.eng = eventq.New(s.dispatch, min(s.slots+64, traceBound))
+
+	// One flat arena per hot structure: node and job state become
+	// sequential array indexing instead of 15k–170k individually
+	// heap-allocated objects.
+	s.nodes = make([]node, s.slots)
+	for i := range s.nodes {
+		s.nodes[i].id = int32(i)
+	}
+	s.jobs = make([]jobState, len(trace.Jobs))
 	// Every job produces exactly one JobReport; reserving the slice up
 	// front keeps jobCompleted off the allocator's growth path.
 	s.res.Jobs = make([]policy.JobReport, 0, len(trace.Jobs))
 
-	s.slots = cfg.TotalSlots()
 	s.part = core.NewPartition(s.slots, pol.ShortPartitionFraction())
 	s.steal = core.StealPolicy{Cap: cfg.StealCap, Enabled: pol.Steal()}
 	if s.steal.Enabled && s.steal.Cap > 0 {
@@ -138,29 +179,54 @@ func Run(trace *workload.Trace, cfg policy.Config) (*policy.Report, error) {
 		s.central = core.NewCentralQueue(pool.IDs(s.part))
 	}
 
-	s.nodes = make([]*node, s.slots)
-	for i := range s.nodes {
-		s.nodes[i] = &node{id: i, sim: s}
-	}
-
 	if err := s.checkFeasibility(); err != nil {
 		return nil, err
 	}
 
-	for i, j := range trace.Jobs {
-		s.eng.At(j.SubmitTime, simEvent{kind: evSubmit, ref: int32(i)})
+	// Lazy chained submission: schedule only the first job's submit; each
+	// submit event schedules the next (see submitNext). Submission order
+	// is by submit time with trace order breaking ties, and the submit
+	// chain runs on the engine's reserved low sequence numbers, so every
+	// event receives the exact (timestamp, sequence) rank it would have
+	// had if all submits were preloaded before the run — including a
+	// submit winning an equal-timestamp tie against any run-time event.
+	if !sort.SliceIsSorted(trace.Jobs, func(i, j int) bool {
+		return trace.Jobs[i].SubmitTime < trace.Jobs[j].SubmitTime
+	}) {
+		s.submitOrder = make([]int32, len(trace.Jobs))
+		for i := range s.submitOrder {
+			s.submitOrder[i] = int32(i)
+		}
+		sort.SliceStable(s.submitOrder, func(i, j int) bool {
+			return trace.Jobs[s.submitOrder[i]].SubmitTime < trace.Jobs[s.submitOrder[j]].SubmitTime
+		})
+	}
+	s.eng.ReserveSeqs(uint64(len(trace.Jobs)))
+	if len(trace.Jobs) > 0 {
+		s.eng.AtReserved(trace.Jobs[s.jobAt(0)].SubmitTime, 1, simEvent{kind: evSubmit, ref: 0})
 	}
 	s.nextSample = cfg.UtilizationInterval
 	s.eng.At(s.nextSample, simEvent{kind: evSample})
+	return s, nil
+}
 
+// run drains the event queue and assembles the report.
+func (s *simulation) run() (*policy.Report, error) {
 	s.eng.Run()
-
-	if s.jobsDone != len(trace.Jobs) {
-		return nil, fmt.Errorf("sim: deadlock — %d of %d jobs completed", s.jobsDone, len(trace.Jobs))
+	if s.jobsDone != len(s.trace.Jobs) {
+		return nil, fmt.Errorf("sim: deadlock — %d of %d jobs completed", s.jobsDone, len(s.trace.Jobs))
 	}
 	s.res.Makespan = s.eng.Now()
 	s.res.Events = s.eng.Executed()
 	return s.res, nil
+}
+
+// jobAt maps a submission-order position to its trace position.
+func (s *simulation) jobAt(pos int32) int32 {
+	if s.submitOrder != nil {
+		return s.submitOrder[pos]
+	}
+	return pos
 }
 
 // checkFeasibility runs the shared pre-flight check. With exact estimates
@@ -177,13 +243,13 @@ func (s *simulation) checkFeasibility() error {
 		})
 }
 
-// submit routes a newly arrived job per the policy's decision.
-func (s *simulation) submit(job *workload.Job) {
-	js := &jobState{
-		job:      job,
-		sim:      s,
-		estimate: s.estimator.Estimate(job),
-	}
+// submit routes the newly arrived job at trace position idx per the
+// policy's decision, populating its arena slot.
+func (s *simulation) submit(idx int32) {
+	job := s.trace.Jobs[idx]
+	js := &s.jobs[idx]
+	js.durations = job.Durations
+	js.estimate = s.estimator.Estimate(job)
 	js.long = s.classifier.IsLong(js.estimate)
 	js.trueLong = s.classifier.IsLong(job.AvgTaskDuration())
 
@@ -192,37 +258,34 @@ func (s *simulation) submit(job *workload.Job) {
 	})
 	switch dec.Action {
 	case policy.ActionCentral:
-		s.centralJob(js)
+		s.centralJob(idx)
 	default:
-		k := s.probeCount(js, dec.Pool.Size(s.part))
+		k := core.NumProbes(len(js.durations), s.cfg.ProbeRatio, dec.Pool.Size(s.part))
 		s.nodeIDs = dec.Pool.SampleInto(s.nodeIDs[:0], s.part, s.src, k)
-		s.probeJob(js, s.nodeIDs)
+		s.probeJob(idx, s.nodeIDs)
 	}
-}
-
-func (s *simulation) probeCount(js *jobState, candidates int) int {
-	return core.NumProbes(js.job.NumTasks(), s.cfg.ProbeRatio, candidates)
 }
 
 // probeJob sends batch-sampling probes to the chosen nodes; each arrives
 // after one network delay.
-func (s *simulation) probeJob(js *jobState, nodeIDs []int) {
+func (s *simulation) probeJob(idx int32, nodeIDs []int) {
 	s.res.ProbesSent += int64(len(nodeIDs))
 	for _, id := range nodeIDs {
-		s.eng.After(s.cfg.NetworkDelay, simEvent{kind: evProbeArrive, ref: int32(id), js: js})
+		s.eng.After(s.cfg.NetworkDelay, simEvent{kind: evProbeArrive, ref: int32(id), jidx: idx})
 	}
 }
 
 // centralJob places every task of the job with the §3.7 algorithm: each
 // task goes to the server with the smallest estimated waiting time, which
 // is then bumped by the job's estimated task runtime.
-func (s *simulation) centralJob(js *jobState) {
+func (s *simulation) centralJob(idx int32) {
+	js := &s.jobs[idx]
 	now := s.eng.Now()
-	for i := 0; i < js.job.NumTasks(); i++ {
+	for i := range js.durations {
 		nodeID, _ := s.central.Assign(now, js.estimate)
 		s.res.CentralAssigns++
 		s.eng.After(s.cfg.NetworkDelay, simEvent{
-			kind: evTaskArrive, ref: int32(nodeID), js: js, dur: js.job.Durations[i],
+			kind: evTaskArrive, ref: int32(nodeID), jidx: idx, aux: int32(i),
 		})
 	}
 }
@@ -235,7 +298,7 @@ func (s *simulation) attemptSteal(thief *node) {
 	if !s.steal.Enabled {
 		return
 	}
-	s.nodeIDs = s.steal.CandidatesInto(s.nodeIDs[:0], s.part, s.src, thief.id)
+	s.nodeIDs = s.steal.CandidatesInto(s.nodeIDs[:0], s.part, s.src, int(thief.id))
 	candidates := s.nodeIDs
 	if len(candidates) == 0 {
 		return
@@ -243,7 +306,7 @@ func (s *simulation) attemptSteal(thief *node) {
 	s.res.StealAttempts++
 	for _, id := range candidates {
 		s.res.StealContacts++
-		victim := s.nodes[id]
+		victim := &s.nodes[id]
 		if victim.queueLen() == 0 {
 			continue
 		}
@@ -259,7 +322,9 @@ func (s *simulation) attemptSteal(thief *node) {
 			continue
 		}
 		if s.cfg.StealRandomPositions {
-			s.stolen = victim.appendStealIndices(s.stolen[:0], core.RandomShortIndices(flags, end-start, s.src))
+			s.shortIdx, s.shortPos = core.RandomShortIndicesInto(
+				s.shortIdx[:0], s.shortPos[:0], flags, end-start, s.src)
+			s.stolen = victim.appendStealIndices(s.stolen[:0], s.shortIdx)
 		} else {
 			s.stolen = victim.appendStealRange(s.stolen[:0], start, end)
 		}
@@ -268,18 +333,20 @@ func (s *simulation) attemptSteal(thief *node) {
 		}
 		s.res.StealSuccesses++
 		s.res.EntriesStolen += int64(len(s.stolen))
-		thief.enqueueFront(s.stolen)
+		thief.enqueueFront(s, s.stolen)
 		return
 	}
 }
 
-func (s *simulation) jobCompleted(js *jobState, now float64) {
+func (s *simulation) jobCompleted(idx int32, now float64) {
 	s.jobsDone++
+	job := s.trace.Jobs[idx]
+	js := &s.jobs[idx]
 	s.res.Jobs = append(s.res.Jobs, policy.JobReport{
-		ID:         js.job.ID,
-		SubmitTime: js.job.SubmitTime,
-		Runtime:    now - js.job.SubmitTime,
-		Tasks:      js.job.NumTasks(),
+		ID:         job.ID,
+		SubmitTime: job.SubmitTime,
+		Runtime:    now - job.SubmitTime,
+		Tasks:      len(js.durations),
 		Long:       js.long,
 		TrueLong:   js.trueLong,
 		Estimate:   js.estimate,
@@ -290,7 +357,7 @@ func (s *simulation) jobCompleted(js *jobState, now float64) {
 // slot opened, split by job class — diagnostic for the queueing analyses.
 func (s *simulation) observeWait(e entry, now float64) {
 	w := now - e.enq
-	if e.js.long {
+	if e.long() {
 		s.res.LongEntryWaits = append(s.res.LongEntryWaits, w)
 	} else {
 		s.res.ShortEntryWaits = append(s.res.ShortEntryWaits, w)
