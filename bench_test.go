@@ -283,6 +283,37 @@ func BenchmarkLargeCluster(b *testing.B) {
 	}
 }
 
+// BenchmarkChurnScale is BenchmarkLargeCluster's operating point run
+// through a rolling-failure scenario: two waves of 600 node failures and
+// recoveries (5% of the cluster each) while the steal-heavy trace is in
+// flight. It gates the membership-aware dynamic path that the static
+// benchmarks never enter — alive-list sampling on every probe and steal,
+// incarnation-stamped events, failure re-routing, and the central queue's
+// server removal/re-add — so a regression in the dynamic cluster model is
+// caught even though the static fast path stays zero-overhead. Runs in
+// CI's benchmark-regression gate next to the static benchmarks.
+func BenchmarkChurnScale(b *testing.B) {
+	trace := workload.Generate(workload.Google(), workload.GenConfig{
+		NumJobs: 3000, MeanInterArrival: 0.5, Seed: 13,
+	})
+	churn := &policy.ChurnSpec{Events: []policy.ChurnEvent{
+		{At: 200, Kind: policy.ChurnFail, Count: 600},
+		{At: 500, Kind: policy.ChurnRecover, Count: 600},
+		{At: 800, Kind: policy.ChurnFail, Count: 600},
+		{At: 1100, Kind: policy.ChurnRecover, Count: 600},
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(trace, policy.Config{NumNodes: 12000, Policy: "hawk", Seed: 5, Churn: churn})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Events), "events/op")
+		b.ReportMetric(float64(res.TasksReexecuted), "reexecuted/op")
+		b.ReportMetric(float64(res.StealAttempts), "stealAttempts/op")
+	}
+}
+
 // BenchmarkCentralQueue measures the §3.7 priority queue in isolation at
 // cluster scale.
 func BenchmarkCentralQueue(b *testing.B) {

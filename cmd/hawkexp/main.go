@@ -29,7 +29,7 @@ import (
 )
 
 var (
-	expFlag     = flag.String("exp", "", "experiment id (table1, table2, fig1, fig4, fig5, fig6, fig7, fig8-9, fig10-11, fig12-13, fig14, fig15, fig16-17) or 'all'")
+	expFlag     = flag.String("exp", "", "experiment id (table1, table2, fig1, fig4, fig5, fig6, fig7, fig8-9, fig10-11, fig12-13, fig14, fig15, fig16-17, robustness, churn) or 'all'")
 	listFlag    = flag.Bool("list", false, "list experiment ids and exit")
 	numJobsFlag = flag.Int("numjobs", 20000, "synthetic trace size in jobs")
 	jobsFlag    = flag.Int("jobs", 0, "max concurrent simulations (0 = one per CPU)")
@@ -38,7 +38,32 @@ var (
 	quickFlag   = flag.Bool("quick", false, "use the reduced quick scale (fewer jobs, fewer runs)")
 	policyFlag  = flag.String("policy", "hawk", "candidate policy for the comparison figures; one of: "+strings.Join(hawk.Policies(), ", "))
 	fullProto   = flag.Bool("fullproto", false, "run fig16-17 at the paper's full prototype scale (3300 jobs, sec->ms; takes tens of minutes)")
+
+	// Dynamic-cluster scenario flags, overlaid on every simulator run of
+	// the selected experiment (see hawk.ChurnSpec / hawk.Heterogeneity).
+	failNodes = flag.Int("fail-nodes", 0, "fail this many random nodes at -fail-at (0 = no failures)")
+	failAt    = flag.Float64("fail-at", 0, "simulated seconds at which -fail-nodes nodes fail")
+	recoverAt = flag.Float64("recover-at", 0, "simulated seconds at which failed nodes recover (0 = never)")
+	speedSkew = flag.Float64("speed-skew", 0, "fraction of nodes running at -slow-speed (0 = homogeneous)")
+	slowSpeed = flag.Float64("slow-speed", 0.5, "speed factor of the skewed nodes (1 = nominal)")
 )
+
+// scenario assembles the Churn/Heterogeneity overlay from the flags.
+func scenario() (*hawk.ChurnSpec, *hawk.Heterogeneity) {
+	var churn *hawk.ChurnSpec
+	if *failNodes > 0 {
+		events := []hawk.ChurnEvent{{At: *failAt, Kind: hawk.ChurnFail, Count: *failNodes}}
+		if *recoverAt > 0 {
+			events = append(events, hawk.ChurnEvent{At: *recoverAt, Kind: hawk.ChurnRecover, Count: *failNodes})
+		}
+		churn = &hawk.ChurnSpec{Events: events}
+	}
+	var hetero *hawk.Heterogeneity
+	if *speedSkew > 0 {
+		hetero = &hawk.Heterogeneity{Classes: []hawk.SpeedClass{{Fraction: *speedSkew, Speed: *slowSpeed}}}
+	}
+	return churn, hetero
+}
 
 type experiment struct {
 	id   string
@@ -61,6 +86,8 @@ func registry() []experiment {
 		{"fig14", "Figure 14: mis-estimation sensitivity", runFig14},
 		{"fig15", "Figure 15: stealing-attempt cap sensitivity", runFig15},
 		{"fig16-17", "Figures 16-17: implementation vs simulation (live prototype)", runFig1617},
+		{"robustness", "Central-scheduler outage: stealing keeps the general partition utilized (§4 resilience)", runRobustness},
+		{"churn", "Rolling node failures: re-execution and lost work under churn", runChurn},
 	}
 }
 
@@ -87,6 +114,7 @@ func main() {
 		sc.Seed = *seedFlag
 	}
 	sc.Policy = *policyFlag
+	sc.Churn, sc.Heterogeneity = scenario()
 	// -jobs used to mean the synthetic trace size (now -numjobs); catch
 	// scripts written against the old meaning rather than silently running
 	// the default-sized trace with an absurd worker bound.
@@ -113,6 +141,9 @@ func main() {
 	}
 	for _, id := range toRun {
 		e := ids[id]
+		if (sc.Churn != nil || sc.Heterogeneity != nil) && (id == "fig1" || id == "fig16-17") {
+			fmt.Fprintf(os.Stderr, "hawkexp: note: %s builds its own fixed configuration; the -fail-nodes/-speed-skew overlay does not apply to it\n", id)
+		}
 		fmt.Printf("=== %s — %s\n", e.id, e.desc)
 		start := time.Now()
 		if err := e.run(sc); err != nil {
@@ -320,6 +351,36 @@ func runFig1617(sc experiments.Scale) error {
 			p.LoadFactor,
 			p.Impl.ShortP50, p.Impl.ShortP90, p.Impl.LongP50, p.Impl.LongP90,
 			p.Sim.ShortP50, p.Sim.ShortP90, p.Sim.LongP50, p.Sim.LongP90)
+	}
+	return nil
+}
+
+func runRobustness(sc experiments.Scale) error {
+	rows, err := experiments.RobustnessOutage(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Println("variant              | genUtil before/outage | short p50 all/outage | long p50 all/outage | deferred outageSec steals")
+	for _, r := range rows {
+		fmt.Printf("%-20s | %.2f %.2f | %.0f %.0f | %.0f %.0f | %d %.0f %d\n",
+			r.Variant, r.GeneralUtilBefore, r.GeneralUtilOutage,
+			r.ShortP50, r.ShortP50Outage, r.LongP50, r.LongP50Outage,
+			r.CentralDeferred, r.OutageSeconds, r.StealSuccesses)
+	}
+	fmt.Println("(general-partition utilization sustained under outage = the paper's stealing resilience argument)")
+	return nil
+}
+
+func runChurn(sc experiments.Scale) error {
+	rows, err := experiments.RobustnessChurn(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Println("variant              | short p50 | long p50 | fails recoveries reexec probesLost workLost(s)")
+	for _, r := range rows {
+		fmt.Printf("%-20s | %.0f | %.0f | %d %d %d %d %.0f\n",
+			r.Variant, r.ShortP50, r.LongP50,
+			r.NodeFailures, r.NodeRecoveries, r.TasksReexecuted, r.ProbesLost, r.WorkLostSeconds)
 	}
 	return nil
 }

@@ -45,10 +45,21 @@ var (
 	misLoFlag     = flag.Float64("mislo", 0, "mis-estimation factor lower bound")
 	misHiFlag     = flag.Float64("mishi", 0, "mis-estimation factor upper bound")
 	seedFlag      = flag.Int64("seed", 42, "random seed")
-	dumpFlag      = flag.String("dump", "", "write per-job results to this CSV file")
-	jsonFlag      = flag.String("json", "", "write the full report to this JSON file")
-	cpuProfFlag   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-	memProfFlag   = flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
+	listPolFlag   = flag.Bool("list-policies", false, "list registered scheduling policies and exit")
+
+	// Dynamic-cluster scenario flags.
+	failNodesFlag = flag.Int("fail-nodes", 0, "fail this many random nodes at -fail-at (0 = no failures)")
+	failAtFlag    = flag.Float64("fail-at", 0, "simulated seconds at which -fail-nodes nodes fail")
+	recoverAtFlag = flag.Float64("recover-at", 0, "simulated seconds at which failed nodes recover (0 = never)")
+	downAtFlag    = flag.Float64("central-down", 0, "simulated seconds at which the centralized scheduler goes down (0 = never)")
+	upAtFlag      = flag.Float64("central-up", 0, "simulated seconds at which the centralized scheduler recovers (0 = never)")
+	speedSkewFlag = flag.Float64("speed-skew", 0, "fraction of nodes running at -slow-speed (0 = homogeneous)")
+	slowSpeedFlag = flag.Float64("slow-speed", 0.5, "speed factor of the skewed nodes (1 = nominal)")
+
+	dumpFlag    = flag.String("dump", "", "write per-job results to this CSV file")
+	jsonFlag    = flag.String("json", "", "write the full report to this JSON file")
+	cpuProfFlag = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfFlag = flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
 )
 
 func main() {
@@ -86,6 +97,12 @@ func realMain() int {
 			}
 		}()
 	}
+	if *listPolFlag {
+		for _, name := range hawk.Policies() {
+			fmt.Println(name)
+		}
+		return 0
+	}
 	trace, err := loadTrace()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hawksim: %v\n", err)
@@ -119,6 +136,8 @@ func realMain() int {
 		DisableCentral:         *noCentralFlag,
 		MisestimateLo:          *misLoFlag,
 		MisestimateHi:          *misHiFlag,
+		Churn:                  churnSpec(),
+		Heterogeneity:          heterogeneitySpec(),
 		Seed:                   *seedFlag,
 	})
 	if err != nil {
@@ -141,6 +160,36 @@ func realMain() int {
 		fmt.Printf("wrote report to %s\n", *jsonFlag)
 	}
 	return 0
+}
+
+// churnSpec assembles the scripted scenario from the failure/outage flags,
+// or nil when none are set (the static fast path).
+func churnSpec() *hawk.ChurnSpec {
+	var events []hawk.ChurnEvent
+	if *failNodesFlag > 0 {
+		events = append(events, hawk.ChurnEvent{At: *failAtFlag, Kind: hawk.ChurnFail, Count: *failNodesFlag})
+		if *recoverAtFlag > 0 {
+			events = append(events, hawk.ChurnEvent{At: *recoverAtFlag, Kind: hawk.ChurnRecover, Count: *failNodesFlag})
+		}
+	}
+	if *downAtFlag > 0 {
+		events = append(events, hawk.ChurnEvent{At: *downAtFlag, Kind: hawk.ChurnCentralDown})
+		if *upAtFlag > 0 {
+			events = append(events, hawk.ChurnEvent{At: *upAtFlag, Kind: hawk.ChurnCentralUp})
+		}
+	}
+	if len(events) == 0 {
+		return nil
+	}
+	return &hawk.ChurnSpec{Events: events}
+}
+
+// heterogeneitySpec maps -speed-skew/-slow-speed onto a one-class spec.
+func heterogeneitySpec() *hawk.Heterogeneity {
+	if *speedSkewFlag <= 0 {
+		return nil
+	}
+	return &hawk.Heterogeneity{Classes: []hawk.SpeedClass{{Fraction: *speedSkewFlag, Speed: *slowSpeedFlag}}}
 }
 
 func loadTrace() (*hawk.Trace, error) {
@@ -205,4 +254,9 @@ func printResult(trace *hawk.Trace, res *hawk.Report) {
 		res.ProbesSent, res.Cancels, res.TasksExecuted, res.CentralAssigns)
 	fmt.Printf("steals: attempts=%d contacts=%d successes=%d entries=%d\n",
 		res.StealAttempts, res.StealContacts, res.StealSuccesses, res.EntriesStolen)
+	if res.NodeFailures > 0 || res.CentralOutageSeconds > 0 {
+		fmt.Printf("churn: failures=%d recoveries=%d reexecuted=%d probesLost=%d workLost=%.0fs outage=%.0fs deferred=%d\n",
+			res.NodeFailures, res.NodeRecoveries, res.TasksReexecuted, res.ProbesLost,
+			res.WorkLostSeconds, res.CentralOutageSeconds, res.CentralDeferred)
+	}
 }

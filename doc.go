@@ -30,6 +30,23 @@
 // generators, the Sparrow, fully-centralized, and split-cluster baselines,
 // and the live prototype runtime.
 //
+// # Cluster model
+//
+// Engines schedule against a dynamic cluster model (core.ClusterView):
+// the short/general partition, the live membership set, and per-node
+// speed factors. A hawk.Config can script the scenarios the paper's
+// robustness story depends on — node failures and recoveries (work on a
+// failed node is lost and re-routed: probes re-sent, central tasks
+// re-assigned, running tasks re-executed), central-scheduler outages
+// (placements park in a backlog while probing and stealing keep the
+// general partition utilized), and heterogeneous node speeds (a task of
+// duration d takes d/speed seconds on its node). Both engines replay the
+// same spec — the simulator as typed events on its virtual clock, the
+// live prototype on a real-time controller — and runs stay deterministic
+// per seed. With no scenario configured the view is static: samplers
+// delegate to the dense partition fast path, draws are bit-identical,
+// and the golden reports prove churn-free output unchanged.
+//
 // # Layout
 //
 // internal/policy holds the API implementation (registry, config, report);
@@ -74,8 +91,9 @@
 // # Benchmark-regression gate
 //
 // CI treats simulator performance as a tested invariant: every push to
-// main benchmarks SimulatorThroughput, CentralQueue, LargeCluster, and
-// GoogleScale (-benchmem, -count=5) and uploads the result as a
+// main benchmarks SimulatorThroughput, CentralQueue, LargeCluster,
+// GoogleScale, and ChurnScale (-benchmem, -count=5) and uploads the
+// result as a
 // BENCH_<sha>.json artifact, and every pull request re-runs the same
 // benchmarks on its base commit on the same runner and fails if min ns/op
 // regresses by more than 15%, or min allocs/op or min B/op by more than

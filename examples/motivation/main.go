@@ -1,5 +1,7 @@
-// Heterogeneous reproduces the paper's §2.3 motivation in miniature: on a
-// highly loaded cluster with a heterogeneous workload, a purely distributed
+// Motivation reproduces the paper's §2.3 motivation in miniature: on a
+// highly loaded cluster with a heterogeneous *workload* (a mix of short
+// and long jobs — not heterogeneous hardware; for per-node speed factors
+// see examples/churn and hawk.WithSpeedSkew), a purely distributed
 // scheduler (Sparrow) lets short jobs queue behind long ones, inflating
 // their runtimes by orders of magnitude — even though idle servers exist.
 //

@@ -12,6 +12,13 @@
 // execution consume real time. Both consume the same Config and produce
 // the same Report, so results compare apples-to-apples.
 //
+// Runs schedule against a dynamic cluster model: a Config can script node
+// failures and recoveries, central-scheduler outages, and heterogeneous
+// node speeds (WithChurn, WithSpeedSkew) — both engines replay the same
+// scenario, re-routing lost work, and the Report's churn counters account
+// for the damage. With no scenario configured the cluster is static and
+// engines keep their fast paths.
+//
 // The four schedulers the paper studies — "sparrow", "hawk", "centralized",
 // "split" — are registered policies; list them with Policies, validate a
 // CLI flag with Registered, and plug in new policies with Register
@@ -68,6 +75,31 @@ type (
 	Pool = policy.Pool
 	// Action is the placement kind a Decision requests.
 	Action = policy.Action
+
+	// ChurnSpec scripts dynamic cluster membership for a run: node
+	// failures and recoveries plus central-scheduler outages, replayed
+	// identically by both engines. Work on a failed node is lost and
+	// re-routed (probes re-sent, central tasks re-assigned, running tasks
+	// re-executed); the Report's NodeFailures/TasksReexecuted/
+	// WorkLostSeconds counters quantify the damage.
+	ChurnSpec = policy.ChurnSpec
+	// ChurnEvent is one scripted cluster transition of a ChurnSpec.
+	ChurnEvent = policy.ChurnEvent
+	// ChurnKind names a ChurnEvent's transition.
+	ChurnKind = policy.ChurnKind
+	// Heterogeneity assigns per-node speed factors: a task of duration d
+	// takes d/speed seconds on its executing node.
+	Heterogeneity = policy.Heterogeneity
+	// SpeedClass is one Heterogeneity class (fraction of nodes, speed).
+	SpeedClass = policy.SpeedClass
+)
+
+// Churn event kinds.
+const (
+	ChurnFail        = policy.ChurnFail
+	ChurnRecover     = policy.ChurnRecover
+	ChurnCentralDown = policy.ChurnCentralDown
+	ChurnCentralUp   = policy.ChurnCentralUp
 )
 
 // Decision actions and candidate pools.
@@ -128,6 +160,9 @@ var (
 	WithoutCentral             = policy.WithoutCentral
 	WithNetworkDelay           = policy.WithNetworkDelay
 	WithMisestimation          = policy.WithMisestimation
+	WithChurn                  = policy.WithChurn
+	WithHeterogeneity          = policy.WithHeterogeneity
+	WithSpeedSkew              = policy.WithSpeedSkew
 	WithSeed                   = policy.WithSeed
 	WithUtilizationInterval    = policy.WithUtilizationInterval
 )

@@ -225,3 +225,45 @@ func TestDeriveSeedReExport(t *testing.T) {
 		}
 	}
 }
+
+// The scenario surface is part of the public API: a churn spec built from
+// the re-exported types runs on both engines, and the churn counters come
+// back through the shared Report schema.
+func TestScenarioAPIOnBothEngines(t *testing.T) {
+	tr := smallTrace()
+	cfg := hawk.NewConfig("hawk",
+		hawk.WithNodes(20), hawk.WithSchedulers(2), hawk.WithSeed(3),
+		hawk.WithNetworkDelay(0.0001),
+		hawk.WithSpeedSkew(0.5, 0.5),
+		hawk.WithChurn(
+			hawk.ChurnEvent{At: 0.05, Kind: hawk.ChurnFail, Count: 3},
+			hawk.ChurnEvent{At: 0.2, Kind: hawk.ChurnRecover, Count: 3},
+		))
+	for name, engine := range map[string]hawk.Engine{"sim": hawk.Simulate, "live": hawk.RunLive} {
+		res, err := engine(tr, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(res.Jobs) != tr.Len() {
+			t.Fatalf("%s: completed %d of %d jobs", name, len(res.Jobs), tr.Len())
+		}
+		if res.NodeFailures != 3 || res.NodeRecoveries != 3 {
+			t.Errorf("%s: failures/recoveries = %d/%d, want 3/3", name, res.NodeFailures, res.NodeRecoveries)
+		}
+	}
+}
+
+// A config whose scenario could starve a probe pool is rejected by either
+// engine before the run starts.
+func TestScenarioFeasibilityRejected(t *testing.T) {
+	tr := smallTrace()
+	cfg := hawk.NewConfig("sparrow",
+		hawk.WithNodes(4), hawk.WithSeed(1),
+		hawk.WithChurn(hawk.ChurnEvent{At: 0.01, Kind: hawk.ChurnFail, Count: 3}))
+	if _, err := hawk.Simulate(tr, cfg); err == nil {
+		t.Error("sim accepted a pool-starving scenario")
+	}
+	if _, err := hawk.RunLive(tr, cfg); err == nil {
+		t.Error("live accepted a pool-starving scenario")
+	}
+}

@@ -225,6 +225,49 @@ func (q *CentralQueue) fix(s *serverState) {
 	}
 }
 
+// Remove stops tracking nodeID — the node left the cluster (failure or
+// drain). Estimated work attributed to the server is discarded; the runtime
+// re-routes the concrete tasks it knows were queued or running there. It
+// reports whether the node was tracked. Rare-path: membership transitions,
+// not assignment.
+func (q *CentralQueue) Remove(nodeID int) bool {
+	s := q.lookup(nodeID)
+	if s == nil {
+		return false
+	}
+	if s.inRun {
+		q.running.remove(s)
+	} else {
+		q.idle.remove(s)
+	}
+	q.servers[nodeID] = nil
+	q.count--
+	return true
+}
+
+// Add starts (or resumes) tracking nodeID as an idle server with zero
+// waiting time at instant now — the node joined or rejoined the cluster.
+// It reports whether the node was newly added (false if already tracked).
+func (q *CentralQueue) Add(nodeID int, now float64) bool {
+	if nodeID < 0 {
+		return false
+	}
+	if q.lookup(nodeID) != nil {
+		return false
+	}
+	q.advance(now)
+	if nodeID >= len(q.servers) {
+		grown := make([]*serverState, nodeID+1)
+		copy(grown, q.servers)
+		q.servers = grown
+	}
+	s := &serverState{nodeID: nodeID, runEnd: q.now}
+	q.servers[nodeID] = s
+	q.idle.push(s)
+	q.count++
+	return true
+}
+
 // MinWaiting returns the smallest waiting time across servers at instant
 // now: the queueing delay the next assigned task would see.
 func (q *CentralQueue) MinWaiting(now float64) float64 {

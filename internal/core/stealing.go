@@ -20,26 +20,28 @@ func NewStealPolicy() StealPolicy {
 }
 
 // Candidates returns the node ids a thief should contact, in contact order:
-// up to Cap distinct random members of the general partition, excluding the
-// thief itself when it happens to be sampled (a node cannot steal from its
-// own queue).
-func (s StealPolicy) Candidates(p Partition, src *randdist.Source, thiefID int) []int {
-	return s.CandidatesInto(nil, p, src, thiefID)
+// up to Cap distinct random live members of the general partition, excluding
+// the thief itself when it happens to be sampled (a node cannot steal from
+// its own queue).
+func (s StealPolicy) Candidates(v *ClusterView, src *randdist.Source, thiefID int) []int {
+	return s.CandidatesInto(nil, v, src, thiefID)
 }
 
 // CandidatesInto is the scratch-buffer form of Candidates: it appends the
 // contact list to dst and returns the extended slice, drawing identically
 // to Candidates. With a reused per-simulation buffer the default steal
 // path stays allocation-free (as does the random-position ablation's, via
-// RandomShortIndicesInto).
-func (s StealPolicy) CandidatesInto(dst []int, p Partition, src *randdist.Source, thiefID int) []int {
+// RandomShortIndicesInto). Victims come from the view, so a dynamic view
+// never hands a thief a dead node; a static view draws identically to
+// sampling the Partition directly.
+func (s StealPolicy) CandidatesInto(dst []int, v *ClusterView, src *randdist.Source, thiefID int) []int {
 	if !s.Enabled || s.Cap <= 0 {
 		return dst
 	}
 	// Sample one extra so that dropping the thief still yields Cap
 	// candidates when possible.
 	start := len(dst)
-	dst = p.SampleGeneralInto(dst, src, s.Cap+1)
+	dst = v.SampleGeneralInto(dst, src, s.Cap+1)
 	w := start
 	for _, id := range dst[start:] {
 		if id == thiefID {

@@ -96,7 +96,7 @@ func TestStealPolicyCandidates(t *testing.T) {
 	src := randdist.New(1)
 	for trial := 0; trial < 100; trial++ {
 		thief := trial % 100
-		cands := pol.Candidates(p, src, thief)
+		cands := pol.Candidates(NewClusterView(p), src, thief)
 		if len(cands) > 10 {
 			t.Fatalf("got %d candidates, cap is 10", len(cands))
 		}
@@ -119,10 +119,10 @@ func TestStealPolicyCandidates(t *testing.T) {
 func TestStealPolicyDisabled(t *testing.T) {
 	p := NewPartition(100, 0.2)
 	src := randdist.New(2)
-	if c := (StealPolicy{Cap: 10, Enabled: false}).Candidates(p, src, 0); c != nil {
+	if c := (StealPolicy{Cap: 10, Enabled: false}).Candidates(NewClusterView(p), src, 0); c != nil {
 		t.Fatalf("disabled policy returned candidates: %v", c)
 	}
-	if c := (StealPolicy{Cap: 0, Enabled: true}).Candidates(p, src, 0); c != nil {
+	if c := (StealPolicy{Cap: 0, Enabled: true}).Candidates(NewClusterView(p), src, 0); c != nil {
 		t.Fatalf("zero cap returned candidates: %v", c)
 	}
 }
@@ -131,7 +131,7 @@ func TestStealPolicyCapLargerThanPartition(t *testing.T) {
 	p := NewPartition(10, 0.5) // 5 general nodes
 	pol := StealPolicy{Cap: 50, Enabled: true}
 	src := randdist.New(3)
-	cands := pol.Candidates(p, src, 7) // thief inside general partition
+	cands := pol.Candidates(NewClusterView(p), src, 7) // thief inside general partition
 	if len(cands) != 4 {
 		t.Fatalf("want all 4 other general nodes, got %d (%v)", len(cands), cands)
 	}

@@ -37,7 +37,7 @@ func AblationStealPosition(sc Scale) ([]StealPositionRow, error) {
 		{NumNodes: nodes, Policy: "hawk", Seed: sc.Seed},
 		{NumNodes: nodes, Policy: "hawk", Seed: sc.Seed, StealRandomPositions: true},
 	}
-	reports, err := runConfigs(t, cfgs, sc.Workers)
+	reports, err := runConfigs(t, cfgs, sc)
 	if err != nil {
 		return nil, fmt.Errorf("steal ablation: %w", err)
 	}
@@ -82,7 +82,7 @@ func AblationProbeRatio(sc Scale) ([]ProbeRatioPoint, error) {
 			cfgs = append(cfgs, policy.Config{NumNodes: nodes, Policy: pol, Seed: sc.Seed, ProbeRatio: ratio})
 		}
 	}
-	reports, err := runConfigs(t, cfgs, sc.Workers)
+	reports, err := runConfigs(t, cfgs, sc)
 	if err != nil {
 		return nil, fmt.Errorf("probe ratio ablation: %w", err)
 	}

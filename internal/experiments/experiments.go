@@ -35,6 +35,26 @@ type Scale struct {
 	// cmd/hawkexp threads its -jobs flag through here. Results are
 	// byte-identical for any worker count, including 1 (serial).
 	Workers int
+	// Churn, when set, applies a scripted cluster-churn scenario to every
+	// simulator run a driver launches (cmd/hawkexp threads its
+	// -fail-nodes/-fail-at flags through here). Nil runs the static
+	// cluster of the paper's baseline evaluation.
+	Churn *policy.ChurnSpec
+	// Heterogeneity, when set, applies per-node speed factors to every
+	// simulator run (the -speed-skew flag).
+	Heterogeneity *policy.Heterogeneity
+}
+
+// apply overlays the scale's cluster scenario on one run configuration,
+// leaving configs that script their own scenario untouched.
+func (s Scale) apply(cfg policy.Config) policy.Config {
+	if cfg.Churn == nil {
+		cfg.Churn = s.Churn
+	}
+	if cfg.Heterogeneity == nil {
+		cfg.Heterogeneity = s.Heterogeneity
+	}
+	return cfg
 }
 
 // PolicyName returns the candidate policy, defaulting to "hawk".
@@ -125,26 +145,27 @@ func TraceFor(spec workload.Spec, sc Scale) *workload.Trace {
 // runConfigs fans a set of simulator runs on a shared trace out over one
 // bounded worker pool and returns the reports in config order. Every
 // sweep-shaped driver funnels through here (or runPairs), so a single
-// Scale.Workers knob bounds the whole figure's parallelism.
-func runConfigs(t *workload.Trace, cfgs []policy.Config, workers int) ([]*policy.Report, error) {
+// Scale.Workers knob bounds the whole figure's parallelism and a single
+// Scale scenario (churn/heterogeneity) overlays every run.
+func runConfigs(t *workload.Trace, cfgs []policy.Config, sc Scale) ([]*policy.Report, error) {
 	pts := make([]sweep.Point, len(cfgs))
 	for i, cfg := range cfgs {
-		pts[i] = sweep.Point{Trace: t, Config: cfg}
+		pts[i] = sweep.Point{Trace: t, Config: sc.apply(cfg)}
 	}
-	return sweep.Run(context.Background(), sweep.Sweep{Points: pts, Jobs: workers})
+	return sweep.Run(context.Background(), sweep.Sweep{Points: pts, Jobs: sc.Workers})
 }
 
 // runPairs runs the candidate and baseline policies at every cluster size
 // of a node sweep, all fanned out over one worker pool, and returns the
 // (candidate, baseline) report pairs in nodes order.
-func runPairs(t *workload.Trace, nodes []int, candidate, baseline string, seed int64, workers int) ([][2]*policy.Report, error) {
+func runPairs(t *workload.Trace, nodes []int, candidate, baseline string, sc Scale) ([][2]*policy.Report, error) {
 	cfgs := make([]policy.Config, 0, 2*len(nodes))
 	for _, n := range nodes {
 		cfgs = append(cfgs,
-			policy.Config{NumNodes: n, Policy: candidate, Seed: seed},
-			policy.Config{NumNodes: n, Policy: baseline, Seed: seed})
+			policy.Config{NumNodes: n, Policy: candidate, Seed: sc.Seed},
+			policy.Config{NumNodes: n, Policy: baseline, Seed: sc.Seed})
 	}
-	reports, err := runConfigs(t, cfgs, workers)
+	reports, err := runConfigs(t, cfgs, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -156,9 +177,9 @@ func runPairs(t *workload.Trace, nodes []int, candidate, baseline string, seed i
 }
 
 // runPair runs the candidate and baseline policies on the same trace at one
-// cluster size (concurrently, bounded by workers).
-func runPair(t *workload.Trace, nodes int, candidate, baseline string, seed int64, workers int) (*policy.Report, *policy.Report, error) {
-	pairs, err := runPairs(t, []int{nodes}, candidate, baseline, seed, workers)
+// cluster size (concurrently, bounded by the scale's worker pool).
+func runPair(t *workload.Trace, nodes int, candidate, baseline string, sc Scale) (*policy.Report, *policy.Report, error) {
+	pairs, err := runPairs(t, []int{nodes}, candidate, baseline, sc)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -96,7 +96,7 @@ func Fig16And17(cfg Fig16Config) ([]Fig16Point, error) {
 			return nil, fmt.Errorf("fig16 live sparrow k=%.2f: %w", k, err)
 		}
 
-		simHawk, simSparrow, err := runPair(t, cfg.NumNodes, "hawk", "sparrow", cfg.Seed, cfg.Workers)
+		simHawk, simSparrow, err := runPair(t, cfg.NumNodes, "hawk", "sparrow", Scale{Seed: cfg.Seed, Workers: cfg.Workers})
 		if err != nil {
 			return nil, fmt.Errorf("fig16 sim k=%.2f: %w", k, err)
 		}

@@ -95,7 +95,7 @@ type Fig5Point struct {
 func Fig5(sc Scale) ([]Fig5Point, error) {
 	t := GoogleTrace(sc)
 	nodeSweep := NodeSweep("google")
-	pairs, err := runPairs(t, nodeSweep, sc.PolicyName(), "sparrow", sc.Seed, sc.Workers)
+	pairs, err := runPairs(t, nodeSweep, sc.PolicyName(), "sparrow", sc)
 	if err != nil {
 		return nil, err
 	}
@@ -153,8 +153,8 @@ func Fig6(sc Scale) ([]Fig6Series, error) {
 	for i, spec := range specs {
 		for _, nodes := range NodeSweep(spec.Name) {
 			pts = append(pts,
-				sweep.Point{Trace: traces[i], Config: policy.Config{NumNodes: nodes, Policy: sc.PolicyName(), Seed: sc.Seed}},
-				sweep.Point{Trace: traces[i], Config: policy.Config{NumNodes: nodes, Policy: "sparrow", Seed: sc.Seed}})
+				sweep.Point{Trace: traces[i], Config: sc.apply(policy.Config{NumNodes: nodes, Policy: sc.PolicyName(), Seed: sc.Seed})},
+				sweep.Point{Trace: traces[i], Config: sc.apply(policy.Config{NumNodes: nodes, Policy: "sparrow", Seed: sc.Seed})})
 		}
 	}
 	reports, err := sweep.Run(ctx, sweep.Sweep{Points: pts, Jobs: sc.Workers})
@@ -197,7 +197,7 @@ func Fig7(sc Scale) ([]Fig7Row, error) {
 		{NumNodes: nodes, Policy: "hawk", Seed: sc.Seed, DisablePartition: true},
 		{NumNodes: nodes, Policy: "hawk", Seed: sc.Seed, DisableStealing: true},
 	}
-	reports, err := runConfigs(t, cfgs, sc.Workers)
+	reports, err := runConfigs(t, cfgs, sc)
 	if err != nil {
 		return nil, fmt.Errorf("fig7: %w", err)
 	}
@@ -215,7 +215,7 @@ func Fig7(sc Scale) ([]Fig7Row, error) {
 func Fig8And9(sc Scale) ([]RatioPoint, error) {
 	t := GoogleTrace(sc)
 	nodeSweep := NodeSweep("google")
-	pairs, err := runPairs(t, nodeSweep, sc.PolicyName(), "centralized", sc.Seed, sc.Workers)
+	pairs, err := runPairs(t, nodeSweep, sc.PolicyName(), "centralized", sc)
 	if err != nil {
 		return nil, err
 	}
@@ -231,7 +231,7 @@ func Fig8And9(sc Scale) ([]RatioPoint, error) {
 func Fig10And11(sc Scale) ([]RatioPoint, error) {
 	t := GoogleTrace(sc)
 	nodeSweep := NodeSweep("google")
-	pairs, err := runPairs(t, nodeSweep, sc.PolicyName(), "split", sc.Seed, sc.Workers)
+	pairs, err := runPairs(t, nodeSweep, sc.PolicyName(), "split", sc)
 	if err != nil {
 		return nil, err
 	}
@@ -254,7 +254,7 @@ func Fig12And13(sc Scale) ([]RatioPoint, error) {
 	for _, cutoff := range cutoffs {
 		cfgs = append(cfgs, policy.Config{NumNodes: nodes, Policy: sc.PolicyName(), Seed: sc.Seed, Cutoff: cutoff})
 	}
-	reports, err := runConfigs(t, cfgs, sc.Workers)
+	reports, err := runConfigs(t, cfgs, sc)
 	if err != nil {
 		return nil, fmt.Errorf("fig12: %w", err)
 	}
@@ -305,7 +305,7 @@ func Fig14(sc Scale) ([]Fig14Point, error) {
 			})
 		}
 	}
-	reports, err := runConfigs(t, cfgs, sc.Workers)
+	reports, err := runConfigs(t, cfgs, sc)
 	if err != nil {
 		return nil, fmt.Errorf("fig14: %w", err)
 	}
@@ -349,7 +349,7 @@ func Fig15(sc Scale) ([]Fig15Point, error) {
 	for i, stealCap := range caps {
 		cfgs[i] = policy.Config{NumNodes: nodes, Policy: "hawk", Seed: sc.Seed, StealCap: stealCap}
 	}
-	reports, err := runConfigs(t, cfgs, sc.Workers)
+	reports, err := runConfigs(t, cfgs, sc)
 	if err != nil {
 		return nil, fmt.Errorf("fig15: %w", err)
 	}

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+// The headline robustness claim (§4 resilience): with the centralized
+// scheduler scripted down mid-trace, randomized stealing keeps the general
+// partition utilized. Skipped in -short mode like the other full-figure
+// sweeps (15000 simulated nodes).
+func TestRobustnessOutage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full robustness figure in -short mode")
+	}
+	rows, err := RobustnessOutage(Scale{NumJobs: 4000, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want stealing + no-stealing", len(rows))
+	}
+	withSteal, noSteal := rows[0], rows[1]
+	if withSteal.StealSuccesses == 0 {
+		t.Fatal("stealing variant recorded no successful steals")
+	}
+	if noSteal.StealSuccesses != 0 {
+		t.Fatal("no-stealing variant stole anyway")
+	}
+	if withSteal.OutageSeconds <= 0 || withSteal.CentralDeferred == 0 {
+		t.Fatalf("outage did not bite: %+v", withSteal)
+	}
+	// The resilience argument itself: with stealing the general partition
+	// stays busy through the outage — no worse than a modest drop from
+	// its pre-outage level — and at least as utilized as without
+	// stealing.
+	if math.IsNaN(withSteal.GeneralUtilOutage) || math.IsNaN(withSteal.GeneralUtilBefore) {
+		t.Fatal("general-partition utilization series empty")
+	}
+	if withSteal.GeneralUtilOutage < noSteal.GeneralUtilOutage {
+		t.Errorf("stealing general-partition utilization %.3f below no-stealing %.3f during the outage",
+			withSteal.GeneralUtilOutage, noSteal.GeneralUtilOutage)
+	}
+	if withSteal.GeneralUtilOutage < 0.5*withSteal.GeneralUtilBefore {
+		t.Errorf("stealing did not sustain the general partition: %.3f during vs %.3f before",
+			withSteal.GeneralUtilOutage, withSteal.GeneralUtilBefore)
+	}
+}
+
+func TestRobustnessChurn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full churn figure in -short mode")
+	}
+	rows, err := RobustnessChurn(Scale{NumJobs: 4000, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	churned, stable := rows[0], rows[1]
+	if churned.NodeFailures != 4*300 || churned.NodeRecoveries != 4*300 {
+		t.Errorf("failures/recoveries = %d/%d, want 1200/1200", churned.NodeFailures, churned.NodeRecoveries)
+	}
+	if churned.TasksReexecuted == 0 || churned.WorkLostSeconds <= 0 {
+		t.Error("rolling failures interrupted no work")
+	}
+	if stable.NodeFailures != 0 || stable.TasksReexecuted != 0 {
+		t.Error("stable baseline saw churn")
+	}
+}

@@ -1,6 +1,7 @@
 package liverun
 
 import (
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -25,6 +26,23 @@ type cluster struct {
 	stop     chan struct{}
 	started  time.Time
 
+	// view is the dynamic cluster model shared with the simulator's
+	// engine: membership plus per-node speed factors. On a churn run
+	// (dynamicView) viewMu serializes every sampler and every churn
+	// transition against it (the simulator gets this for free from its
+	// single-threaded event loop); it also guards probeSrc, churnSrc,
+	// lostProbes, and parkedJobs. Without churn the view is immutable
+	// after construction, so the samplers skip the cluster-wide lock —
+	// the static fast path pays one bool check, mirroring the
+	// simulator's zero-overhead contract.
+	viewMu      sync.Mutex
+	view        *core.ClusterView
+	dynamicView bool             // churn scripted: view mutates at runtime
+	probeSrc    *randdist.Source // stream for failure-re-sent probes
+	churnSrc    *randdist.Source // stream for random churn picks
+	lostProbes  []*jobRuntime    // probes waiting for a live pool node
+	parkedJobs  []*jobRuntime    // jobs whose live pool was narrower than their task count
+
 	stealAttempts  atomic.Int64
 	stealSuccesses atomic.Int64
 	entriesStolen  atomic.Int64
@@ -32,6 +50,13 @@ type cluster struct {
 	tasksExecuted  atomic.Int64
 	probesSent     atomic.Int64
 	centralAssigns atomic.Int64
+
+	nodeFailures    atomic.Int64
+	nodeRecoveries  atomic.Int64
+	tasksReexecuted atomic.Int64
+	probesLost      atomic.Int64
+	centralDeferred atomic.Int64
+	workLostNanos   atomic.Int64
 }
 
 func newCluster(cfg policy.Config, pol policy.Policy) *cluster {
@@ -46,10 +71,25 @@ func newCluster(cfg policy.Config, pol policy.Policy) *cluster {
 	c.part = core.NewPartition(slots, pol.ShortPartitionFraction())
 	c.steal = core.StealPolicy{Cap: cfg.StealCap, Enabled: pol.Steal()}
 
+	c.view = core.NewClusterView(c.part)
+	if cfg.Heterogeneity != nil {
+		// Seed+2, matching the simulator, so both engines agree on which
+		// node is slow.
+		c.view.SetSpeeds(cfg.Heterogeneity.Factors(slots, cfg.Seed+2))
+	}
+	if cfg.Churn != nil && len(cfg.Churn.Events) > 0 {
+		// Before any goroutine can observe the view: membership tracking
+		// flips the samplers off the static fast path, and dynamicView
+		// turns the view lock on.
+		c.view.EnableMembership()
+		c.dynamicView = true
+	}
+
 	root := randdist.New(cfg.Seed)
 	c.nodes = make([]*nodeMonitor, slots)
 	for i := range c.nodes {
 		c.nodes[i] = newNodeMonitor(i, c, root.Fork())
+		c.nodes[i].speed = c.view.Speed(i)
 	}
 	c.dscheds = make([]*distScheduler, cfg.NumSchedulers)
 	for i := range c.dscheds {
@@ -58,8 +98,13 @@ func newCluster(cfg policy.Config, pol policy.Policy) *cluster {
 	if pool := pol.CentralPool(); pool != policy.PoolNone {
 		c.central = newCentralScheduler(c, pool.IDs(c.part))
 	}
+	c.probeSrc = root.Fork()
+	c.churnSrc = root.Fork()
 	for _, n := range c.nodes {
 		go n.run()
+	}
+	if c.cfg.Churn != nil && len(c.cfg.Churn.Events) > 0 {
+		go c.runChurn()
 	}
 	return c
 }
@@ -90,6 +135,162 @@ func (c *cluster) submit(jr *jobRuntime, seq int) {
 	go ds.schedule(jr, dec.Pool)
 }
 
+// runChurn replays the scripted cluster transitions on the real-time
+// clock, mirroring the simulator's typed churn events: events apply in
+// time order (stable for scripted ties), random picks draw from the
+// cluster's seeded churn stream.
+func (c *cluster) runChurn() {
+	events := append([]policy.ChurnEvent(nil), c.cfg.Churn.Events...)
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	for _, ev := range events {
+		target := c.started.Add(time.Duration(ev.At * float64(time.Second)))
+		if d := time.Until(target); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-c.stop:
+				return
+			}
+		}
+		switch ev.Kind {
+		case policy.ChurnFail:
+			for _, id := range c.pickLive(ev) {
+				c.failNode(id)
+			}
+		case policy.ChurnRecover:
+			for _, id := range c.pickDead(ev) {
+				c.recoverNode(id)
+			}
+		case policy.ChurnCentralDown:
+			if c.central != nil {
+				c.central.setDown()
+			}
+		case policy.ChurnCentralUp:
+			if c.central != nil {
+				c.central.setUp()
+			}
+		}
+	}
+}
+
+// pickLive resolves a fail event's targets: the explicit node, or Count
+// random live nodes.
+func (c *cluster) pickLive(ev policy.ChurnEvent) []int {
+	if ev.Count == 0 {
+		return []int{ev.Node}
+	}
+	c.viewMu.Lock()
+	defer c.viewMu.Unlock()
+	return c.view.SampleAllInto(nil, c.churnSrc, ev.Count)
+}
+
+// pickDead resolves a recover event's targets: the explicit node, or Count
+// random dead nodes.
+func (c *cluster) pickDead(ev policy.ChurnEvent) []int {
+	if ev.Count == 0 {
+		return []int{ev.Node}
+	}
+	c.viewMu.Lock()
+	defer c.viewMu.Unlock()
+	dead := c.view.AppendDead(nil)
+	k := ev.Count
+	if k > len(dead) {
+		k = len(dead)
+	}
+	picks := c.churnSrc.SampleWithoutReplacementInto(nil, len(dead), k)
+	ids := make([]int, len(picks))
+	for i, p := range picks {
+		ids[i] = dead[p]
+	}
+	return ids
+}
+
+// failNode removes one node from the live cluster: membership, the central
+// queue's server set, the node's queue (every entry re-routed), and the
+// running task (killed mid-sleep; the executing goroutine re-routes it).
+func (c *cluster) failNode(id int) {
+	c.viewMu.Lock()
+	if !c.view.Alive(id) {
+		c.viewMu.Unlock()
+		return
+	}
+	c.view.Fail(id)
+	c.viewMu.Unlock()
+	c.nodeFailures.Add(1)
+	if c.central != nil {
+		c.central.remove(id)
+	}
+	dropped := c.nodes[id].goDown()
+	for _, e := range dropped {
+		c.rerouteEntry(e)
+	}
+}
+
+// recoverNode returns one node to the cluster, idle and empty, and
+// releases work waiting on capacity.
+func (c *cluster) recoverNode(id int) {
+	c.viewMu.Lock()
+	if c.view.Alive(id) {
+		c.viewMu.Unlock()
+		return
+	}
+	c.view.Recover(id)
+	lost := c.lostProbes
+	c.lostProbes = nil
+	parked := c.parkedJobs
+	c.parkedJobs = nil
+	c.viewMu.Unlock()
+	c.nodeRecoveries.Add(1)
+	if c.central != nil && c.pol.CentralPool().Contains(c.part, id) {
+		c.central.add(id)
+	}
+	c.nodes[id].comeUp()
+	for _, jr := range lost {
+		c.resendProbe(jr)
+	}
+	for _, jr := range parked {
+		dec := c.pol.Route(policy.JobInfo{
+			ID: jr.job.ID, Tasks: jr.job.NumTasks(), Estimate: jr.est, Long: jr.long,
+		})
+		go c.dscheds[0].schedule(jr, dec.Pool)
+	}
+}
+
+// rerouteEntry re-places one queue entry dropped by a failed node: probes
+// are re-sent to a live pool node, centrally placed tasks re-assigned.
+// (Queued tasks had not started, so they re-assign without counting as
+// re-executed; the killed running task is accounted by its executor.)
+func (c *cluster) rerouteEntry(e entry) {
+	if e.probe {
+		c.probesLost.Add(1)
+		c.resendProbe(e.job)
+		return
+	}
+	c.central.placeTask(e.job, e.dur)
+}
+
+// resendProbe sends one replacement probe for the job to a live node of
+// its decision pool, or parks the job until the next recovery when the
+// pool has no live member.
+func (c *cluster) resendProbe(jr *jobRuntime) {
+	dec := c.pol.Route(policy.JobInfo{
+		ID: jr.job.ID, Tasks: jr.job.NumTasks(), Estimate: jr.est, Long: jr.long,
+	})
+	c.viewMu.Lock()
+	ids := dec.Pool.SampleInto(nil, c.view, c.probeSrc, 1)
+	if len(ids) == 0 {
+		c.lostProbes = append(c.lostProbes, jr)
+		c.viewMu.Unlock()
+		return
+	}
+	c.viewMu.Unlock()
+	c.probesSent.Add(1)
+	node := c.nodes[ids[0]]
+	go func() {
+		c.latency()
+		node.enqueue(entry{probe: true, job: jr})
+	}()
+}
+
 // distScheduler is one of the paper's per-job distributed schedulers
 // (grouped: each scheduler instance handles many jobs over time, like the
 // paper's 10 prototype schedulers handling 300 jobs each).
@@ -100,12 +301,28 @@ type distScheduler struct {
 }
 
 // schedule places ProbeRatio*t probes for the job via batch sampling
-// (§3.5) over the decision's candidate pool.
+// (§3.5) over the decision's candidate pool — its live members, under
+// churn. A pool currently narrower than the job's task count parks the
+// job until a recovery widens it (batch sampling needs one live candidate
+// per task).
 func (d *distScheduler) schedule(jr *jobRuntime, pool policy.Pool) {
 	c := d.c
-	k := core.NumProbes(jr.job.NumTasks(), c.cfg.ProbeRatio, pool.Size(c.part))
 	d.mu.Lock()
-	ids := pool.Sample(c.part, d.src, k)
+	if c.dynamicView {
+		c.viewMu.Lock()
+	}
+	poolSize := pool.Size(c.view)
+	if c.dynamicView && poolSize < jr.job.NumTasks() {
+		c.parkedJobs = append(c.parkedJobs, jr)
+		c.viewMu.Unlock()
+		d.mu.Unlock()
+		return
+	}
+	k := core.NumProbes(jr.job.NumTasks(), c.cfg.ProbeRatio, poolSize)
+	ids := pool.SampleInto(nil, c.view, d.src, k)
+	if c.dynamicView {
+		c.viewMu.Unlock()
+	}
 	d.mu.Unlock()
 	c.probesSent.Add(int64(len(ids)))
 	for _, id := range ids {
@@ -117,11 +334,25 @@ func (d *distScheduler) schedule(jr *jobRuntime, pool policy.Pool) {
 	}
 }
 
-// centralScheduler runs the §3.7 algorithm over its node pool.
+// centralItem is one parked central placement.
+type centralItem struct {
+	jr  *jobRuntime
+	dur time.Duration
+}
+
+// centralScheduler runs the §3.7 algorithm over its node pool, with the
+// dynamic-cluster extensions: scripted outages park placements in a
+// backlog, and failed servers leave the waiting-time queue until they
+// recover.
 type centralScheduler struct {
 	c  *cluster
 	mu sync.Mutex
 	q  *core.CentralQueue
+
+	down      bool
+	downSince time.Time
+	outage    time.Duration
+	backlog   []centralItem
 }
 
 func newCentralScheduler(c *cluster, nodeIDs []int) *centralScheduler {
@@ -130,24 +361,109 @@ func newCentralScheduler(c *cluster, nodeIDs []int) *centralScheduler {
 
 // schedule places every task of a job on the least-waiting servers.
 func (s *centralScheduler) schedule(jr *jobRuntime) {
-	c := s.c
 	for i := 0; i < jr.job.NumTasks(); i++ {
 		dur := time.Duration(jr.job.Durations[i] * float64(time.Second))
-		s.mu.Lock()
-		nodeID, _ := s.q.Assign(c.nowSeconds(), jr.est)
+		s.placeTask(jr, dur)
+	}
+}
+
+// placeTask assigns one task, or parks it while the scheduler is down or
+// has no live servers.
+func (s *centralScheduler) placeTask(jr *jobRuntime, dur time.Duration) {
+	c := s.c
+	s.mu.Lock()
+	if s.down || s.q.Len() == 0 {
+		s.backlog = append(s.backlog, centralItem{jr: jr, dur: dur})
 		s.mu.Unlock()
-		c.centralAssigns.Add(1)
-		node := c.nodes[nodeID]
-		go func() {
-			c.latency()
-			node.enqueue(entry{job: jr, dur: dur})
-		}()
+		c.centralDeferred.Add(1)
+		return
+	}
+	nodeID, _ := s.q.Assign(c.nowSeconds(), jr.est)
+	s.mu.Unlock()
+	c.centralAssigns.Add(1)
+	node := c.nodes[nodeID]
+	go func() {
+		c.latency()
+		node.enqueue(entry{job: jr, dur: dur})
+	}()
+}
+
+// drainLocked empties the backlog for re-placement; caller holds s.mu.
+func (s *centralScheduler) drainLocked() []centralItem {
+	pending := s.backlog
+	s.backlog = nil
+	return pending
+}
+
+// setDown starts a scripted outage.
+func (s *centralScheduler) setDown() {
+	s.mu.Lock()
+	if !s.down {
+		s.down = true
+		s.downSince = time.Now()
+	}
+	s.mu.Unlock()
+}
+
+// setUp ends a scripted outage and re-places the backlog in arrival order.
+func (s *centralScheduler) setUp() {
+	s.mu.Lock()
+	var pending []centralItem
+	if s.down {
+		s.down = false
+		s.outage += time.Since(s.downSince)
+		pending = s.drainLocked()
+	}
+	s.mu.Unlock()
+	for _, it := range pending {
+		s.placeTask(it.jr, it.dur)
+	}
+}
+
+// isDown reports whether a scripted outage is in progress.
+func (s *centralScheduler) isDown() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.down
+}
+
+// outageTotal returns the accumulated scripted downtime, including a still
+// open outage.
+func (s *centralScheduler) outageTotal() time.Duration {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	total := s.outage
+	if s.down {
+		total += time.Since(s.downSince)
+	}
+	return total
+}
+
+// remove drops a failed server from the waiting-time queue.
+func (s *centralScheduler) remove(nodeID int) {
+	s.mu.Lock()
+	s.q.Remove(nodeID)
+	s.mu.Unlock()
+}
+
+// add returns a recovered server to the queue (idle, zero waiting) and
+// re-places any backlog that was parked for lack of live servers.
+func (s *centralScheduler) add(nodeID int) {
+	s.mu.Lock()
+	s.q.Add(nodeID, s.c.nowSeconds())
+	var pending []centralItem
+	if !s.down {
+		pending = s.drainLocked()
+	}
+	s.mu.Unlock()
+	for _, it := range pending {
+		s.placeTask(it.jr, it.dur)
 	}
 }
 
 // taskStarted relays node-monitor feedback to the waiting-time queue; the
-// monitor reports the launched task's duration so the running term tracks
-// the real task (§3.7).
+// monitor reports the launched task's wall duration (speed-scaled on a
+// heterogeneous cluster) so the running term tracks the real task (§3.7).
 func (s *centralScheduler) taskStarted(nodeID int, est float64, dur time.Duration) {
 	s.mu.Lock()
 	s.q.TaskStarted(nodeID, s.c.nowSeconds(), est, dur.Seconds())
@@ -171,6 +487,7 @@ type jobRuntime struct {
 	mu        sync.Mutex
 	next      int
 	done      int
+	lost      []time.Duration // durations of tasks lost to node failures, re-served first
 	submitted time.Time
 	onDone    func(runtime time.Duration)
 }
@@ -184,17 +501,31 @@ func newJobRuntime(job *workload.Job, long bool, submitted time.Time) *jobRuntim
 	}
 }
 
-// getTask hands the next unassigned task to a requesting node monitor, or
-// reports that all tasks are taken (the probe is cancelled).
+// getTask hands the next unassigned task to a requesting node monitor — a
+// task lost to a failure first, else the next fresh one — or reports that
+// all tasks are taken (the probe is cancelled).
 func (j *jobRuntime) getTask() (time.Duration, bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if n := len(j.lost); n > 0 {
+		d := j.lost[n-1]
+		j.lost = j.lost[:n-1]
+		return d, true
+	}
 	if j.next >= j.job.NumTasks() {
 		return 0, false
 	}
 	d := j.job.Durations[j.next]
 	j.next++
 	return time.Duration(d * float64(time.Second)), true
+}
+
+// pushLost hands a task back after the node running (or about to run) it
+// failed; a later probe re-fetches it.
+func (j *jobRuntime) pushLost(d time.Duration) {
+	j.mu.Lock()
+	j.lost = append(j.lost, d)
+	j.mu.Unlock()
 }
 
 // taskDone accounts one finished task; the last completion fires onDone.

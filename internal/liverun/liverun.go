@@ -51,18 +51,23 @@ func Run(trace *workload.Trace, cfg policy.Config) (*policy.Report, error) {
 		return nil, err
 	}
 
-	c := newCluster(cfg, pol)
-	defer c.stopAll()
-
 	// The live engine classifies exactly, so only each job's true route
-	// is checked.
+	// is checked. The margin is the scenario's worst-case concurrent
+	// failures, mirroring the simulator's pre-flight. The check runs on a
+	// static view of the full membership, before the cluster (and its
+	// churn controller) starts — the live view is mutated concurrently
+	// once goroutines are up.
 	cls := core.Classifier{Cutoff: cfg.Cutoff}
-	if err := policy.CheckFeasibility(trace, pol, c.part,
+	preflight := core.NewClusterView(core.NewPartition(cfg.TotalSlots(), pol.ShortPartitionFraction()))
+	if err := policy.CheckFeasibility(trace, pol, preflight, cfg.Churn.MaxConcurrentFailures(),
 		func(j *workload.Job) []bool {
 			return []bool{cls.IsLong(j.AvgTaskDuration())}
 		}); err != nil {
 		return nil, err
 	}
+
+	c := newCluster(cfg, pol)
+	defer c.stopAll()
 
 	jobs := append([]*workload.Job(nil), trace.Jobs...)
 	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].SubmitTime < jobs[j].SubmitTime })
@@ -80,16 +85,18 @@ func Run(trace *workload.Trace, cfg policy.Config) (*policy.Report, error) {
 		wg.Add(1)
 		idx, job := i, j
 		long := cls.IsLong(job.AvgTaskDuration())
+		duringOutage := c.central != nil && c.central.isDown()
 		jr := newJobRuntime(job, long, time.Now())
 		jr.onDone = func(runtime time.Duration) {
 			results[idx] = policy.JobReport{
-				ID:         job.ID,
-				SubmitTime: job.SubmitTime,
-				Runtime:    runtime.Seconds(),
-				Tasks:      job.NumTasks(),
-				Long:       long,
-				TrueLong:   long, // the live engine estimates exactly (§3.3)
-				Estimate:   job.AvgTaskDuration(),
+				ID:           job.ID,
+				SubmitTime:   job.SubmitTime,
+				Runtime:      runtime.Seconds(),
+				Tasks:        job.NumTasks(),
+				Long:         long,
+				TrueLong:     long, // the live engine estimates exactly (§3.3)
+				Estimate:     job.AvgTaskDuration(),
+				DuringOutage: duringOutage,
 			}
 			wg.Done()
 		}
@@ -98,18 +105,27 @@ func Run(trace *workload.Trace, cfg policy.Config) (*policy.Report, error) {
 	wg.Wait()
 
 	res := &policy.Report{
-		Engine:         "live",
-		Policy:         c.pol.String(),
-		Config:         cfg,
-		Jobs:           results,
-		Makespan:       time.Since(start).Seconds(),
-		StealAttempts:  c.stealAttempts.Load(),
-		StealSuccesses: c.stealSuccesses.Load(),
-		EntriesStolen:  c.entriesStolen.Load(),
-		Cancels:        c.cancels.Load(),
-		TasksExecuted:  c.tasksExecuted.Load(),
-		ProbesSent:     c.probesSent.Load(),
-		CentralAssigns: c.centralAssigns.Load(),
+		Engine:          "live",
+		Policy:          c.pol.String(),
+		Config:          cfg,
+		Jobs:            results,
+		Makespan:        time.Since(start).Seconds(),
+		StealAttempts:   c.stealAttempts.Load(),
+		StealSuccesses:  c.stealSuccesses.Load(),
+		EntriesStolen:   c.entriesStolen.Load(),
+		Cancels:         c.cancels.Load(),
+		TasksExecuted:   c.tasksExecuted.Load(),
+		ProbesSent:      c.probesSent.Load(),
+		CentralAssigns:  c.centralAssigns.Load(),
+		NodeFailures:    c.nodeFailures.Load(),
+		NodeRecoveries:  c.nodeRecoveries.Load(),
+		TasksReexecuted: c.tasksReexecuted.Load(),
+		ProbesLost:      c.probesLost.Load(),
+		CentralDeferred: c.centralDeferred.Load(),
+		WorkLostSeconds: time.Duration(c.workLostNanos.Load()).Seconds(),
+	}
+	if c.central != nil {
+		res.CentralOutageSeconds = c.central.outageTotal().Seconds()
 	}
 	return res, nil
 }

@@ -1,11 +1,11 @@
 package liverun
 
 import (
+	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/randdist"
-	"sync"
 )
 
 // entry is one element of a live node's FIFO queue: a batch-sampling probe
@@ -21,27 +21,46 @@ func (e entry) long() bool { return e.job.long }
 // nodeMonitor is the live analogue of a Sparrow node monitor, extended per
 // §3.8 so monitors can communicate and send tasks to each other (work
 // stealing). One goroutine per node: a single execution slot plus a
-// mutex-protected FIFO queue that peers may steal from.
+// mutex-protected FIFO queue that peers may steal from. Under a churn
+// scenario the monitor can go down (queue dropped, running task killed and
+// re-routed) and come back up; on a heterogeneous cluster its speed factor
+// stretches every task it executes.
 type nodeMonitor struct {
-	id  int
-	c   *cluster
-	src *randdist.Source // owned by the node's goroutine and thieves; guarded by mu
+	id    int
+	c     *cluster
+	src   *randdist.Source // owned by the node's goroutine and thieves; guarded by mu
+	speed float64          // fixed per run; 1 on a homogeneous cluster
 
 	mu            sync.Mutex
 	queue         []entry
 	busy          bool
+	alive         bool
 	executingLong bool
-	wake          chan struct{} // capacity 1: "new work arrived"
+	wake          chan struct{} // capacity 1: "new work arrived" / "recovered"
+	kill          chan struct{} // closed on failure; replaced on recovery
 }
 
 func newNodeMonitor(id int, c *cluster, src *randdist.Source) *nodeMonitor {
-	return &nodeMonitor{id: id, c: c, src: src, wake: make(chan struct{}, 1)}
+	return &nodeMonitor{
+		id: id, c: c, src: src, speed: 1, alive: true,
+		wake: make(chan struct{}, 1),
+		kill: make(chan struct{}),
+	}
 }
 
 // run is the node's main loop: drain the queue; when it runs dry, attempt
-// one randomized steal; otherwise sleep until new work arrives.
+// one randomized steal; otherwise sleep until new work arrives. A dead
+// node parks until recovery wakes it.
 func (n *nodeMonitor) run() {
 	for {
+		if !n.isAlive() {
+			select {
+			case <-n.wake:
+				continue
+			case <-n.c.stop:
+				return
+			}
+		}
 		e, ok := n.pop()
 		if !ok {
 			if n.trySteal() {
@@ -58,11 +77,50 @@ func (n *nodeMonitor) run() {
 	}
 }
 
+func (n *nodeMonitor) isAlive() bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.alive
+}
+
+// goDown takes the node out of the cluster: marks it dead, closes the kill
+// channel (interrupting a running task's sleep), and hands the dropped
+// queue back for re-routing.
+func (n *nodeMonitor) goDown() []entry {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.alive {
+		return nil
+	}
+	n.alive = false
+	close(n.kill)
+	dropped := n.queue
+	n.queue = nil
+	return dropped
+}
+
+// comeUp returns the node to service, idle and empty, with a fresh kill
+// channel, and wakes its loop.
+func (n *nodeMonitor) comeUp() {
+	n.mu.Lock()
+	if n.alive {
+		n.mu.Unlock()
+		return
+	}
+	n.alive = true
+	n.kill = make(chan struct{})
+	n.mu.Unlock()
+	select {
+	case n.wake <- struct{}{}:
+	default:
+	}
+}
+
 // pop takes the queue head, marking the node busy while it holds work.
 func (n *nodeMonitor) pop() (entry, bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if len(n.queue) == 0 {
+	if !n.alive || len(n.queue) == 0 {
 		n.busy = false
 		return entry{}, false
 	}
@@ -74,7 +132,10 @@ func (n *nodeMonitor) pop() (entry, bool) {
 }
 
 // process resolves a probe (request round trip, then run or cancel) or runs
-// a centrally placed task, reporting start/finish feedback.
+// a centrally placed task, reporting start/finish feedback. If the node is
+// killed mid-execution the task is lost: its elapsed time is counted as
+// lost work and the task re-routes (back to the job for a fresh probe, or
+// to the central scheduler).
 func (n *nodeMonitor) process(e entry) {
 	c := n.c
 	if e.probe {
@@ -85,30 +146,90 @@ func (n *nodeMonitor) process(e entry) {
 			c.cancels.Add(1)
 			return
 		}
-		n.sleepTask(dur)
-		e.job.taskDone()
+		if !n.isAlive() {
+			// Died during the round trip: the handed-out task never
+			// started; give it back and re-probe elsewhere.
+			e.job.pushLost(dur)
+			c.probesLost.Add(1)
+			c.resendProbe(e.job)
+			return
+		}
+		if n.sleepTask(dur) {
+			e.job.taskDone()
+			return
+		}
+		// Killed mid-run: re-execute from scratch via a fresh probe.
+		e.job.pushLost(dur)
+		c.resendProbe(e.job)
+		return
+	}
+	if !n.isAlive() {
+		c.central.placeTask(e.job, e.dur)
 		return
 	}
 	if c.central != nil {
-		c.central.taskStarted(n.id, e.job.est, e.dur)
+		c.central.taskStarted(n.id, e.job.est, n.scaled(e.dur))
 	}
-	n.sleepTask(e.dur)
-	if c.central != nil {
-		c.central.taskFinished(n.id)
+	if n.sleepTask(e.dur) {
+		if c.central != nil {
+			c.central.taskFinished(n.id)
+		}
+		e.job.taskDone()
+		return
 	}
-	e.job.taskDone()
+	// Killed mid-run: the central queue already dropped this server; the
+	// task re-assigns to a live one.
+	c.central.placeTask(e.job, e.dur)
 }
 
-func (n *nodeMonitor) sleepTask(d time.Duration) {
+// scaled stretches a task duration by the node's speed factor.
+func (n *nodeMonitor) scaled(d time.Duration) time.Duration {
+	if n.speed == 1 {
+		return d
+	}
+	return time.Duration(float64(d) / n.speed)
+}
+
+// sleepTask executes one task for its (speed-scaled) duration. It returns
+// false when the node was killed before completion, accounting the elapsed
+// time as lost work and the task as re-executed.
+func (n *nodeMonitor) sleepTask(d time.Duration) bool {
+	d = n.scaled(d)
+	n.mu.Lock()
+	kill := n.kill
+	alive := n.alive
+	n.mu.Unlock()
+	if !alive {
+		// Failed between dequeue and launch: nothing executed yet.
+		return false
+	}
 	n.c.tasksExecuted.Add(1)
-	if d > 0 {
-		time.Sleep(d)
+	if d <= 0 {
+		return true
+	}
+	start := time.Now()
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-kill:
+		n.c.tasksReexecuted.Add(1)
+		n.c.workLostNanos.Add(int64(time.Since(start)))
+		return false
 	}
 }
 
-// enqueue appends work and wakes the node if it is parked.
+// enqueue appends work and wakes the node if it is parked. Work landing on
+// a dead node (a message already in flight when the node failed) is
+// re-routed instead, as the sender would on noticing the failure.
 func (n *nodeMonitor) enqueue(e entry) {
 	n.mu.Lock()
+	if !n.alive {
+		n.mu.Unlock()
+		n.c.rerouteEntry(e)
+		return
+	}
 	n.queue = append(n.queue, e)
 	n.mu.Unlock()
 	select {
@@ -118,15 +239,21 @@ func (n *nodeMonitor) enqueue(e entry) {
 }
 
 // trySteal performs one randomized steal attempt (§3.6): contact up to Cap
-// random general-partition nodes, take the first eligible group found, and
-// push it onto our own (empty) queue.
+// random live general-partition nodes, take the first eligible group
+// found, and push it onto our own (empty) queue.
 func (n *nodeMonitor) trySteal() bool {
 	c := n.c
 	if !c.steal.Enabled {
 		return false
 	}
 	n.mu.Lock()
-	candidates := c.steal.Candidates(c.part, n.src, n.id)
+	if c.dynamicView {
+		c.viewMu.Lock()
+	}
+	candidates := c.steal.Candidates(c.view, n.src, n.id)
+	if c.dynamicView {
+		c.viewMu.Unlock()
+	}
 	n.mu.Unlock()
 	if len(candidates) == 0 {
 		return false
@@ -140,6 +267,16 @@ func (n *nodeMonitor) trySteal() bool {
 		}
 		c.latency() // shipping the stolen group back
 		n.mu.Lock()
+		if !n.alive {
+			// The thief failed during the contact round trip; its queue
+			// was already drained and nothing will serve it. Re-route the
+			// stolen work as if it had landed on the dead node.
+			n.mu.Unlock()
+			for _, e := range group {
+				c.rerouteEntry(e)
+			}
+			return false
+		}
 		n.queue = append(append(make([]entry, 0, len(group)+len(n.queue)), group...), n.queue...)
 		n.mu.Unlock()
 		c.stealSuccesses.Add(1)
@@ -154,7 +291,7 @@ func (n *nodeMonitor) trySteal() bool {
 func (n *nodeMonitor) stealGroup() []entry {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	if !n.busy || len(n.queue) == 0 {
+	if !n.alive || !n.busy || len(n.queue) == 0 {
 		return nil
 	}
 	flags := make([]bool, len(n.queue))

@@ -66,6 +66,15 @@ type Config struct {
 	// config requesting otherwise.
 	MisestimateLo float64 `json:"misestimateLo,omitempty"`
 	MisestimateHi float64 `json:"misestimateHi,omitempty"`
+	// Churn scripts dynamic cluster membership: node failures and
+	// recoveries plus central-scheduler outages, applied by both engines.
+	// Nil (the default) is a static cluster — engines keep their fast
+	// paths and byte-identical output.
+	Churn *ChurnSpec `json:"churn,omitempty"`
+	// Heterogeneity assigns per-node speed factors (task durations scale
+	// by 1/speed at the executing node). Nil is a homogeneous cluster.
+	// Node-to-class assignment draws from Seed+2, shared by both engines.
+	Heterogeneity *Heterogeneity `json:"heterogeneity,omitempty"`
 	// Seed drives all randomness (probe placement, steal victims,
 	// mis-estimation draws). Equal seeds give identical simulator runs.
 	Seed int64 `json:"seed"`
@@ -134,6 +143,24 @@ func WithNetworkDelay(sec float64) Option { return func(c *Config) { c.NetworkDe
 // WithMisestimation sets the uniform mis-estimation factor range of §4.8.
 func WithMisestimation(lo, hi float64) Option {
 	return func(c *Config) { c.MisestimateLo, c.MisestimateHi = lo, hi }
+}
+
+// WithChurn scripts cluster transitions: node failures/recoveries and
+// central-scheduler outages. Events fire in listed order for equal times.
+func WithChurn(events ...ChurnEvent) Option {
+	return func(c *Config) { c.Churn = &ChurnSpec{Events: events} }
+}
+
+// WithHeterogeneity assigns per-node speed classes; any fraction not
+// covered runs at the nominal speed 1.
+func WithHeterogeneity(classes ...SpeedClass) Option {
+	return func(c *Config) { c.Heterogeneity = &Heterogeneity{Classes: classes} }
+}
+
+// WithSpeedSkew is the one-knob heterogeneity shorthand: fraction of the
+// cluster runs at the given speed factor, the rest at 1.
+func WithSpeedSkew(fraction, speed float64) Option {
+	return WithHeterogeneity(SpeedClass{Fraction: fraction, Speed: speed})
 }
 
 // WithSeed sets the seed driving all randomness.
@@ -210,6 +237,16 @@ func (c Config) Normalize(t *workload.Trace) (Config, error) {
 	}
 	if c.UtilizationInterval <= 0 {
 		c.UtilizationInterval = 100
+	}
+	if c.Churn != nil {
+		if err := c.Churn.validate(c.TotalSlots()); err != nil {
+			return c, err
+		}
+	}
+	if c.Heterogeneity != nil {
+		if err := c.Heterogeneity.validate(); err != nil {
+			return c, err
+		}
 	}
 	return c, nil
 }

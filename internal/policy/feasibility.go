@@ -15,10 +15,17 @@ import (
 // workload.Trace.CapTasks, as the paper does for its 100-node prototype),
 // and a central route needs a declared central pool.
 //
+// The check runs against the cluster view's full membership minus the
+// scenario's worst-case concurrent failures (failureMargin, from
+// ChurnSpec.MaxConcurrentFailures): a churn script that could shrink a
+// probe pool below the widest job is rejected up front — re-routing keeps
+// probes alive across failures, but batch sampling still needs one live
+// candidate per task at submission time. Pass margin 0 for a static run.
+//
 // classes returns the job classifications to check. Engines with exact
 // estimates pass the single true class; the simulator passes both classes
 // when mis-estimation can flip a job's class at runtime.
-func CheckFeasibility(trace *workload.Trace, pol Policy, part core.Partition, classes func(*workload.Job) []bool) error {
+func CheckFeasibility(trace *workload.Trace, pol Policy, view *core.ClusterView, failureMargin int, classes func(*workload.Job) []bool) error {
 	hasCentral := pol.CentralPool() != PoolNone
 	for _, j := range trace.Jobs {
 		for _, long := range classes(j) {
@@ -31,7 +38,12 @@ func CheckFeasibility(trace *workload.Trace, pol Policy, part core.Partition, cl
 					return fmt.Errorf("policy: %q routes jobs centrally but declares no central pool", pol.String())
 				}
 			default:
-				if n := dec.Pool.Size(part); j.NumTasks() > n {
+				n := dec.Pool.Size(view) - failureMargin
+				if j.NumTasks() > n {
+					if failureMargin > 0 {
+						return fmt.Errorf("policy: job %d with %d tasks exceeds the %q probe pool's %d nodes surviving worst-case churn (%d concurrent failures); shrink the scenario or cap tasks",
+							j.ID, j.NumTasks(), dec.Pool, n, failureMargin)
+					}
 					return fmt.Errorf("policy: job %d with %d tasks exceeds the %d-node %q probe pool; cap tasks first",
 						j.ID, j.NumTasks(), n, dec.Pool)
 				}

@@ -5,29 +5,43 @@ import (
 	"repro/internal/randdist"
 )
 
-// The Pool → node-set mapping is a pure function of the cluster partition,
-// shared by every engine so a new Pool value needs exactly one dispatch
-// site per operation.
+// The Pool → node-set mapping is a pure function of the cluster view
+// (partition + live membership), shared by every engine so a new Pool value
+// needs exactly one dispatch site per operation. On a static view every
+// operation reduces to the partition arithmetic it always was; on a dynamic
+// view sizes and samples reflect live membership only.
 
-// Size returns the node count of the pool under a partition. Unknown Pool
-// values size to zero so a buggy custom Decision fails loudly at the
-// feasibility check instead of silently probing the whole cluster.
-func (p Pool) Size(part core.Partition) int {
+// Size returns the live node count of the pool under a cluster view.
+// Unknown Pool values size to zero so a buggy custom Decision fails loudly
+// at the feasibility check instead of silently probing the whole cluster.
+func (p Pool) Size(view *core.ClusterView) int {
 	switch p {
 	case PoolAll:
-		return part.NumNodes()
+		return view.AliveAll()
 	case PoolGeneral:
-		return part.GeneralNodes()
+		return view.AliveGeneral()
 	case PoolShort:
-		return part.ShortOnlyNodes()
+		return view.AliveShort()
 	default:
 		return 0
 	}
 }
 
-// IDs enumerates the pool's node ids in increasing order.
+// IDs enumerates the pool's node ids under the static partition in
+// increasing order — the full membership the pool starts from, regardless
+// of later churn (engines apply membership transitions on top, e.g. via
+// CentralQueue.Remove/Add).
 func (p Pool) IDs(part core.Partition) []int {
-	ids := make([]int, p.Size(part))
+	size := 0
+	switch p {
+	case PoolAll:
+		size = part.NumNodes()
+	case PoolGeneral:
+		size = part.GeneralNodes()
+	case PoolShort:
+		size = part.ShortOnlyNodes()
+	}
+	ids := make([]int, size)
 	for i := range ids {
 		if p == PoolGeneral {
 			ids[i] = part.GeneralID(i)
@@ -38,23 +52,42 @@ func (p Pool) IDs(part core.Partition) []int {
 	return ids
 }
 
-// Sample draws k distinct random node ids from the pool.
-func (p Pool) Sample(part core.Partition, src *randdist.Source, k int) []int {
-	return p.SampleInto(nil, part, src, k)
+// Contains reports whether the pool spans node id under the partition
+// (ignoring membership — pools are static sets; aliveness is the view's).
+func (p Pool) Contains(part core.Partition, id int) bool {
+	if id < 0 || id >= part.NumNodes() {
+		return false
+	}
+	switch p {
+	case PoolAll:
+		return true
+	case PoolGeneral:
+		return part.IsGeneral(id)
+	case PoolShort:
+		return !part.IsGeneral(id)
+	default:
+		return false
+	}
+}
+
+// Sample draws k distinct random live node ids from the pool.
+func (p Pool) Sample(view *core.ClusterView, src *randdist.Source, k int) []int {
+	return p.SampleInto(nil, view, src, k)
 }
 
 // SampleInto is the scratch-buffer form of Sample: it appends the sampled
 // ids to dst and returns the extended slice, drawing identically to Sample.
 // The simulator threads a per-run buffer through here so probe placement
-// performs zero heap allocations in steady state.
-func (p Pool) SampleInto(dst []int, part core.Partition, src *randdist.Source, k int) []int {
+// performs zero heap allocations in steady state. On a static view the
+// draws are bit-identical to sampling the Partition directly.
+func (p Pool) SampleInto(dst []int, view *core.ClusterView, src *randdist.Source, k int) []int {
 	switch p {
 	case PoolAll:
-		return part.SampleAllInto(dst, src, k)
+		return view.SampleAllInto(dst, src, k)
 	case PoolGeneral:
-		return part.SampleGeneralInto(dst, src, k)
+		return view.SampleGeneralInto(dst, src, k)
 	case PoolShort:
-		return part.SampleShortInto(dst, src, k)
+		return view.SampleShortInto(dst, src, k)
 	default:
 		return dst
 	}

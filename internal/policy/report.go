@@ -26,6 +26,10 @@ type JobReport struct {
 	Long     bool    `json:"long"`
 	TrueLong bool    `json:"trueLong"`
 	Estimate float64 `json:"estimate"`
+	// DuringOutage marks jobs submitted while the centralized scheduler
+	// was scripted down (ChurnCentralDown); the robustness experiments
+	// split latency on it. Always false on a run without outage events.
+	DuringOutage bool `json:"duringOutage,omitempty"`
 }
 
 // Report aggregates one run's outputs in the schema shared by every
@@ -50,6 +54,12 @@ type Report struct {
 	// Utilization is the periodically sampled fraction of busy slots
 	// (simulator only).
 	Utilization stats.UtilizationSeries `json:"-"`
+	// GeneralUtilization is the periodically sampled fraction of busy
+	// slots among the *live general partition* (simulator only) — the
+	// series the central-outage robustness figure plots to show stealing
+	// keeping the general partition utilized while the centralized queue
+	// is down.
+	GeneralUtilization stats.UtilizationSeries `json:"-"`
 
 	// Mechanism counters.
 	ProbesSent     int64  `json:"probesSent"`
@@ -61,6 +71,28 @@ type Report struct {
 	EntriesStolen  int64  `json:"entriesStolen"`  // queue entries moved by stealing
 	CentralAssigns int64  `json:"centralAssigns"`
 	Events         uint64 `json:"events,omitempty"` // simulator event count
+
+	// Dynamic-cluster counters, all zero (and omitted from JSON) on a run
+	// without churn/heterogeneity so static reports are unchanged.
+	NodeFailures   int64 `json:"nodeFailures,omitempty"`   // scripted node failures applied
+	NodeRecoveries int64 `json:"nodeRecoveries,omitempty"` // scripted node recoveries applied
+	// TasksReexecuted counts tasks that had started executing on a node
+	// that failed and were re-run from scratch elsewhere.
+	TasksReexecuted int64 `json:"tasksReexecuted,omitempty"`
+	// ProbesLost counts batch-sampling probes lost to node failures
+	// (queued on, in flight to, or awaiting reply at a failed node); each
+	// is re-sent to a live node, so it also counts probe re-sends.
+	ProbesLost int64 `json:"probesLost,omitempty"`
+	// WorkLostSeconds is the execution time thrown away by failures: for
+	// every task interrupted mid-run, the seconds it had been executing.
+	WorkLostSeconds float64 `json:"workLostSeconds,omitempty"`
+	// CentralDeferred counts placements (whole jobs at submission, single
+	// tasks on re-route) parked in the backlog while the centralized
+	// scheduler was down or had no live servers.
+	CentralDeferred int64 `json:"centralDeferred,omitempty"`
+	// CentralOutageSeconds is the total scripted central-scheduler
+	// downtime that elapsed during the run.
+	CentralOutageSeconds float64 `json:"centralOutageSeconds,omitempty"`
 
 	// Per-entry queueing waits (time from arrival at a node to the slot
 	// opening), split by the owning job's class. Diagnostics for the
@@ -100,6 +132,18 @@ func (r *Report) TrueShortRuntimes() []float64 {
 // estimates.
 func (r *Report) TrueLongRuntimes() []float64 {
 	return r.runtimes(func(j JobReport) bool { return j.TrueLong })
+}
+
+// OutageShortRuntimes returns runtimes of short-classified jobs submitted
+// while the centralized scheduler was scripted down.
+func (r *Report) OutageShortRuntimes() []float64 {
+	return r.runtimes(func(j JobReport) bool { return j.DuringOutage && !j.Long })
+}
+
+// OutageLongRuntimes returns runtimes of long-classified jobs submitted
+// while the centralized scheduler was scripted down.
+func (r *Report) OutageLongRuntimes() []float64 {
+	return r.runtimes(func(j JobReport) bool { return j.DuringOutage && j.Long })
 }
 
 // RuntimesByID returns a job-id → runtime map for the class selected by

@@ -98,4 +98,28 @@ func TestSteadyStateZeroAllocs(t *testing.T) {
 			t.Fatal("measured window exercised no central assignments")
 		}
 	})
+
+	// The dynamic-cluster refactor must not cost the churn-free fast path
+	// its zero-allocation steady state — including with heterogeneous
+	// node speeds, which stay on the static membership samplers (speed
+	// scaling is a per-execution division, not an allocation).
+	t.Run("heterogeneous-churn-free", func(t *testing.T) {
+		tr := workload.Generate(workload.Google(), workload.GenConfig{
+			NumJobs: 1500, MeanInterArrival: 0.5, Seed: 13,
+		})
+		s := steadyStateSim(t, tr, policy.Config{
+			NumNodes: 6000, Policy: "hawk", Seed: 5,
+			Heterogeneity: &policy.Heterogeneity{Classes: []policy.SpeedClass{{Fraction: 0.4, Speed: 0.5}}},
+		}, 30000)
+		if s.speeds == nil {
+			t.Fatal("heterogeneity spec did not materialize speed factors")
+		}
+		if s.dyn != nil || s.view.Dynamic() {
+			t.Fatal("a churn-free run must stay on the static membership fast path")
+		}
+		measureSteadySteps(t, s, 40000)
+		if s.res.StealAttempts == 0 {
+			t.Fatal("measured window exercised no steal attempts")
+		}
+	})
 }

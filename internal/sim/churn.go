@@ -1,0 +1,242 @@
+package sim
+
+import "repro/internal/policy"
+
+// Scripted cluster-churn handling: node failures and recoveries, central
+// scheduler outages, and the re-routing of work lost with a failed node.
+// Everything in this file is off the hot path — it runs only when a
+// scenario event fires (or when an in-flight message lands on a node that
+// failed after it was sent), so clarity wins over allocation discipline;
+// the churn-free fast path never enters here (simulation.dyn == nil).
+
+// dynState is the per-node dynamic-cluster bookkeeping, allocated only
+// when the scenario scripts membership transitions.
+type dynState struct {
+	// epoch counts a node's incarnations: bumped on every failure, so an
+	// evProbeReply/evTaskDone stamped with an older epoch is recognizably
+	// stale (its work was re-routed when the node failed). Events cannot
+	// outlive 256 incarnations of a node: an event's flight time is one
+	// task duration or network round trip, and each incarnation requires
+	// a scripted failure inside that window.
+	epoch []uint8
+	// run describes what a busy node is doing, so a failure knows exactly
+	// which work to re-route; valid only while the node is busy.
+	run []runRef
+}
+
+// runRef identifies the work occupying a node's slot.
+type runRef struct {
+	jidx    int32 // job arena index
+	task    int32 // executing task index; -1 while awaiting a probe reply
+	start   float64
+	central bool // task was placed by the centralized scheduler
+	// probeWait marks the probe request/response round trip: the slot is
+	// held but no task has been handed out yet.
+	probeWait bool
+}
+
+// centralRef is one parked central placement: a whole job (tidx < 0,
+// parked at submission) or a single task (parked on re-route).
+type centralRef struct {
+	jidx, tidx int32
+}
+
+// failRandomNodes applies a count-based ChurnFail: count live nodes picked
+// uniformly by the churn stream.
+func (s *simulation) failRandomNodes(now float64, count int) {
+	s.churnIDs = s.view.SampleAllInto(s.churnIDs[:0], s.churnSrc, count)
+	for _, id := range s.churnIDs {
+		s.failNode(int32(id), now)
+	}
+}
+
+// recoverRandomNodes applies a count-based ChurnRecover: count dead nodes
+// picked uniformly by the churn stream.
+func (s *simulation) recoverRandomNodes(now float64, count int) {
+	s.deadIDs = s.view.AppendDead(s.deadIDs[:0])
+	if count > len(s.deadIDs) {
+		count = len(s.deadIDs)
+	}
+	if count == 0 {
+		return
+	}
+	s.churnIDs = s.churnSrc.SampleWithoutReplacementInto(s.churnIDs[:0], len(s.deadIDs), count)
+	for _, i := range s.churnIDs {
+		s.recoverNode(int32(s.deadIDs[i]), now)
+	}
+}
+
+// failNode removes one node from the cluster: membership, the central
+// queue's server set, and every piece of work the node held. Queued and
+// in-flight probes are re-sent to live nodes; queued and running centrally
+// placed tasks are re-assigned; a task that was mid-execution re-executes
+// from scratch elsewhere (its elapsed time is lost work). Failing a dead
+// node is a no-op.
+func (s *simulation) failNode(id int32, now float64) {
+	if !s.view.Alive(int(id)) {
+		return
+	}
+	s.view.Fail(int(id))
+	s.res.NodeFailures++
+	s.dyn.epoch[id]++ // pending replies/completions for this node are now stale
+	if s.central != nil {
+		s.central.Remove(int(id))
+	}
+	n := &s.nodes[id]
+	if n.busy {
+		n.busy = false
+		n.runningLong = false
+		s.nodeBecameIdle(n.id)
+		r := s.dyn.run[id]
+		switch {
+		case r.probeWait:
+			// The request/response round trip dies with the node; the
+			// scheduler re-probes a live one.
+			s.res.ProbesLost++
+			s.resendProbe(r.jidx)
+		case r.central:
+			s.res.TasksReexecuted++
+			s.res.WorkLostSeconds += now - r.start
+			s.centralReassign(r.jidx, r.task)
+		default:
+			// A probe-fetched task: hand the task index back to the job
+			// and send a fresh probe to carry it.
+			s.res.TasksReexecuted++
+			s.res.WorkLostSeconds += now - r.start
+			js := &s.jobs[r.jidx]
+			js.lost = append(js.lost, r.task)
+			s.resendProbe(r.jidx)
+		}
+	}
+	for _, e := range n.queue[n.head:] {
+		if e.flags&entryTask != 0 {
+			s.centralReassign(e.jidx, e.tidx)
+		} else {
+			s.res.ProbesLost++
+			s.resendProbe(e.jidx)
+		}
+	}
+	n.queue = n.queue[:0]
+	n.head = 0
+}
+
+// recoverNode returns one node to the cluster, idle with an empty queue,
+// and releases work waiting on capacity: probes that found no live pool
+// node, jobs parked for pool width, and — via the central queue — any
+// backlog the recovered server can now absorb. Like any node that runs
+// dry, the recovered node immediately attempts one randomized steal.
+// Recovering a live node is a no-op.
+func (s *simulation) recoverNode(id int32, now float64) {
+	if s.view.Alive(int(id)) {
+		return
+	}
+	s.view.Recover(int(id))
+	s.res.NodeRecoveries++
+	if s.central != nil && s.pol.CentralPool().Contains(s.part, int(id)) {
+		s.central.Add(int(id), now)
+	}
+	if len(s.lostProbes) > 0 {
+		pending := s.lostProbes
+		s.lostProbes = nil
+		for _, jidx := range pending {
+			s.resendProbe(jidx)
+		}
+	}
+	if len(s.parkedJobs) > 0 {
+		pending := s.parkedJobs
+		s.parkedJobs = nil
+		for _, jidx := range pending {
+			s.routeJob(jidx)
+		}
+	}
+	s.drainCentralBacklog()
+	s.attemptSteal(&s.nodes[id])
+}
+
+// resendProbe sends one replacement batch-sampling probe for the job to a
+// live node of its decision pool. With no live pool node the job waits in
+// lostProbes for the next recovery.
+func (s *simulation) resendProbe(jidx int32) {
+	job := s.trace.Jobs[jidx]
+	js := &s.jobs[jidx]
+	dec := s.pol.Route(policy.JobInfo{
+		ID: job.ID, Tasks: job.NumTasks(), Estimate: js.estimate, Long: js.long,
+	})
+	s.nodeIDs = dec.Pool.SampleInto(s.nodeIDs[:0], s.view, s.src, 1)
+	if len(s.nodeIDs) == 0 {
+		s.lostProbes = append(s.lostProbes, jidx)
+		return
+	}
+	s.res.ProbesSent++
+	s.eng.After(s.cfg.NetworkDelay, simEvent{kind: evProbeArrive, ref: int32(s.nodeIDs[0]), jidx: jidx})
+}
+
+// centralUnavailable reports whether central placement must park: the
+// scheduler is scripted down, or churn has removed its every live server.
+// Both compares are no-ops on a static run.
+func (s *simulation) centralUnavailable() bool {
+	return s.centralDown || s.central.Len() == 0
+}
+
+// centralReassign re-places one task through the central scheduler, or
+// parks it while the scheduler is unavailable.
+func (s *simulation) centralReassign(jidx, tidx int32) {
+	if s.centralUnavailable() {
+		s.parkCentral(jidx, tidx)
+		return
+	}
+	s.assignCentralTask(jidx, tidx)
+}
+
+// assignCentralTask runs one §3.7 assignment for a single task.
+func (s *simulation) assignCentralTask(jidx, tidx int32) {
+	nodeID, _ := s.central.Assign(s.eng.Now(), s.jobs[jidx].estimate)
+	s.res.CentralAssigns++
+	s.eng.After(s.cfg.NetworkDelay, simEvent{kind: evTaskArrive, ref: int32(nodeID), jidx: jidx, aux: tidx})
+}
+
+// parkCentral appends one placement to the central backlog.
+func (s *simulation) parkCentral(jidx, tidx int32) {
+	s.backlog = append(s.backlog, centralRef{jidx: jidx, tidx: tidx})
+	s.res.CentralDeferred++
+}
+
+// drainCentralBacklog releases parked central placements in arrival order
+// once the scheduler is back (and has at least one live server).
+func (s *simulation) drainCentralBacklog() {
+	if s.central == nil || len(s.backlog) == 0 || s.centralUnavailable() {
+		return
+	}
+	pending := s.backlog
+	s.backlog = nil
+	for _, p := range pending {
+		if p.tidx < 0 {
+			js := &s.jobs[p.jidx]
+			for i := range js.durations {
+				s.assignCentralTask(p.jidx, int32(i))
+			}
+			continue
+		}
+		s.assignCentralTask(p.jidx, p.tidx)
+	}
+}
+
+// centralOutageStart begins a scripted central-scheduler outage.
+func (s *simulation) centralOutageStart(now float64) {
+	if s.centralDown {
+		return
+	}
+	s.centralDown = true
+	s.centralDownSince = now
+}
+
+// centralOutageEnd closes a scripted outage, accounts its duration, and
+// drains the backlog.
+func (s *simulation) centralOutageEnd(now float64) {
+	if !s.centralDown {
+		return
+	}
+	s.centralDown = false
+	s.res.CentralOutageSeconds += now - s.centralDownSince
+	s.drainCentralBacklog()
+}

@@ -1,0 +1,278 @@
+package sim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/workload"
+)
+
+func churnTrace(t *testing.T) *workload.Trace {
+	t.Helper()
+	return workload.Generate(workload.Google(), workload.GenConfig{
+		NumJobs: 400, MeanInterArrival: 0.5, Seed: 11,
+	})
+}
+
+// Under a rolling-failure scenario every job must still complete: lost
+// probes are re-sent, lost tasks re-execute, and the report's churn
+// counters account for the damage.
+func TestChurnAllJobsComplete(t *testing.T) {
+	tr := churnTrace(t)
+	cfg := policy.Config{
+		NumNodes: 1200, Policy: "hawk", Seed: 9,
+		Churn: &policy.ChurnSpec{Events: []policy.ChurnEvent{
+			{At: 40, Kind: policy.ChurnFail, Count: 80},
+			{At: 90, Kind: policy.ChurnRecover, Count: 80},
+			{At: 130, Kind: policy.ChurnFail, Node: 3},    // short partition
+			{At: 140, Kind: policy.ChurnFail, Node: 1100}, // general partition
+			{At: 190, Kind: policy.ChurnRecover, Node: 3},
+			{At: 200, Kind: policy.ChurnRecover, Node: 1100},
+		}},
+	}
+	res, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != tr.Len() {
+		t.Fatalf("completed %d of %d jobs", len(res.Jobs), tr.Len())
+	}
+	if res.NodeFailures != 82 || res.NodeRecoveries != 82 {
+		t.Errorf("failures/recoveries = %d/%d, want 82/82", res.NodeFailures, res.NodeRecoveries)
+	}
+	if res.TasksReexecuted == 0 {
+		t.Error("scenario interrupted no running task; enlarge the failure wave")
+	}
+	if res.WorkLostSeconds <= 0 {
+		t.Error("re-executed tasks must account lost work")
+	}
+	if res.ProbesLost == 0 {
+		t.Error("failing 80 loaded nodes must lose probes")
+	}
+	// Makespan is the last completion, not the last scripted event.
+	last := 0.0
+	for _, j := range res.Jobs {
+		if end := j.SubmitTime + j.Runtime; end > last {
+			last = end
+		}
+	}
+	if res.Makespan != last {
+		t.Errorf("makespan %g != last completion %g", res.Makespan, last)
+	}
+}
+
+// Churn runs are deterministic: same (trace, config) — including the
+// seeded random failure picks — same report.
+func TestChurnDeterministic(t *testing.T) {
+	tr := churnTrace(t)
+	cfg := policy.Config{
+		NumNodes: 1200, Policy: "hawk", Seed: 7,
+		Churn: &policy.ChurnSpec{Events: []policy.ChurnEvent{
+			{At: 30, Kind: policy.ChurnFail, Count: 60},
+			{At: 100, Kind: policy.ChurnRecover, Count: 60},
+		}},
+	}
+	a, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Jobs, b.Jobs) || a.Events != b.Events ||
+		a.TasksReexecuted != b.TasksReexecuted || a.ProbesLost != b.ProbesLost {
+		t.Fatal("identical churn configs produced different reports")
+	}
+}
+
+// A scripted central outage parks central placements in the backlog,
+// marks jobs submitted meanwhile, accounts the downtime exactly, and
+// still completes every job once the scheduler returns.
+func TestCentralOutage(t *testing.T) {
+	tr := churnTrace(t)
+	cfg := policy.Config{
+		NumNodes: 1200, Policy: "hawk", Seed: 9,
+		Churn: &policy.ChurnSpec{Events: []policy.ChurnEvent{
+			{At: 50, Kind: policy.ChurnCentralDown},
+			{At: 170, Kind: policy.ChurnCentralUp},
+		}},
+	}
+	res, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != tr.Len() {
+		t.Fatalf("completed %d of %d jobs", len(res.Jobs), tr.Len())
+	}
+	if res.CentralOutageSeconds != 120 {
+		t.Errorf("outage seconds = %g, want 120", res.CentralOutageSeconds)
+	}
+	if res.CentralDeferred == 0 {
+		t.Error("a 120 s outage under this load must defer central placements")
+	}
+	marked := 0
+	for _, j := range res.Jobs {
+		if j.DuringOutage {
+			marked++
+		}
+	}
+	if marked == 0 {
+		t.Error("no job carries the DuringOutage mark")
+	}
+	if len(res.OutageShortRuntimes())+len(res.OutageLongRuntimes()) != marked {
+		t.Error("outage runtime helpers disagree with the per-job marks")
+	}
+	// An outage with no membership churn keeps the static sampling fast
+	// path, so the run before the outage is bit-identical to a run
+	// without a scenario: every job completed before the outage started
+	// has the exact same runtime.
+	base, err := Run(tr, policy.Config{NumNodes: 1200, Policy: "hawk", Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRT := map[int]float64{}
+	for _, j := range base.Jobs {
+		baseRT[j.ID] = j.Runtime
+	}
+	checked := 0
+	for _, j := range res.Jobs {
+		if j.SubmitTime+j.Runtime < 50 {
+			if baseRT[j.ID] != j.Runtime {
+				t.Fatalf("job %d finished before the outage but diverged from the static run", j.ID)
+			}
+			checked++
+		}
+	}
+	if checked == 0 {
+		t.Error("no job completed before the outage; move the window")
+	}
+}
+
+// An outage that the script never closes is accounted to the end of the
+// run, and the backlog deadlock is reported with its cause.
+func TestCentralOutageNeverEnds(t *testing.T) {
+	tr := churnTrace(t)
+	cfg := policy.Config{
+		NumNodes: 1200, Policy: "hawk", Seed: 9,
+		Churn: &policy.ChurnSpec{Events: []policy.ChurnEvent{
+			{At: 50, Kind: policy.ChurnCentralDown},
+		}},
+	}
+	_, err := Run(tr, cfg)
+	if err == nil {
+		t.Fatal("want deadlock error: long jobs can never place")
+	}
+	if !strings.Contains(err.Error(), "backlogged") {
+		t.Errorf("deadlock error should name the central backlog, got: %v", err)
+	}
+}
+
+// Heterogeneity that leaves every node at speed 1 — explicitly, or with
+// zero-fraction classes — must not disturb the engine at all: identical
+// jobs, counters, and event counts to a homogeneous run.
+func TestUniformHeterogeneityIsIdentity(t *testing.T) {
+	tr := churnTrace(t)
+	base, err := Run(tr, policy.Config{NumNodes: 1200, Policy: "hawk", Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, h := range map[string]*policy.Heterogeneity{
+		"speed-one": {Classes: []policy.SpeedClass{{Fraction: 0.5, Speed: 1}}},
+		"zero-frac": {Classes: []policy.SpeedClass{{Fraction: 0, Speed: 0.25}}},
+	} {
+		res, err := Run(tr, policy.Config{NumNodes: 1200, Policy: "hawk", Seed: 9, Heterogeneity: h})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(res.Jobs, base.Jobs) || res.Events != base.Events {
+			t.Errorf("%s: uniform heterogeneity changed the run", name)
+		}
+	}
+}
+
+// Slowing the whole cluster by 2x must stretch job runtimes; the central
+// queue keeps observing the scaled durations, so the run still completes.
+func TestHeterogeneitySlowsJobs(t *testing.T) {
+	tr := churnTrace(t)
+	base, err := Run(tr, policy.Config{NumNodes: 1200, Policy: "hawk", Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := Run(tr, policy.Config{
+		NumNodes: 1200, Policy: "hawk", Seed: 9,
+		Heterogeneity: &policy.Heterogeneity{Classes: []policy.SpeedClass{{Fraction: 1, Speed: 0.5}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(slow.Jobs) != tr.Len() {
+		t.Fatalf("completed %d of %d jobs", len(slow.Jobs), tr.Len())
+	}
+	if slow.Makespan <= base.Makespan {
+		t.Errorf("half-speed cluster makespan %g not above nominal %g", slow.Makespan, base.Makespan)
+	}
+}
+
+// Node failures can hit the split cluster's central servers too: removing
+// and re-adding general nodes must keep the waiting-time queue consistent.
+func TestChurnWithCentralServers(t *testing.T) {
+	tr := churnTrace(t)
+	cfg := policy.Config{
+		NumNodes: 1200, Policy: "centralized", Seed: 9,
+		Churn: &policy.ChurnSpec{Events: []policy.ChurnEvent{
+			{At: 40, Kind: policy.ChurnFail, Count: 100},
+			{At: 120, Kind: policy.ChurnRecover, Count: 100},
+		}},
+	}
+	res, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != tr.Len() {
+		t.Fatalf("completed %d of %d jobs", len(res.Jobs), tr.Len())
+	}
+	if res.TasksReexecuted == 0 {
+		t.Error("failing 100 busy central servers must interrupt tasks")
+	}
+}
+
+// A scenario that could shrink a probe pool below the widest job is
+// rejected before the run by the feasibility margin.
+func TestChurnFeasibilityMargin(t *testing.T) {
+	tr := workload.Generate(workload.Google(), workload.GenConfig{
+		NumJobs: 50, MeanInterArrival: 2, Seed: 1,
+	})
+	maxTasks := 0
+	for _, j := range tr.Jobs {
+		if n := j.NumTasks(); n > maxTasks {
+			maxTasks = n
+		}
+	}
+	nodes := maxTasks + 10
+	cfg := policy.Config{
+		NumNodes: nodes, Policy: "sparrow", Seed: 1,
+		Churn: &policy.ChurnSpec{Events: []policy.ChurnEvent{
+			{At: 10, Kind: policy.ChurnFail, Count: 20}, // leaves < maxTasks live nodes
+		}},
+	}
+	if _, err := Run(tr, cfg); err == nil {
+		t.Fatal("scenario shrinking the pool below the widest job must be rejected")
+	}
+	// The same failures with recoveries in between are fine only if the
+	// concurrent maximum stays within the margin.
+	ok := policy.Config{
+		NumNodes: nodes, Policy: "sparrow", Seed: 1,
+		Churn: &policy.ChurnSpec{Events: []policy.ChurnEvent{
+			{At: 10, Kind: policy.ChurnFail, Count: 5},
+			{At: 20, Kind: policy.ChurnRecover, Count: 5},
+			{At: 30, Kind: policy.ChurnFail, Count: 5},
+			{At: 40, Kind: policy.ChurnRecover, Count: 5},
+		}},
+	}
+	if _, err := Run(tr, ok); err != nil {
+		t.Fatalf("staggered failures within the margin rejected: %v", err)
+	}
+}

@@ -5,10 +5,10 @@ package sim
 // no per-event closures, so scheduling an event allocates nothing, and the
 // payload carries no pointers, so the heap's backing array is opaque to the
 // garbage collector. The payload is deliberately compact (16 bytes: three
-// int32 refs and two tag bytes): every heap sift copies it, so its size is
-// a direct multiplier on the engine's dominant loop. Job state lives in the
-// simulation's flat jobs arena and events refer to it by int32 index; even
-// a task's duration is carried as a task index (aux) into the job's
+// int32 refs and three tag bytes): every heap sift copies it, so its size
+// is a direct multiplier on the engine's dominant loop. Job state lives in
+// the simulation's flat jobs arena and events refer to it by int32 index;
+// even a task's duration is carried as a task index (aux) into the job's
 // duration slice rather than as a float64.
 type evKind uint8
 
@@ -19,57 +19,116 @@ const (
 	// the event heap holds in-flight state, never the unsubmitted trace.
 	evSubmit evKind = iota
 	// evProbeArrive: a batch-sampling probe reaches the queue of node
-	// ref after one network delay (jidx).
+	// ref after one network delay (jidx). If the node failed while the
+	// probe was in flight, the probe is lost and re-sent to a live node.
 	evProbeArrive
 	// evTaskArrive: a centrally placed task reaches the queue of node
 	// ref after one network delay (jidx; aux = task index within the
-	// job, which determines its duration).
+	// job, which determines its duration). If the node failed in flight,
+	// the task is re-assigned by the central scheduler.
 	evTaskArrive
 	// evProbeReply: the scheduler's answer to node ref's task request
-	// lands after the request/response round trip (jidx).
+	// lands after the request/response round trip (jidx). gen pins the
+	// node's incarnation: a reply addressed to a failed node is stale
+	// and dropped (the probe was re-sent at failure time).
 	evProbeReply
-	// evTaskDone: the task running on node ref completes (jidx, central).
+	// evTaskDone: the task running on node ref completes (jidx, central;
+	// aux = task index). gen pins the node's incarnation: a completion
+	// from before a failure is stale — that task was lost and re-routed.
 	evTaskDone
 	// evSample: periodic cluster-utilization snapshot (no payload).
 	evSample
+	// evNodeFail: scripted churn — node ref leaves the cluster (ref < 0:
+	// fail aux random live nodes instead). Work on the node is lost and
+	// re-routed; see simulation.failNode.
+	evNodeFail
+	// evNodeRecover: scripted churn — node ref rejoins the cluster, idle
+	// and empty (ref < 0: recover aux random dead nodes).
+	evNodeRecover
+	// evCentralDown: scripted churn — the centralized scheduler goes
+	// offline; central placements queue in a backlog.
+	evCentralDown
+	// evCentralUp: scripted churn — the centralized scheduler returns
+	// and drains its backlog.
+	evCentralUp
 )
 
 // simEvent is the event payload; which fields are meaningful depends on
 // kind (see the kind constants). ref is a deliberate union — the
 // submission-order position for evSubmit, the node id otherwise — and jidx
 // indexes the simulation's jobs arena, so the struct carries three int32s
-// instead of any pointer.
+// instead of any pointer. gen is the scheduling-time incarnation of node
+// ref (see dynState.epoch); it is always zero on a churn-free run, where
+// no event can ever be stale.
 type simEvent struct {
 	kind    evKind
 	central bool  // evTaskDone: task was placed by the centralized scheduler
+	gen     uint8 // evProbeReply/evTaskDone: node incarnation at scheduling time
 	ref     int32 // evSubmit: submission-order position; node events: node id
 	jidx    int32 // index into simulation.jobs (the job-state arena)
-	aux     int32 // evTaskArrive: task index within the job
+	aux     int32 // evTaskArrive/evTaskDone: task index; churn events: random-pick count
 }
 
 // dispatch executes one event. It is the single handler switch the engine
-// drives; the clock has already advanced to now.
+// drives; the clock has already advanced to now. The s.dyn nil checks are
+// the whole cost of the dynamic cluster model on a churn-free run: one
+// pointer compare per event, with gen always equal to the zero epoch.
 func (s *simulation) dispatch(now float64, ev simEvent) {
 	switch ev.kind {
 	case evSubmit:
 		s.submitNext(ev.ref)
 	case evProbeArrive:
+		if s.dyn != nil && !s.view.Alive(int(ev.ref)) {
+			// The destination failed while the probe was in flight; the
+			// sender notices and re-probes a live node.
+			s.res.ProbesLost++
+			s.resendProbe(ev.jidx)
+			return
+		}
 		js := &s.jobs[ev.jidx]
-		s.nodes[ev.ref].enqueue(s, entry{flags: longFlag(js.long), jidx: ev.jidx, enq: now})
+		s.nodes[ev.ref].enqueue(s, entry{flags: longFlag(js.long), jidx: ev.jidx, tidx: -1, enq: now})
 	case evTaskArrive:
+		if s.dyn != nil && !s.view.Alive(int(ev.ref)) {
+			// The destination failed in flight; the central scheduler
+			// re-assigns the task to a live server.
+			s.centralReassign(ev.jidx, ev.aux)
+			return
+		}
 		js := &s.jobs[ev.jidx]
 		s.nodes[ev.ref].enqueue(s, entry{
 			flags: entryTask | longFlag(js.long),
 			jidx:  ev.jidx,
-			dur:   js.durations[ev.aux],
+			tidx:  ev.aux,
 			enq:   now,
 		})
 	case evProbeReply:
+		if s.dyn != nil && ev.gen != s.dyn.epoch[ev.ref] {
+			return // stale: the node failed mid-round-trip; re-routed at failure time
+		}
 		s.nodes[ev.ref].probeReply(s, ev.jidx)
 	case evTaskDone:
+		if s.dyn != nil && ev.gen != s.dyn.epoch[ev.ref] {
+			return // stale: the task was lost with the node and re-executes elsewhere
+		}
 		s.nodes[ev.ref].taskDone(s, ev.jidx, ev.central, now)
 	case evSample:
 		s.sampleTick(now)
+	case evNodeFail:
+		if ev.ref < 0 {
+			s.failRandomNodes(now, int(ev.aux))
+		} else {
+			s.failNode(ev.ref, now)
+		}
+	case evNodeRecover:
+		if ev.ref < 0 {
+			s.recoverRandomNodes(now, int(ev.aux))
+		} else {
+			s.recoverNode(ev.ref, now)
+		}
+	case evCentralDown:
+		s.centralOutageStart(now)
+	case evCentralUp:
+		s.centralOutageEnd(now)
 	}
 }
 
@@ -92,12 +151,28 @@ func (s *simulation) submitNext(pos int32) {
 // long as jobs remain — the periodic sampler the paper uses for §2.3/§4.2
 // (every 100 s by default). Each tick is an ordinary event: relative to
 // other events at the same instant it fires in insertion order, and the
-// next tick is scheduled only after the current one runs.
+// next tick is scheduled only after the current one runs. Alongside the
+// whole-cluster series it samples the live general partition's busy
+// fraction, the robustness figures' measure of stealing keeping that
+// partition fed during a central outage.
 func (s *simulation) sampleTick(now float64) {
 	if s.jobsDone >= len(s.trace.Jobs) {
 		return
 	}
+	if s.eng.Pending() == 0 {
+		// Nothing else is scheduled: every in-flight message and running
+		// task is an event, so an empty heap means the remaining jobs are
+		// stuck in a backlog no future event can release (a scenario that
+		// never restores capacity). Stop the sampler so the engine drains
+		// and run reports the deadlock instead of ticking forever.
+		return
+	}
 	s.res.Utilization.AddAt(now, float64(s.busyNodes)/float64(s.slots))
+	if aliveGeneral := s.view.AliveGeneral(); aliveGeneral > 0 {
+		s.res.GeneralUtilization.AddAt(now, float64(s.busyGeneral)/float64(aliveGeneral))
+	} else {
+		s.res.GeneralUtilization.AddAt(now, 0)
+	}
 	s.nextSample += s.cfg.UtilizationInterval
 	s.eng.At(s.nextSample, simEvent{kind: evSample})
 }

@@ -56,6 +56,28 @@ func goldenCases() (*workload.Trace, map[string]policy.Config) {
 	randSteal.Policy = "hawk"
 	randSteal.StealRandomPositions = true
 	cases["hawk-randsteal"] = randSteal
+
+	// Dynamic-cluster scenarios: rolling node churn (membership-aware
+	// sampling, task re-execution, probe re-sends) and a mid-trace
+	// central-scheduler outage (backlog, outage marks). These pin the
+	// churn paths the static cases never enter.
+	churn := base
+	churn.Policy = "hawk"
+	churn.Churn = &policy.ChurnSpec{Events: []policy.ChurnEvent{
+		{At: 30, Kind: policy.ChurnFail, Count: 60},
+		{At: 60, Kind: policy.ChurnFail, Node: 2},
+		{At: 90, Kind: policy.ChurnRecover, Count: 40},
+		{At: 130, Kind: policy.ChurnRecover, Count: 30},
+	}}
+	cases["hawk-churn"] = churn
+
+	outage := base
+	outage.Policy = "hawk"
+	outage.Churn = &policy.ChurnSpec{Events: []policy.ChurnEvent{
+		{At: 40, Kind: policy.ChurnCentralDown},
+		{At: 160, Kind: policy.ChurnCentralUp},
+	}}
+	cases["hawk-central-outage"] = outage
 	return goldenTrace(), cases
 }
 

@@ -29,14 +29,16 @@ func longFlag(long bool) entryFlags {
 	return 0
 }
 
-// entry is one element of a node's FIFO queue: 24 pointer-free bytes (two
-// float64s, an int32 arena index, and the packed flags), down from 32 with
-// a *jobState pointer. Queue scans and steals copy entries around, so the
-// size and pointer-freeness both matter.
+// entry is one element of a node's FIFO queue: 24 pointer-free bytes (a
+// float64, two int32 indices, and the packed flags), down from 32 with a
+// *jobState pointer. Queue scans and steals copy entries around, so the
+// size and pointer-freeness both matter. A task's duration is not stored:
+// tidx indexes the owning job's duration slice, which also identifies the
+// exact task to re-assign if the node holding this entry fails.
 type entry struct {
 	enq   float64 // time the entry first arrived at a node (survives stealing)
-	dur   float64 // task entries only: actual task duration
 	jidx  int32   // index into simulation.jobs
+	tidx  int32   // task entries: task index within the job; -1 for probes
 	flags entryFlags
 }
 
@@ -135,43 +137,69 @@ func (n *node) advance(s *simulation) {
 	}
 	n.busy = true
 	n.runningLong = head.long()
-	s.nodeBecameBusy()
+	s.nodeBecameBusy(n.id)
 	s.observeWait(head, s.eng.Now())
 	if head.flags&entryTask != 0 {
 		// Centrally placed task: the central queue observes its start so
 		// waiting times track the server's actual queue state (§3.7).
 		// The estimate leaves the queued sum; the running term uses the
-		// task's actual duration, which the executing node knows — this
-		// is what keeps a server with an overrunning task from looking
-		// idle to the centralized scheduler.
-		s.central.TaskStarted(int(n.id), s.eng.Now(), s.jobs[head.jidx].estimate, head.dur)
-		n.execute(s, head.jidx, head.dur, true)
+		// task's actual duration as executed on this node (speed-scaled
+		// on a heterogeneous cluster) — this is what keeps a server with
+		// an overrunning task from looking idle to the centralized
+		// scheduler.
+		dur := s.jobs[head.jidx].durations[head.tidx]
+		if s.speeds != nil {
+			dur /= s.speeds[n.id]
+		}
+		s.central.TaskStarted(int(n.id), s.eng.Now(), s.jobs[head.jidx].estimate, dur)
+		n.execute(s, head.jidx, head.tidx, dur, true)
 		return
 	}
 	// Probe: request/response round trip to the job's scheduler — the node
 	// asks for a task; the scheduler answers with a task or cancel (the
-	// evProbeReply event, handled by probeReply).
-	s.eng.After(2*s.cfg.NetworkDelay, simEvent{kind: evProbeReply, ref: n.id, jidx: head.jidx})
+	// evProbeReply event, handled by probeReply). On a dynamic cluster the
+	// reply is stamped with the node's incarnation so a reply out-racing a
+	// failure is recognizably stale.
+	var gen uint8
+	if s.dyn != nil {
+		gen = s.dyn.epoch[n.id]
+		s.dyn.run[n.id] = runRef{jidx: head.jidx, task: -1, probeWait: true}
+	}
+	s.eng.After(2*s.cfg.NetworkDelay, simEvent{kind: evProbeReply, gen: gen, ref: n.id, jidx: head.jidx})
 }
 
 // probeReply handles the scheduler's answer to this node's task request:
 // either the job's next unassigned task, or a cancel because other probes
 // drained the job first (§3.5).
 func (n *node) probeReply(s *simulation, jidx int32) {
-	dur, ok := s.jobs[jidx].nextTaskDuration()
+	js := &s.jobs[jidx]
+	tidx, ok := js.nextTask()
 	if !ok {
 		s.res.Cancels++
 		n.finishSlot(s)
 		return
 	}
-	n.execute(s, jidx, dur, false)
+	dur := js.durations[tidx]
+	if s.speeds != nil {
+		dur /= s.speeds[n.id]
+	}
+	n.execute(s, jidx, tidx, dur, false)
 }
 
-// execute runs one task to completion. central marks tasks placed by the
-// centralized scheduler, whose completion it observes.
-func (n *node) execute(s *simulation, jidx int32, dur float64, central bool) {
+// execute runs task tidx of job jidx to completion; dur is the task's wall
+// duration on this node (the caller has already applied the node's speed
+// factor). central marks tasks placed by the centralized scheduler, whose
+// completion it observes. On a dynamic cluster the completion event
+// carries the node's incarnation and the running task is recorded so a
+// failure can re-route it.
+func (n *node) execute(s *simulation, jidx, tidx int32, dur float64, central bool) {
 	s.res.TasksExecuted++
-	s.eng.After(dur, simEvent{kind: evTaskDone, central: central, ref: n.id, jidx: jidx})
+	var gen uint8
+	if s.dyn != nil {
+		gen = s.dyn.epoch[n.id]
+		s.dyn.run[n.id] = runRef{jidx: jidx, task: tidx, start: s.eng.Now(), central: central}
+	}
+	s.eng.After(dur, simEvent{kind: evTaskDone, central: central, gen: gen, ref: n.id, jidx: jidx, aux: tidx})
 }
 
 // taskDone accounts a completed task and frees the slot. A job completes
@@ -192,7 +220,7 @@ func (n *node) taskDone(s *simulation, jidx int32, central bool, now float64) {
 // ran dry — performs one randomized steal attempt (§3.6).
 func (n *node) finishSlot(s *simulation) {
 	n.busy = false
-	s.nodeBecameIdle()
+	s.nodeBecameIdle(n.id)
 	n.advance(s)
 	if !n.busy && n.queueLen() == 0 {
 		s.attemptSteal(n)

@@ -38,22 +38,35 @@ import (
 // so serving a probe reply touches one arena slot and one duration.
 type jobState struct {
 	durations []float64 // the job's per-task durations (shares the trace's backing array)
-	estimate  float64
-	next      int32 // next task index to hand out (probe-scheduled jobs)
-	finished  int32
-	long      bool
-	trueLong  bool
+	// lost holds task indices handed out to a node that failed before the
+	// task completed; nextTask re-serves them before fresh tasks. Nil on a
+	// churn-free run.
+	lost     []int32
+	estimate float64
+	next     int32 // next task index to hand out (probe-scheduled jobs)
+	finished int32
+	long     bool
+	trueLong bool
+	// outage marks jobs submitted while the centralized scheduler was
+	// scripted down (reported as JobReport.DuringOutage).
+	outage bool
 }
 
-// nextTaskDuration hands out the next unassigned task, or reports that all
-// tasks have been given to other servers (the probe is cancelled).
-func (js *jobState) nextTaskDuration() (float64, bool) {
-	if int(js.next) >= len(js.durations) {
-		return 0, false
+// nextTask hands out the next unassigned task index — a task lost to a
+// node failure first, else the next fresh one — or reports that all tasks
+// are placed (the probe is cancelled).
+func (js *jobState) nextTask() (int32, bool) {
+	if n := len(js.lost); n > 0 {
+		t := js.lost[n-1]
+		js.lost = js.lost[:n-1]
+		return t, true
 	}
-	d := js.durations[js.next]
+	if int(js.next) >= len(js.durations) {
+		return -1, false
+	}
+	t := js.next
 	js.next++
-	return d, true
+	return t, true
 }
 
 type simulation struct {
@@ -80,10 +93,37 @@ type simulation struct {
 	// event heap's FIFO tie-break on the eager-preload engine.
 	submitOrder []int32
 
-	slots      int // total execution slots (len(nodes))
-	busyNodes  int
-	jobsDone   int
-	nextSample float64 // absolute time of the next utilization tick
+	slots       int   // total execution slots (len(nodes))
+	shortOnly   int32 // cached s.part.ShortOnlyNodes() for the busy-count split
+	busyNodes   int
+	busyGeneral int // busy slots in the general partition
+	jobsDone    int
+	lastDone    float64 // completion time of the last finished job
+	nextSample  float64 // absolute time of the next utilization tick
+
+	// Dynamic cluster state. view is always set (static when no scenario
+	// is configured — every sampler then delegates to the dense partition
+	// fast path); everything else is nil/zero on a churn-free run, and the
+	// hot paths guard on dyn == nil.
+	view     *core.ClusterView
+	speeds   []float64 // view.Speeds(), cached; nil when homogeneous
+	dyn      *dynState
+	churnSrc *randdist.Source // seeded stream for random churn picks
+
+	centralDown      bool
+	centralDownSince float64
+	// backlog parks central placements (whole jobs at submission, single
+	// tasks on re-route) while the centralized scheduler is down or has no
+	// live servers; drained on central-up and node recovery.
+	backlog []centralRef
+	// parkedJobs holds probe-routed jobs whose live pool was narrower than
+	// their task count at submission; re-routed on node recovery.
+	parkedJobs []int32
+	// lostProbes holds jobs whose probe re-send found no live pool node;
+	// retried on node recovery.
+	lostProbes []int32
+	churnIDs   []int // scratch for random churn picks
+	deadIDs    []int // scratch for enumerating dead nodes
 
 	// Per-simulation scratch buffers. The simulation is single-threaded
 	// and each use fully overwrites its buffer before reading, so reusing
@@ -170,9 +210,24 @@ func newSimulation(trace *workload.Trace, cfg policy.Config) (*simulation, error
 	s.res.Jobs = make([]policy.JobReport, 0, len(trace.Jobs))
 
 	s.part = core.NewPartition(s.slots, pol.ShortPartitionFraction())
+	s.shortOnly = int32(s.part.ShortOnlyNodes())
 	s.steal = core.StealPolicy{Cap: cfg.StealCap, Enabled: pol.Steal()}
 	if s.steal.Enabled && s.steal.Cap > 0 {
 		s.nodeIDs = make([]int, 0, s.steal.Cap+1)
+	}
+
+	// The cluster view: static (and therefore drawing bit-identically to
+	// the plain partition samplers) unless the scenario scripts membership
+	// transitions or speed heterogeneity.
+	s.view = core.NewClusterView(s.part)
+	if cfg.Heterogeneity != nil {
+		s.view.SetSpeeds(cfg.Heterogeneity.Factors(s.slots, cfg.Seed+2))
+		s.speeds = s.view.Speeds()
+	}
+	if churnHasMembership(cfg.Churn) {
+		s.view.EnableMembership()
+		s.dyn = &dynState{epoch: make([]uint8, s.slots), run: make([]runRef, s.slots)}
+		s.churnSrc = randdist.New(cfg.Seed + 3)
 	}
 
 	if pool := pol.CentralPool(); pool != policy.PoolNone {
@@ -207,16 +262,76 @@ func newSimulation(trace *workload.Trace, cfg policy.Config) (*simulation, error
 	}
 	s.nextSample = cfg.UtilizationInterval
 	s.eng.At(s.nextSample, simEvent{kind: evSample})
+
+	// Scripted cluster transitions become ordinary typed events, scheduled
+	// up front (churn scripts are short). Equal-timestamp ties resolve in
+	// spec order, after any same-instant submit (reserved sequence) — the
+	// timeline is a pure function of (config, seed).
+	if cfg.Churn != nil {
+		for _, ev := range cfg.Churn.Events {
+			e := simEvent{ref: int32(ev.Node)}
+			if ev.Count > 0 {
+				e.ref, e.aux = -1, int32(ev.Count)
+			}
+			switch ev.Kind {
+			case policy.ChurnFail:
+				e.kind = evNodeFail
+			case policy.ChurnRecover:
+				e.kind = evNodeRecover
+			case policy.ChurnCentralDown:
+				e.kind = evCentralDown
+			case policy.ChurnCentralUp:
+				e.kind = evCentralUp
+			}
+			s.eng.At(ev.At, e)
+		}
+	}
 	return s, nil
+}
+
+// churnHasMembership reports whether the scenario scripts node-level
+// membership transitions (as opposed to only central-scheduler outages,
+// which leave sampling on the static fast path).
+func churnHasMembership(spec *policy.ChurnSpec) bool {
+	if spec == nil {
+		return false
+	}
+	for _, ev := range spec.Events {
+		if ev.Kind == policy.ChurnFail || ev.Kind == policy.ChurnRecover {
+			return true
+		}
+	}
+	return false
 }
 
 // run drains the event queue and assembles the report.
 func (s *simulation) run() (*policy.Report, error) {
 	s.eng.Run()
 	if s.jobsDone != len(s.trace.Jobs) {
-		return nil, fmt.Errorf("sim: deadlock — %d of %d jobs completed", s.jobsDone, len(s.trace.Jobs))
+		detail := ""
+		if n := len(s.backlog); n > 0 {
+			detail += fmt.Sprintf("; %d central placements backlogged (scenario never restored the central scheduler?)", n)
+		}
+		if n := len(s.parkedJobs); n > 0 {
+			detail += fmt.Sprintf("; %d jobs parked for pool capacity (scenario never recovered enough nodes?)", n)
+		}
+		if n := len(s.lostProbes); n > 0 {
+			detail += fmt.Sprintf("; %d probes waiting for a live pool node", n)
+		}
+		return nil, fmt.Errorf("sim: deadlock — %d of %d jobs completed%s", s.jobsDone, len(s.trace.Jobs), detail)
 	}
-	s.res.Makespan = s.eng.Now()
+	if s.centralDown {
+		// Outage never closed by the script: account it up to the end.
+		s.centralOutageEnd(s.eng.Now())
+	}
+	if s.cfg.Churn != nil {
+		// Scripted events can outlive the workload (a recovery scheduled
+		// past the last completion); the makespan is still the last job's
+		// completion, not the last scripted transition.
+		s.res.Makespan = s.lastDone
+	} else {
+		s.res.Makespan = s.eng.Now()
+	}
 	s.res.Events = s.eng.Executed()
 	return s.res, nil
 }
@@ -231,10 +346,12 @@ func (s *simulation) jobAt(pos int32) int32 {
 
 // checkFeasibility runs the shared pre-flight check. With exact estimates
 // each job's true class determines its route; under mis-estimation a job's
-// class can flip at runtime, so both routes must be feasible.
+// class can flip at runtime, so both routes must be feasible. The margin
+// is the scenario's worst-case concurrent failures, so a churn script that
+// could starve a probe pool is rejected before the run.
 func (s *simulation) checkFeasibility() error {
 	exact := s.cfg.ExactEstimates()
-	return policy.CheckFeasibility(s.trace, s.pol, s.part,
+	return policy.CheckFeasibility(s.trace, s.pol, s.view, s.cfg.Churn.MaxConcurrentFailures(),
 		func(j *workload.Job) []bool {
 			if exact {
 				return []bool{s.classifier.IsLong(j.AvgTaskDuration())}
@@ -252,7 +369,15 @@ func (s *simulation) submit(idx int32) {
 	js.estimate = s.estimator.Estimate(job)
 	js.long = s.classifier.IsLong(js.estimate)
 	js.trueLong = s.classifier.IsLong(job.AvgTaskDuration())
+	js.outage = s.centralDown
+	s.routeJob(idx)
+}
 
+// routeJob executes the policy's placement decision for a populated job —
+// at submission, and again when a parked job is released by a recovery.
+func (s *simulation) routeJob(idx int32) {
+	job := s.trace.Jobs[idx]
+	js := &s.jobs[idx]
 	dec := s.pol.Route(policy.JobInfo{
 		ID: job.ID, Tasks: job.NumTasks(), Estimate: js.estimate, Long: js.long,
 	})
@@ -260,8 +385,17 @@ func (s *simulation) submit(idx int32) {
 	case policy.ActionCentral:
 		s.centralJob(idx)
 	default:
-		k := core.NumProbes(len(js.durations), s.cfg.ProbeRatio, dec.Pool.Size(s.part))
-		s.nodeIDs = dec.Pool.SampleInto(s.nodeIDs[:0], s.part, s.src, k)
+		poolSize := dec.Pool.Size(s.view)
+		if s.dyn != nil && poolSize < len(js.durations) {
+			// Batch sampling needs one live candidate per task; churn has
+			// shrunk the pool below that, so park the job until nodes
+			// recover. The feasibility margin makes this unreachable for
+			// validated scenarios — it is the belt to that suspender.
+			s.parkedJobs = append(s.parkedJobs, idx)
+			return
+		}
+		k := core.NumProbes(len(js.durations), s.cfg.ProbeRatio, poolSize)
+		s.nodeIDs = dec.Pool.SampleInto(s.nodeIDs[:0], s.view, s.src, k)
 		s.probeJob(idx, s.nodeIDs)
 	}
 }
@@ -277,8 +411,14 @@ func (s *simulation) probeJob(idx int32, nodeIDs []int) {
 
 // centralJob places every task of the job with the §3.7 algorithm: each
 // task goes to the server with the smallest estimated waiting time, which
-// is then bumped by the job's estimated task runtime.
+// is then bumped by the job's estimated task runtime. While the central
+// scheduler is scripted down (or churn has removed its every server) the
+// whole job parks in the backlog instead.
 func (s *simulation) centralJob(idx int32) {
+	if s.centralUnavailable() {
+		s.parkCentral(idx, -1)
+		return
+	}
 	js := &s.jobs[idx]
 	now := s.eng.Now()
 	for i := range js.durations {
@@ -298,7 +438,7 @@ func (s *simulation) attemptSteal(thief *node) {
 	if !s.steal.Enabled {
 		return
 	}
-	s.nodeIDs = s.steal.CandidatesInto(s.nodeIDs[:0], s.part, s.src, int(thief.id))
+	s.nodeIDs = s.steal.CandidatesInto(s.nodeIDs[:0], s.view, s.src, int(thief.id))
 	candidates := s.nodeIDs
 	if len(candidates) == 0 {
 		return
@@ -340,16 +480,20 @@ func (s *simulation) attemptSteal(thief *node) {
 
 func (s *simulation) jobCompleted(idx int32, now float64) {
 	s.jobsDone++
+	if now > s.lastDone {
+		s.lastDone = now
+	}
 	job := s.trace.Jobs[idx]
 	js := &s.jobs[idx]
 	s.res.Jobs = append(s.res.Jobs, policy.JobReport{
-		ID:         job.ID,
-		SubmitTime: job.SubmitTime,
-		Runtime:    now - job.SubmitTime,
-		Tasks:      len(js.durations),
-		Long:       js.long,
-		TrueLong:   js.trueLong,
-		Estimate:   js.estimate,
+		ID:           job.ID,
+		SubmitTime:   job.SubmitTime,
+		Runtime:      now - job.SubmitTime,
+		Tasks:        len(js.durations),
+		Long:         js.long,
+		TrueLong:     js.trueLong,
+		Estimate:     js.estimate,
+		DuringOutage: js.outage,
 	})
 }
 
@@ -364,6 +508,16 @@ func (s *simulation) observeWait(e entry, now float64) {
 	}
 }
 
-func (s *simulation) nodeBecameBusy() { s.busyNodes++ }
+func (s *simulation) nodeBecameBusy(id int32) {
+	s.busyNodes++
+	if id >= s.shortOnly {
+		s.busyGeneral++
+	}
+}
 
-func (s *simulation) nodeBecameIdle() { s.busyNodes-- }
+func (s *simulation) nodeBecameIdle(id int32) {
+	s.busyNodes--
+	if id >= s.shortOnly {
+		s.busyGeneral--
+	}
+}

@@ -255,6 +255,19 @@ func (u *UtilizationSeries) MedianUpTo(deadline float64) float64 {
 	return Median(window)
 }
 
+// MedianBetween returns the median utilization over samples taken in the
+// closed window [from, to] — the statistic the robustness figures report
+// for an outage window. NaN when the window holds no samples.
+func (u *UtilizationSeries) MedianBetween(from, to float64) float64 {
+	var window []float64
+	for i, t := range u.times {
+		if t >= from && t <= to {
+			window = append(window, u.samples[i])
+		}
+	}
+	return Median(window)
+}
+
 // Len returns the number of samples collected.
 func (u *UtilizationSeries) Len() int { return len(u.samples) }
 
