@@ -1,0 +1,23 @@
+// Command hawklint runs the repository's invariant analyzers (see
+// internal/lint) as a `go vet -vettool`:
+//
+//	go build -o bin/hawklint ./cmd/hawklint
+//	go vet -vettool=$PWD/bin/hawklint ./...
+//
+// It enforces the //hawk: directive contracts — zero-alloc hot paths,
+// pinned pointer-free struct layouts, deterministic report paths, and the
+// hand-rolled-container discipline — across every package on every build,
+// where the runtime tests only cover the call sites they exercise. CI runs
+// it after the stock `go vet`; run it locally with the two commands above
+// before pushing changes that touch internal/sim, internal/core,
+// internal/eventq, or internal/policy.
+package main
+
+import (
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+)
+
+func main() {
+	analysis.Main(lint.Analyzers...)
+}

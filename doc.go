@@ -98,4 +98,17 @@
 // benchmarks on its base commit on the same runner and fails if min ns/op
 // regresses by more than 15%, or min allocs/op or min B/op by more than
 // 25%. cmd/benchjson does the conversion and comparison.
+//
+// # Static analysis
+//
+// The same invariants are enforced at compile time by hawklint
+// (internal/lint, built as a go vet -vettool binary by cmd/hawklint):
+// //hawk:hotpath functions may not contain allocating constructs,
+// //hawk:size and //hawk:nopointers pin the hot structs' layout,
+// //hawk:deterministic packages may not touch wall clocks, global
+// randomness, the environment, or map iteration order, and hot-path
+// packages may not import container/heap, container/list, or reflect. CI
+// runs the suite on every push together with a negative self-test over a
+// deliberately-broken fixture. See README.md's "Static analysis" section
+// and internal/lint/doc.go for the directive grammar.
 package repro

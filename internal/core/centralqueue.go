@@ -100,6 +100,7 @@ func (q *CentralQueue) lookup(nodeID int) *serverState {
 	return q.servers[nodeID]
 }
 
+//hawk:hotpath
 func (q *CentralQueue) advance(now float64) {
 	if now > q.now {
 		q.now = now
@@ -118,6 +119,8 @@ func (q *CentralQueue) advance(now float64) {
 }
 
 // best returns the server with the smallest true waiting time at q.now.
+//
+//hawk:hotpath
 func (q *CentralQueue) best() *serverState {
 	var r, i *serverState
 	if q.running.len() > 0 {
@@ -149,6 +152,8 @@ func (q *CentralQueue) best() *serverState {
 // with the smallest waiting time at instant now, bumps that server's
 // waiting time, and returns the chosen node id along with the waiting time
 // the scheduler expects the task to experience.
+//
+//hawk:hotpath
 func (q *CentralQueue) Assign(now, estDuration float64) (nodeID int, waiting float64) {
 	if q.count == 0 {
 		panic("core: Assign on empty CentralQueue")
@@ -170,6 +175,8 @@ func (q *CentralQueue) Assign(now, estDuration float64) (nodeID int, waiting flo
 // without this, a server whose task overruns its estimate looks idle and
 // attracts assignments while still busy. Callers without better knowledge
 // may pass runDuration == estDuration.
+//
+//hawk:hotpath
 func (q *CentralQueue) TaskStarted(nodeID int, now, estDuration, runDuration float64) {
 	if q == nil {
 		return
@@ -188,6 +195,8 @@ func (q *CentralQueue) TaskStarted(nodeID int, now, estDuration, runDuration flo
 
 // TaskFinished records that the running task on nodeID completed at instant
 // now, clearing the remaining-execution term.
+//
+//hawk:hotpath
 func (q *CentralQueue) TaskFinished(nodeID int, now float64) {
 	if q == nil {
 		return
@@ -201,6 +210,8 @@ func (q *CentralQueue) TaskFinished(nodeID int, now float64) {
 }
 
 // moveTo places the server in the requested heap with the new runEnd.
+//
+//hawk:hotpath
 func (q *CentralQueue) moveTo(s *serverState, running bool, runEnd float64) {
 	if s.inRun {
 		q.running.remove(s)
@@ -217,6 +228,8 @@ func (q *CentralQueue) moveTo(s *serverState, running bool, runEnd float64) {
 }
 
 // fix restores heap order after s's key changed in place.
+//
+//hawk:hotpath
 func (q *CentralQueue) fix(s *serverState) {
 	if s.inRun {
 		q.running.fix(s)
@@ -331,12 +344,14 @@ func (h *serverHeap) swap(i, j int) {
 	h.items[j].heapIdx = j
 }
 
+//hawk:hotpath
 func (h *serverHeap) push(s *serverState) {
 	s.heapIdx = len(h.items)
 	h.items = append(h.items, s)
 	h.siftUp(s.heapIdx)
 }
 
+//hawk:hotpath
 func (h *serverHeap) remove(s *serverState) {
 	i := s.heapIdx
 	n := len(h.items) - 1
@@ -353,12 +368,15 @@ func (h *serverHeap) remove(s *serverState) {
 }
 
 // fix restores heap order around position s after s's key changed in place.
+//
+//hawk:hotpath
 func (h *serverHeap) fix(s *serverState) {
 	if !h.siftDown(s.heapIdx) {
 		h.siftUp(s.heapIdx)
 	}
 }
 
+//hawk:hotpath
 func (h *serverHeap) siftUp(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
@@ -372,6 +390,8 @@ func (h *serverHeap) siftUp(i int) {
 
 // siftDown reports whether it moved the element, mirroring container/heap's
 // down so fix and remove sift up only when no downward motion occurred.
+//
+//hawk:hotpath
 func (h *serverHeap) siftDown(i int) bool {
 	start := i
 	n := len(h.items)

@@ -101,6 +101,8 @@ func (v *ClusterView) EnableMembership() {
 
 // Alive reports whether the node is a live cluster member (always true for
 // a static view).
+//
+//hawk:hotpath
 func (v *ClusterView) Alive(id int) bool {
 	if v.alive == nil {
 		return true
@@ -195,6 +197,8 @@ func (v *ClusterView) AppendDead(dst []int) []int {
 // dst and returns the extended slice. Static views draw identically to
 // Partition.SampleAllInto; dynamic views draw uniformly from the alive set.
 // Zero heap allocations when dst has capacity.
+//
+//hawk:hotpath
 func (v *ClusterView) SampleAllInto(dst []int, src *randdist.Source, k int) []int {
 	if v.alive == nil {
 		return v.part.SampleAllInto(dst, src, k)
@@ -218,6 +222,8 @@ func (v *ClusterView) SampleAllInto(dst []int, src *randdist.Source, k int) []in
 
 // SampleGeneralInto appends k distinct random live general-partition node
 // ids to dst; see SampleAllInto.
+//
+//hawk:hotpath
 func (v *ClusterView) SampleGeneralInto(dst []int, src *randdist.Source, k int) []int {
 	if v.alive == nil {
 		return v.part.SampleGeneralInto(dst, src, k)
@@ -235,6 +241,8 @@ func (v *ClusterView) SampleGeneralInto(dst []int, src *randdist.Source, k int) 
 
 // SampleShortInto appends k distinct random live short-partition node ids
 // to dst; see SampleAllInto.
+//
+//hawk:hotpath
 func (v *ClusterView) SampleShortInto(dst []int, src *randdist.Source, k int) []int {
 	if v.alive == nil {
 		return v.part.SampleShortInto(dst, src, k)

@@ -11,6 +11,11 @@
 // prototype (internal/liverun) are built from these pieces, so the policies
 // under test are byte-for-byte identical across the two engines — mirroring
 // how the paper reuses the same design in its simulator and Spark plug-in.
+//
+// Every decision here must be a pure function of its inputs and an explicit
+// seeded randdist.Source; hawklint's determinism analyzer enforces it:
+//
+//hawk:deterministic
 package core
 
 import (
@@ -139,6 +144,8 @@ func (p Partition) SampleGeneral(src *randdist.Source, k int) []int {
 // Zero heap allocations in steady state when dst has capacity; the
 // simulator threads a per-run scratch buffer through here on every probe
 // placement and steal attempt.
+//
+//hawk:hotpath
 func (p Partition) SampleGeneralInto(dst []int, src *randdist.Source, k int) []int {
 	n := p.GeneralNodes()
 	if k > n {
@@ -160,6 +167,8 @@ func (p Partition) SampleAll(src *randdist.Source, k int) []int {
 
 // SampleAllInto is the scratch-buffer form of SampleAll; see
 // SampleGeneralInto.
+//
+//hawk:hotpath
 func (p Partition) SampleAllInto(dst []int, src *randdist.Source, k int) []int {
 	if k > p.numNodes {
 		k = p.numNodes
@@ -176,6 +185,8 @@ func (p Partition) SampleShort(src *randdist.Source, k int) []int {
 
 // SampleShortInto is the scratch-buffer form of SampleShort; see
 // SampleGeneralInto.
+//
+//hawk:hotpath
 func (p Partition) SampleShortInto(dst []int, src *randdist.Source, k int) []int {
 	if k > p.shortOnly {
 		k = p.shortOnly
@@ -189,6 +200,8 @@ func (p Partition) String() string {
 
 // NumProbes returns the batch-sampling probe count for a job with tasks
 // tasks: ratio*tasks, capped at the number of candidate nodes (§3.5).
+//
+//hawk:hotpath
 func NumProbes(tasks, ratio, candidateNodes int) int {
 	n := tasks * ratio
 	if n > candidateNodes {

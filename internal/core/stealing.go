@@ -34,6 +34,8 @@ func (s StealPolicy) Candidates(v *ClusterView, src *randdist.Source, thiefID in
 // RandomShortIndicesInto). Victims come from the view, so a dynamic view
 // never hands a thief a dead node; a static view draws identically to
 // sampling the Partition directly.
+//
+//hawk:hotpath
 func (s StealPolicy) CandidatesInto(dst []int, v *ClusterView, src *randdist.Source, thiefID int) []int {
 	if !s.Enabled || s.Cap <= 0 {
 		return dst
@@ -70,6 +72,8 @@ func (s StealPolicy) CandidatesInto(dst []int, v *ClusterView, src *randdist.Sou
 //	a1/a2 — victim executing a short task: steal the consecutive short run
 //	        immediately after the *first* long entry in the queue (the
 //	        shorts before it will run soon anyway).
+//
+//hawk:hotpath
 func EligibleGroup(executingLong bool, isLong []bool) (start, end int, ok bool) {
 	if executingLong {
 		end = 0
@@ -121,6 +125,8 @@ func RandomShortIndices(isLong []bool, count int, src *randdist.Source) []int {
 // buffers through per-simulation scratch. Draw-for-draw identical to
 // RandomShortIndices: the sample is taken into dst and remapped in place,
 // consuming exactly the same random values.
+//
+//hawk:hotpath
 func RandomShortIndicesInto(dst, shorts []int, isLong []bool, count int, src *randdist.Source) (picks, shortsBuf []int) {
 	shorts = shorts[:0]
 	for i, l := range isLong {
@@ -145,6 +151,8 @@ func RandomShortIndicesInto(dst, shorts []int, isLong []bool, count int, src *ra
 
 // sortInts is a small insertion sort; steal groups are tiny, so pulling in
 // package sort is not worth it here.
+//
+//hawk:hotpath
 func sortInts(v []int) {
 	for i := 1; i < len(v); i++ {
 		for j := i; j > 0 && v[j] < v[j-1]; j-- {

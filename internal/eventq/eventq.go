@@ -36,6 +36,12 @@
 // (internal/sim's utilization ticks) are ordinary events and obey the same
 // rule: a tick scheduled before another event at the same instant fires
 // before it, and one scheduled after fires after it.
+//
+// The whole package is a hot path and every function in it must be
+// replayable; hawklint (internal/lint) enforces both:
+//
+//hawk:hotpath
+//hawk:deterministic
 package eventq
 
 // Engine is a discrete-event simulation engine over payloads of type E.

@@ -2,6 +2,13 @@
 // evaluation (§2.3 and §4). Each driver builds the workload, runs the
 // schedulers under comparison, and returns the rows or curve series the
 // paper reports. EXPERIMENTS.md records paper-vs-measured values.
+//
+// Rows and figure points go straight into golden CSV/JSON reports, so
+// every driver must produce identical output run to run; hawklint's
+// determinism analyzer guards the package (map iteration feeding output is
+// the classic way this breaks):
+//
+//hawk:deterministic
 package experiments
 
 import (
@@ -202,16 +209,16 @@ type RatioPoint struct {
 // a common trace, classifying jobs by exact estimate at the given cutoff so
 // both sides use identical job sets.
 func ratiosFor(t *workload.Trace, cand, base *policy.Report, cutoff float64) (shortP50, shortP90, longP50, longP90 float64) {
-	classes := make(map[int]bool, t.Len())
-	for _, j := range t.Jobs {
-		classes[j.ID] = j.AvgTaskDuration() >= cutoff
-	}
 	candRT := allRuntimes(cand)
 	baseRT := allRuntimes(base)
+	// Iterate the trace, not a classification map: trace order is fixed, so
+	// the collected slices are identical run to run (Percentile sorts, but
+	// building the inputs in map order was still a determinism hazard).
 	var candShort, candLong, baseShort, baseLong []float64
-	for id, long := range classes {
-		c, okc := candRT[id]
-		b, okb := baseRT[id]
+	for _, j := range t.Jobs {
+		long := j.AvgTaskDuration() >= cutoff
+		c, okc := candRT[j.ID]
+		b, okb := baseRT[j.ID]
 		if !okc || !okb {
 			continue
 		}

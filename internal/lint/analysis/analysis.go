@@ -1,0 +1,71 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis vocabulary — Analyzer, Pass, Diagnostic —
+// plus a `go vet -vettool` driver (see Main in unitchecker.go).
+//
+// The repository deliberately has no third-party dependencies, so the real
+// x/tools module is not available; this package supplies the ~5% of its
+// surface the hawklint analyzers need. Analyzers written against it are
+// intentionally source-compatible with the x/tools shape (same field names,
+// same Run signature), so they could be ported to the real framework by
+// changing one import path.
+//
+// Differences from x/tools kept on purpose:
+//
+//   - no Facts, no Requires/ResultOf: the hawklint analyzers are all
+//     single-package and self-contained;
+//   - no SuggestedFixes;
+//   - the unitchecker always typechecks from the export data `go vet`
+//     hands it (compiled-package import, never source import).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one static check. Run is invoked once per package
+// with a fully typechecked Pass; it reports problems via pass.Report /
+// pass.Reportf. The first return value is unused (kept for x/tools
+// signature compatibility).
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics. It must be a valid Go
+	// identifier.
+	Name string
+
+	// Doc is the analyzer's documentation: one summary line, then detail.
+	Doc string
+
+	// Run applies the analyzer to a package.
+	Run func(*Pass) (any, error)
+}
+
+// A Pass provides one analyzer run with a single typechecked package and a
+// sink for its diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset  *token.FileSet // positions for Files
+	Files []*ast.File    // the package's syntax trees, comments included
+
+	Pkg        *types.Package // the typechecked package
+	TypesInfo  *types.Info    // type information (Types, Defs, Uses, ...)
+	TypesSizes types.Sizes    // target-platform layout, for Sizeof checks
+
+	// Report delivers one diagnostic. The driver fills it in; analyzers
+	// usually call Reportf instead.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding: a position and a message. The reporting
+// analyzer's name is attached by the driver, not carried here.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}

@@ -1,0 +1,197 @@
+// Package analysistest runs an analysis.Analyzer over fixture packages and
+// checks its diagnostics against `// want` expectations embedded in the
+// fixture source — a dependency-free analogue of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live under <testdata>/src/<pkg>/*.go. Each expected diagnostic
+// is declared on the line it should be reported on, as a comment (or a
+// comment suffix — expectations inside directive comments work too):
+//
+//	m := map[string]int{} // want `map literal`
+//	//hawk:frobnicate // want `unknown //hawk: directive`
+//
+// Each back- or double-quoted string after `want` is a regular expression;
+// every expectation must be matched by a diagnostic on that line and every
+// diagnostic must match an expectation, or the test fails.
+//
+// Fixture imports are typechecked from source (GOROOT packages only — the
+// go/build source importer used here does not resolve module paths), so
+// fixtures must be self-contained apart from standard-library imports.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+// The file set and source importer are process-wide: the importer caches
+// every GOROOT package it typechecks, and its results are only valid
+// against the file set they were parsed into, so both must be shared by
+// all Run calls in the test binary.
+var (
+	loadMu     sync.Mutex
+	sharedFset = token.NewFileSet()
+	sharedImp  = importer.ForCompiler(sharedFset, "source", nil)
+)
+
+// Run analyzes each fixture package under dir ("<dir>/src/<pkg>") with a
+// and reports expectation mismatches through t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		t.Run(a.Name+"/"+pkg, func(t *testing.T) {
+			t.Helper()
+			runOne(t, filepath.Join(dir, "src", pkg), a)
+		})
+	}
+}
+
+func runOne(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	loadMu.Lock()
+	defer loadMu.Unlock()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(sharedFset, filepath.Join(dir, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no Go files in %s", dir)
+	}
+
+	sizes := types.SizesFor("gc", runtime.GOARCH)
+	tcfg := &types.Config{Importer: sharedImp, Sizes: sizes}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tcfg.Check("fixture/"+filepath.Base(dir), sharedFset, files, info)
+	if err != nil {
+		t.Fatalf("fixture does not typecheck: %v", err)
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:   a,
+		Fset:       sharedFset,
+		Files:      files,
+		Pkg:        pkg,
+		TypesInfo:  info,
+		TypesSizes: sizes,
+		Report:     func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("analyzer %s: %v", a.Name, err)
+	}
+
+	checkExpectations(t, sharedFset, files, diags)
+}
+
+// expectation is one `want` regexp and whether a diagnostic matched it.
+type expectation struct {
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+type lineKey struct {
+	file string
+	line int
+}
+
+var wantRE = regexp.MustCompile(`// want (.+)$`)
+var wantArgRE = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := make(map[lineKey][]*expectation)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				base := fset.Position(c.Pos())
+				for i, text := range strings.Split(c.Text, "\n") {
+					m := wantRE.FindStringSubmatch(strings.TrimRight(text, " \t"))
+					if m == nil {
+						continue
+					}
+					key := lineKey{base.Filename, base.Line + i}
+					for _, arg := range wantArgRE.FindAllStringSubmatch(m[1], -1) {
+						pat := arg[1]
+						if pat == "" {
+							pat = arg[2]
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Fatalf("%s:%d: bad want regexp %q: %v", key.file, key.line, pat, err)
+						}
+						wants[key] = append(wants[key], &expectation{re: re, raw: pat})
+					}
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		posn := fset.Position(d.Pos)
+		key := lineKey{posn.Filename, posn.Line}
+		matched := false
+		for _, w := range wants[key] {
+			if w.re.MatchString(d.Message) {
+				w.matched = true
+				matched = true
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", posn, d.Message)
+		}
+	}
+
+	var keys []lineKey
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.matched {
+				t.Errorf("%s: no diagnostic matching %q", fmt.Sprintf("%s:%d", k.file, k.line), w.raw)
+			}
+		}
+	}
+}

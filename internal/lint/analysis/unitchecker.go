@@ -1,0 +1,277 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// vetConfig mirrors the JSON configuration file `go vet` writes for its
+// -vettool (the x/tools unitchecker protocol). Only the fields this driver
+// consumes are listed; unknown fields are ignored by encoding/json.
+type vetConfig struct {
+	ID          string            // package ID (import path + variant)
+	Compiler    string            // "gc"
+	Dir         string            // package directory
+	ImportPath  string            // canonical import path
+	GoVersion   string            // minimum Go version, e.g. "go1.24"
+	GoFiles     []string          // absolute paths of the package's Go files
+	ImportMap   map[string]string // import path in source -> canonical path
+	PackageFile map[string]string // canonical path -> export data file
+
+	// Facts plumbing. This driver has no facts, but the protocol requires
+	// the output file to be written and dependency-only invocations
+	// (VetxOnly) to be cheap no-ops.
+	PackageVetx map[string]string // dependency facts (unused)
+	VetxOnly    bool              // only facts are wanted: skip analysis
+	VetxOutput  string            // where to write this package's facts
+
+	SucceedOnTypecheckFailure bool // cgo fallback: exit 0 on type errors
+}
+
+// Main implements a `go vet -vettool` executable running the given
+// analyzers, then exits. Usage:
+//
+//	func main() { analysis.Main(lint.Analyzers...) }
+//	$ go build -o hawklint ./cmd/hawklint
+//	$ go vet -vettool=$PWD/hawklint ./...
+//
+// The protocol, reverse-engineered from cmd/go and x/tools/go/analysis/
+// unitchecker: the tool is probed once with `-flags` (it must print a JSON
+// array of the flags it accepts) and once with `-V=full` (it must print a
+// line ending in a build ID, which keys go vet's result cache), then
+// invoked once per package with a single *.cfg argument. Diagnostics go to
+// stderr as file:line:col lines; a nonzero exit marks the package failed.
+func Main(analyzers ...*Analyzer) {
+	os.Exit(unitchecker(analyzers, os.Args[1:], os.Stderr))
+}
+
+func unitchecker(analyzers []*Analyzer, args []string, stderr io.Writer) int {
+	progname := filepath.Base(os.Args[0])
+
+	// `go vet` probes the supported flags before first use. Declaring none
+	// keeps every analyzer always-on (there is no per-analyzer opt-out;
+	// suppression is per-finding via //hawk:allow).
+	if len(args) > 0 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return 0
+	}
+
+	fs := flag.NewFlagSet(progname, flag.ExitOnError)
+	version := fs.String("V", "", "print version and exit (go vet probes with -V=full)")
+	fs.Parse(args)
+	if *version == "full" {
+		fmt.Printf("%s version devel buildID=%s\n", progname, executableHash())
+		return 0
+	}
+
+	if fs.NArg() != 1 || !strings.HasSuffix(fs.Arg(0), ".cfg") {
+		fmt.Fprintf(stderr, "usage: %s unit.cfg\n", progname)
+		fmt.Fprintf(stderr, "(run it via: go vet -vettool=$(command -v %s) ./...)\n", progname)
+		return 1
+	}
+
+	cfg, err := readConfig(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+
+	// Dependency packages are visited for facts only; we have none.
+	if cfg.VetxOnly {
+		if err := writeVetx(cfg); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		return 0
+	}
+
+	diags, err := runAnalyzers(analyzers, cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(stderr, "%s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+	if err := writeVetx(cfg); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stderr, d)
+	}
+	return 2
+}
+
+// namedDiagnostic is a rendered diagnostic with its position resolved and
+// its analyzer attached, ready for sorting and printing.
+type namedDiagnostic struct {
+	posn     token.Position
+	message  string
+	analyzer string
+}
+
+func (d namedDiagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.posn, d.message, d.analyzer)
+}
+
+// runAnalyzers typechecks the package described by cfg against the export
+// data `go vet` compiled for its dependencies, then runs every analyzer.
+func runAnalyzers(analyzers []*Analyzer, cfg *vetConfig) ([]namedDiagnostic, error) {
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(cfg.GoFiles))
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+
+	// Imports resolve through the export data files cmd/go already built
+	// for the compilation — the same bytes the compiler consumed, so the
+	// type information is exact and no source re-typechecking happens.
+	compiled := importer.ForCompiler(fset, cfg.Compiler, func(path string) (io.ReadCloser, error) {
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	sizes := types.SizesFor(cfg.Compiler, targetArch())
+	if sizes == nil {
+		sizes = types.SizesFor("gc", runtime.GOARCH)
+	}
+	tcfg := &types.Config{
+		GoVersion: cfg.GoVersion,
+		Sizes:     sizes,
+		Importer: importerFunc(func(path string) (*types.Package, error) {
+			if path == "unsafe" {
+				return types.Unsafe, nil
+			}
+			if mapped, ok := cfg.ImportMap[path]; ok {
+				path = mapped
+			}
+			return compiled.Import(path)
+		}),
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Instances:  make(map[*ast.Ident]types.Instance),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+
+	var diags []namedDiagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       fset,
+			Files:      files,
+			Pkg:        pkg,
+			TypesInfo:  info,
+			TypesSizes: sizes,
+		}
+		name := a.Name
+		pass.Report = func(d Diagnostic) {
+			diags = append(diags, namedDiagnostic{
+				posn:     fset.Position(d.Pos),
+				message:  d.Message,
+				analyzer: name,
+			})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %v", a.Name, err)
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].posn, diags[j].posn
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return diags, nil
+}
+
+func readConfig(path string) (*vetConfig, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(vetConfig)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("cannot decode vet config %s: %v", path, err)
+	}
+	return cfg, nil
+}
+
+// writeVetx writes the (empty) facts file the protocol requires: cmd/go
+// caches it and feeds it to dependents via PackageVetx.
+func writeVetx(cfg *vetConfig) error {
+	if cfg.VetxOutput == "" {
+		return nil
+	}
+	return os.WriteFile(cfg.VetxOutput, []byte{}, 0666)
+}
+
+// executableHash returns a build ID for -V=full: go vet keys its per-package
+// result cache on it, so it must change whenever the tool's behavior could —
+// hashing the binary itself is the conservative answer.
+func executableHash() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}
+
+// targetArch returns the architecture `go vet` is analyzing for. cmd/go
+// exports GOARCH to the tool's environment, so cross-compiled vet runs
+// measure struct sizes for the target, not the host.
+func targetArch() string {
+	if arch := os.Getenv("GOARCH"); arch != "" {
+		return arch
+	}
+	return runtime.GOARCH
+}
+
+// importerFunc adapts a function to types.Importer.
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,71 @@
+// Package lint implements hawklint: four static analyzers that enforce, at
+// compile time, the invariants this reproduction's performance and
+// replayability results rest on. They run as a `go vet -vettool` suite (see
+// cmd/hawklint) over the whole repository in CI, so the rules hold for
+// every future call site — not just the ones the runtime tests happen to
+// exercise.
+//
+// The analyzers:
+//
+//   - hotalloc: functions (or whole packages) annotated //hawk:hotpath may
+//     not contain allocating constructs — variable-capturing closures, map
+//     literals or make(map), append calls that do not reuse their
+//     destination's backing array, boxing concrete values into interface
+//     types, or fmt.* calls. It also owns directive hygiene: unknown,
+//     malformed, or misplaced //hawk: directives are reported here.
+//   - structsize: struct types annotated //hawk:size=N are checked against
+//     the target platform's real layout (types.Sizes), and types annotated
+//     //hawk:nopointers are rejected if any reachable field carries a
+//     pointer (including strings, slices, maps, and interfaces). This is
+//     the compile-time form of internal/sim's TestHotStructSizes, and it
+//     covers structs that test will never hear about.
+//   - determinism: packages annotated //hawk:deterministic may not call
+//     time.Now/Since/Until, the global math/rand functions (seeded
+//     rand.New(rand.NewSource(...)) streams are fine), or os.Getenv and
+//     friends, and may not range over maps — iteration order would leak
+//     into event ordering or report output. Order-insensitive map loops
+//     (counting, collect-then-sort) carry a //hawk:allow justification.
+//   - imports: packages containing any //hawk:hotpath annotation may not
+//     import container/heap, container/list, or reflect — the event queue
+//     and server heap are hand-rolled precisely because those packages box
+//     every element through interface{}.
+//
+// # Directive grammar
+//
+// Directives are comments of the form //hawk:verb (no space after //, per
+// Go directive convention), placed where each verb expects:
+//
+//	//hawk:hotpath
+//	    On a function or method declaration's doc comment: that body is a
+//	    hot path. On the package clause's doc comment: every function in
+//	    the package is (test files exempt).
+//	//hawk:size=<bytes>
+//	    On a type declaration's doc comment: unsafe.Sizeof the type must
+//	    equal <bytes> on the platform being vetted.
+//	//hawk:nopointers
+//	    On a type declaration's doc comment: the type must contain no
+//	    pointer-bearing fields at any depth.
+//	//hawk:deterministic
+//	    On the package clause's doc comment: the determinism analyzer
+//	    applies to the package (test files exempt).
+//	//hawk:allow <justification>
+//	    Anywhere: suppresses hawklint findings on its own line and the
+//	    line directly below. The justification is mandatory and must be
+//	    prose, not another comment — a bare //hawk:allow is itself a
+//	    finding.
+//
+// Text after the first token of a non-allow directive is ignored, so
+// fixture files can append `// want` expectations to directive lines. A
+// directive with an unknown verb, a malformed argument, or placed where its
+// verb has no effect (e.g. //hawk:size inside a function body) is reported
+// by hotalloc rather than silently skipped.
+//
+// # Relationship to the runtime pins
+//
+// internal/sim keeps TestHotStructSizes and the testing.AllocsPerRun pins:
+// the analyzers prove the constructs are absent, the runtime tests prove
+// the compiler agreed (escape analysis can still surprise). Each runtime
+// pin cross-references the analyzer guarding the same invariant so the two
+// layers are maintained together. internal/liverun is deliberately
+// unannotated: it is the wall-clock prototype, and time.Now is its job.
+package lint

@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+
+	"repro/internal/lint/analysis"
+)
+
+// Imports forbids the boxed-container and reflection packages in hot-path
+// packages — any package containing a //hawk:hotpath annotation (package-
+// or function-level). The event queue (PR 2) and the central scheduler's
+// server heap (PR 3) are hand-rolled precisely because container/heap and
+// container/list move every element through interface{}, allocating on
+// each push and pop; importing them back into a hot package is invariably
+// the first step of undoing that work. reflect is banned for the same
+// reason plus its cost model. Test files are exempt (reflect.DeepEqual in
+// assertions is fine).
+var Imports = &analysis.Analyzer{
+	Name: "imports",
+	Doc:  "forbid container/heap, container/list, and reflect in hot-path packages",
+	Run:  runImports,
+}
+
+// forbiddenImports maps import path -> why it is banned in hot packages.
+var forbiddenImports = map[string]string{
+	"container/heap": "boxes every element through interface{} on push/pop; use a hand-rolled heap over a concrete slice (see internal/eventq)",
+	"container/list": "one heap allocation and pointer chase per element; use a slice-backed structure",
+	"reflect":        "defeats the static layout discipline and allocates through interface boxing",
+}
+
+func runImports(pass *analysis.Pass) (any, error) {
+	if !hotPackage(pass) {
+		return nil, nil
+	}
+	allows := buildAllowIndex(pass)
+	for _, f := range pass.Files {
+		if isTestFile(pass, f.Pos()) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if why, ok := forbiddenImports[path]; ok {
+				report(pass, allows, imp.Pos(), "hot-path package imports %s: %s", path, why)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// hotPackage reports whether the package carries any //hawk:hotpath
+// annotation in a non-test file.
+func hotPackage(pass *analysis.Pass) bool {
+	if pkgMarked(pass, "hotpath") {
+		return true
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			if fn, ok := decl.(*ast.FuncDecl); ok && hasDirective(fn.Doc, "hotpath") {
+				return true
+			}
+		}
+	}
+	return false
+}

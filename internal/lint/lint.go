@@ -1,0 +1,13 @@
+package lint
+
+import "repro/internal/lint/analysis"
+
+// Analyzers is the hawklint suite in the order diagnostics should be
+// easiest to read: layout first, then allocation, then determinism, then
+// imports. cmd/hawklint runs exactly this list.
+var Analyzers = []*analysis.Analyzer{
+	StructSize,
+	HotAlloc,
+	Determinism,
+	Imports,
+}

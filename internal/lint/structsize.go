@@ -1,0 +1,107 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+
+	"repro/internal/lint/analysis"
+)
+
+// StructSize checks //hawk:size=N and //hawk:nopointers type annotations
+// against the real layout the compiler will use (types.Sizes for the
+// platform being vetted). It is the compile-time replacement for the
+// runtime TestHotStructSizes pin: a new field on simEvent or entry fails
+// `go vet` before any test runs, and future hot structs get the same guard
+// by adding one directive instead of one test case.
+var StructSize = &analysis.Analyzer{
+	Name: "structsize",
+	Doc:  "check //hawk:size and //hawk:nopointers type annotations against real layout",
+	Run:  runStructSize,
+}
+
+func runStructSize(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				var dirs []directive
+				if len(gd.Specs) == 1 {
+					dirs = parseDirectives(gd.Doc)
+				}
+				dirs = append(dirs, parseDirectives(ts.Doc)...)
+				checkTypeDirectives(pass, ts, dirs)
+			}
+		}
+	}
+	return nil, nil
+}
+
+func checkTypeDirectives(pass *analysis.Pass, ts *ast.TypeSpec, dirs []directive) {
+	obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+	if !ok {
+		return
+	}
+	t := obj.Type()
+	for _, d := range dirs {
+		switch d.verb {
+		case "size":
+			want, err := strconv.ParseInt(d.arg, 10, 64)
+			if err != nil || want < 0 {
+				pass.Reportf(ts.Name.Pos(), "malformed //hawk:size value %q on %s: want a byte count", d.arg, ts.Name.Name)
+				continue
+			}
+			if got := pass.TypesSizes.Sizeof(t); got != want {
+				pass.Reportf(ts.Name.Pos(), "%s: size is %d bytes, directive pins %d", ts.Name.Name, got, want)
+			}
+		case "nopointers":
+			if path := pointerPath(t, ts.Name.Name, make(map[types.Type]bool)); path != "" {
+				pass.Reportf(ts.Name.Pos(), "%s: //hawk:nopointers but %s carries a pointer", ts.Name.Name, path)
+			}
+		}
+	}
+}
+
+// pointerPath returns a dotted description of the first pointer-bearing
+// component reachable from t, or "" if the garbage collector sees no
+// pointers in values of t. Strings count: they carry a data pointer, which
+// is exactly what keeps a struct out of the GC-opaque arenas.
+func pointerPath(t types.Type, path string, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		switch u.Kind() {
+		case types.String, types.UnsafePointer:
+			return fmt.Sprintf("%s (%s)", path, u.Name())
+		}
+		return ""
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return fmt.Sprintf("%s (%s)", path, u.String())
+	case *types.Array:
+		return pointerPath(u.Elem(), path+"[…]", seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			f := u.Field(i)
+			if p := pointerPath(f.Type(), path+"."+f.Name(), seen); p != "" {
+				return p
+			}
+		}
+		return ""
+	default:
+		// Type parameters and anything unrecognized: conservatively treat
+		// as pointer-bearing so the directive never silently passes.
+		return fmt.Sprintf("%s (%s)", path, t.String())
+	}
+}

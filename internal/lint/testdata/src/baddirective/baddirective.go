@@ -1,0 +1,33 @@
+// Package baddirective exercises the directive hygiene checks owned by the
+// hotalloc analyzer: unknown verbs, unjustified allows, and directives
+// placed where they have no effect must all be reported, never ignored.
+package baddirective
+
+//hawk:frobnicate // want `unknown //hawk: directive "frobnicate"`
+
+//hawk:allow // want `//hawk:allow needs a justification`
+
+func f() int {
+	//hawk:size=16 // want `misplaced //hawk:size`
+	x := 0
+	//hawk:hotpath // want `misplaced //hawk:hotpath`
+	return x
+}
+
+// Misplaced on a non-type declaration:
+//
+//hawk:nopointers // want `misplaced //hawk:nopointers`
+var v int
+
+// wellPlaced directives produce no hygiene findings.
+//
+//hawk:size=8
+//hawk:nopointers
+type wellPlaced struct{ a, b int32 }
+
+//hawk:hotpath
+func hot() {
+	m := make(map[int]int) //hawk:allow reused lookup table, justified properly
+	_ = m
+	_ = v
+}

@@ -1,0 +1,74 @@
+// Package determinism exercises the determinism analyzer in a marked
+// package: wall clock, global rand, environment reads, and map ranges.
+//
+//hawk:deterministic
+package determinism
+
+import (
+	"math/rand"
+	"os"
+	"sort"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `time\.Now is wall clock`
+}
+
+func wallClockRef() func() time.Time {
+	return time.Now // want `time\.Now is wall clock`
+}
+
+func since(t0 time.Time) time.Duration {
+	return time.Since(t0) // want `time\.Since is wall clock`
+}
+
+func durationOK() time.Duration {
+	return 3 * time.Second // the time package's types and constants are fine
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `global math/rand\.Intn`
+}
+
+func seededOK() float64 {
+	r := rand.New(rand.NewSource(42)) // explicit seeded stream: allowed
+	return r.Float64()                // methods on *rand.Rand: allowed
+}
+
+func env() string {
+	return os.Getenv("HOME") // want `os\.Getenv is environment-dependent`
+}
+
+func fileOK() error {
+	f, err := os.Open("trace.csv") // os as such is fine; only env reads are not
+	if err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+func mapOrder(m map[string]int) []int {
+	var out []int
+	for _, v := range m { // want `range over map: iteration order is nondeterministic`
+		out = append(out, v)
+	}
+	return out
+}
+
+func sliceOK(s []int) int {
+	total := 0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}
+
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { //hawk:allow keys are sorted below before anything order-sensitive happens
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,15 @@
+// Package determinismoff is NOT annotated //hawk:deterministic: nothing in
+// it may be flagged, wall clock and all.
+package determinismoff
+
+import "time"
+
+func now() time.Time { return time.Now() }
+
+func mapRange(m map[int]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

@@ -1,0 +1,83 @@
+// Package hotalloc exercises the hotalloc analyzer: each forbidden
+// construct inside an annotated function, the sanctioned counterparts, and
+// the //hawk:allow escape hatch.
+package hotalloc
+
+import "fmt"
+
+// appendOK uses the sanctioned scratch-reuse forms.
+//
+//hawk:hotpath
+func appendOK(buf []int, v int) []int {
+	buf = append(buf, v)
+	buf = append(buf[:0], v)
+	buf = append((buf)[:0], v, v)
+	return buf
+}
+
+//hawk:hotpath
+func appendBad(src []int) []int {
+	out := append(src, 1) // want `append result assigned to out but extends src`
+	return out
+}
+
+//hawk:hotpath
+func appendNested(src []int) int {
+	return len(append(src, 2)) // want `append outside a .x = append\(x, \.\.\.\). assignment`
+}
+
+//hawk:hotpath
+func maps() {
+	m := map[string]int{} // want `map literal allocates`
+	_ = m
+	n := make(map[int]int) // want `make\(map\) allocates`
+	_ = n
+	s := make([]int, 0, 8) // slices are fine: growth is the caller's business
+	_ = s
+}
+
+//hawk:hotpath
+func closureBad(x int) func() int {
+	return func() int { return x } // want `closure captures x`
+}
+
+//hawk:hotpath
+func closureOK() func() int {
+	return func() int { return 2 } // captures nothing: a static closure
+}
+
+var global int
+
+//hawk:hotpath
+func closureGlobalOK() func() int {
+	return func() int { return global } // package-level vars are not captures
+}
+
+//hawk:hotpath
+func formatting(id int) {
+	fmt.Println("node", id) // want `fmt\.Println allocates`
+}
+
+//hawk:hotpath
+func boxing(v int) any {
+	var sink any = v // want `boxing int into any`
+	_ = any(v)       // want `boxing int into any`
+	var e error      // interface zero value: no boxing
+	_ = e
+	sink = nil // nil assignment: no boxing
+	return sink
+}
+
+//hawk:hotpath
+func allowedFinding() {
+	m := make(map[int]int) //hawk:allow one-time table, built before the run starts
+	_ = m
+	//hawk:allow cold growth path, executes once per simulation
+	n := map[string]bool{"a": true}
+	_ = n
+}
+
+// cold is unannotated: nothing in it is checked.
+func cold() map[string]int {
+	return map[string]int{"a": 1}
+}

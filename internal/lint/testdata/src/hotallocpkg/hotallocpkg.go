@@ -1,0 +1,14 @@
+// Package hotallocpkg is annotated hot as a whole: every function in every
+// non-test file is a hot path.
+//
+//hawk:hotpath
+package hotallocpkg
+
+func anyFunc() {
+	_ = map[int]int{} // want `map literal allocates`
+}
+
+func anotherFunc(buf []byte, b byte) []byte {
+	buf = append(buf, b) // sanctioned form, no finding
+	return buf
+}

@@ -1,0 +1,17 @@
+// Package imports is a hot-path package (package-level annotation) pulling
+// in the packages the imports analyzer forbids there.
+//
+//hawk:hotpath
+package imports
+
+import (
+	"container/heap" // want `hot-path package imports container/heap`
+	"container/list" // want `hot-path package imports container/list`
+	"reflect"        // want `hot-path package imports reflect`
+	"sort"
+)
+
+func use(h heap.Interface, vs []int) int {
+	sort.Ints(vs)
+	return list.New().Len() + h.Len() + int(reflect.ValueOf(vs).Kind())
+}

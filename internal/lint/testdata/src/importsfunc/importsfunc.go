@@ -1,0 +1,8 @@
+// Package importsfunc has no package-level annotation; one annotated
+// function is enough to make the whole package hot for the import rules.
+package importsfunc
+
+import "container/list" // want `hot-path package imports container/list`
+
+//hawk:hotpath
+func hot(l *list.List) int { return l.Len() }

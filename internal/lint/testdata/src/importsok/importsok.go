@@ -1,0 +1,7 @@
+// Package importsok has no hot-path annotations at all, so the forbidden
+// imports are fine here — the rule is about hot packages, not the tree.
+package importsok
+
+import "reflect"
+
+func kind(v any) reflect.Kind { return reflect.ValueOf(v).Kind() }

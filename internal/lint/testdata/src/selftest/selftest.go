@@ -1,0 +1,38 @@
+// Package selftest is hawklint's deliberately-broken fixture: it violates
+// at least one rule of every analyzer in the suite while compiling
+// cleanly. CI builds cmd/hawklint and runs `go vet -vettool` over this
+// package expecting FAILURE — if the run passes, the suite has silently
+// stopped finding anything and the green checkmark on the real tree means
+// nothing. (testdata/ is invisible to ./... patterns, so the main hawklint
+// pass over the repository never sees this package.)
+//
+//hawk:deterministic
+//hawk:hotpath
+package selftest
+
+import (
+	"container/list" // imports: forbidden in a hot-path package
+	"fmt"
+	"time"
+)
+
+// wide is 48 bytes, not the 8 the directive pins, and the slice field
+// breaks the nopointers contract.
+//
+//hawk:size=8
+//hawk:nopointers
+type wide struct {
+	a, b, c float64
+	ptrs    []int
+}
+
+// hot is a hot path (package-level annotation) that allocates three ways
+// and is nondeterministic twice over.
+func hot(w wide) string {
+	seen := map[int]bool{} // hotalloc: map literal
+	for k := range seen {  // determinism: map-order iteration
+		w.a += float64(k)
+	}
+	_ = list.New()                        // uses the forbidden import
+	return fmt.Sprint(time.Now(), w.ptrs) // hotalloc: fmt; determinism: wall clock
+}

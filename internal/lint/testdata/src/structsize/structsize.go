@@ -1,0 +1,66 @@
+// Package structsize exercises the structsize analyzer: correct pins,
+// violated pins, pointer-bearing fields behind //hawk:nopointers, and
+// malformed size arguments.
+package structsize
+
+// ev is pinned correctly: 4+4+8 = 16 bytes, no pointers.
+//
+//hawk:size=16
+//hawk:nopointers
+type ev struct {
+	a, b int32
+	c    float64
+}
+
+// wrongSize really is 16 bytes.
+//
+//hawk:size=8
+type wrongSize struct { // want `size is 16 bytes, directive pins 8`
+	a, b int32
+	c    float64
+}
+
+// padded: alignment counts — the directive pins what the compiler does.
+//
+//hawk:size=16
+type padded struct {
+	flag bool
+	f    float64
+}
+
+// slicePtr: slices carry a data pointer.
+//
+//hawk:nopointers
+type slicePtr struct { // want `slicePtr\.s \(\[\]int\) carries a pointer`
+	s []int
+}
+
+// strPtr: strings do too.
+//
+//hawk:nopointers
+type strPtr struct { // want `strPtr\.s \(string\) carries a pointer`
+	s string
+}
+
+// nested: the scan descends through named field types and arrays.
+//
+//hawk:nopointers
+type nested struct { // want `nested\.inner\[…\]\.m .* carries a pointer`
+	inner [2]innerT
+}
+
+type innerT struct {
+	m map[int]int
+}
+
+// cleanNested: pointer-free all the way down.
+//
+//hawk:size=24
+//hawk:nopointers
+type cleanNested struct {
+	e  ev
+	id int64
+}
+
+//hawk:size=x16
+type badArg struct{} // want `malformed //hawk:size value "x16"`

@@ -14,6 +14,11 @@
 //
 // The package is re-exported as the public top-level package hawk; external
 // code should import repro/hawk.
+//
+// Policy decisions feed both engines' deterministic replay, so the package
+// is guarded by hawklint's determinism analyzer:
+//
+//hawk:deterministic
 package policy
 
 import (
@@ -148,7 +153,7 @@ func Policies() []string {
 	regMu.RLock()
 	defer regMu.RUnlock()
 	names := make([]string, 0, len(registry))
-	for name := range registry {
+	for name := range registry { //hawk:allow order-insensitive collect; names are sorted before being returned
 		names = append(names, name)
 	}
 	sort.Strings(names)

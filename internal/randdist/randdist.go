@@ -3,7 +3,11 @@
 //
 // All state is held in an explicit *Source so that every experiment is
 // reproducible from a single integer seed and safe to run in parallel
-// (each goroutine owns its own Source).
+// (each goroutine owns its own Source). hawklint's determinism analyzer
+// keeps it that way: seeded rand.New(rand.NewSource(...)) streams are the
+// only randomness allowed here — never the global math/rand functions.
+//
+//hawk:deterministic
 package randdist
 
 import (
@@ -134,6 +138,8 @@ func (s *Source) SampleWithoutReplacement(n, k int) []int {
 // which is O(k) expected time, so probe and steal-victim selection stay
 // cheap even on 50000-node clusters; for large k relative to n a partial
 // Fisher-Yates avoids rejection stalls.
+//
+//hawk:hotpath
 func (s *Source) SampleWithoutReplacementInto(dst []int, n, k int) []int {
 	if k > n {
 		k = n
@@ -143,7 +149,8 @@ func (s *Source) SampleWithoutReplacementInto(dst []int, n, k int) []int {
 	}
 	if k*3 >= n {
 		s.permScratch = s.permInto(s.permScratch[:0], n)
-		return append(dst, s.permScratch[:k]...)
+		dst = append(dst, s.permScratch[:k]...)
+		return dst
 	}
 	if n > len(s.stamp) {
 		s.stamp = append(s.stamp, make([]uint32, n-len(s.stamp))...)
@@ -172,6 +179,8 @@ func (s *Source) SampleWithoutReplacementInto(dst []int, n, k int) []int {
 // Intn(1) of the i = 0 iteration, which rand.Perm keeps for Go 1 stream
 // compatibility. That draw-for-draw equivalence is what lets the Into
 // sampling path reproduce the allocating path bit-for-bit.
+//
+//hawk:hotpath
 func (s *Source) permInto(dst []int, n int) []int {
 	start := len(dst)
 	for i := 0; i < n; i++ {

@@ -20,6 +20,13 @@ import (
 // sees the steady state rather than a growth step. The utilization sampler
 // is pushed past the horizon for the same reason (its series lives in
 // internal/stats and cannot be pre-grown from here).
+//
+// hawklint's hotalloc analyzer guards the same property at vet time: the
+// functions these paths run through are annotated //hawk:hotpath (see
+// internal/lint), which statically forbids the constructs that would make
+// this pin regress — capturing closures, map allocation, append without
+// backing-array reuse, interface boxing, fmt calls. AllocsPerRun stays as
+// the runtime ground truth that the static rule set actually suffices.
 func steadyStateSim(t *testing.T, tr *workload.Trace, cfg policy.Config, warm int) *simulation {
 	t.Helper()
 	cfg.UtilizationInterval = 1e18

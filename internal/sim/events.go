@@ -60,6 +60,12 @@ const (
 // instead of any pointer. gen is the scheduling-time incarnation of node
 // ref (see dynState.epoch); it is always zero on a churn-free run, where
 // no event can ever be stale.
+//
+// The size and pointer-freeness pins are enforced at vet time by hawklint's
+// structsize analyzer and re-checked at run time by TestHotStructSizes:
+//
+//hawk:size=16
+//hawk:nopointers
 type simEvent struct {
 	kind    evKind
 	central bool  // evTaskDone: task was placed by the centralized scheduler
@@ -73,6 +79,8 @@ type simEvent struct {
 // drives; the clock has already advanced to now. The s.dyn nil checks are
 // the whole cost of the dynamic cluster model on a churn-free run: one
 // pointer compare per event, with gen always equal to the zero epoch.
+//
+//hawk:hotpath
 func (s *simulation) dispatch(now float64, ev simEvent) {
 	switch ev.kind {
 	case evSubmit:
@@ -139,6 +147,8 @@ func (s *simulation) dispatch(now float64, ev simEvent) {
 // The chain runs on the engine's reserved sequence numbers (position+1),
 // reproducing the tie-break rank each submit would have had if every
 // submit were preloaded before the run started.
+//
+//hawk:hotpath
 func (s *simulation) submitNext(pos int32) {
 	if next := pos + 1; int(next) < len(s.trace.Jobs) {
 		idx := s.jobAt(next)
@@ -155,6 +165,8 @@ func (s *simulation) submitNext(pos int32) {
 // whole-cluster series it samples the live general partition's busy
 // fraction, the robustness figures' measure of stealing keeping that
 // partition fed during a central outage.
+//
+//hawk:hotpath
 func (s *simulation) sampleTick(now float64) {
 	if s.jobsDone >= len(s.trace.Jobs) {
 		return

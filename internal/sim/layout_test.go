@@ -16,6 +16,11 @@ import (
 // two float64s); the int32-arena layout must stay strictly smaller, and
 // both must stay pointer-free so the event heap and node queues are opaque
 // to the garbage collector.
+//
+// The same pins are enforced at vet time by hawklint's structsize analyzer
+// (the //hawk:size and //hawk:nopointers directives on simEvent and entry —
+// see internal/lint); this test stays as the runtime backstop so the
+// invariant still holds if the vet step is skipped.
 func TestHotStructSizes(t *testing.T) {
 	if got := unsafe.Sizeof(simEvent{}); got != 16 {
 		t.Errorf("sizeof(simEvent) = %d, want 16 (was 24 with a *jobState field)", got)

@@ -35,6 +35,12 @@ func longFlag(long bool) entryFlags {
 // size and pointer-freeness both matter. A task's duration is not stored:
 // tidx indexes the owning job's duration slice, which also identifies the
 // exact task to re-assign if the node holding this entry fails.
+//
+// Both pins are enforced at vet time by hawklint's structsize analyzer and
+// re-checked at run time by TestHotStructSizes:
+//
+//hawk:size=24
+//hawk:nopointers
 type entry struct {
 	enq   float64 // time the entry first arrived at a node (survives stealing)
 	jidx  int32   // index into simulation.jobs
@@ -43,6 +49,8 @@ type entry struct {
 }
 
 // long reports whether this entry belongs to a long job.
+//
+//hawk:hotpath
 func (e entry) long() bool { return e.flags&entryLong != 0 }
 
 // node models one worker: a single execution slot plus a FIFO queue (§3.1).
@@ -72,9 +80,13 @@ type node struct {
 }
 
 // queueLen returns the number of live queued entries.
+//
+//hawk:hotpath
 func (n *node) queueLen() int { return len(n.queue) - int(n.head) }
 
 // enqueue appends an entry and starts it immediately if the node is idle.
+//
+//hawk:hotpath
 func (n *node) enqueue(s *simulation, e entry) {
 	if n.head > 0 && len(n.queue) == cap(n.queue) {
 		// About to grow: compact live entries to the front first, so the
@@ -96,6 +108,8 @@ func (n *node) enqueue(s *simulation, e entry) {
 // practice the queue is empty). Every path reuses the queue's backing array
 // when it has capacity; es is the caller's scratch buffer and is copied
 // from, never retained.
+//
+//hawk:hotpath
 func (n *node) enqueueFront(s *simulation, es []entry) {
 	live := n.queueLen()
 	switch {
@@ -125,6 +139,8 @@ func (n *node) enqueueFront(s *simulation, es []entry) {
 }
 
 // advance starts the head-of-queue entry if the slot is free.
+//
+//hawk:hotpath
 func (n *node) advance(s *simulation) {
 	if n.busy || n.queueLen() == 0 {
 		return
@@ -171,6 +187,8 @@ func (n *node) advance(s *simulation) {
 // probeReply handles the scheduler's answer to this node's task request:
 // either the job's next unassigned task, or a cancel because other probes
 // drained the job first (§3.5).
+//
+//hawk:hotpath
 func (n *node) probeReply(s *simulation, jidx int32) {
 	js := &s.jobs[jidx]
 	tidx, ok := js.nextTask()
@@ -192,6 +210,8 @@ func (n *node) probeReply(s *simulation, jidx int32) {
 // completion it observes. On a dynamic cluster the completion event
 // carries the node's incarnation and the running task is recorded so a
 // failure can re-route it.
+//
+//hawk:hotpath
 func (n *node) execute(s *simulation, jidx, tidx int32, dur float64, central bool) {
 	s.res.TasksExecuted++
 	var gen uint8
@@ -204,6 +224,8 @@ func (n *node) execute(s *simulation, jidx, tidx int32, dur float64, central boo
 
 // taskDone accounts a completed task and frees the slot. A job completes
 // only after all its tasks (§3.1).
+//
+//hawk:hotpath
 func (n *node) taskDone(s *simulation, jidx int32, central bool, now float64) {
 	if central {
 		s.central.TaskFinished(int(n.id), now)
@@ -218,6 +240,8 @@ func (n *node) taskDone(s *simulation, jidx int32, central bool, now float64) {
 
 // finishSlot releases the slot, continues with the queue, and — if the node
 // ran dry — performs one randomized steal attempt (§3.6).
+//
+//hawk:hotpath
 func (n *node) finishSlot(s *simulation) {
 	n.busy = false
 	s.nodeBecameIdle(n.id)
@@ -232,6 +256,8 @@ func (n *node) finishSlot(s *simulation) {
 // The long bit is read straight from the packed entry flags — one linear
 // scan of the queue's backing array, no job-state dereference per entry.
 // Callers pass a reused scratch buffer (see simulation.stealFlags).
+//
+//hawk:hotpath
 func (n *node) appendQueueLongFlags(buf []bool) []bool {
 	for _, e := range n.queue[n.head:] {
 		buf = append(buf, e.long())
@@ -245,6 +271,8 @@ func (n *node) appendQueueLongFlags(buf []bool) []bool {
 // the buffer's next use.
 // Indices are relative to the live queue (head-first), matching the flags
 // appendQueueLongFlags reports.
+//
+//hawk:hotpath
 func (n *node) appendStealRange(buf []entry, start, end int) []entry {
 	live := n.queue[n.head:]
 	buf = append(buf, live[start:end]...)
@@ -254,6 +282,8 @@ func (n *node) appendStealRange(buf []entry, start, end int) []entry {
 
 // appendStealIndices removes the entries at the given sorted queue indices
 // (the random-position stealing ablation), appending them to buf.
+//
+//hawk:hotpath
 func (n *node) appendStealIndices(buf []entry, idx []int) []entry {
 	if len(idx) == 0 {
 		return buf

@@ -18,6 +18,12 @@
 // submission is lazy — each submit event chains the next — so the event
 // heap's working set is bounded by in-flight messages and running tasks,
 // not by the trace length. See the README's Performance section.
+//
+// Every run must be a pure function of (trace, config, seed) — the golden
+// report tests depend on it — so hawklint's determinism analyzer guards the
+// whole package:
+//
+//hawk:deterministic
 package sim
 
 import (
@@ -55,6 +61,8 @@ type jobState struct {
 // nextTask hands out the next unassigned task index — a task lost to a
 // node failure first, else the next fresh one — or reports that all tasks
 // are placed (the probe is cancelled).
+//
+//hawk:hotpath
 func (js *jobState) nextTask() (int32, bool) {
 	if n := len(js.lost); n > 0 {
 		t := js.lost[n-1]
@@ -337,6 +345,8 @@ func (s *simulation) run() (*policy.Report, error) {
 }
 
 // jobAt maps a submission-order position to its trace position.
+//
+//hawk:hotpath
 func (s *simulation) jobAt(pos int32) int32 {
 	if s.submitOrder != nil {
 		return s.submitOrder[pos]
@@ -362,6 +372,8 @@ func (s *simulation) checkFeasibility() error {
 
 // submit routes the newly arrived job at trace position idx per the
 // policy's decision, populating its arena slot.
+//
+//hawk:hotpath
 func (s *simulation) submit(idx int32) {
 	job := s.trace.Jobs[idx]
 	js := &s.jobs[idx]
@@ -375,6 +387,8 @@ func (s *simulation) submit(idx int32) {
 
 // routeJob executes the policy's placement decision for a populated job —
 // at submission, and again when a parked job is released by a recovery.
+//
+//hawk:hotpath
 func (s *simulation) routeJob(idx int32) {
 	job := s.trace.Jobs[idx]
 	js := &s.jobs[idx]
@@ -402,6 +416,8 @@ func (s *simulation) routeJob(idx int32) {
 
 // probeJob sends batch-sampling probes to the chosen nodes; each arrives
 // after one network delay.
+//
+//hawk:hotpath
 func (s *simulation) probeJob(idx int32, nodeIDs []int) {
 	s.res.ProbesSent += int64(len(nodeIDs))
 	for _, id := range nodeIDs {
@@ -414,6 +430,8 @@ func (s *simulation) probeJob(idx int32, nodeIDs []int) {
 // is then bumped by the job's estimated task runtime. While the central
 // scheduler is scripted down (or churn has removed its every server) the
 // whole job parks in the backlog instead.
+//
+//hawk:hotpath
 func (s *simulation) centralJob(idx int32) {
 	if s.centralUnavailable() {
 		s.parkCentral(idx, -1)
@@ -434,6 +452,8 @@ func (s *simulation) centralJob(idx int32) {
 // contact up to Cap random general-partition nodes and move the first
 // eligible group found (§3.6, Figure 3). Per §4.1 the decision itself is
 // free; stolen work restarts instantly at the thief.
+//
+//hawk:hotpath
 func (s *simulation) attemptSteal(thief *node) {
 	if !s.steal.Enabled {
 		return
@@ -478,6 +498,7 @@ func (s *simulation) attemptSteal(thief *node) {
 	}
 }
 
+//hawk:hotpath
 func (s *simulation) jobCompleted(idx int32, now float64) {
 	s.jobsDone++
 	if now > s.lastDone {
@@ -499,6 +520,8 @@ func (s *simulation) jobCompleted(idx int32, now float64) {
 
 // observeWait records how long a queue entry waited at nodes before its
 // slot opened, split by job class — diagnostic for the queueing analyses.
+//
+//hawk:hotpath
 func (s *simulation) observeWait(e entry, now float64) {
 	w := now - e.enq
 	if e.long() {
@@ -508,6 +531,7 @@ func (s *simulation) observeWait(e entry, now float64) {
 	}
 }
 
+//hawk:hotpath
 func (s *simulation) nodeBecameBusy(id int32) {
 	s.busyNodes++
 	if id >= s.shortOnly {
@@ -515,6 +539,7 @@ func (s *simulation) nodeBecameBusy(id int32) {
 	}
 }
 
+//hawk:hotpath
 func (s *simulation) nodeBecameIdle(id int32) {
 	s.busyNodes--
 	if id >= s.shortOnly {

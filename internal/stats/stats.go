@@ -1,6 +1,11 @@
 // Package stats provides the statistical helpers used to report the paper's
 // metrics: percentile job runtimes, CDFs, paired Hawk-vs-baseline ratios,
 // and time-sampled cluster utilization.
+//
+// Everything here feeds golden reports, so results must be replayable;
+// hawklint's determinism analyzer enforces it:
+//
+//hawk:deterministic
 package stats
 
 import (
@@ -191,9 +196,18 @@ type PairedComparison struct {
 // ComparePaired builds a PairedComparison from two maps keyed by job id.
 // Jobs present in only one map are ignored.
 func ComparePaired(candidate, baseline map[int]float64) PairedComparison {
+	// Sum in sorted-id order: candSum and baseSum are float accumulations,
+	// so map-iteration order would leak into MeanRuntimeRatio's low bits
+	// and make reports differ run to run.
+	ids := make([]int, 0, len(candidate))
+	for id := range candidate { //hawk:allow order-insensitive collect; ids are sorted below before any float math
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
 	var better, muchBetter, total int
 	var candSum, baseSum float64
-	for id, c := range candidate {
+	for _, id := range ids {
+		c := candidate[id]
 		b, ok := baseline[id]
 		if !ok {
 			continue
