@@ -314,6 +314,36 @@ func BenchmarkChurnScale(b *testing.B) {
 	}
 }
 
+// BenchmarkMultiScheduler is BenchmarkLargeCluster's operating point run
+// under the distributed multi-scheduler model: ten schedulers with stale
+// snapshots sharing the 12000-node cluster, so the optimistic claim/commit
+// machinery — per-scheduler queue mirrors, SyncFrom rebuilds on every
+// snapshot refresh, claim-version checks, conflicted-placement retries —
+// runs at scale on top of the ordinary event dispatch. A coarse snapshot
+// cadence keeps the schedulers in the mutually-stale regime where conflicts
+// actually occur (see internal/experiments.SchedulerSweep). It gates the
+// multi-scheduler path in CI's benchmark-regression gate; the N=1
+// configuration is identical to BenchmarkLargeCluster's, so the delta
+// between the two is the model's overhead.
+func BenchmarkMultiScheduler(b *testing.B) {
+	trace := workload.Generate(workload.Google(), workload.GenConfig{
+		NumJobs: 3000, MeanInterArrival: 0.5, Seed: 13,
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(trace, policy.Config{
+			NumNodes: 12000, Policy: "hawk", Seed: 5,
+			Schedulers: &policy.SchedulerSpec{Count: 10, SnapshotInterval: 60},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Events), "events/op")
+		b.ReportMetric(float64(res.PlacementConflicts), "conflicts/op")
+		b.ReportMetric(float64(res.SnapshotRefreshes), "refreshes/op")
+	}
+}
+
 // BenchmarkCentralQueue measures the §3.7 priority queue in isolation at
 // cluster scale.
 func BenchmarkCentralQueue(b *testing.B) {

@@ -29,7 +29,7 @@ import (
 )
 
 var (
-	expFlag     = flag.String("exp", "", "experiment id (table1, table2, fig1, fig4, fig5, fig6, fig7, fig8-9, fig10-11, fig12-13, fig14, fig15, fig16-17, robustness, churn) or 'all'")
+	expFlag     = flag.String("exp", "", "experiment id (table1, table2, fig1, fig4, fig5, fig6, fig7, fig8-9, fig10-11, fig12-13, fig14, fig15, fig16-17, robustness, churn, multisched) or 'all'")
 	listFlag    = flag.Bool("list", false, "list experiment ids and exit")
 	numJobsFlag = flag.Int("numjobs", 20000, "synthetic trace size in jobs")
 	jobsFlag    = flag.Int("jobs", 0, "max concurrent simulations (0 = one per CPU)")
@@ -46,23 +46,40 @@ var (
 	recoverAt = flag.Float64("recover-at", 0, "simulated seconds at which failed nodes recover (0 = never)")
 	speedSkew = flag.Float64("speed-skew", 0, "fraction of nodes running at -slow-speed (0 = homogeneous)")
 	slowSpeed = flag.Float64("slow-speed", 0.5, "speed factor of the skewed nodes (1 = nominal)")
+
+	// Multi-scheduler overlay (see hawk.SchedulerSpec); the multisched
+	// experiment sweeps the count itself and ignores these.
+	schedulers     = flag.Int("schedulers", 0, "run every simulation with this many concurrent schedulers (0 or 1 = exact single scheduler)")
+	schedFailAt    = flag.Float64("scheduler-fail-at", 0, "simulated seconds at which scheduler 0 fails (0 = never; requires -schedulers)")
+	schedRecoverAt = flag.Float64("scheduler-recover-at", 0, "simulated seconds at which scheduler 0 recovers (0 = never)")
 )
 
-// scenario assembles the Churn/Heterogeneity overlay from the flags.
-func scenario() (*hawk.ChurnSpec, *hawk.Heterogeneity) {
-	var churn *hawk.ChurnSpec
+// scenario assembles the Churn/Heterogeneity/Schedulers overlay from the
+// flags.
+func scenario() (*hawk.ChurnSpec, *hawk.Heterogeneity, *hawk.SchedulerSpec) {
+	var events []hawk.ChurnEvent
 	if *failNodes > 0 {
-		events := []hawk.ChurnEvent{{At: *failAt, Kind: hawk.ChurnFail, Count: *failNodes}}
+		events = append(events, hawk.ChurnEvent{At: *failAt, Kind: hawk.ChurnFail, Count: *failNodes})
 		if *recoverAt > 0 {
 			events = append(events, hawk.ChurnEvent{At: *recoverAt, Kind: hawk.ChurnRecover, Count: *failNodes})
 		}
+	}
+	if *schedFailAt > 0 {
+		events = append(events, hawk.SchedulerChurn(0, *schedFailAt, *schedRecoverAt)...)
+	}
+	var churn *hawk.ChurnSpec
+	if len(events) > 0 {
 		churn = &hawk.ChurnSpec{Events: events}
 	}
 	var hetero *hawk.Heterogeneity
 	if *speedSkew > 0 {
 		hetero = &hawk.Heterogeneity{Classes: []hawk.SpeedClass{{Fraction: *speedSkew, Speed: *slowSpeed}}}
 	}
-	return churn, hetero
+	var spec *hawk.SchedulerSpec
+	if *schedulers > 0 {
+		spec = &hawk.SchedulerSpec{Count: *schedulers}
+	}
+	return churn, hetero, spec
 }
 
 type experiment struct {
@@ -88,6 +105,7 @@ func registry() []experiment {
 		{"fig16-17", "Figures 16-17: implementation vs simulation (live prototype)", runFig1617},
 		{"robustness", "Central-scheduler outage: stealing keeps the general partition utilized (§4 resilience)", runRobustness},
 		{"churn", "Rolling node failures: re-execution and lost work under churn", runChurn},
+		{"multisched", "Scheduler-count sweep 1-100: claim conflicts and latency vs distributed schedulers (§4.10)", runMultiSched},
 	}
 }
 
@@ -114,7 +132,7 @@ func main() {
 		sc.Seed = *seedFlag
 	}
 	sc.Policy = *policyFlag
-	sc.Churn, sc.Heterogeneity = scenario()
+	sc.Churn, sc.Heterogeneity, sc.Schedulers = scenario()
 	// -jobs used to mean the synthetic trace size (now -numjobs); catch
 	// scripts written against the old meaning rather than silently running
 	// the default-sized trace with an absurd worker bound.
@@ -382,6 +400,22 @@ func runChurn(sc experiments.Scale) error {
 			r.Variant, r.ShortP50, r.LongP50,
 			r.NodeFailures, r.NodeRecoveries, r.TasksReexecuted, r.ProbesLost, r.WorkLostSeconds)
 	}
+	return nil
+}
+
+func runMultiSched(sc experiments.Scale) error {
+	rows, err := experiments.SchedulerSweep(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Println("scheds | conflict/assign retries/conflict staleness(s) | short p50 p90 | long p50 p90 | conflicts assigns refreshes")
+	for _, r := range rows {
+		fmt.Printf("%6d | %.3f %.2f %.2f | %.0f %.0f | %.0f %.0f | %d %d %d\n",
+			r.Schedulers, r.ConflictRate, r.RetriesPerConflict, r.MeanStaleness,
+			r.ShortP50, r.ShortP90, r.LongP50, r.LongP90,
+			r.PlacementConflicts, r.CentralAssigns, r.SnapshotRefreshes)
+	}
+	fmt.Println("(latency holds flat across the sweep — the paper's graceful degradation at 10 schedulers (§4.10); conflicts peak while schedulers are mutually active, then dormancy makes placements effectively fresh)")
 	return nil
 }
 

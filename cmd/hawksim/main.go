@@ -47,6 +47,12 @@ var (
 	seedFlag      = flag.Int64("seed", 42, "random seed")
 	listPolFlag   = flag.Bool("list-policies", false, "list registered scheduling policies and exit")
 
+	// Multi-scheduler model flags (§4.10).
+	schedulersFlag   = flag.Int("schedulers", 0, "concurrent schedulers with stale snapshots (0 or 1 = exact single-scheduler model)")
+	snapIntervalFlag = flag.Float64("snapshot-interval", 0, "seconds between scheduler snapshot refreshes (0 = default)")
+	schedFailAtFlag  = flag.Float64("scheduler-fail-at", 0, "simulated seconds at which scheduler 0 fails (0 = never; requires -schedulers)")
+	schedRecAtFlag   = flag.Float64("scheduler-recover-at", 0, "simulated seconds at which scheduler 0 recovers (0 = never)")
+
 	// Dynamic-cluster scenario flags.
 	failNodesFlag = flag.Int("fail-nodes", 0, "fail this many random nodes at -fail-at (0 = no failures)")
 	failAtFlag    = flag.Float64("fail-at", 0, "simulated seconds at which -fail-nodes nodes fail")
@@ -136,6 +142,7 @@ func realMain() int {
 		DisableCentral:         *noCentralFlag,
 		MisestimateLo:          *misLoFlag,
 		MisestimateHi:          *misHiFlag,
+		Schedulers:             schedulerSpec(),
 		Churn:                  churnSpec(),
 		Heterogeneity:          heterogeneitySpec(),
 		Seed:                   *seedFlag,
@@ -162,6 +169,15 @@ func realMain() int {
 	return 0
 }
 
+// schedulerSpec maps -schedulers/-snapshot-interval onto a SchedulerSpec,
+// or nil when the flags are unset (the exact single-scheduler model).
+func schedulerSpec() *hawk.SchedulerSpec {
+	if *schedulersFlag <= 0 {
+		return nil
+	}
+	return &hawk.SchedulerSpec{Count: *schedulersFlag, SnapshotInterval: *snapIntervalFlag}
+}
+
 // churnSpec assembles the scripted scenario from the failure/outage flags,
 // or nil when none are set (the static fast path).
 func churnSpec() *hawk.ChurnSpec {
@@ -177,6 +193,9 @@ func churnSpec() *hawk.ChurnSpec {
 		if *upAtFlag > 0 {
 			events = append(events, hawk.ChurnEvent{At: *upAtFlag, Kind: hawk.ChurnCentralUp})
 		}
+	}
+	if *schedFailAtFlag > 0 {
+		events = append(events, hawk.SchedulerChurn(0, *schedFailAtFlag, *schedRecAtFlag)...)
 	}
 	if len(events) == 0 {
 		return nil
@@ -258,5 +277,14 @@ func printResult(trace *hawk.Trace, res *hawk.Report) {
 		fmt.Printf("churn: failures=%d recoveries=%d reexecuted=%d probesLost=%d workLost=%.0fs outage=%.0fs deferred=%d\n",
 			res.NodeFailures, res.NodeRecoveries, res.TasksReexecuted, res.ProbesLost,
 			res.WorkLostSeconds, res.CentralOutageSeconds, res.CentralDeferred)
+	}
+	if res.Config.Schedulers != nil {
+		fmt.Printf("schedulers: n=%d conflicts=%d retries=%d refreshes=%d staleness=%.1fs\n",
+			res.Config.Schedulers.Count, res.PlacementConflicts, res.ConflictRetries,
+			res.SnapshotRefreshes, res.SnapshotStalenessSeconds)
+		if res.SchedulerFailures > 0 {
+			fmt.Printf("scheduler churn: failures=%d recoveries=%d reassigned=%d\n",
+				res.SchedulerFailures, res.SchedulerRecoveries, res.SchedulerReassigned)
+		}
 	}
 }

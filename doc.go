@@ -47,6 +47,25 @@
 // delegate to the dense partition fast path, draws are bit-identical,
 // and the golden reports prove churn-free output unchanged.
 //
+// # Multi-scheduler model
+//
+// hawk.WithSchedulerSpec layers the paper's distributed multi-scheduler
+// evaluation (§4.10 runs ten concurrent Hawk schedulers) on both engines
+// in the shared-state optimistic style: each scheduler owns an
+// independent mirror of the centralized queue and a stale snapshot of
+// the cluster state, refreshed on a configurable cadence; placements are
+// optimistic and commit through a versioned per-node claim, with
+// conflicts detected and retried under a bounded backoff before a forced
+// refresh. Jobs hash-partition over the live schedulers, and scheduler
+// failure/recovery rides the churn machinery with a failed scheduler's
+// jobs re-hashed to the survivors. The report accounts for the protocol
+// (PlacementConflicts, ConflictRetries, SnapshotRefreshes,
+// SnapshotStalenessSeconds, SchedulerFailures/Recoveries/Reassigned); a
+// one-scheduler spec canonicalizes back to the single-scheduler fast
+// path, byte-identical to the golden reports. docs/ARCHITECTURE.md
+// documents the commit path; hawkexp -exp multisched sweeps 1–100
+// schedulers.
+//
 // # Layout
 //
 // internal/policy holds the API implementation (registry, config, report);
@@ -92,8 +111,8 @@
 //
 // CI treats simulator performance as a tested invariant: every push to
 // main benchmarks SimulatorThroughput, CentralQueue, LargeCluster,
-// GoogleScale, and ChurnScale (-benchmem, -count=5) and uploads the
-// result as a
+// GoogleScale, ChurnScale, and MultiScheduler (-benchmem, -count=5) and
+// uploads the result as a
 // BENCH_<sha>.json artifact, and every pull request re-runs the same
 // benchmarks on its base commit on the same runner and fails if min ns/op
 // regresses by more than 15%, or min allocs/op or min B/op by more than
@@ -106,8 +125,10 @@
 // //hawk:hotpath functions may not contain allocating constructs,
 // //hawk:size and //hawk:nopointers pin the hot structs' layout,
 // //hawk:deterministic packages may not touch wall clocks, global
-// randomness, the environment, or map iteration order, and hot-path
-// packages may not import container/heap, container/list, or reflect. CI
+// randomness, the environment, or map iteration order, hot-path
+// packages may not import container/heap, container/list, or reflect,
+// and //hawk:exporteddoc packages (the public API surface) must document
+// every exported symbol. CI
 // runs the suite on every push together with a negative self-test over a
 // deliberately-broken fixture. See README.md's "Static analysis" section
 // and internal/lint/doc.go for the directive grammar.

@@ -37,7 +37,10 @@
 // The underlying implementation lives in internal/policy (API types and
 // built-in policies, assembled from the internal/core primitives),
 // internal/sim, and internal/liverun; this package re-exports the stable
-// surface.
+// surface. Every exported symbol here carries a doc comment; hawklint's
+// exporteddoc analyzer enforces it:
+//
+//hawk:exporteddoc
 package hawk
 
 import (
@@ -92,15 +95,34 @@ type (
 	Heterogeneity = policy.Heterogeneity
 	// SpeedClass is one Heterogeneity class (fraction of nodes, speed).
 	SpeedClass = policy.SpeedClass
+	// SchedulerSpec turns on the distributed multi-scheduler model (§4.10):
+	// N concurrent schedulers, each placing against its own stale cluster
+	// snapshot with optimistic claim/commit and bounded conflict retries,
+	// jobs hash-partitioned across the live schedulers. Install it with
+	// WithSchedulers(n) or WithSchedulerSpec; the Report's
+	// PlacementConflicts / ConflictRetries / SnapshotStalenessSeconds
+	// counters quantify the contention.
+	SchedulerSpec = policy.SchedulerSpec
 )
 
 // Churn event kinds.
 const (
-	ChurnFail        = policy.ChurnFail
-	ChurnRecover     = policy.ChurnRecover
-	ChurnCentralDown = policy.ChurnCentralDown
-	ChurnCentralUp   = policy.ChurnCentralUp
+	ChurnFail         = policy.ChurnFail
+	ChurnRecover      = policy.ChurnRecover
+	ChurnCentralDown  = policy.ChurnCentralDown
+	ChurnCentralUp    = policy.ChurnCentralUp
+	ChurnSchedFail    = policy.ChurnSchedFail
+	ChurnSchedRecover = policy.ChurnSchedRecover
 )
+
+// MaxSchedulers bounds SchedulerSpec.Count.
+const MaxSchedulers = policy.MaxSchedulers
+
+// SchedulerChurn builds the churn events scripting one scheduler's failure
+// and (when recoverAt > failAt) recovery, for use with WithChurn.
+func SchedulerChurn(scheduler int, failAt, recoverAt float64) []ChurnEvent {
+	return policy.SchedulerChurn(scheduler, failAt, recoverAt)
+}
 
 // Decision actions and candidate pools.
 const (
@@ -150,6 +172,8 @@ var (
 	WithNodes                  = policy.WithNodes
 	WithSlotsPerNode           = policy.WithSlotsPerNode
 	WithSchedulers             = policy.WithSchedulers
+	WithSchedulerSpec          = policy.WithSchedulerSpec
+	WithSchedulerChurn         = policy.WithSchedulerChurn
 	WithCutoff                 = policy.WithCutoff
 	WithShortPartitionFraction = policy.WithShortPartitionFraction
 	WithProbeRatio             = policy.WithProbeRatio

@@ -33,6 +33,9 @@ type CentralQueue struct {
 	// queue is rebuilt for every simulation in a sweep, and a map would
 	// cost one allocation per server plus bucket churn on every rebuild.
 	servers []*serverState
+	// states is the backing arena the servers pointers index into; kept so
+	// SyncFrom can rebuild the queue in place without reallocating it.
+	states  []serverState
 	count   int        // tracked servers (non-nil entries)
 	running serverHeap // key: runEnd + queued
 	idle    serverHeap // key: queued
@@ -78,10 +81,10 @@ func NewCentralQueue(nodeIDs []int) *CentralQueue {
 		servers: make([]*serverState, maxID+1),
 		count:   len(nodeIDs),
 	}
-	states := make([]serverState, len(nodeIDs))
+	q.states = make([]serverState, len(nodeIDs))
 	q.idle.items = make([]*serverState, 0, len(nodeIDs))
 	for i, id := range nodeIDs {
-		s := &states[i]
+		s := &q.states[i]
 		s.nodeID = id
 		q.servers[id] = s
 		q.idle.push(s)
@@ -164,6 +167,67 @@ func (q *CentralQueue) Assign(now, estDuration float64) (nodeID int, waiting flo
 	s.queued += estDuration
 	q.fix(s)
 	return s.nodeID, waiting
+}
+
+// AddLoad bumps a specific server's queued-work estimate without choosing
+// it: the multi-scheduler commit path picked the node on a scheduler's
+// *local* queue (Assign there) and, after winning the claim, reflects the
+// placement into the shared authoritative queue with AddLoad — so every
+// scheduler's next snapshot sees the committed load. A node the queue does
+// not track (removed by churn) is ignored. Never allocates.
+//
+//hawk:hotpath
+func (q *CentralQueue) AddLoad(nodeID int, now, estDuration float64) {
+	s := q.lookup(nodeID)
+	if s == nil {
+		return
+	}
+	q.advance(now)
+	s.queued += estDuration
+	q.fix(s)
+}
+
+// SyncFrom rebuilds this queue as a copy of src: same clock, same tracked
+// servers, same per-server waiting state. This is the snapshot-refresh
+// primitive of the multi-scheduler model — a scheduler's stale local queue
+// catches up to the shared authoritative queue in one O(n) pass (bulk
+// heapify, no per-server sift) and allocates nothing once its arenas have
+// grown to src's size. The two queues share no memory afterwards.
+func (q *CentralQueue) SyncFrom(src *CentralQueue) {
+	q.now = src.now
+	if cap(q.servers) < len(src.servers) {
+		q.servers = make([]*serverState, len(src.servers))
+	} else {
+		q.servers = q.servers[:len(src.servers)]
+		for i := range q.servers {
+			q.servers[i] = nil
+		}
+	}
+	if cap(q.states) < src.count {
+		q.states = make([]serverState, src.count)
+	} else {
+		q.states = q.states[:src.count]
+	}
+	q.running.items = q.running.items[:0]
+	q.idle.items = q.idle.items[:0]
+	i := 0
+	for id, ss := range src.servers {
+		if ss == nil {
+			continue
+		}
+		st := &q.states[i]
+		i++
+		*st = *ss
+		q.servers[id] = st
+		if st.inRun {
+			q.running.items = append(q.running.items, st)
+		} else {
+			q.idle.items = append(q.idle.items, st)
+		}
+	}
+	q.count = src.count
+	q.running.heapify()
+	q.idle.heapify()
 }
 
 // TaskStarted records that a previously assigned task began executing on
@@ -373,6 +437,18 @@ func (h *serverHeap) remove(s *serverState) {
 func (h *serverHeap) fix(s *serverState) {
 	if !h.siftDown(s.heapIdx) {
 		h.siftUp(s.heapIdx)
+	}
+}
+
+// heapify establishes heap order over items filled in arbitrary order (the
+// classic bottom-up build): O(n) total, versus O(n log n) for pushing one by
+// one. SyncFrom uses it to rebuild a mirrored queue in one pass.
+func (h *serverHeap) heapify() {
+	for i, s := range h.items {
+		s.heapIdx = i
+	}
+	for i := len(h.items)/2 - 1; i >= 0; i-- {
+		h.siftDown(i)
 	}
 }
 

@@ -1,0 +1,90 @@
+package core
+
+// Optimistic concurrency for distributed schedulers, in the shared-state
+// (Omega) style: the authoritative ClusterView carries a per-node claim
+// record and a global claim version. Each scheduler works against a stale
+// snapshot of the view taken at some version; a placement is an optimistic
+// Claim against the authoritative view, which succeeds unless another
+// scheduler claimed the same node after the snapshot was taken (or the node
+// died). A failed Claim is the conflict signal the scheduler's
+// detect-and-retry loop consumes.
+//
+// Claims are orthogonal to membership: enabling them never moves sampling
+// off the static fast path, so a static cluster still draws bit-identically
+// to the plain partition samplers.
+
+// claimRec is the last successful claim on one node: the global version at
+// which it happened and which scheduler made it.
+type claimRec struct {
+	ver uint64
+	by  int32
+}
+
+// EnableClaims switches the view to claim tracking with no node claimed.
+// Idempotent; must be called before Claim.
+func (v *ClusterView) EnableClaims() {
+	if v.claims != nil {
+		return
+	}
+	v.claims = make([]claimRec, v.part.NumNodes())
+}
+
+// ClaimVersion returns the current global claim version. A scheduler records
+// it when snapshotting the view and passes it back as sinceVer on every
+// Claim, which is how the view knows whether the claimant's information
+// about a node predates a competing claim.
+func (v *ClusterView) ClaimVersion() uint64 { return v.claimVer }
+
+// Claim optimistically claims one placement slot on the node for scheduler
+// `by`, whose snapshot of the cluster was taken at claim version sinceVer.
+// The claim fails — returning false and changing nothing — when the node is
+// not a live member, or when a different scheduler claimed the node after
+// sinceVer (the claimant could not have seen that placement; the slot count
+// it placed against is stale). Claims by the same scheduler never conflict
+// with each other: a scheduler always knows its own placements.
+//
+// On success the global version advances and the node's claim record is
+// updated to it, so every commit is ordered and later claims can be tested
+// against any snapshot version. Claim never allocates.
+//
+//hawk:hotpath
+func (v *ClusterView) Claim(id int, by int32, sinceVer uint64) bool {
+	if v.claims == nil {
+		panic("core: Claim on a ClusterView without EnableClaims")
+	}
+	if !v.Alive(id) {
+		return false
+	}
+	c := &v.claims[id]
+	if c.ver > sinceVer && c.by != by {
+		return false
+	}
+	v.claimVer++
+	c.ver = v.claimVer
+	c.by = by
+	return true
+}
+
+// SnapshotInto copies the view's membership into dst (allocating it when
+// nil) and returns it, reusing dst's backing arrays when they have capacity.
+// The snapshot shares the immutable partition and speed table but owns its
+// membership copy, so the source view can keep churning while schedulers
+// sample from the snapshot. Claim state is deliberately not copied: claims
+// live only on the authoritative view.
+func (v *ClusterView) SnapshotInto(dst *ClusterView) *ClusterView {
+	if dst == nil {
+		dst = &ClusterView{}
+	}
+	dst.part = v.part
+	dst.speed = v.speed
+	if v.alive == nil {
+		dst.alive, dst.pos = nil, nil
+		dst.shortAlive, dst.generalAlive = nil, nil
+		return dst
+	}
+	dst.alive = append(dst.alive[:0], v.alive...)
+	dst.pos = append(dst.pos[:0], v.pos...)
+	dst.shortAlive = append(dst.shortAlive[:0], v.shortAlive...)
+	dst.generalAlive = append(dst.generalAlive[:0], v.generalAlive...)
+	return dst
+}

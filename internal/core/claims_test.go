@@ -1,0 +1,157 @@
+package core
+
+import "testing"
+
+func TestClaimSemantics(t *testing.T) {
+	v := NewClusterView(NewPartition(10, 0.2))
+	v.EnableClaims()
+
+	if v.ClaimVersion() != 0 {
+		t.Fatalf("fresh view has claim version %d, want 0", v.ClaimVersion())
+	}
+	// First claim on a fresh view always succeeds and advances the version.
+	if !v.Claim(3, 0, 0) {
+		t.Fatal("claim on an unclaimed node failed")
+	}
+	if v.ClaimVersion() != 1 {
+		t.Fatalf("claim version = %d after one claim, want 1", v.ClaimVersion())
+	}
+
+	// A different scheduler whose snapshot predates that claim conflicts.
+	if v.Claim(3, 1, 0) {
+		t.Fatal("stale claim by another scheduler succeeded, want conflict")
+	}
+	// The failed claim must not advance the version or steal the record.
+	if v.ClaimVersion() != 1 {
+		t.Fatalf("failed claim moved the version to %d", v.ClaimVersion())
+	}
+
+	// The same scheduler never conflicts with its own claims, however stale
+	// its snapshot: it knows its own placements.
+	if !v.Claim(3, 0, 0) {
+		t.Fatal("self-claim conflicted")
+	}
+
+	// A snapshot taken at the current version sees every claim: no conflict.
+	since := v.ClaimVersion()
+	if !v.Claim(3, 1, since) {
+		t.Fatal("fresh-snapshot claim conflicted")
+	}
+
+	// Unrelated nodes never conflict.
+	if !v.Claim(7, 2, 0) {
+		t.Fatal("claim on an untouched node conflicted")
+	}
+}
+
+func TestClaimDeadNode(t *testing.T) {
+	v := NewClusterView(NewPartition(10, 0.2))
+	v.EnableMembership()
+	v.EnableClaims()
+	v.Fail(4)
+	if v.Claim(4, 0, v.ClaimVersion()) {
+		t.Fatal("claim on a dead node succeeded")
+	}
+	v.Recover(4)
+	if !v.Claim(4, 0, v.ClaimVersion()) {
+		t.Fatal("claim on a recovered node failed")
+	}
+}
+
+func TestSnapshotInto(t *testing.T) {
+	v := NewClusterView(NewPartition(10, 0.2))
+
+	// Static source: the snapshot is static too.
+	snap := v.SnapshotInto(nil)
+	if snap.Dynamic() {
+		t.Fatal("snapshot of a static view is dynamic")
+	}
+	if snap.AliveAll() != 10 {
+		t.Fatalf("static snapshot sees %d nodes, want 10", snap.AliveAll())
+	}
+
+	// Dynamic source: the snapshot owns a membership copy frozen at the
+	// snapshot instant.
+	v.EnableMembership()
+	v.Fail(5)
+	snap = v.SnapshotInto(snap)
+	if !snap.Dynamic() || snap.AliveAll() != 9 || snap.Alive(5) {
+		t.Fatalf("snapshot did not capture the failure: alive=%d", snap.AliveAll())
+	}
+	// Later churn on the source must not leak into the snapshot...
+	v.Fail(6)
+	if !snap.Alive(6) {
+		t.Fatal("source churn leaked into the snapshot")
+	}
+	// ...and churn applied to the snapshot must not touch the source.
+	snap.Fail(7)
+	if !v.Alive(7) {
+		t.Fatal("snapshot churn leaked into the source")
+	}
+
+	// Refreshing reuses the snapshot and catches it up.
+	snap = v.SnapshotInto(snap)
+	if snap.Alive(6) || snap.AliveAll() != 8 {
+		t.Fatalf("refreshed snapshot stale: alive=%d", snap.AliveAll())
+	}
+}
+
+func TestCentralQueueAddLoad(t *testing.T) {
+	q := NewCentralQueue([]int{0, 1, 2})
+	q.AddLoad(1, 0, 5)
+	if w := q.Waiting(1, 0); w != 5 {
+		t.Fatalf("Waiting(1) = %g after AddLoad(5), want 5", w)
+	}
+	// Assign must now prefer the unloaded servers.
+	for i := 0; i < 2; i++ {
+		id, _ := q.Assign(0, 1)
+		if id == 1 {
+			t.Fatal("Assign picked the loaded server over idle ones")
+		}
+	}
+	// Untracked nodes are ignored, not a panic.
+	q.AddLoad(99, 0, 5)
+	q.AddLoad(-1, 0, 5)
+}
+
+func TestCentralQueueSyncFrom(t *testing.T) {
+	truth := NewCentralQueue([]int{0, 1, 2, 3})
+	local := NewCentralQueue([]int{0, 1, 2, 3})
+
+	// Diverge the two: load the truth, start a task, drop a server.
+	truth.AddLoad(2, 0, 10)
+	truth.AddLoad(3, 0, 4)
+	truth.TaskStarted(3, 1, 4, 6) // running until t=7
+	truth.Remove(0)
+	// The local queue drifted its own way in the meantime.
+	local.AddLoad(1, 0, 99)
+
+	local.SyncFrom(truth)
+	if local.Len() != truth.Len() {
+		t.Fatalf("Len = %d after sync, want %d", local.Len(), truth.Len())
+	}
+	for _, id := range []int{0, 1, 2, 3} {
+		if got, want := local.Waiting(id, 2), truth.Waiting(id, 2); got != want {
+			t.Fatalf("Waiting(%d) = %g after sync, want %g", id, got, want)
+		}
+	}
+	// Min-waiting order must match exactly: drain assignments side by side.
+	for i := 0; i < 6; i++ {
+		li, lw := local.Assign(2, 1)
+		ti, tw := truth.Assign(2, 1)
+		if li != ti || lw != tw {
+			t.Fatalf("assign %d diverged after sync: local (%d, %g), truth (%d, %g)", i, li, lw, ti, tw)
+		}
+	}
+	// The copies are independent: loading one leaves the other alone.
+	local.AddLoad(2, 2, 50)
+	if lw, tw := local.Waiting(2, 2), truth.Waiting(2, 2); lw == tw {
+		t.Fatal("local load leaked into the truth queue")
+	}
+
+	// Re-sync after the divergence converges again and reuses the arenas.
+	local.SyncFrom(truth)
+	if got, want := local.Waiting(2, 2), truth.Waiting(2, 2); got != want {
+		t.Fatalf("re-sync: Waiting(2) = %g, want %g", got, want)
+	}
+}

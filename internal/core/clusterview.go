@@ -37,6 +37,10 @@ type ClusterView struct {
 	shortAlive   []int32 // alive ids in the short partition (unordered)
 	generalAlive []int32 // alive ids in the general partition (unordered)
 	pos          []int32 // node id -> index within its side's alive list
+
+	// Claim state; nil/unused until EnableClaims (see claims.go).
+	claims   []claimRec
+	claimVer uint64
 }
 
 // NewClusterView returns a static view of the partition: full membership,
@@ -258,6 +262,7 @@ func (v *ClusterView) SampleShortInto(dst []int, src *randdist.Source, k int) []
 	return dst
 }
 
+// String renders a one-line debug summary of the view's shape and state.
 func (v *ClusterView) String() string {
 	return fmt.Sprintf("view{%v alive=%d/%d dynamic=%v hetero=%v}",
 		v.part, v.AliveAll(), v.part.NumNodes(), v.Dynamic(), v.speed != nil)

@@ -16,6 +16,7 @@
 // seeded randdist.Source; hawklint's determinism analyzer enforces it:
 //
 //hawk:deterministic
+//hawk:exporteddoc
 package core
 
 import (
@@ -194,6 +195,7 @@ func (p Partition) SampleShortInto(dst []int, src *randdist.Source, k int) []int
 	return src.SampleWithoutReplacementInto(dst, p.shortOnly, k)
 }
 
+// String renders a one-line debug summary of the partition split.
 func (p Partition) String() string {
 	return fmt.Sprintf("partition{nodes=%d shortOnly=%d general=%d}", p.numNodes, p.shortOnly, p.GeneralNodes())
 }

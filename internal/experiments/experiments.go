@@ -50,6 +50,10 @@ type Scale struct {
 	// Heterogeneity, when set, applies per-node speed factors to every
 	// simulator run (the -speed-skew flag).
 	Heterogeneity *policy.Heterogeneity
+	// Schedulers, when set, runs every simulation under the multi-scheduler
+	// model (the -schedulers flag). SchedulerSweep ignores it — the
+	// scheduler count is that experiment's swept axis.
+	Schedulers *policy.SchedulerSpec
 }
 
 // apply overlays the scale's cluster scenario on one run configuration,
@@ -60,6 +64,9 @@ func (s Scale) apply(cfg policy.Config) policy.Config {
 	}
 	if cfg.Heterogeneity == nil {
 		cfg.Heterogeneity = s.Heterogeneity
+	}
+	if cfg.Schedulers == nil {
+		cfg.Schedulers = s.Schedulers
 	}
 	return cfg
 }

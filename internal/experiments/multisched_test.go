@@ -1,0 +1,44 @@
+package experiments
+
+import "testing"
+
+// The scheduler-count sweep (§4.10): the single-scheduler baseline is
+// conflict-free by construction, the multi-scheduler points pay claim
+// conflicts, and latency degrades gracefully across the whole axis.
+// Skipped in -short mode like the other full-figure sweeps.
+func TestSchedulerSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full scheduler sweep in -short mode")
+	}
+	rows, err := SchedulerSweep(Scale{NumJobs: 4000, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(SchedulerCounts) {
+		t.Fatalf("got %d rows, want %d", len(rows), len(SchedulerCounts))
+	}
+	base := rows[0]
+	if base.Schedulers != 1 || base.PlacementConflicts != 0 || base.SnapshotRefreshes != 0 {
+		t.Fatalf("single-scheduler baseline not conflict-free: %+v", base)
+	}
+	if base.CentralAssigns == 0 {
+		t.Fatal("baseline placed nothing centrally")
+	}
+	for _, r := range rows[1:] {
+		if r.CentralAssigns != base.CentralAssigns {
+			t.Errorf("%d schedulers committed %d central assigns, baseline %d — every task must still place exactly once",
+				r.Schedulers, r.CentralAssigns, base.CentralAssigns)
+		}
+		if r.PlacementConflicts == 0 {
+			t.Errorf("%d schedulers recorded no conflicts at the sweep's staleness window", r.Schedulers)
+		}
+		if r.ConflictRetries > r.PlacementConflicts {
+			t.Errorf("%d schedulers: retries %d > conflicts %d", r.Schedulers, r.ConflictRetries, r.PlacementConflicts)
+		}
+		// Graceful degradation is the figure's claim: long-job p50 within
+		// 10% of the exact single-scheduler baseline at every count.
+		if r.LongP50 > 1.1*base.LongP50 || r.LongP50 < 0.9*base.LongP50 {
+			t.Errorf("%d schedulers: long p50 %.0f strays >10%% from baseline %.0f", r.Schedulers, r.LongP50, base.LongP50)
+		}
+	}
+}

@@ -17,7 +17,7 @@ type directive struct {
 
 // knownVerbs lists every directive verb the suite understands, for the
 // unknown-verb diagnostic.
-var knownVerbs = []string{"allow", "deterministic", "hotpath", "nopointers", "size"}
+var knownVerbs = []string{"allow", "deterministic", "exporteddoc", "hotpath", "nopointers", "size"}
 
 func knownVerb(v string) bool {
 	for _, k := range knownVerbs {

@@ -1,4 +1,4 @@
-// Package lint implements hawklint: four static analyzers that enforce, at
+// Package lint implements hawklint: five static analyzers that enforce, at
 // compile time, the invariants this reproduction's performance and
 // replayability results rest on. They run as a `go vet -vettool` suite (see
 // cmd/hawklint) over the whole repository in CI, so the rules hold for
@@ -29,6 +29,12 @@
 //     import container/heap, container/list, or reflect — the event queue
 //     and server heap are hand-rolled precisely because those packages box
 //     every element through interface{}.
+//   - exporteddoc: packages annotated //hawk:exporteddoc must carry a doc
+//     comment on every exported symbol — types, functions, methods on
+//     exported receivers, constants, and variables (a group doc covers a
+//     whole const/var block). The annotated packages are the repo's API
+//     surface (repro/hawk and the engine packages it re-exports), where an
+//     undocumented symbol is a hole in the rendered godoc.
 //
 // # Directive grammar
 //
@@ -47,6 +53,9 @@
 //	    pointer-bearing fields at any depth.
 //	//hawk:deterministic
 //	    On the package clause's doc comment: the determinism analyzer
+//	    applies to the package (test files exempt).
+//	//hawk:exporteddoc
+//	    On the package clause's doc comment: the exporteddoc analyzer
 //	    applies to the package (test files exempt).
 //	//hawk:allow <justification>
 //	    Anywhere: suppresses hawklint findings on its own line and the

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+
+	"repro/internal/lint/analysis"
+)
+
+// ExportedDoc enforces godoc coverage in packages annotated
+// //hawk:exporteddoc: every exported symbol — type, function, method with an
+// exported receiver, constant, and variable — must carry a doc comment. The
+// annotated packages are the repo's API surface (repro/hawk and the engine
+// packages it re-exports), where an undocumented symbol is a hole in the
+// rendered godoc rather than a style nit. Grouped const/var declarations may
+// document the group once on the declaration; a symbol-level comment is only
+// required where no group doc covers it. Test files are exempt.
+var ExportedDoc = &analysis.Analyzer{
+	Name: "exporteddoc",
+	Doc:  "require a doc comment on every exported symbol in //hawk:exporteddoc packages",
+	Run:  runExportedDoc,
+}
+
+func runExportedDoc(pass *analysis.Pass) (any, error) {
+	if !pkgMarked(pass, "exporteddoc") {
+		return nil, nil
+	}
+	allows := buildAllowIndex(pass)
+	for _, f := range pass.Files {
+		if isTestFile(pass, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				checkFuncDoc(pass, allows, d)
+			case *ast.GenDecl:
+				checkGenDoc(pass, allows, d)
+			}
+		}
+	}
+	return nil, nil
+}
+
+// hasDoc reports whether a comment group contains actual commentary (a
+// group consisting solely of //hawk: directives documents nothing).
+func hasDoc(cg *ast.CommentGroup) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if text := c.Text; len(text) > 2 && text[:2] == "//" {
+			if len(parseDirectives(&ast.CommentGroup{List: []*ast.Comment{c}})) == 0 {
+				return true
+			}
+		} else if len(text) > 2 {
+			return true // /* ... */ form
+		}
+	}
+	return false
+}
+
+// checkFuncDoc flags an undocumented exported function or method. Methods
+// count only when their receiver type is exported too: a method on an
+// unexported type is not part of the rendered godoc (interface satisfaction
+// aside, which the interface's own doc covers).
+func checkFuncDoc(pass *analysis.Pass, allows allowIndex, d *ast.FuncDecl) {
+	if !d.Name.IsExported() || hasDoc(d.Doc) {
+		return
+	}
+	kind := "exported function"
+	if d.Recv != nil {
+		recv := receiverTypeName(d.Recv)
+		if recv == "" || !ast.IsExported(recv) {
+			return
+		}
+		kind = "exported method"
+	}
+	report(pass, allows, d.Pos(), "%s %s has no doc comment", kind, d.Name.Name)
+}
+
+// receiverTypeName unwraps a method receiver to its named type.
+func receiverTypeName(recv *ast.FieldList) string {
+	if len(recv.List) == 0 {
+		return ""
+	}
+	t := recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if idx, ok := t.(*ast.IndexExpr); ok { // generic receiver T[P]
+		t = idx.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// checkGenDoc flags undocumented exported types, constants, and variables.
+// A doc comment on the declaration covers every spec in its group; a spec's
+// own doc or trailing line comment covers just that spec.
+func checkGenDoc(pass *analysis.Pass, allows allowIndex, d *ast.GenDecl) {
+	groupDoc := hasDoc(d.Doc)
+	for _, spec := range d.Specs {
+		switch s := spec.(type) {
+		case *ast.TypeSpec:
+			if s.Name.IsExported() && !groupDoc && !hasDoc(s.Doc) {
+				report(pass, allows, s.Pos(), "exported type %s has no doc comment", s.Name.Name)
+			}
+		case *ast.ValueSpec:
+			if groupDoc || hasDoc(s.Doc) {
+				continue
+			}
+			for _, name := range s.Names {
+				if name.IsExported() {
+					report(pass, allows, name.Pos(), "exported %s %s has no doc comment", kindOf(d), name.Name)
+				}
+			}
+		}
+	}
+}
+
+func kindOf(d *ast.GenDecl) string {
+	if d.Tok.String() == "const" {
+		return "const"
+	}
+	return "var"
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis/analysistest"
+)
+
+func TestExportedDoc(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.ExportedDoc, "exporteddoc", "exporteddocoff")
+}

@@ -4,10 +4,11 @@ import "repro/internal/lint/analysis"
 
 // Analyzers is the hawklint suite in the order diagnostics should be
 // easiest to read: layout first, then allocation, then determinism, then
-// imports. cmd/hawklint runs exactly this list.
+// imports, then doc coverage. cmd/hawklint runs exactly this list.
 var Analyzers = []*analysis.Analyzer{
 	StructSize,
 	HotAlloc,
 	Determinism,
 	Imports,
+	ExportedDoc,
 }

@@ -1,0 +1,54 @@
+// Package exporteddoc exercises the exported-doc analyzer in a marked
+// package: every exported symbol needs a leading doc comment.
+//
+//hawk:exporteddoc
+package exporteddoc
+
+// Documented is fine.
+type Documented struct{ n int }
+
+type Bare struct{} // want `exported type Bare has no doc comment`
+
+type hidden struct{}
+
+// DocumentedFunc is fine.
+func DocumentedFunc() {}
+
+func BareFunc() {} // want `exported function BareFunc has no doc comment`
+
+func internalFunc() { BareFunc(); internalFunc() }
+
+// Get documents one method.
+func (d *Documented) Get() int { return d.n }
+
+func (d *Documented) Set(n int) { d.n = n } // want `exported method Set has no doc comment`
+
+// Ignored: methods on unexported types are not rendered godoc.
+func (hidden) Ignored() {}
+
+// DocConst is fine.
+const DocConst = 1
+
+const BareConst = 2 // want `exported const BareConst has no doc comment`
+
+// A group doc on the declaration covers every member of the block.
+const (
+	GroupedA = iota
+	GroupedB
+)
+
+var (
+	// DocdVar has a spec-level doc inside an undocumented block.
+	DocdVar = 1
+	BareVar = 2 // want `exported var BareVar has no doc comment`
+	hiddenV = 3
+)
+
+//hawk:hotpath
+func OnlyDirective() {} // want `exported function OnlyDirective has no doc comment`
+
+func useAll() {
+	_ = hidden{}
+	_ = DocdVar + BareVar + hiddenV
+	useAll()
+}

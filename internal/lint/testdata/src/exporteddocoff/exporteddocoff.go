@@ -1,0 +1,11 @@
+// Package exporteddocoff is not marked //hawk:exporteddoc, so undocumented
+// exported symbols pass without diagnostics.
+package exporteddocoff
+
+type Bare struct{}
+
+func BareFunc() {}
+
+const BareConst = 1
+
+var BareVar = 2

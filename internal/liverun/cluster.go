@@ -57,6 +57,23 @@ type cluster struct {
 	probesLost      atomic.Int64
 	centralDeferred atomic.Int64
 	workLostNanos   atomic.Int64
+
+	// Multi-scheduler state (nil/zero unless Config.Schedulers is set; see
+	// sched.go). msMu guards the live-scheduler list and the placements
+	// parked while no scheduler was live; it is never held while acquiring
+	// a scheduler's or the central scheduler's lock.
+	mscheds   []*liveScheduler
+	msMu      sync.Mutex
+	msLive    []int32
+	msPending []centralItem
+
+	placementConflicts  atomic.Int64
+	conflictRetries     atomic.Int64
+	snapshotRefreshes   atomic.Int64
+	stalenessNanos      atomic.Int64
+	schedulerFailures   atomic.Int64
+	schedulerRecoveries atomic.Int64
+	schedulerReassigned atomic.Int64
 }
 
 func newCluster(cfg policy.Config, pol policy.Policy) *cluster {
@@ -98,6 +115,23 @@ func newCluster(cfg policy.Config, pol policy.Policy) *cluster {
 	if pool := pol.CentralPool(); pool != policy.PoolNone {
 		c.central = newCentralScheduler(c, pool.IDs(c.part))
 	}
+	if spec := cfg.Schedulers; spec != nil {
+		if c.central != nil {
+			c.central.claims = make([]claimRec, slots)
+		}
+		c.mscheds = make([]*liveScheduler, spec.Count)
+		c.msLive = make([]int32, 0, spec.Count)
+		interval := time.Duration(spec.SnapshotInterval * float64(time.Second))
+		for i := range c.mscheds {
+			ls := &liveScheduler{id: int32(i), c: c, alive: true, snapAt: time.Now()}
+			if c.central != nil {
+				ls.local = core.NewCentralQueue(pol.CentralPool().IDs(c.part))
+			}
+			c.mscheds[i] = ls
+			c.msLive = append(c.msLive, int32(i))
+			go ls.run(interval)
+		}
+	}
 	c.probeSrc = root.Fork()
 	c.churnSrc = root.Fork()
 	for _, n := range c.nodes {
@@ -122,16 +156,33 @@ func (c *cluster) latency() {
 }
 
 // submit routes one job per the policy's decision: to the centralized
-// scheduler or to a distributed scheduler chosen round-robin.
+// scheduler or to a distributed scheduler. Jobs hash-partition over the
+// live schedulers in the multi-scheduler model (matching the simulator's
+// owner hash) and round-robin otherwise.
 func (c *cluster) submit(jr *jobRuntime, seq int) {
 	dec := c.pol.Route(policy.JobInfo{
 		ID: jr.job.ID, Tasks: jr.job.NumTasks(), Estimate: jr.est, Long: jr.long,
 	})
 	if dec.Action == policy.ActionCentral {
+		if c.mscheds != nil {
+			go func() {
+				for i := 0; i < jr.job.NumTasks(); i++ {
+					dur := time.Duration(jr.job.Durations[i] * float64(time.Second))
+					c.placeCentralMS(jr, dur)
+				}
+			}()
+			return
+		}
 		go c.central.schedule(jr)
 		return
 	}
-	ds := c.dscheds[seq%len(c.dscheds)]
+	pick := seq
+	if c.mscheds != nil {
+		if owner := c.pickScheduler(jr.job.ID); owner >= 0 {
+			pick = int(owner)
+		}
+	}
+	ds := c.dscheds[pick%len(c.dscheds)]
 	go ds.schedule(jr, dec.Pool)
 }
 
@@ -167,6 +218,14 @@ func (c *cluster) runChurn() {
 		case policy.ChurnCentralUp:
 			if c.central != nil {
 				c.central.setUp()
+			}
+		case policy.ChurnSchedFail:
+			if c.mscheds != nil {
+				c.failScheduler(ev.Node)
+			}
+		case policy.ChurnSchedRecover:
+			if c.mscheds != nil {
+				c.recoverScheduler(ev.Node)
 			}
 		}
 	}
@@ -353,6 +412,12 @@ type centralScheduler struct {
 	downSince time.Time
 	outage    time.Duration
 	backlog   []centralItem
+
+	// Claim state of the multi-scheduler commit protocol (sched.go); nil
+	// on a single-scheduler run. claims is indexed by node id; claimVer is
+	// the global version a snapshot validates against.
+	claims   []claimRec
+	claimVer uint64
 }
 
 func newCentralScheduler(c *cluster, nodeIDs []int) *centralScheduler {
@@ -368,9 +433,14 @@ func (s *centralScheduler) schedule(jr *jobRuntime) {
 }
 
 // placeTask assigns one task, or parks it while the scheduler is down or
-// has no live servers.
+// has no live servers. In the multi-scheduler model the placement is
+// delegated to the job's owning scheduler's claim/commit path instead.
 func (s *centralScheduler) placeTask(jr *jobRuntime, dur time.Duration) {
 	c := s.c
+	if c.mscheds != nil {
+		c.placeCentralMS(jr, dur)
+		return
+	}
 	s.mu.Lock()
 	if s.down || s.q.Len() == 0 {
 		s.backlog = append(s.backlog, centralItem{jr: jr, dur: dur})
@@ -386,6 +456,54 @@ func (s *centralScheduler) placeTask(jr *jobRuntime, dur time.Duration) {
 		c.latency()
 		node.enqueue(entry{job: jr, dur: dur})
 	}()
+}
+
+// parkIfUnavailable parks one multi-scheduler placement in the backlog if
+// the central scheduler is down or has no live server, reporting whether
+// it did. The backlog drains through placeTask on recovery, which routes
+// back through the owning scheduler.
+func (s *centralScheduler) parkIfUnavailable(jr *jobRuntime, dur time.Duration) bool {
+	s.mu.Lock()
+	if !s.down && s.q.Len() > 0 {
+		s.mu.Unlock()
+		return false
+	}
+	s.backlog = append(s.backlog, centralItem{jr: jr, dur: dur})
+	s.mu.Unlock()
+	s.c.centralDeferred.Add(1)
+	return true
+}
+
+// snapshotInto copies the authoritative queue into a scheduler's mirror and
+// returns the claim version the snapshot reflects.
+func (s *centralScheduler) snapshotInto(local *core.CentralQueue) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	local.SyncFrom(s.q)
+	return s.claimVer
+}
+
+// tryCommit is the multi-scheduler commit: scheduler `by`, holding a
+// snapshot taken at claim version sinceVer, claims nodeID and publishes the
+// placement's load into the authoritative queue. It fails — a placement
+// conflict — when another scheduler claimed the node after the snapshot,
+// or when the node has left the queue (failed) unseen.
+func (s *centralScheduler) tryCommit(nodeID int, by int32, sinceVer uint64, est float64) bool {
+	c := s.c
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.q.Waiting(nodeID, c.nowSeconds()) < 0 {
+		return false // node no longer tracked: it failed since the snapshot
+	}
+	cl := &s.claims[nodeID]
+	if cl.ver > sinceVer && cl.by != by {
+		return false
+	}
+	s.claimVer++
+	cl.ver = s.claimVer
+	cl.by = by
+	s.q.AddLoad(nodeID, c.nowSeconds(), est)
+	return true
 }
 
 // drainLocked empties the backlog for re-placement; caller holds s.mu.

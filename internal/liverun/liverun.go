@@ -123,6 +123,14 @@ func Run(trace *workload.Trace, cfg policy.Config) (*policy.Report, error) {
 		ProbesLost:      c.probesLost.Load(),
 		CentralDeferred: c.centralDeferred.Load(),
 		WorkLostSeconds: time.Duration(c.workLostNanos.Load()).Seconds(),
+
+		PlacementConflicts:       c.placementConflicts.Load(),
+		ConflictRetries:          c.conflictRetries.Load(),
+		SnapshotRefreshes:        c.snapshotRefreshes.Load(),
+		SnapshotStalenessSeconds: time.Duration(c.stalenessNanos.Load()).Seconds(),
+		SchedulerFailures:        c.schedulerFailures.Load(),
+		SchedulerRecoveries:      c.schedulerRecoveries.Load(),
+		SchedulerReassigned:      c.schedulerReassigned.Load(),
 	}
 	if c.central != nil {
 		res.CentralOutageSeconds = c.central.outageTotal().Seconds()

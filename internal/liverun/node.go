@@ -14,6 +14,10 @@ type entry struct {
 	probe bool
 	job   *jobRuntime
 	dur   time.Duration // task entries only
+	// sched is the scheduler that placed a task entry in the
+	// multi-scheduler model: the node reports start/finish feedback to its
+	// mirror as well as to the shared queue. Unused otherwise.
+	sched int32
 }
 
 func (e entry) long() bool { return e.job.long }
@@ -169,10 +173,16 @@ func (n *nodeMonitor) process(e entry) {
 	}
 	if c.central != nil {
 		c.central.taskStarted(n.id, e.job.est, n.scaled(e.dur))
+		if c.mscheds != nil {
+			c.mirrorStarted(e.sched, n.id, e.job.est, n.scaled(e.dur))
+		}
 	}
 	if n.sleepTask(e.dur) {
 		if c.central != nil {
 			c.central.taskFinished(n.id)
+			if c.mscheds != nil {
+				c.mirrorFinished(e.sched, n.id)
+			}
 		}
 		e.job.taskDone()
 		return

@@ -1,0 +1,100 @@
+package liverun
+
+import (
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/workload"
+)
+
+// multiSchedTrace is central-heavy: mostly long jobs, so the claim/commit
+// path sees sustained concurrent placement pressure.
+func multiSchedTrace() *workload.Trace {
+	var jobs []*workload.Job
+	id := 0
+	for burst := 0; burst < 4; burst++ {
+		at := 0.03 * float64(burst)
+		for i := 0; i < 5; i++ {
+			id++
+			jobs = append(jobs, job(id, at, 700, 700)) // long: centrally placed
+		}
+		id++
+		jobs = append(jobs, job(id, at, 30, 30)) // short: probe path
+	}
+	return msTrace(500, jobs...)
+}
+
+// TestLiveMultiScheduler drives the concurrent claim/commit path: several
+// schedulers placing against stale mirrors, with a snapshot interval short
+// enough to refresh mid-run. Run under -race in CI, this is the data-race
+// check on the whole multi-scheduler commit machinery.
+func TestLiveMultiScheduler(t *testing.T) {
+	tr := multiSchedTrace()
+	cfg := fastConfig("hawk")
+	cfg.Schedulers = &policy.SchedulerSpec{Count: 4, SnapshotInterval: 0.05}
+	res, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != tr.Len() {
+		t.Fatalf("completed %d of %d jobs", len(res.Jobs), tr.Len())
+	}
+	if res.CentralAssigns == 0 {
+		t.Fatal("no central placements committed")
+	}
+	if res.SnapshotRefreshes == 0 {
+		t.Fatal("no snapshot refreshes despite a 50 ms interval")
+	}
+	if res.ConflictRetries > res.PlacementConflicts {
+		t.Fatalf("retries %d > conflicts %d", res.ConflictRetries, res.PlacementConflicts)
+	}
+	if res.SnapshotStalenessSeconds < 0 {
+		t.Fatalf("negative staleness %g", res.SnapshotStalenessSeconds)
+	}
+}
+
+// TestLiveSchedulerChurn scripts a scheduler failure and recovery mid-run:
+// placements re-hash to the survivor, the recovery rejoins with a fresh
+// snapshot, and every job completes.
+func TestLiveSchedulerChurn(t *testing.T) {
+	tr := multiSchedTrace()
+	cfg := fastConfig("hawk")
+	cfg.Schedulers = &policy.SchedulerSpec{Count: 2, SnapshotInterval: 0.05}
+	cfg.Churn = &policy.ChurnSpec{Events: policy.SchedulerChurn(1, 0.02, 0.4)}
+	res, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != tr.Len() {
+		t.Fatalf("completed %d of %d jobs", len(res.Jobs), tr.Len())
+	}
+	if res.SchedulerFailures != 1 || res.SchedulerRecoveries != 1 {
+		t.Fatalf("expected 1 failure + 1 recovery, got fail=%d recover=%d",
+			res.SchedulerFailures, res.SchedulerRecoveries)
+	}
+}
+
+// TestLiveAllSchedulersDown: a window with no live scheduler parks central
+// placements until the recovery drains them.
+func TestLiveAllSchedulersDown(t *testing.T) {
+	tr := multiSchedTrace()
+	cfg := fastConfig("hawk")
+	cfg.Schedulers = &policy.SchedulerSpec{Count: 2, SnapshotInterval: 0.05}
+	cfg.Churn = &policy.ChurnSpec{Events: []policy.ChurnEvent{
+		{At: 0.01, Kind: policy.ChurnSchedFail, Node: 0},
+		{At: 0.01, Kind: policy.ChurnSchedFail, Node: 1},
+		{At: 0.3, Kind: policy.ChurnSchedRecover, Node: 0},
+		{At: 0.3, Kind: policy.ChurnSchedRecover, Node: 1},
+	}}
+	res, err := Run(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Jobs) != tr.Len() {
+		t.Fatalf("completed %d of %d jobs", len(res.Jobs), tr.Len())
+	}
+	if res.SchedulerFailures != 2 || res.SchedulerRecoveries != 2 {
+		t.Fatalf("expected 2 failures + 2 recoveries, got fail=%d recover=%d",
+			res.SchedulerFailures, res.SchedulerRecoveries)
+	}
+}

@@ -36,6 +36,14 @@ const (
 	// ChurnCentralUp brings the centralized scheduler back and drains the
 	// backlog in arrival order.
 	ChurnCentralUp ChurnKind = "central-up"
+	// ChurnSchedFail fails one distributed scheduler (Node = scheduler id;
+	// requires Config.Schedulers). Its queued retries and owned jobs are
+	// re-assigned to the surviving schedulers by re-hashing; while no
+	// scheduler is live, newly submitted jobs wait for a recovery.
+	ChurnSchedFail ChurnKind = "scheduler-fail"
+	// ChurnSchedRecover returns a failed scheduler to service with a fresh
+	// cluster snapshot and drains work that waited on it.
+	ChurnSchedRecover ChurnKind = "scheduler-recover"
 )
 
 // ChurnEvent is one scripted transition.
@@ -60,8 +68,10 @@ type ChurnSpec struct {
 	Events []ChurnEvent `json:"events"`
 }
 
-// validate checks the spec against the cluster size.
-func (s *ChurnSpec) validate(totalSlots int) error {
+// validate checks the spec against the cluster size and the scheduler
+// count (zero when the multi-scheduler model is off, which rejects
+// scheduler events: they would have no schedulers to act on).
+func (s *ChurnSpec) validate(totalSlots, schedulers int) error {
 	for i, ev := range s.Events {
 		if ev.At < 0 || math.IsNaN(ev.At) {
 			return fmt.Errorf("config: churn event %d: time %g invalid", i, ev.At)
@@ -79,6 +89,16 @@ func (s *ChurnSpec) validate(totalSlots int) error {
 			}
 		case ChurnCentralDown, ChurnCentralUp:
 			// No target.
+		case ChurnSchedFail, ChurnSchedRecover:
+			if schedulers == 0 {
+				return fmt.Errorf("config: churn event %d: %s requires Config.Schedulers", i, ev.Kind)
+			}
+			if ev.Count != 0 {
+				return fmt.Errorf("config: churn event %d: %s targets one scheduler by Node, not Count", i, ev.Kind)
+			}
+			if ev.Node < 0 || ev.Node >= schedulers {
+				return fmt.Errorf("config: churn event %d: scheduler %d outside [0, %d)", i, ev.Node, schedulers)
+			}
 		default:
 			return fmt.Errorf("config: churn event %d: unknown kind %q", i, ev.Kind)
 		}

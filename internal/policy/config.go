@@ -28,8 +28,18 @@ type Config struct {
 	SlotsPerNode int `json:"slotsPerNode"`
 	// NumSchedulers is the number of distributed schedulers in the live
 	// engine; jobs spread over them round-robin (default 10, §4.10). The
-	// simulator models schedulers as free and ignores it.
+	// simulator models schedulers as free and ignores it — unless
+	// Schedulers turns on the multi-scheduler model below.
 	NumSchedulers int `json:"numSchedulers,omitempty"`
+	// Schedulers, when set, turns on the distributed multi-scheduler model
+	// in both engines (§4.10): Count concurrent schedulers, each placing
+	// against its own stale snapshot of the cluster with optimistic
+	// claim/commit and bounded conflict retries, with jobs hash-partitioned
+	// across the live schedulers. Nil (the default) is the legacy exact
+	// single-scheduler model; Normalize also canonicalizes a spec that is
+	// behaviorally equivalent to it (Count 1, no scheduler churn) back to
+	// nil, so reports and goldens stay byte-identical in that case.
+	Schedulers *SchedulerSpec `json:"schedulers,omitempty"`
 	// Cutoff is the long/short classification threshold in seconds of
 	// estimated task runtime. Zero means "use the trace default".
 	Cutoff float64 `json:"cutoff"`
@@ -106,8 +116,39 @@ func WithNodes(n int) Option { return func(c *Config) { c.NumNodes = n } }
 // WithSlotsPerNode sets the execution slots per node.
 func WithSlotsPerNode(s int) Option { return func(c *Config) { c.SlotsPerNode = s } }
 
-// WithSchedulers sets the live engine's distributed scheduler count.
-func WithSchedulers(n int) Option { return func(c *Config) { c.NumSchedulers = n } }
+// WithSchedulers sets the distributed scheduler count and, for n > 1,
+// turns on the multi-scheduler model in both engines (stale snapshots,
+// optimistic claim/commit, hash-partitioned jobs — see SchedulerSpec). Use
+// WithSchedulerSpec to also tune the snapshot cadence and retry policy.
+func WithSchedulers(n int) Option {
+	return func(c *Config) {
+		c.NumSchedulers = n
+		c.Schedulers = &SchedulerSpec{Count: n}
+	}
+}
+
+// WithSchedulerSpec installs a full multi-scheduler spec (count, snapshot
+// interval, conflict-retry policy).
+func WithSchedulerSpec(spec SchedulerSpec) Option {
+	return func(c *Config) {
+		s := spec
+		c.Schedulers = &s
+		if s.Count > 0 {
+			c.NumSchedulers = s.Count
+		}
+	}
+}
+
+// WithSchedulerChurn appends a scheduler fail/recover pair to the run's
+// churn script (recoverAt <= failAt: the scheduler never recovers).
+func WithSchedulerChurn(scheduler int, failAt, recoverAt float64) Option {
+	return func(c *Config) {
+		if c.Churn == nil {
+			c.Churn = &ChurnSpec{}
+		}
+		c.Churn.Events = append(c.Churn.Events, SchedulerChurn(scheduler, failAt, recoverAt)...)
+	}
+}
 
 // WithCutoff sets the long/short cutoff in seconds.
 func WithCutoff(sec float64) Option { return func(c *Config) { c.Cutoff = sec } }
@@ -238,8 +279,31 @@ func (c Config) Normalize(t *workload.Trace) (Config, error) {
 	if c.UtilizationInterval <= 0 {
 		c.UtilizationInterval = 100
 	}
+	if c.Schedulers != nil {
+		// Copy before resolving so a spec shared across sweep configs is
+		// never mutated through the pointer.
+		spec, err := c.Schedulers.normalize(c.NumSchedulers, c.NetworkDelay)
+		if err != nil {
+			return c, err
+		}
+		if spec.Count == 1 && !c.Churn.HasSchedulerEvents() {
+			// One scheduler with nothing to fail is exactly the legacy
+			// model: drop the spec so the run (and its serialized config)
+			// is bit-identical to a run that never set it.
+			c.Schedulers = nil
+		} else {
+			c.Schedulers = &spec
+			c.NumSchedulers = spec.Count
+		}
+	} else if c.Churn.HasSchedulerEvents() {
+		return c, fmt.Errorf("config: scheduler churn events require Config.Schedulers")
+	}
 	if c.Churn != nil {
-		if err := c.Churn.validate(c.TotalSlots()); err != nil {
+		schedulers := 0
+		if c.Schedulers != nil {
+			schedulers = c.Schedulers.Count
+		}
+		if err := c.Churn.validate(c.TotalSlots(), schedulers); err != nil {
 			return c, err
 		}
 	}

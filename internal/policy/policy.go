@@ -19,6 +19,7 @@
 // is guarded by hawklint's determinism analyzer:
 //
 //hawk:deterministic
+//hawk:exporteddoc
 package policy
 
 import (

@@ -219,8 +219,90 @@ func TestNewConfigOptions(t *testing.T) {
 		DisableCentral: true, NetworkDelay: 0.001, MisestimateLo: 0.5,
 		MisestimateHi: 1.5, Seed: 9, UtilizationInterval: 50,
 	}
+	// WithSchedulers(n) now also opts into the multi-scheduler model; the
+	// spec pointer is checked separately from the comparable remainder.
+	if cfg.Schedulers == nil || cfg.Schedulers.Count != 5 {
+		t.Errorf("WithSchedulers(5) did not install the scheduler spec: %+v", cfg.Schedulers)
+	}
+	cfg.Schedulers = nil
 	if cfg != want {
 		t.Errorf("NewConfig = %+v, want %+v", cfg, want)
+	}
+}
+
+// The multi-scheduler spec resolves defaults once in Normalize, and a spec
+// that is behaviorally the legacy single scheduler canonicalizes to nil so
+// those runs stay byte-identical to spec-less ones.
+func TestSchedulerSpecNormalize(t *testing.T) {
+	tr := tinyTrace(job(1, 0, 10))
+
+	cfg, err := policy.Config{NumNodes: 4, Schedulers: &policy.SchedulerSpec{Count: 3}}.Normalize(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := cfg.Schedulers
+	if spec == nil || spec.Count != 3 || spec.SnapshotInterval != 5 || spec.MaxRetries != 3 {
+		t.Fatalf("defaults not resolved: %+v", spec)
+	}
+	if spec.RetryBackoff != 4*cfg.NetworkDelay {
+		t.Fatalf("RetryBackoff = %g, want 4 network delays", spec.RetryBackoff)
+	}
+	if cfg.NumSchedulers != 3 {
+		t.Fatalf("NumSchedulers = %d, want the spec count", cfg.NumSchedulers)
+	}
+
+	// Count 1 with no scheduler churn is the legacy model: the spec is
+	// dropped and NumSchedulers resolves exactly as if it was never set.
+	one := policy.Config{NumNodes: 4, Schedulers: &policy.SchedulerSpec{Count: 1}}
+	cfg, err = one.Normalize(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Schedulers != nil || cfg.NumSchedulers != 10 {
+		t.Fatalf("Count=1 spec not canonicalized away: %+v", cfg)
+	}
+	if one.Schedulers == nil {
+		t.Fatal("Normalize mutated the caller's spec pointer")
+	}
+
+	// Count 1 *with* scheduler churn keeps the model on: there is a
+	// scheduler to fail.
+	cfg, err = policy.Config{
+		NumNodes:   4,
+		Schedulers: &policy.SchedulerSpec{Count: 1},
+		Churn:      &policy.ChurnSpec{Events: policy.SchedulerChurn(0, 5, 10)},
+	}.Normalize(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Schedulers == nil || cfg.NumSchedulers != 1 {
+		t.Fatalf("churned single scheduler canonicalized away: %+v", cfg)
+	}
+
+	// Zero count inherits NumSchedulers.
+	cfg, err = policy.Config{NumNodes: 4, NumSchedulers: 7, Schedulers: &policy.SchedulerSpec{}}.Normalize(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Schedulers == nil || cfg.Schedulers.Count != 7 {
+		t.Fatalf("zero count did not inherit NumSchedulers: %+v", cfg.Schedulers)
+	}
+
+	for name, bad := range map[string]policy.Config{
+		"count above cap":   {NumNodes: 4, Schedulers: &policy.SchedulerSpec{Count: policy.MaxSchedulers + 1}},
+		"negative interval": {NumNodes: 4, Schedulers: &policy.SchedulerSpec{Count: 2, SnapshotInterval: -1}},
+		"negative retries":  {NumNodes: 4, Schedulers: &policy.SchedulerSpec{Count: 2, MaxRetries: -1}},
+		"negative backoff":  {NumNodes: 4, Schedulers: &policy.SchedulerSpec{Count: 2, RetryBackoff: -1}},
+		"churn without spec": {NumNodes: 4,
+			Churn: &policy.ChurnSpec{Events: policy.SchedulerChurn(0, 5, 10)}},
+		"scheduler out of range": {NumNodes: 4, Schedulers: &policy.SchedulerSpec{Count: 2},
+			Churn: &policy.ChurnSpec{Events: policy.SchedulerChurn(5, 5, 10)}},
+		"scheduler churn by count": {NumNodes: 4, Schedulers: &policy.SchedulerSpec{Count: 2},
+			Churn: &policy.ChurnSpec{Events: []policy.ChurnEvent{{At: 1, Kind: policy.ChurnSchedFail, Count: 2}}}},
+	} {
+		if _, err := bad.Normalize(tr); err == nil {
+			t.Errorf("Normalize accepted %s", name)
+		}
 	}
 }
 

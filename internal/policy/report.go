@@ -94,6 +94,33 @@ type Report struct {
 	// downtime that elapsed during the run.
 	CentralOutageSeconds float64 `json:"centralOutageSeconds,omitempty"`
 
+	// Multi-scheduler counters, all zero (and omitted from JSON) unless
+	// Config.Schedulers turns on the concurrent-scheduler model.
+	//
+	// PlacementConflicts counts optimistic placements that failed their
+	// claim: another scheduler had claimed the node after this scheduler's
+	// snapshot (or the node had died unseen).
+	PlacementConflicts int64 `json:"placementConflicts,omitempty"`
+	// ConflictRetries counts conflicted placements re-tried after the
+	// backoff; a conflict that had exhausted its retries instead forces a
+	// snapshot refresh (so forced refreshes = conflicts - retries).
+	ConflictRetries int64 `json:"conflictRetries,omitempty"`
+	// SnapshotRefreshes counts cluster-snapshot refreshes across all
+	// schedulers: periodic, post-dormancy catch-ups, and conflict-forced.
+	SnapshotRefreshes int64 `json:"snapshotRefreshes,omitempty"`
+	// SnapshotStalenessSeconds sums, over every committed central
+	// placement, the age of the placing scheduler's snapshot at commit
+	// time; divided by CentralAssigns it is the mean staleness a placement
+	// decision was made against.
+	SnapshotStalenessSeconds float64 `json:"snapshotStalenessSeconds,omitempty"`
+	// SchedulerFailures / SchedulerRecoveries count scripted scheduler
+	// churn events applied.
+	SchedulerFailures   int64 `json:"schedulerFailures,omitempty"`
+	SchedulerRecoveries int64 `json:"schedulerRecoveries,omitempty"`
+	// SchedulerReassigned counts job-to-scheduler re-assignments after a
+	// scheduler failure (each re-hash of an affected job counts once).
+	SchedulerReassigned int64 `json:"schedulerReassigned,omitempty"`
+
 	// Per-entry queueing waits (time from arrival at a node to the slot
 	// opening), split by the owning job's class. Diagnostics for the
 	// head-of-line-blocking analyses (simulator only).

@@ -1,0 +1,102 @@
+package policy
+
+import "fmt"
+
+// The distributed multi-scheduler model (§4.10). The paper's evaluation
+// runs ten concurrent Hawk schedulers; this spec makes that concurrency a
+// first-class, engine-shared model in the shared-state optimistic style:
+// every scheduler owns an independent central queue and a *stale snapshot*
+// of the cluster view, places tasks optimistically against its snapshot,
+// and on a placement conflict (the slot was claimed by another scheduler's
+// placement it could not yet see) detects-and-retries with a bounded
+// backoff before forcing a snapshot refresh. Jobs hash-partition across the
+// live schedulers; scheduler failure and recovery ride the ordinary churn
+// machinery (ChurnSchedFail / ChurnSchedRecover), with a failed scheduler's
+// jobs re-assigned to the survivors.
+
+// MaxSchedulers bounds SchedulerSpec.Count: engines store scheduler ids in
+// one byte alongside the other packed per-entry state, and the paper's
+// sweep tops out at 100 schedulers.
+const MaxSchedulers = 256
+
+// SchedulerSpec configures the multi-scheduler model. A nil spec on Config
+// is the legacy single-scheduler model: one exact, always-fresh central
+// queue, no conflicts — the byte-identical fast path every golden report
+// pins. Normalize canonicalizes a spec with Count 1 and no scheduler churn
+// back to nil, so "one scheduler" and "the model turned off" are the same
+// configuration by construction.
+type SchedulerSpec struct {
+	// Count is the number of concurrent schedulers (2..MaxSchedulers for
+	// the model to engage). Zero resolves to Config.NumSchedulers.
+	Count int `json:"count"`
+	// SnapshotInterval is the cluster-state refresh cadence in seconds
+	// (default 5): an active scheduler re-reads the shared central queue
+	// (and, under node churn, the membership view) every interval, and a
+	// dormant scheduler catches up before its first placement after one.
+	// Smaller intervals mean fresher views and fewer conflicts at more
+	// refresh traffic — the staleness/conflict trade the sweep measures.
+	SnapshotInterval float64 `json:"snapshotInterval,omitempty"`
+	// MaxRetries bounds how many times one placement re-tries after a
+	// conflict (default 3) before the scheduler gives up on its snapshot
+	// and forces a refresh.
+	MaxRetries int `json:"maxRetries,omitempty"`
+	// RetryBackoff is the delay in seconds before a conflicted placement
+	// is retried (default 4 network delays).
+	RetryBackoff float64 `json:"retryBackoff,omitempty"`
+}
+
+// normalize validates the spec and resolves its defaults; numSchedulers and
+// networkDelay are the already-resolved Config values the defaults key off.
+func (s SchedulerSpec) normalize(numSchedulers int, networkDelay float64) (SchedulerSpec, error) {
+	if s.Count == 0 {
+		s.Count = numSchedulers
+	}
+	if s.Count < 1 || s.Count > MaxSchedulers {
+		return s, fmt.Errorf("config: Schedulers.Count must be in [1, %d], got %d", MaxSchedulers, s.Count)
+	}
+	if s.SnapshotInterval < 0 {
+		return s, fmt.Errorf("config: Schedulers.SnapshotInterval must be non-negative, got %g", s.SnapshotInterval)
+	}
+	if s.SnapshotInterval == 0 {
+		s.SnapshotInterval = 5
+	}
+	if s.MaxRetries < 0 {
+		return s, fmt.Errorf("config: Schedulers.MaxRetries must be non-negative, got %d", s.MaxRetries)
+	}
+	if s.MaxRetries == 0 {
+		s.MaxRetries = 3
+	}
+	if s.RetryBackoff < 0 {
+		return s, fmt.Errorf("config: Schedulers.RetryBackoff must be non-negative, got %g", s.RetryBackoff)
+	}
+	if s.RetryBackoff == 0 {
+		s.RetryBackoff = 4 * networkDelay
+	}
+	return s, nil
+}
+
+// SchedulerChurn builds the churn events scripting one scheduler's failure
+// at failAt and, when recoverAt > failAt, its recovery — the scheduler-side
+// analogue of a node fail/recover pair, for use with WithChurn or a
+// ChurnSpec literal.
+func SchedulerChurn(scheduler int, failAt, recoverAt float64) []ChurnEvent {
+	evs := []ChurnEvent{{At: failAt, Kind: ChurnSchedFail, Node: scheduler}}
+	if recoverAt > failAt {
+		evs = append(evs, ChurnEvent{At: recoverAt, Kind: ChurnSchedRecover, Node: scheduler})
+	}
+	return evs
+}
+
+// HasSchedulerEvents reports whether the spec scripts any scheduler
+// failures or recoveries.
+func (s *ChurnSpec) HasSchedulerEvents() bool {
+	if s == nil {
+		return false
+	}
+	for _, ev := range s.Events {
+		if ev.Kind == ChurnSchedFail || ev.Kind == ChurnSchedRecover {
+			return true
+		}
+	}
+	return false
+}

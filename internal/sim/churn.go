@@ -155,8 +155,16 @@ func (s *simulation) recoverNode(id int32, now float64) {
 
 // resendProbe sends one replacement batch-sampling probe for the job to a
 // live node of its decision pool. With no live pool node the job waits in
-// lostProbes for the next recovery.
+// lostProbes for the next recovery. In the multi-scheduler model the
+// re-send needs a live owner to answer the eventual task request — with
+// none, the job waits in pendingProbes for a scheduler recovery — and it
+// deliberately samples the truth view, not the owner's snapshot: a re-send
+// aimed at a stale member could bounce between dead nodes indefinitely.
 func (s *simulation) resendProbe(jidx int32) {
+	if s.ms != nil && !s.ensureOwner(jidx) {
+		s.ms.pendingProbes = append(s.ms.pendingProbes, jidx)
+		return
+	}
 	job := s.trace.Jobs[jidx]
 	js := &s.jobs[jidx]
 	dec := s.pol.Route(policy.JobInfo{
@@ -188,8 +196,14 @@ func (s *simulation) centralReassign(jidx, tidx int32) {
 	s.assignCentralTask(jidx, tidx)
 }
 
-// assignCentralTask runs one §3.7 assignment for a single task.
+// assignCentralTask runs one §3.7 assignment for a single task — through
+// the owning scheduler's claim/commit path when the multi-scheduler model
+// is on.
 func (s *simulation) assignCentralTask(jidx, tidx int32) {
+	if s.ms != nil {
+		s.placeCentralOwned(jidx, tidx)
+		return
+	}
 	nodeID, _ := s.central.Assign(s.eng.Now(), s.jobs[jidx].estimate)
 	s.res.CentralAssigns++
 	s.eng.After(s.cfg.NetworkDelay, simEvent{kind: evTaskArrive, ref: int32(nodeID), jidx: jidx, aux: tidx})

@@ -51,6 +51,23 @@ const (
 	// evCentralUp: scripted churn — the centralized scheduler returns
 	// and drains its backlog.
 	evCentralUp
+	// evSnapRefresh: scheduler ref refreshes its stale cluster snapshot
+	// (multi-scheduler model). The chain is activity-gated: it re-arms
+	// itself only while the scheduler keeps placing work, so an idle run
+	// drains instead of ticking forever. gen pins the scheduler's
+	// incarnation; a chain armed before a scheduler failure is stale.
+	evSnapRefresh
+	// evSchedRetry: scheduler ref retries the oldest conflicted placement
+	// in its retry queue after the backoff (multi-scheduler model). gen
+	// pins the scheduler's incarnation; retries queued before a failure
+	// were re-assigned at failure time and their events are stale.
+	evSchedRetry
+	// evSchedFail: scripted churn — distributed scheduler ref fails; its
+	// pending work re-hashes to the survivors.
+	evSchedFail
+	// evSchedRecover: scripted churn — scheduler ref returns with a fresh
+	// snapshot and drains work that waited for a live scheduler.
+	evSchedRecover
 )
 
 // simEvent is the event payload; which fields are meaningful depends on
@@ -69,8 +86,9 @@ const (
 type simEvent struct {
 	kind    evKind
 	central bool  // evTaskDone: task was placed by the centralized scheduler
-	gen     uint8 // evProbeReply/evTaskDone: node incarnation at scheduling time
-	ref     int32 // evSubmit: submission-order position; node events: node id
+	gen     uint8 // evProbeReply/evTaskDone: node incarnation; evSnapRefresh/evSchedRetry: scheduler incarnation
+	sched   uint8 // evTaskArrive/evTaskDone: placing scheduler (multi-scheduler model; 0 otherwise)
+	ref     int32 // evSubmit: submission-order position; scheduler events: scheduler id; node events: node id
 	jidx    int32 // index into simulation.jobs (the job-state arena)
 	aux     int32 // evTaskArrive/evTaskDone: task index; churn events: random-pick count
 }
@@ -107,18 +125,22 @@ func (s *simulation) dispatch(now float64, ev simEvent) {
 			flags: entryTask | longFlag(js.long),
 			jidx:  ev.jidx,
 			tidx:  ev.aux,
+			sched: ev.sched,
 			enq:   now,
 		})
 	case evProbeReply:
 		if s.dyn != nil && ev.gen != s.dyn.epoch[ev.ref] {
 			return // stale: the node failed mid-round-trip; re-routed at failure time
 		}
+		if s.ms != nil && !s.msReplyReady(ev) {
+			return // the job's scheduler died mid-round-trip; re-requested or parked
+		}
 		s.nodes[ev.ref].probeReply(s, ev.jidx)
 	case evTaskDone:
 		if s.dyn != nil && ev.gen != s.dyn.epoch[ev.ref] {
 			return // stale: the task was lost with the node and re-executes elsewhere
 		}
-		s.nodes[ev.ref].taskDone(s, ev.jidx, ev.central, now)
+		s.nodes[ev.ref].taskDone(s, ev.jidx, ev.central, ev.sched, now)
 	case evSample:
 		s.sampleTick(now)
 	case evNodeFail:
@@ -137,6 +159,14 @@ func (s *simulation) dispatch(now float64, ev simEvent) {
 		s.centralOutageStart(now)
 	case evCentralUp:
 		s.centralOutageEnd(now)
+	case evSnapRefresh:
+		s.snapRefreshTick(ev.ref, ev.gen, now)
+	case evSchedRetry:
+		s.schedRetryTick(ev.ref, ev.gen)
+	case evSchedFail:
+		s.failScheduler(ev.ref)
+	case evSchedRecover:
+		s.recoverScheduler(ev.ref, now)
 	}
 }
 

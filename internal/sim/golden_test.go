@@ -78,6 +78,15 @@ func goldenCases() (*workload.Trace, map[string]policy.Config) {
 		{At: 160, Kind: policy.ChurnCentralUp},
 	}}
 	cases["hawk-central-outage"] = outage
+
+	// Multi-scheduler model: two concurrent schedulers placing against
+	// stale snapshots with claim/commit conflict resolution. Pins the
+	// optimistic-concurrency paths (snapshot refresh, conflict retry,
+	// staleness accounting) that every single-scheduler case bypasses.
+	sched2 := base
+	sched2.Policy = "hawk"
+	sched2.Schedulers = &policy.SchedulerSpec{Count: 2}
+	cases["hawk-sched2"] = sched2
 	return goldenTrace(), cases
 }
 

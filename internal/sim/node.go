@@ -46,6 +46,10 @@ type entry struct {
 	jidx  int32   // index into simulation.jobs
 	tidx  int32   // task entries: task index within the job; -1 for probes
 	flags entryFlags
+	// sched is the scheduler that placed a task entry (multi-scheduler
+	// model): the node reports the task's start and completion back to that
+	// scheduler's local queue. Always 0 on a single-scheduler run.
+	sched uint8
 }
 
 // long reports whether this entry belongs to a long job.
@@ -168,7 +172,13 @@ func (n *node) advance(s *simulation) {
 			dur /= s.speeds[n.id]
 		}
 		s.central.TaskStarted(int(n.id), s.eng.Now(), s.jobs[head.jidx].estimate, dur)
-		n.execute(s, head.jidx, head.tidx, dur, true)
+		if s.ms != nil {
+			// The placing scheduler's local mirror observes its own task's
+			// start too, so its view of this server stays as fresh as its
+			// own placements allow between snapshot refreshes.
+			s.ms.mirrorTaskStarted(head.sched, int(n.id), s.eng.Now(), s.jobs[head.jidx].estimate, dur)
+		}
+		n.execute(s, head.jidx, head.tidx, head.sched, dur, true)
 		return
 	}
 	// Probe: request/response round trip to the job's scheduler — the node
@@ -201,34 +211,38 @@ func (n *node) probeReply(s *simulation, jidx int32) {
 	if s.speeds != nil {
 		dur /= s.speeds[n.id]
 	}
-	n.execute(s, jidx, tidx, dur, false)
+	n.execute(s, jidx, tidx, 0, dur, false)
 }
 
 // execute runs task tidx of job jidx to completion; dur is the task's wall
 // duration on this node (the caller has already applied the node's speed
 // factor). central marks tasks placed by the centralized scheduler, whose
-// completion it observes. On a dynamic cluster the completion event
+// completion it observes; sched is the placing scheduler in the
+// multi-scheduler model. On a dynamic cluster the completion event
 // carries the node's incarnation and the running task is recorded so a
 // failure can re-route it.
 //
 //hawk:hotpath
-func (n *node) execute(s *simulation, jidx, tidx int32, dur float64, central bool) {
+func (n *node) execute(s *simulation, jidx, tidx int32, sched uint8, dur float64, central bool) {
 	s.res.TasksExecuted++
 	var gen uint8
 	if s.dyn != nil {
 		gen = s.dyn.epoch[n.id]
 		s.dyn.run[n.id] = runRef{jidx: jidx, task: tidx, start: s.eng.Now(), central: central}
 	}
-	s.eng.After(dur, simEvent{kind: evTaskDone, central: central, gen: gen, ref: n.id, jidx: jidx, aux: tidx})
+	s.eng.After(dur, simEvent{kind: evTaskDone, central: central, gen: gen, sched: sched, ref: n.id, jidx: jidx, aux: tidx})
 }
 
 // taskDone accounts a completed task and frees the slot. A job completes
 // only after all its tasks (§3.1).
 //
 //hawk:hotpath
-func (n *node) taskDone(s *simulation, jidx int32, central bool, now float64) {
+func (n *node) taskDone(s *simulation, jidx int32, central bool, sched uint8, now float64) {
 	if central {
 		s.central.TaskFinished(int(n.id), now)
+		if s.ms != nil {
+			s.ms.mirrorTaskFinished(sched, int(n.id), now)
+		}
 	}
 	js := &s.jobs[jidx]
 	js.finished++

@@ -1,0 +1,449 @@
+package sim
+
+import (
+	"repro/internal/core"
+	"repro/internal/policy"
+)
+
+// The concurrent multi-scheduler model (§4.10): N distributed schedulers
+// share one cluster. Each scheduler owns an independent local copy of the
+// centralized queue and a *stale snapshot* of the cluster view, refreshed on
+// a configurable cadence; it places work optimistically against that
+// snapshot and resolves collisions with the shared truth through a
+// claim/commit protocol (detect-and-retry with bounded backoff, Omega
+// style). Jobs hash-partition across the live schedulers by job id and
+// re-hash when their scheduler fails; scheduler fail/recover rides the same
+// scripted-churn machinery as node membership.
+//
+// The whole model hangs off simulation.ms, nil unless Config.Schedulers is
+// set — every hot path guards on that one pointer, exactly like s.dyn, so a
+// single-scheduler run never pays for it. The simulation stays
+// single-threaded and deterministic: "concurrent" schedulers interleave on
+// the virtual clock, conflicts arise from snapshot staleness rather than
+// from data races, and all schedulers draw from the run's one seeded stream.
+
+// multiSched is the root of the multi-scheduler state.
+type multiSched struct {
+	spec   policy.SchedulerSpec
+	scheds []schedState
+	// live lists the live scheduler ids in ascending order; jobs
+	// hash-partition over it (pickOwner).
+	live []int32
+	// pendingJobs parks whole jobs submitted while no scheduler was live;
+	// pendingCentral parks single central tasks, pendingProbes jobs whose
+	// probe re-send found no scheduler, pendingReplies probe round trips
+	// whose scheduler died with no survivor. All drain on the next
+	// scheduler recovery.
+	pendingJobs    []int32
+	pendingCentral []centralRef
+	pendingProbes  []int32
+	pendingReplies []replyRef
+}
+
+// schedState is one distributed scheduler.
+type schedState struct {
+	// local is this scheduler's mirror of the shared central queue (nil
+	// when the policy has no centralized component). It is synced from the
+	// truth on each snapshot refresh and tracks the scheduler's *own*
+	// placements in between — other schedulers' commits stay invisible
+	// until the next refresh, which is precisely the staleness the model
+	// exists to measure.
+	local *core.CentralQueue
+	// view is the scheduler's cluster snapshot for probe sampling and pool
+	// sizing. On a static-membership run it aliases the shared truth view
+	// (there is nothing stale to see, and sampling stays on the bit-exact
+	// static fast path); under node churn it is an owned copy refreshed by
+	// SnapshotInto.
+	view *core.ClusterView
+	// snapVer is the shared claim-version at the last refresh: claims no
+	// newer than it were visible in this snapshot, so a foreign claim
+	// above it is a conflict (core.ClusterView.Claim).
+	snapVer uint64
+	snapAt  float64 // time of the last refresh (staleness accounting)
+	// retryQ is the FIFO of conflicted placements awaiting their backoff;
+	// popping advances retryHead (rewound when drained) so the backing
+	// array is reused, mirroring node.queue.
+	retryQ    []schedRetry
+	retryHead int32
+	// placed counts placements since the last snapshot refresh; the
+	// refresh chain (snapRefreshTick) uses it as an activity gate and
+	// disarms after an idle interval so a quiescent run can drain.
+	placed int64
+	// epoch counts the scheduler's incarnations, bumped on failure, so
+	// refresh-chain and retry events from before a failure are
+	// recognizably stale — the node-epoch trick applied to schedulers.
+	epoch uint8
+	alive bool
+	armed bool // a refresh-chain event is pending
+}
+
+// schedRetry is one conflicted placement waiting out its backoff.
+type schedRetry struct {
+	jidx, tidx int32
+	attempt    int8
+}
+
+// replyRef is a parked probe round trip: node held its slot for a task
+// request whose scheduler died with no live survivor. gen pins the node's
+// incarnation so a node failure while parked invalidates the reply.
+type replyRef struct {
+	node, jidx int32
+	gen        uint8
+}
+
+// initMultiSched builds the per-scheduler state: every scheduler starts
+// live, with a fresh (accurate) snapshot at t=0.
+func (s *simulation) initMultiSched() {
+	spec := *s.cfg.Schedulers
+	s.ms = &multiSched{
+		spec:   spec,
+		scheds: make([]schedState, spec.Count),
+		live:   make([]int32, 0, spec.Count),
+	}
+	s.view.EnableClaims()
+	pool := s.pol.CentralPool()
+	for i := range s.ms.scheds {
+		sd := &s.ms.scheds[i]
+		sd.alive = true
+		sd.view = s.view
+		if s.dyn != nil {
+			sd.view = s.view.SnapshotInto(nil)
+		}
+		if s.central != nil {
+			sd.local = core.NewCentralQueue(pool.IDs(s.part))
+		}
+		s.ms.live = append(s.ms.live, int32(i))
+	}
+}
+
+// pickOwner hash-partitions a job id over the live schedulers, or returns
+// -1 when none is live. Fibonacci hashing rather than a modulo of the raw
+// id: trace ids are often sequential, and a multiplicative hash spreads
+// them evenly across any scheduler count without consuming randomness.
+//
+//hawk:hotpath
+func (m *multiSched) pickOwner(jobID int) int32 {
+	if len(m.live) == 0 {
+		return -1
+	}
+	h := uint64(uint32(jobID)) * 0x9e3779b97f4a7c15
+	return m.live[(h>>33)%uint64(len(m.live))]
+}
+
+// removeLive deletes id from the sorted live list.
+func (m *multiSched) removeLive(id int32) {
+	for i, v := range m.live {
+		if v == id {
+			m.live = append(m.live[:i], m.live[i+1:]...)
+			return
+		}
+	}
+}
+
+// insertLive inserts id into the sorted live list.
+func (m *multiSched) insertLive(id int32) {
+	i := 0
+	for i < len(m.live) && m.live[i] < id {
+		i++
+	}
+	m.live = append(m.live, 0)
+	copy(m.live[i+1:], m.live[i:])
+	m.live[i] = id
+}
+
+// mirrorTaskStarted reflects a task start into the placing scheduler's
+// local queue (no-op if that scheduler is down — its mirror resyncs from
+// the truth on recovery anyway).
+//
+//hawk:hotpath
+func (m *multiSched) mirrorTaskStarted(k uint8, nodeID int, now, estimate, dur float64) {
+	if sd := &m.scheds[k]; sd.alive {
+		sd.local.TaskStarted(nodeID, now, estimate, dur)
+	}
+}
+
+// mirrorTaskFinished reflects a task completion into the placing
+// scheduler's local queue.
+//
+//hawk:hotpath
+func (m *multiSched) mirrorTaskFinished(k uint8, nodeID int, now float64) {
+	if sd := &m.scheds[k]; sd.alive {
+		sd.local.TaskFinished(nodeID, now)
+	}
+}
+
+// refreshSched brings scheduler k's snapshot up to the shared truth: the
+// claim version, the central-queue mirror, and (under node churn) the
+// cluster-view copy.
+func (s *simulation) refreshSched(k int32, now float64) {
+	sd := &s.ms.scheds[k]
+	sd.snapVer = s.view.ClaimVersion()
+	sd.snapAt = now
+	s.res.SnapshotRefreshes++
+	if sd.local != nil {
+		sd.local.SyncFrom(s.central)
+	}
+	if sd.view != s.view {
+		s.view.SnapshotInto(sd.view)
+	}
+}
+
+// touchSched records placement activity for scheduler k and arms its
+// periodic snapshot-refresh chain if dormant. A scheduler waking from
+// dormancy with a snapshot older than the refresh interval catches up
+// immediately — it would have refreshed in the meantime had the chain kept
+// running.
+//
+//hawk:hotpath
+func (s *simulation) touchSched(k uint8) {
+	sd := &s.ms.scheds[k]
+	sd.placed++
+	if sd.armed {
+		return
+	}
+	sd.armed = true
+	now := s.eng.Now()
+	if now-sd.snapAt >= s.ms.spec.SnapshotInterval {
+		s.refreshSched(int32(k), now)
+	}
+	s.eng.After(s.ms.spec.SnapshotInterval, simEvent{kind: evSnapRefresh, ref: int32(k), gen: sd.epoch})
+}
+
+// snapRefreshTick is the evSnapRefresh handler: refresh scheduler k's
+// snapshot and re-arm the chain — unless the chain is stale (scheduler
+// failed since), the run is over, or the scheduler placed nothing in the
+// last interval (dormant; touchSched re-arms it on the next placement).
+// The dormancy gate is what lets a stuck scenario drain: an armed chain
+// would keep the event heap non-empty and the utilization sampler ticking
+// forever instead of reporting the deadlock.
+func (s *simulation) snapRefreshTick(k int32, gen uint8, now float64) {
+	sd := &s.ms.scheds[k]
+	if gen != sd.epoch || !sd.alive {
+		return // chain from a previous incarnation
+	}
+	if s.jobsDone >= len(s.trace.Jobs) || sd.placed == 0 {
+		sd.armed = false
+		return
+	}
+	sd.placed = 0
+	s.refreshSched(k, now)
+	s.eng.After(s.ms.spec.SnapshotInterval, simEvent{kind: evSnapRefresh, ref: k, gen: sd.epoch})
+}
+
+// msAssignOwner picks (or re-picks) the owning scheduler for a routed job,
+// parking the job when no scheduler is live. Called on every routeJob so a
+// parked-and-released job re-hashes over the current live set.
+//
+//hawk:hotpath
+func (s *simulation) msAssignOwner(idx int32) bool {
+	owner := s.ms.pickOwner(s.trace.Jobs[idx].ID)
+	if owner < 0 {
+		s.ms.pendingJobs = append(s.ms.pendingJobs, idx)
+		return false
+	}
+	s.jobs[idx].owner = uint8(owner)
+	s.touchSched(uint8(owner))
+	return true
+}
+
+// ensureOwner verifies the job's owning scheduler is live, re-hashing to a
+// survivor if it failed; false means no scheduler is live at all.
+func (s *simulation) ensureOwner(jidx int32) bool {
+	js := &s.jobs[jidx]
+	if s.ms.scheds[js.owner].alive {
+		return true
+	}
+	owner := s.ms.pickOwner(s.trace.Jobs[jidx].ID)
+	if owner < 0 {
+		return false
+	}
+	js.owner = uint8(owner)
+	s.res.SchedulerReassigned++
+	return true
+}
+
+// placeCentralOwned places one central task via the job's owning scheduler,
+// re-hashing a dead owner first and parking the task when no scheduler is
+// live. The multi-scheduler counterpart of assignCentralTask.
+func (s *simulation) placeCentralOwned(jidx, tidx int32) {
+	if !s.ensureOwner(jidx) {
+		s.ms.pendingCentral = append(s.ms.pendingCentral, centralRef{jidx: jidx, tidx: tidx})
+		return
+	}
+	s.placeCentral(jidx, tidx, 0)
+}
+
+// placeCentral runs one optimistic placement by the job's owning scheduler:
+// a §3.7 min-waiting assignment against the scheduler's *stale* local
+// queue, then a claim against the shared truth. A won claim commits; a
+// lost claim (another scheduler claimed the node since this scheduler's
+// snapshot, or the node died unseen) retries after a backoff, and a
+// placement that exhausts its retries forces a snapshot refresh and places
+// against fresh state, which cannot conflict. The caller has checked
+// centralUnavailable.
+//
+//hawk:hotpath
+func (s *simulation) placeCentral(jidx, tidx int32, attempt int8) {
+	k := s.jobs[jidx].owner
+	sd := &s.ms.scheds[k]
+	s.touchSched(k)
+	now := s.eng.Now()
+	if sd.local.Len() == 0 {
+		// The mirror last synced while the truth had no live server; the
+		// truth has some now (the caller checked), so catch up first.
+		s.refreshSched(int32(k), now)
+	}
+	estimate := s.jobs[jidx].estimate
+	nodeID, _ := sd.local.Assign(now, estimate)
+	if s.view.Claim(nodeID, int32(k), sd.snapVer) {
+		s.commitCentral(k, nodeID, jidx, tidx, now)
+		return
+	}
+	// Conflict. The local Assign already bumped the chosen server's
+	// mirrored load, which is exactly what we want: the retry will pick a
+	// different server, and the phantom load washes out at the next sync.
+	s.res.PlacementConflicts++
+	if int(attempt) >= s.ms.spec.MaxRetries {
+		s.refreshSched(int32(k), now)
+		nodeID, _ = sd.local.Assign(now, estimate)
+		if !s.view.Claim(nodeID, int32(k), sd.snapVer) {
+			panic("sim: claim conflict against a fresh snapshot")
+		}
+		s.commitCentral(k, nodeID, jidx, tidx, now)
+		return
+	}
+	s.res.ConflictRetries++
+	sd.retryQ = append(sd.retryQ, schedRetry{jidx: jidx, tidx: tidx, attempt: attempt + 1})
+	s.eng.After(s.ms.spec.RetryBackoff, simEvent{kind: evSchedRetry, ref: int32(k), gen: sd.epoch})
+}
+
+// commitCentral publishes a won placement into the shared truth queue and
+// dispatches the task, accounting how stale the deciding snapshot was.
+//
+//hawk:hotpath
+func (s *simulation) commitCentral(k uint8, nodeID int, jidx, tidx int32, now float64) {
+	sd := &s.ms.scheds[k]
+	s.central.AddLoad(nodeID, now, s.jobs[jidx].estimate)
+	s.res.CentralAssigns++
+	s.res.SnapshotStalenessSeconds += now - sd.snapAt
+	s.eng.After(s.cfg.NetworkDelay, simEvent{
+		kind: evTaskArrive, sched: k, ref: int32(nodeID), jidx: jidx, aux: tidx,
+	})
+}
+
+// schedRetryTick is the evSchedRetry handler: the oldest conflicted
+// placement of scheduler k has waited out its backoff. Each pushed retry
+// schedules exactly one event, so the FIFO and the events pair up; a
+// failure drains the queue and bumps the epoch, so leftover events are
+// recognizably stale.
+func (s *simulation) schedRetryTick(k int32, gen uint8) {
+	sd := &s.ms.scheds[k]
+	if gen != sd.epoch || !sd.alive {
+		return // retries were re-assigned when the scheduler failed
+	}
+	r := sd.retryQ[sd.retryHead]
+	sd.retryHead++
+	if int(sd.retryHead) == len(sd.retryQ) {
+		sd.retryQ = sd.retryQ[:0]
+		sd.retryHead = 0
+	}
+	if s.centralUnavailable() {
+		s.parkCentral(r.jidx, r.tidx)
+		return
+	}
+	s.placeCentral(r.jidx, r.tidx, r.attempt)
+}
+
+// msReplyReady gates a probe reply on the owning scheduler being live: a
+// reply is the scheduler's answer, so a dead owner means the answer was
+// lost. The node re-requests from the job's re-hashed owner (one extra
+// round trip), or parks until a scheduler recovers; either way the node's
+// slot stays held, like any probe awaiting its reply.
+func (s *simulation) msReplyReady(ev simEvent) bool {
+	js := &s.jobs[ev.jidx]
+	if s.ms.scheds[js.owner].alive {
+		return true
+	}
+	owner := s.ms.pickOwner(s.trace.Jobs[ev.jidx].ID)
+	if owner < 0 {
+		s.ms.pendingReplies = append(s.ms.pendingReplies, replyRef{node: ev.ref, jidx: ev.jidx, gen: ev.gen})
+		return false
+	}
+	js.owner = uint8(owner)
+	s.res.SchedulerReassigned++
+	s.res.ProbesLost++
+	s.eng.After(2*s.cfg.NetworkDelay, simEvent{kind: evProbeReply, gen: ev.gen, ref: ev.ref, jidx: ev.jidx})
+	return false
+}
+
+// failScheduler applies a scripted scheduler failure: the scheduler leaves
+// the live set, its pending conflicted placements re-hash to the survivors
+// (or park), and its refresh chain and retry events go stale via the epoch
+// bump. Jobs it owned re-hash lazily, at their next interaction
+// (ensureOwner / msReplyReady). Failing a dead scheduler is a no-op.
+func (s *simulation) failScheduler(id int32) {
+	sd := &s.ms.scheds[id]
+	if !sd.alive {
+		return
+	}
+	sd.alive = false
+	sd.epoch++
+	sd.armed = false
+	sd.placed = 0
+	s.res.SchedulerFailures++
+	s.ms.removeLive(id)
+	retries := sd.retryQ[sd.retryHead:]
+	for _, r := range retries {
+		if s.centralUnavailable() {
+			s.parkCentral(r.jidx, r.tidx)
+			continue
+		}
+		s.placeCentralOwned(r.jidx, r.tidx)
+	}
+	sd.retryQ = sd.retryQ[:0]
+	sd.retryHead = 0
+}
+
+// recoverScheduler returns a failed scheduler to service with a fresh
+// snapshot and releases everything that waited for a live scheduler.
+// Recovering a live scheduler is a no-op.
+func (s *simulation) recoverScheduler(id int32, now float64) {
+	sd := &s.ms.scheds[id]
+	if sd.alive {
+		return
+	}
+	sd.alive = true
+	s.res.SchedulerRecoveries++
+	s.ms.insertLive(id)
+	s.refreshSched(id, now)
+	sd.placed = 0
+	sd.armed = true
+	s.eng.After(s.ms.spec.SnapshotInterval, simEvent{kind: evSnapRefresh, ref: id, gen: sd.epoch})
+	if jobs := s.ms.pendingJobs; len(jobs) > 0 {
+		s.ms.pendingJobs = nil
+		for _, jidx := range jobs {
+			s.routeJob(jidx)
+		}
+	}
+	if tasks := s.ms.pendingCentral; len(tasks) > 0 {
+		s.ms.pendingCentral = nil
+		for _, t := range tasks {
+			s.centralReassign(t.jidx, t.tidx)
+		}
+	}
+	if probes := s.ms.pendingProbes; len(probes) > 0 {
+		s.ms.pendingProbes = nil
+		for _, jidx := range probes {
+			s.resendProbe(jidx)
+		}
+	}
+	if replies := s.ms.pendingReplies; len(replies) > 0 {
+		s.ms.pendingReplies = nil
+		for _, r := range replies {
+			if s.dyn != nil && s.dyn.epoch[r.node] != r.gen {
+				continue // the node failed while parked; its probe was re-sent then
+			}
+			s.eng.After(2*s.cfg.NetworkDelay, simEvent{kind: evProbeReply, gen: r.gen, ref: r.node, jidx: r.jidx})
+		}
+	}
+}

@@ -56,6 +56,10 @@ type jobState struct {
 	// outage marks jobs submitted while the centralized scheduler was
 	// scripted down (reported as JobReport.DuringOutage).
 	outage bool
+	// owner is the distributed scheduler the job hash-partitioned to
+	// (multi-scheduler model only; 0 otherwise). Re-hashed lazily when the
+	// owner fails.
+	owner uint8
 }
 
 // nextTask hands out the next unassigned task index — a task lost to a
@@ -117,6 +121,10 @@ type simulation struct {
 	speeds   []float64 // view.Speeds(), cached; nil when homogeneous
 	dyn      *dynState
 	churnSrc *randdist.Source // seeded stream for random churn picks
+
+	// Multi-scheduler state; nil unless Config.Schedulers turns the model
+	// on, and every hot path guards on that (see sched.go).
+	ms *multiSched
 
 	centralDown      bool
 	centralDownSince float64
@@ -241,6 +249,9 @@ func newSimulation(trace *workload.Trace, cfg policy.Config) (*simulation, error
 	if pool := pol.CentralPool(); pool != policy.PoolNone {
 		s.central = core.NewCentralQueue(pool.IDs(s.part))
 	}
+	if cfg.Schedulers != nil {
+		s.initMultiSched()
+	}
 
 	if err := s.checkFeasibility(); err != nil {
 		return nil, err
@@ -290,6 +301,10 @@ func newSimulation(trace *workload.Trace, cfg policy.Config) (*simulation, error
 				e.kind = evCentralDown
 			case policy.ChurnCentralUp:
 				e.kind = evCentralUp
+			case policy.ChurnSchedFail:
+				e.kind = evSchedFail
+			case policy.ChurnSchedRecover:
+				e.kind = evSchedRecover
 			}
 			s.eng.At(ev.At, e)
 		}
@@ -326,16 +341,22 @@ func (s *simulation) run() (*policy.Report, error) {
 		if n := len(s.lostProbes); n > 0 {
 			detail += fmt.Sprintf("; %d probes waiting for a live pool node", n)
 		}
+		if s.ms != nil {
+			if n := len(s.ms.pendingJobs) + len(s.ms.pendingProbes) + len(s.ms.pendingReplies) + len(s.ms.pendingCentral); n > 0 {
+				detail += fmt.Sprintf("; %d placements waiting for a live scheduler (scenario never recovered one?)", n)
+			}
+		}
 		return nil, fmt.Errorf("sim: deadlock — %d of %d jobs completed%s", s.jobsDone, len(s.trace.Jobs), detail)
 	}
 	if s.centralDown {
 		// Outage never closed by the script: account it up to the end.
 		s.centralOutageEnd(s.eng.Now())
 	}
-	if s.cfg.Churn != nil {
-		// Scripted events can outlive the workload (a recovery scheduled
-		// past the last completion); the makespan is still the last job's
-		// completion, not the last scripted transition.
+	if s.cfg.Churn != nil || s.ms != nil {
+		// Scripted events and armed snapshot-refresh chains can outlive the
+		// workload (a recovery or refresh scheduled past the last
+		// completion); the makespan is still the last job's completion, not
+		// the last drained event.
 		s.res.Makespan = s.lastDone
 	} else {
 		s.res.Makespan = s.eng.Now()
@@ -395,11 +416,28 @@ func (s *simulation) routeJob(idx int32) {
 	dec := s.pol.Route(policy.JobInfo{
 		ID: job.ID, Tasks: job.NumTasks(), Estimate: js.estimate, Long: js.long,
 	})
+	if s.ms != nil && !s.msAssignOwner(idx) {
+		return // no live scheduler; parked until one recovers
+	}
 	switch dec.Action {
 	case policy.ActionCentral:
 		s.centralJob(idx)
 	default:
-		poolSize := dec.Pool.Size(s.view)
+		// Probe sampling runs against the owning scheduler's (possibly
+		// stale) snapshot; on a single-scheduler run that is the truth
+		// view itself.
+		view := s.view
+		if s.ms != nil {
+			view = s.ms.scheds[js.owner].view
+		}
+		poolSize := dec.Pool.Size(view)
+		if s.ms != nil && s.dyn != nil && poolSize < len(js.durations) {
+			// The stale snapshot looks too narrow for batch sampling; a
+			// real scheduler would consult fresh state before giving up,
+			// so refresh and re-check against the truth.
+			s.refreshSched(int32(js.owner), s.eng.Now())
+			poolSize = dec.Pool.Size(view)
+		}
 		if s.dyn != nil && poolSize < len(js.durations) {
 			// Batch sampling needs one live candidate per task; churn has
 			// shrunk the pool below that, so park the job until nodes
@@ -409,7 +447,7 @@ func (s *simulation) routeJob(idx int32) {
 			return
 		}
 		k := core.NumProbes(len(js.durations), s.cfg.ProbeRatio, poolSize)
-		s.nodeIDs = dec.Pool.SampleInto(s.nodeIDs[:0], s.view, s.src, k)
+		s.nodeIDs = dec.Pool.SampleInto(s.nodeIDs[:0], view, s.src, k)
 		s.probeJob(idx, s.nodeIDs)
 	}
 }
@@ -438,6 +476,14 @@ func (s *simulation) centralJob(idx int32) {
 		return
 	}
 	js := &s.jobs[idx]
+	if s.ms != nil {
+		// Multi-scheduler model: every task goes through the owning
+		// scheduler's optimistic claim/commit path.
+		for i := range js.durations {
+			s.placeCentral(idx, int32(i), 0)
+		}
+		return
+	}
 	now := s.eng.Now()
 	for i := range js.durations {
 		nodeID, _ := s.central.Assign(now, js.estimate)
