@@ -8,6 +8,8 @@
 //	hawkexp -exp fig5 [-numjobs 20000] [-seed 42] [-runs 10]
 //	hawkexp -exp fig6 -jobs 8    # fan the sweep over 8 workers
 //	hawkexp -exp all -quick
+//	hawkexp -trace-out google.trace.gz -numjobs 20000   # record the trace
+//	hawkexp -exp fig5 -trace google.trace.gz            # replay it
 //
 // Every experiment is a sweep of independent simulations, fanned out over
 // a bounded worker pool (internal/sweep); -jobs bounds the pool, make
@@ -37,6 +39,8 @@ var (
 	runsFlag    = flag.Int("runs", 10, "runs to average where the paper averages (fig14)")
 	quickFlag   = flag.Bool("quick", false, "use the reduced quick scale (fewer jobs, fewer runs)")
 	policyFlag  = flag.String("policy", "hawk", "candidate policy for the comparison figures; one of: "+strings.Join(hawk.Policies(), ", "))
+	traceFlag   = flag.String("trace", "", "replay this recorded hawk-trace file instead of the synthetic Google trace (experiments built on the Google workload)")
+	traceOut    = flag.String("trace-out", "", "write the synthetic Google trace at the current -numjobs/-seed to this hawk-trace file and exit")
 	fullProto   = flag.Bool("fullproto", false, "run fig16-17 at the paper's full prototype scale (3300 jobs, sec->ms; takes tens of minutes)")
 
 	// Dynamic-cluster scenario flags, overlaid on every simulator run of
@@ -112,7 +116,7 @@ func registry() []experiment {
 func main() {
 	flag.Parse()
 	regs := registry()
-	if *listFlag || *expFlag == "" {
+	if *listFlag || (*expFlag == "" && *traceOut == "") {
 		fmt.Println("experiments:")
 		for _, e := range regs {
 			fmt.Printf("  %-9s %s\n", e.id, e.desc)
@@ -132,7 +136,21 @@ func main() {
 		sc.Seed = *seedFlag
 	}
 	sc.Policy = *policyFlag
+	sc.TracePath = *traceFlag
 	sc.Churn, sc.Heterogeneity, sc.Schedulers = scenario()
+	if *traceOut != "" {
+		t, err := experiments.GoogleTrace(sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hawkexp: %v\n", err)
+			os.Exit(1)
+		}
+		if err := hawk.SaveTraceSource(*traceOut, hawk.NewTraceSource(t)); err != nil {
+			fmt.Fprintf(os.Stderr, "hawkexp: writing %s: %v\n", *traceOut, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d jobs to %s\n", t.Len(), *traceOut)
+		return
+	}
 	// -jobs used to mean the synthetic trace size (now -numjobs); catch
 	// scripts written against the old meaning rather than silently running
 	// the default-sized trace with an absurd worker bound.

@@ -1,16 +1,27 @@
-// Command hawkgen generates synthetic workload traces and prints their
-// Table 1/2 characterization.
+// Command hawkgen generates synthetic workload traces, converts between
+// the on-disk trace formats, and prints Table 1/2 characterization.
 //
 // Usage:
 //
 //	hawkgen -workload google -jobs 20000 -out google.csv
+//	hawkgen -workload google -jobs 1000000 -out google.trace.gz
 //	hawkgen -stats -in google.csv -cutoff 1129
+//	hawkgen -in legacy.csv -cutoff 1129 -out google.trace.gz -stats=false
+//
+// Two formats are supported. The hawk-trace stream format (gzip by ".gz"
+// suffix) carries a header with the workload's cutoff, partition fraction,
+// and size, so hawksim/hawkexp can stream it without flags; the legacy
+// bare-CSV format carries jobs only and needs -cutoff on load. -out picks
+// the format by suffix (override with -format); converting between the two
+// is just -in plus -out.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/hawk"
 )
@@ -20,9 +31,10 @@ var (
 	jobsFlag     = flag.Int("jobs", 20000, "number of jobs")
 	iaFlag       = flag.Float64("ia", 2.3, "mean inter-arrival time (seconds)")
 	seedFlag     = flag.Int64("seed", 42, "random seed")
-	outFlag      = flag.String("out", "", "write the trace to this CSV file")
-	inFlag       = flag.String("in", "", "read a trace from this CSV file instead of generating")
-	cutoffFlag   = flag.Float64("cutoff", 0, "cutoff for the by-cutoff statistics (0 = workload default)")
+	outFlag      = flag.String("out", "", "write the trace to this file")
+	formatFlag   = flag.String("format", "auto", "-out format: stream (hawk-trace), legacy (bare CSV), auto (stream for .gz/.trace suffixes)")
+	inFlag       = flag.String("in", "", "read a trace from this file (hawk-trace or legacy CSV) instead of generating")
+	cutoffFlag   = flag.Float64("cutoff", 0, "cutoff for the by-cutoff statistics (0 = workload/header default)")
 	statsFlag    = flag.Bool("stats", true, "print workload statistics")
 )
 
@@ -34,7 +46,7 @@ func main() {
 		os.Exit(1)
 	}
 	if *outFlag != "" {
-		if err := hawk.SaveTraceFile(*outFlag, t); err != nil {
+		if err := writeTrace(t); err != nil {
 			fmt.Fprintf(os.Stderr, "hawkgen: writing %s: %v\n", *outFlag, err)
 			os.Exit(1)
 		}
@@ -45,15 +57,42 @@ func main() {
 	}
 }
 
+// writeTrace saves t in the format -format selects (by suffix on "auto").
+func writeTrace(t *hawk.Trace) error {
+	format := *formatFlag
+	if format == "auto" {
+		if strings.HasSuffix(*outFlag, ".gz") || strings.HasSuffix(*outFlag, ".trace") {
+			format = "stream"
+		} else {
+			format = "legacy"
+		}
+	}
+	switch format {
+	case "stream":
+		return hawk.SaveTraceSource(*outFlag, hawk.NewTraceSource(t))
+	case "legacy":
+		return hawk.SaveTraceFile(*outFlag, t)
+	}
+	return fmt.Errorf("unknown -format %q (stream, legacy, auto)", *formatFlag)
+}
+
 func obtainTrace() (*hawk.Trace, float64, error) {
 	if *inFlag != "" {
-		t, err := hawk.LoadTraceFile(*inFlag)
+		t, err := loadTrace(*inFlag)
 		if err != nil {
 			return nil, 0, err
 		}
 		cutoff := *cutoffFlag
 		if cutoff <= 0 {
-			return nil, 0, fmt.Errorf("loaded traces need -cutoff for by-cutoff stats")
+			cutoff = t.Cutoff // hawk-trace headers carry it; legacy CSV does not
+		}
+		if cutoff <= 0 {
+			return nil, 0, fmt.Errorf("legacy CSV traces need -cutoff for by-cutoff stats")
+		}
+		if t.Cutoff <= 0 {
+			// Bake the resolved cutoff into the trace, so a legacy CSV
+			// converted with -out yields a stream header that carries it.
+			t.Cutoff = cutoff
 		}
 		return t, cutoff, nil
 	}
@@ -75,6 +114,20 @@ func obtainTrace() (*hawk.Trace, float64, error) {
 		cutoff = spec.Cutoff
 	}
 	return t, cutoff, nil
+}
+
+// loadTrace reads either trace format, materialized (hawkgen's statistics
+// and the legacy writer both need the whole trace in memory).
+func loadTrace(path string) (*hawk.Trace, error) {
+	src, err := hawk.OpenTraceSource(path)
+	if err == nil {
+		defer src.Close()
+		return hawk.MaterializeSource(src)
+	}
+	if !errors.Is(err, hawk.ErrNotStreamTrace) {
+		return nil, err
+	}
+	return hawk.LoadTraceFile(path)
 }
 
 func printStats(t *hawk.Trace, cutoff float64) {

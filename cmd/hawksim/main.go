@@ -7,7 +7,17 @@
 //
 //	hawksim -workload google -nodes 15000 -policy hawk -jobs 20000
 //	hawksim -trace mytrace.csv -nodes 1000 -policy sparrow -cutoff 500
+//	hawksim -trace google.trace.gz -nodes 15000 -stream
+//	hawksim -workload google -jobs 1000000 -trace-out google.trace.gz
 //	hawksim -nodes 1000 -policy split -json run.json
+//
+// -trace accepts both the hawk-trace stream format (written by -trace-out
+// or hawkgen; gzip by ".gz" suffix), which is decoded job by job as the
+// simulation runs, and the legacy bare-CSV format (which carries no cutoff;
+// pass -cutoff). With -stream the run keeps no per-job reports — class
+// counts and percentile reservoirs only — so memory stays O(in-flight)
+// regardless of trace length; combine with -dump to still persist every
+// job's outcome as CSV.
 //
 // For performance work, -cpuprofile and -memprofile write pprof profiles
 // of the run (inspect with `go tool pprof`):
@@ -16,6 +26,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -24,12 +35,11 @@ import (
 	"strings"
 
 	"repro/hawk"
-	"repro/internal/stats"
 )
 
 var (
 	workloadFlag  = flag.String("workload", "google", "synthetic workload: google, cloudera, facebook, yahoo, motivation")
-	traceFlag     = flag.String("trace", "", "CSV trace file (overrides -workload)")
+	traceFlag     = flag.String("trace", "", "trace file, hawk-trace stream or legacy CSV (overrides -workload)")
 	jobsFlag      = flag.Int("jobs", 20000, "number of jobs to generate")
 	iaFlag        = flag.Float64("ia", 0, "mean job inter-arrival time in seconds (0 = workload default)")
 	nodesFlag     = flag.Int("nodes", 15000, "cluster size")
@@ -61,6 +71,9 @@ var (
 	upAtFlag      = flag.Float64("central-up", 0, "simulated seconds at which the centralized scheduler recovers (0 = never)")
 	speedSkewFlag = flag.Float64("speed-skew", 0, "fraction of nodes running at -slow-speed (0 = homogeneous)")
 	slowSpeedFlag = flag.Float64("slow-speed", 0.5, "speed factor of the skewed nodes (1 = nominal)")
+
+	traceOutFlag = flag.String("trace-out", "", "write the workload to this hawk-trace file (gzip by .gz suffix) before running")
+	streamFlag   = flag.Bool("stream", false, "discard per-job reports; aggregate into bounded reservoirs (for multi-million-task traces)")
 
 	dumpFlag    = flag.String("dump", "", "write per-job results to this CSV file")
 	jsonFlag    = flag.String("json", "", "write the full report to this JSON file")
@@ -109,7 +122,7 @@ func realMain() int {
 		}
 		return 0
 	}
-	trace, err := loadTrace()
+	trace, streamFile, err := loadWorkload()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hawksim: %v\n", err)
 		return 1
@@ -130,7 +143,14 @@ func realMain() int {
 		fmt.Fprintf(os.Stderr, "hawksim: unknown policy %q (registered: %v)\n", name, hawk.Policies())
 		return 2
 	}
-	res, err := hawk.Simulate(trace, hawk.Config{
+	if *traceOutFlag != "" {
+		if err := writeTraceOut(trace, streamFile); err != nil {
+			fmt.Fprintf(os.Stderr, "hawksim: writing %s: %v\n", *traceOutFlag, err)
+			return 1
+		}
+		fmt.Printf("wrote workload to %s\n", *traceOutFlag)
+	}
+	cfg := hawk.Config{
 		Policy:                 name,
 		NumNodes:               *nodesFlag,
 		Cutoff:                 *cutoffFlag,
@@ -146,13 +166,43 @@ func realMain() int {
 		Churn:                  churnSpec(),
 		Heterogeneity:          heterogeneitySpec(),
 		Seed:                   *seedFlag,
-	})
+		DiscardJobReports:      *streamFlag,
+	}
+	// On a streamed run -dump rides the job sink, so per-job rows land on
+	// disk at completion and the report never holds them.
+	var sink *hawk.JobCSVSink
+	if *streamFlag && *dumpFlag != "" {
+		sink, err = hawk.CreateJobCSVSink(*dumpFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hawksim: %v\n", err)
+			return 1
+		}
+		cfg.JobSink = sink.Sink
+	}
+	var res *hawk.Report
+	if streamFile {
+		src, serr := hawk.OpenTraceSource(*traceFlag)
+		if serr != nil {
+			fmt.Fprintf(os.Stderr, "hawksim: %v\n", serr)
+			return 1
+		}
+		res, err = hawk.SimulateSource(src, cfg)
+		src.Close()
+	} else {
+		res, err = hawk.Simulate(trace, cfg)
+	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "hawksim: %v\n", err)
 		return 1
 	}
 	printResult(trace, res)
-	if *dumpFlag != "" {
+	if sink != nil {
+		if err := sink.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "hawksim: writing %s: %v\n", *dumpFlag, err)
+			return 1
+		}
+		fmt.Printf("wrote per-job results to %s\n", *dumpFlag)
+	} else if *dumpFlag != "" {
 		if err := hawk.SaveResultsCSV(*dumpFlag, res); err != nil {
 			fmt.Fprintf(os.Stderr, "hawksim: writing %s: %v\n", *dumpFlag, err)
 			return 1
@@ -211,29 +261,40 @@ func heterogeneitySpec() *hawk.Heterogeneity {
 	return &hawk.Heterogeneity{Classes: []hawk.SpeedClass{{Fraction: *speedSkewFlag, Speed: *slowSpeedFlag}}}
 }
 
-func loadTrace() (*hawk.Trace, error) {
+// loadWorkload resolves -trace/-workload. It returns either a materialized
+// trace (synthetic generation, legacy CSV) or stream=true for a hawk-trace
+// file, which the run then opens and decodes job by job instead of loading.
+func loadWorkload() (t *hawk.Trace, stream bool, err error) {
 	if *traceFlag != "" {
+		src, err := hawk.OpenTraceSource(*traceFlag)
+		if err == nil {
+			src.Close() // probe only; the run reopens to stream
+			return nil, true, nil
+		}
+		if !errors.Is(err, hawk.ErrNotStreamTrace) {
+			return nil, false, err
+		}
 		t, err := hawk.LoadTraceFile(*traceFlag)
 		if err != nil {
-			return nil, err
+			return nil, false, err
 		}
 		if *cutoffFlag > 0 {
 			t.Cutoff = *cutoffFlag
 		}
 		if t.Cutoff == 0 {
-			return nil, fmt.Errorf("trace files carry no cutoff; pass -cutoff")
+			return nil, false, fmt.Errorf("legacy CSV traces carry no cutoff; pass -cutoff")
 		}
 		if *partFlag > 0 {
 			t.ShortPartitionFraction = *partFlag
 		}
-		return t, nil
+		return t, false, nil
 	}
 	if *workloadFlag == "motivation" {
-		return hawk.MotivationWorkload(*seedFlag), nil
+		return hawk.MotivationWorkload(*seedFlag), false, nil
 	}
 	spec, err := hawk.SpecByName(*workloadFlag)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	ia := *iaFlag
 	if ia <= 0 {
@@ -243,7 +304,22 @@ func loadTrace() (*hawk.Trace, error) {
 		NumJobs:          *jobsFlag,
 		MeanInterArrival: ia,
 		Seed:             *seedFlag,
-	}), nil
+	}), false, nil
+}
+
+// writeTraceOut dumps the resolved workload to -trace-out in the
+// hawk-trace stream format (a format conversion when the input was itself
+// a trace file).
+func writeTraceOut(t *hawk.Trace, streamFile bool) error {
+	if streamFile {
+		src, err := hawk.OpenTraceSource(*traceFlag)
+		if err != nil {
+			return err
+		}
+		defer src.Close()
+		return hawk.SaveTraceSource(*traceOutFlag, src)
+	}
+	return hawk.SaveTraceSource(*traceOutFlag, hawk.NewTraceSource(t))
 }
 
 func defaultInterArrival(name string) float64 {
@@ -260,15 +336,23 @@ func defaultInterArrival(name string) float64 {
 	return 2.3
 }
 
+// printResult prints the run's headline numbers. trace is nil when the
+// workload streamed from a file; ClassSummary reads whichever store the
+// run kept (per-job reports, or the -stream reservoirs).
 func printResult(trace *hawk.Trace, res *hawk.Report) {
-	short := stats.Summarize(res.ShortRuntimes())
-	long := stats.Summarize(res.LongRuntimes())
+	short := res.ClassSummary(false)
+	long := res.ClassSummary(true)
 	fmt.Printf("policy: %s  jobs: %d  makespan: %.0f s  events: %d\n",
-		res.Policy, len(res.Jobs), res.Makespan, res.Events)
+		res.Policy, short.Count+long.Count, res.Makespan, res.Events)
 	fmt.Printf("short jobs: %s\n", short)
 	fmt.Printf("long jobs:  %s\n", long)
-	fmt.Printf("median utilization (arrival window): %.1f%%  max: %.1f%%\n",
-		100*res.Utilization.MedianUpTo(trace.MakespanLowerBound()), 100*res.Utilization.Max())
+	if trace != nil {
+		fmt.Printf("median utilization (arrival window): %.1f%%  max: %.1f%%\n",
+			100*res.Utilization.MedianUpTo(trace.MakespanLowerBound()), 100*res.Utilization.Max())
+	} else {
+		fmt.Printf("median utilization: %.1f%%  max: %.1f%%\n",
+			100*res.Utilization.Median(), 100*res.Utilization.Max())
+	}
 	fmt.Printf("probes: %d  cancels: %d  tasks: %d  central assigns: %d\n",
 		res.ProbesSent, res.Cancels, res.TasksExecuted, res.CentralAssigns)
 	fmt.Printf("steals: attempts=%d contacts=%d successes=%d entries=%d\n",

@@ -18,7 +18,11 @@
 // Two engines execute policies: hawk.Simulate, the trace-driven
 // discrete-event simulator of the paper's evaluation (§4.1), and
 // hawk.RunLive, a goroutine-per-node prototype runtime in which messages
-// and task execution consume real time (§3.8, §4.10).
+// and task execution consume real time (§3.8, §4.10). hawk.SimulateSource
+// is the simulator's streaming entry point: it consumes a hawk.Source —
+// an in-memory trace adapter, an on-demand synthetic generator, or a
+// hawk-trace file reader — decoding each job only when it submits, so a
+// multi-million-task trace runs in memory proportional to in-flight work.
 //
 // # What is reproduced
 //
@@ -96,7 +100,13 @@
 // so steal scans read queues linearly. Trace submission is lazily
 // chained — each submit event schedules the next — bounding the event
 // heap by in-flight state rather than trace length (the engine's
-// MaxPending high-water mark pins this in tests). The surrounding hot
+// MaxPending high-water mark pins this in tests). Streamed runs extend
+// the bound to the whole pipeline: jobs decode one at a time from a
+// hawk.Source, arena slots and Durations arrays recycle through free
+// lists at completion, and reports either stream to a per-job sink or
+// fold into bounded reservoir aggregates — peak live heap is O(in-flight
+// jobs + cluster) regardless of trace length, pinned by test at the
+// ≈2M-task scale (BenchmarkStreamGoogleScale). The surrounding hot
 // path holds the same line: probe and steal-victim sampling appends into
 // per-simulation scratch buffers (randdist.SampleWithoutReplacementInto,
 // core.RandomShortIndicesInto), and node FIFO queues and the central
@@ -111,8 +121,8 @@
 //
 // CI treats simulator performance as a tested invariant: every push to
 // main benchmarks SimulatorThroughput, CentralQueue, LargeCluster,
-// GoogleScale, ChurnScale, and MultiScheduler (-benchmem, -count=5) and
-// uploads the result as a
+// GoogleScale, StreamGoogleScale, ChurnScale, and MultiScheduler
+// (-benchmem, -count=5) and uploads the result as a
 // BENCH_<sha>.json artifact, and every pull request re-runs the same
 // benchmarks on its base commit on the same runner and fails if min ns/op
 // regresses by more than 15%, or min allocs/op or min B/op by more than

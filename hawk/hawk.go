@@ -189,6 +189,8 @@ var (
 	WithSpeedSkew              = policy.WithSpeedSkew
 	WithSeed                   = policy.WithSeed
 	WithUtilizationInterval    = policy.WithUtilizationInterval
+	WithDiscardedJobReports    = policy.WithDiscardedJobReports
+	WithJobSink                = policy.WithJobSink
 )
 
 // Engine runs a trace under a configuration and produces a Report. Both
@@ -200,6 +202,14 @@ type Engine = sweep.Engine
 // Simulate runs the trace-driven discrete-event simulator (§4.1). Runs are
 // deterministic for a given (trace, config) pair.
 func Simulate(trace *Trace, cfg Config) (*Report, error) { return sim.Run(trace, cfg) }
+
+// SimulateSource runs the simulator on a streamed workload: jobs decode
+// from the source one submit event at a time and finished job state is
+// recycled, so peak memory is O(in-flight jobs + cluster size) however
+// long the trace. For the same job stream the report is byte-identical to
+// Simulate; combine with WithDiscardedJobReports (and optionally a
+// NewJobCSVSink) to keep the report itself O(1) too.
+func SimulateSource(src Source, cfg Config) (*Report, error) { return sim.RunSource(src, cfg) }
 
 // RunLive runs the goroutine-per-node live prototype (§3.8, §4.10): real
 // messages, injected network latency, tasks that really execute
@@ -269,6 +279,29 @@ type (
 	GenConfig = workload.GenConfig
 	// WorkloadStats is the Table 1/2 characterization of a trace.
 	WorkloadStats = workload.Stats
+
+	// Source streams a workload job by job in submit-time order, with its
+	// size and defaults known up front (Meta) — the input SimulateSource
+	// consumes without ever materializing the trace.
+	Source = workload.Source
+	// WorkloadMeta is a Source's up-front metadata: exact job count, task
+	// bounds, and the trace-level defaults.
+	WorkloadMeta = workload.Meta
+	// TraceSource adapts an in-memory Trace to the Source interface.
+	TraceSource = workload.TraceSource
+	// GeneratorSource streams a synthetic workload draw-for-draw identical
+	// to Generate, holding O(in-flight) jobs instead of the whole trace.
+	GeneratorSource = workload.GeneratorSource
+	// FileSource streams jobs from a hawk-trace file (see SaveTraceSource)
+	// with chunked decode; Close it when done.
+	FileSource = workload.FileSource
+
+	// JobCSVSink streams per-job outcomes to CSV as a run executes (the
+	// Config.JobSink counterpart of WriteResultsCSV); see NewJobCSVSink.
+	JobCSVSink = policy.JobCSVSink
+	// StreamedStats is a Report's bounded-memory aggregate (class counts
+	// plus reservoir samples), present when WithDiscardedJobReports ran.
+	StreamedStats = policy.StreamedStats
 )
 
 // Synthetic workload generators for the paper's four traces (§4.1) and the
@@ -288,4 +321,38 @@ var (
 	ReadTraceCSV               = workload.ReadCSV
 	LoadTraceFile              = workload.LoadFile
 	SaveTraceFile              = workload.SaveFile
+)
+
+// Streaming workload sources and the hawk-trace file format: build a
+// Source from an in-memory trace, a synthetic spec, or a trace file, feed
+// it to SimulateSource, and convert between forms without materializing.
+var (
+	// NewTraceSource adapts a Trace to a Source (sorting an index view,
+	// not the trace, when submit times are out of order).
+	NewTraceSource = workload.NewTraceSource
+	// NewGeneratorSource streams the synthetic workload Generate(spec,
+	// cfg) would produce, job for job, in O(in-flight) memory.
+	NewGeneratorSource = workload.NewGeneratorSource
+	// OpenTraceSource opens a hawk-trace file (gzip by ".gz" suffix) for
+	// streaming; it reads only the header before the first job decodes.
+	OpenTraceSource = workload.OpenSource
+	// SaveTraceSource drains a Source to a hawk-trace file (gzip by ".gz"
+	// suffix), recycling jobs as it writes.
+	SaveTraceSource = workload.SaveSource
+	// MaterializeSource drains a Source into an in-memory Trace.
+	MaterializeSource = workload.Materialize
+	// SourceErr returns a source's streaming error, if it exposes one.
+	SourceErr = workload.SourceErr
+)
+
+// ErrNotStreamTrace reports that a file lacks the hawk-trace header.
+// Callers that accept both formats match it with errors.Is and fall back
+// to LoadTraceFile for legacy bare-CSV traces.
+var ErrNotStreamTrace = workload.ErrNotStreamTrace
+
+// NewJobCSVSink starts a streaming per-job CSV export on w; pass
+// sink.Sink to WithJobSink. CreateJobCSVSink is the file convenience.
+var (
+	NewJobCSVSink    = policy.NewJobCSVSink
+	CreateJobCSVSink = policy.CreateJobCSVSink
 )

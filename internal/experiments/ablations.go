@@ -29,7 +29,10 @@ type StealPositionRow struct {
 // headline operating point, normalized to Sparrow so the rows are
 // comparable to Figure 5.
 func AblationStealPosition(sc Scale) ([]StealPositionRow, error) {
-	t := GoogleTrace(sc)
+	t, err := GoogleTrace(sc)
+	if err != nil {
+		return nil, err
+	}
 	const nodes = 15000
 	names := []string{"figure3-group", "random-positions"}
 	cfgs := []policy.Config{
@@ -72,7 +75,10 @@ type ProbeRatioPoint struct {
 // AblationProbeRatio sweeps the batch-sampling probe ratio for both
 // schedulers at the headline operating point.
 func AblationProbeRatio(sc Scale) ([]ProbeRatioPoint, error) {
-	t := GoogleTrace(sc)
+	t, err := GoogleTrace(sc)
+	if err != nil {
+		return nil, err
+	}
 	const nodes = 15000
 	policies := []string{"sparrow", "hawk"}
 	ratios := []int{1, 2, 3, 4}

@@ -54,6 +54,12 @@ type Scale struct {
 	// model (the -schedulers flag). SchedulerSweep ignores it — the
 	// scheduler count is that experiment's swept axis.
 	Schedulers *policy.SchedulerSpec
+	// TracePath, when set, replays a recorded hawk-trace file in place of
+	// the synthetic Google trace in every experiment built on GoogleTrace
+	// (cmd/hawkexp threads its -trace flag through here). Multi-workload
+	// sweeps (Table 1/2, Figures 4 and 6) keep their synthetic traces —
+	// one recording cannot stand in for four workload families.
+	TracePath string
 }
 
 // apply overlays the scale's cluster scenario on one run configuration,
@@ -122,14 +128,23 @@ func NodeSweep(name string) []int {
 	}
 }
 
-// GoogleTrace generates the default synthetic Google trace at the given
-// scale.
-func GoogleTrace(sc Scale) *workload.Trace {
+// GoogleTrace returns the Google workload at the given scale: the default
+// synthetic trace, or — when the scale names a recorded hawk-trace file —
+// that recording, materialized so the sweep's runs can share it.
+func GoogleTrace(sc Scale) (*workload.Trace, error) {
+	if sc.TracePath != "" {
+		src, err := workload.OpenSource(sc.TracePath)
+		if err != nil {
+			return nil, err
+		}
+		defer src.Close()
+		return workload.Materialize(src)
+	}
 	return workload.Generate(workload.Google(), workload.GenConfig{
 		NumJobs:          sc.NumJobs,
 		MeanInterArrival: meanInterArrival(workload.Google()),
 		Seed:             sc.Seed,
-	})
+	}), nil
 }
 
 // TraceFor generates the trace for any workload spec at the given scale,

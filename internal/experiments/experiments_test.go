@@ -254,7 +254,10 @@ func TestNodeSweepsAreSane(t *testing.T) {
 func TestRatiosForAlignsJobSets(t *testing.T) {
 	// ratiosFor must compare identical job sets: with candidate ==
 	// baseline, every ratio is exactly 1.
-	tr := GoogleTrace(Scale{NumJobs: 500, Seed: 3})
+	tr, err := GoogleTrace(Scale{NumJobs: 500, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
 	res, err := sim.Run(tr, policy.Config{NumNodes: 5000, Policy: "hawk", Seed: 3})
 	if err != nil {
 		t.Fatal(err)

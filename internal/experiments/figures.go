@@ -93,7 +93,10 @@ type Fig5Point struct {
 // Fig5 sweeps cluster size on the Google trace, comparing Hawk to Sparrow
 // (Figures 5a, 5b, 5c).
 func Fig5(sc Scale) ([]Fig5Point, error) {
-	t := GoogleTrace(sc)
+	t, err := GoogleTrace(sc)
+	if err != nil {
+		return nil, err
+	}
 	nodeSweep := NodeSweep("google")
 	pairs, err := runPairs(t, nodeSweep, sc.PolicyName(), "sparrow", sc)
 	if err != nil {
@@ -188,7 +191,10 @@ type Fig7Row struct {
 // Fig7 runs the component breakdown: disabling each of Hawk's mechanisms in
 // turn and normalizing to the full system.
 func Fig7(sc Scale) ([]Fig7Row, error) {
-	t := GoogleTrace(sc)
+	t, err := GoogleTrace(sc)
+	if err != nil {
+		return nil, err
+	}
 	const nodes = 15000
 	names := []string{"w/o centralized", "w/o partition", "w/o stealing"}
 	cfgs := []policy.Config{
@@ -213,7 +219,10 @@ func Fig7(sc Scale) ([]Fig7Row, error) {
 // Fig8And9 compares Hawk to the fully centralized scheduler across cluster
 // sizes on the Google trace (Figure 8: short jobs; Figure 9: long jobs).
 func Fig8And9(sc Scale) ([]RatioPoint, error) {
-	t := GoogleTrace(sc)
+	t, err := GoogleTrace(sc)
+	if err != nil {
+		return nil, err
+	}
 	nodeSweep := NodeSweep("google")
 	pairs, err := runPairs(t, nodeSweep, sc.PolicyName(), "centralized", sc)
 	if err != nil {
@@ -229,7 +238,10 @@ func Fig8And9(sc Scale) ([]RatioPoint, error) {
 // Fig10And11 compares Hawk to the split cluster across cluster sizes on the
 // Google trace (Figure 10: short jobs; Figure 11: long jobs).
 func Fig10And11(sc Scale) ([]RatioPoint, error) {
-	t := GoogleTrace(sc)
+	t, err := GoogleTrace(sc)
+	if err != nil {
+		return nil, err
+	}
 	nodeSweep := NodeSweep("google")
 	pairs, err := runPairs(t, nodeSweep, sc.PolicyName(), "split", sc)
 	if err != nil {
@@ -246,7 +258,10 @@ func Fig10And11(sc Scale) ([]RatioPoint, error) {
 // to Sparrow (Figure 12: long jobs; Figure 13: short jobs). Jobs are
 // (re)classified at each cutoff for reporting, as in the paper.
 func Fig12And13(sc Scale) ([]RatioPoint, error) {
-	t := GoogleTrace(sc)
+	t, err := GoogleTrace(sc)
+	if err != nil {
+		return nil, err
+	}
 	const nodes = 15000
 	cutoffs := []float64{750, 1000, 1129, 1300, 1500, 2000}
 	cfgs := make([]policy.Config, 0, 1+len(cutoffs))
@@ -282,7 +297,10 @@ type Fig14Point struct {
 // Fig14 sweeps the mis-estimation magnitude. Each range is averaged over
 // sc.Runs seeds, as the paper averages over ten runs.
 func Fig14(sc Scale) ([]Fig14Point, error) {
-	t := GoogleTrace(sc)
+	t, err := GoogleTrace(sc)
+	if err != nil {
+		return nil, err
+	}
 	const nodes = 15000
 	runs := sc.Runs
 	if runs < 1 {
@@ -342,7 +360,10 @@ type Fig15Point struct {
 
 // Fig15 sweeps the maximum number of nodes contacted per steal attempt.
 func Fig15(sc Scale) ([]Fig15Point, error) {
-	t := GoogleTrace(sc)
+	t, err := GoogleTrace(sc)
+	if err != nil {
+		return nil, err
+	}
 	const nodes = 15000
 	caps := []int{1, 2, 3, 4, 5, 10, 15, 20, 25, 50, 75, 100, 250}
 	cfgs := make([]policy.Config, len(caps))

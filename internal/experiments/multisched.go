@@ -65,7 +65,10 @@ func SchedulerSweep(sc Scale) ([]MultiSchedRow, error) {
 	// The scheduler count is this experiment's swept axis; a CLI -schedulers
 	// overlay must not override it (and would corrupt the n=1 baseline).
 	sc.Schedulers = nil
-	t := GoogleTrace(sc)
+	t, err := GoogleTrace(sc)
+	if err != nil {
+		return nil, err
+	}
 	const nodes = 15000
 	cfgs := make([]policy.Config, 0, len(SchedulerCounts))
 	for _, n := range SchedulerCounts {

@@ -47,7 +47,10 @@ func RobustnessOutage(sc Scale) ([]OutageRow, error) {
 	// The driver scripts its own outage; a CLI churn overlay (Scale.Churn)
 	// must not leak into the variants and muddy the comparison.
 	sc.Churn = nil
-	t := GoogleTrace(sc)
+	t, err := GoogleTrace(sc)
+	if err != nil {
+		return nil, err
+	}
 	const nodes = 15000
 	last := 0.0
 	for _, j := range t.Jobs {
@@ -110,7 +113,10 @@ func RobustnessChurn(sc Scale) ([]ChurnRow, error) {
 	// stable baseline must stay churn-free even when the CLI sets a churn
 	// overlay for the other experiments.
 	sc.Churn = nil
-	t := GoogleTrace(sc)
+	t, err := GoogleTrace(sc)
+	if err != nil {
+		return nil, err
+	}
 	const nodes = 15000
 	last := 0.0
 	for _, j := range t.Jobs {

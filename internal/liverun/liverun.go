@@ -43,6 +43,9 @@ func Run(trace *workload.Trace, cfg policy.Config) (*policy.Report, error) {
 	if cfg.StealRandomPositions {
 		return nil, fmt.Errorf("liverun: StealRandomPositions is a simulator-only ablation")
 	}
+	if cfg.DiscardJobReports || cfg.JobSink != nil {
+		return nil, fmt.Errorf("liverun: streamed report aggregation (DiscardJobReports/JobSink) is simulator-only")
+	}
 	if err := trace.Validate(); err != nil {
 		return nil, err
 	}

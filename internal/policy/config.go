@@ -88,6 +88,18 @@ type Config struct {
 	// Seed drives all randomness (probe placement, steal victims,
 	// mis-estimation draws). Equal seeds give identical simulator runs.
 	Seed int64 `json:"seed"`
+	// DiscardJobReports drops the per-job Report.Jobs slice (and the raw
+	// per-entry wait slices): per-class percentiles are instead aggregated
+	// into bounded reservoirs (Report.Streamed), so report memory stays
+	// O(1) however long the workload. Meant for streamed full-scale runs;
+	// combine with JobSink to still persist every job. Simulator only.
+	DiscardJobReports bool `json:"discardJobReports,omitempty"`
+	// JobSink, when set, receives every completed job's JobReport in
+	// completion order as the run executes. A non-nil error aborts the run
+	// after the current drain. Composable with DiscardJobReports for
+	// O(1)-memory runs that stream per-job results to disk. Not part of
+	// the serialized config. Simulator only.
+	JobSink func(JobReport) error `json:"-"`
 	// UtilizationInterval is the utilization sampling period in seconds
 	// (default 100, §2.3/§4.2). Simulator only.
 	UtilizationInterval float64 `json:"utilizationInterval,omitempty"`
@@ -207,6 +219,17 @@ func WithSpeedSkew(fraction, speed float64) Option {
 // WithSeed sets the seed driving all randomness.
 func WithSeed(seed int64) Option { return func(c *Config) { c.Seed = seed } }
 
+// WithDiscardedJobReports drops per-job reports in favor of bounded
+// reservoir aggregates (Report.Streamed), keeping report memory O(1) on
+// full-scale streamed runs. Simulator only.
+func WithDiscardedJobReports() Option { return func(c *Config) { c.DiscardJobReports = true } }
+
+// WithJobSink streams every completed job's report to sink in completion
+// order as the run executes. Simulator only.
+func WithJobSink(sink func(JobReport) error) Option {
+	return func(c *Config) { c.JobSink = sink }
+}
+
 // WithUtilizationInterval sets the simulator's utilization sampling period.
 func WithUtilizationInterval(sec float64) Option {
 	return func(c *Config) { c.UtilizationInterval = sec }
@@ -227,6 +250,16 @@ func (c Config) TotalSlots() int {
 // resolved exactly once per run and the returned Config is what the run
 // actually used.
 func (c Config) Normalize(t *workload.Trace) (Config, error) {
+	return c.NormalizeMeta(workload.Meta{
+		Cutoff:                 t.Cutoff,
+		ShortPartitionFraction: t.ShortPartitionFraction,
+	})
+}
+
+// NormalizeMeta is Normalize against a workload's up-front metadata instead
+// of a materialized trace — the form streamed runs use, since only the
+// trace-default Cutoff and ShortPartitionFraction are consulted.
+func (c Config) NormalizeMeta(m workload.Meta) (Config, error) {
 	if c.Policy == "" {
 		c.Policy = "hawk"
 	}
@@ -249,13 +282,13 @@ func (c Config) Normalize(t *workload.Trace) (Config, error) {
 		c.NumSchedulers = 10
 	}
 	if c.Cutoff == 0 {
-		c.Cutoff = t.Cutoff
+		c.Cutoff = m.Cutoff
 	}
 	if c.Cutoff <= 0 {
 		return c, fmt.Errorf("config: cutoff must be positive, got %g", c.Cutoff)
 	}
 	if c.ShortPartitionFraction <= 0 {
-		c.ShortPartitionFraction = t.ShortPartitionFraction
+		c.ShortPartitionFraction = m.ShortPartitionFraction
 	}
 	if c.ShortPartitionFraction > 1 {
 		return c, fmt.Errorf("config: ShortPartitionFraction must be at most 1, got %g", c.ShortPartitionFraction)

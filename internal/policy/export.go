@@ -43,6 +43,83 @@ func WriteResultsCSV(w io.Writer, r *Report) error {
 	return bw.Flush()
 }
 
+// JobCSVSink streams per-job outcomes to CSV row by row, in the exact
+// WriteResultsCSV format, as the run executes. It is the Config.JobSink
+// counterpart of WriteResultsCSV for streamed runs: every job is persisted
+// at completion and never retained, so exporting a multi-million-job run
+// needs O(1) memory. Rows buffer through a bufio.Writer; call Close (or
+// Flush) when the run returns.
+type JobCSVSink struct {
+	bw *bufio.Writer
+	cw *csv.Writer
+	f  *os.File // owned file when created by CreateJobCSVSink, else nil
+	// rec is the reused row buffer; Sink fully overwrites it each call.
+	rec [7]string
+}
+
+// NewJobCSVSink starts a CSV stream on w, writing the header row
+// immediately. Pass sink.Sink as Config.JobSink.
+func NewJobCSVSink(w io.Writer) (*JobCSVSink, error) {
+	s := &JobCSVSink{bw: bufio.NewWriter(w)}
+	s.cw = csv.NewWriter(s.bw)
+	if err := s.cw.Write([]string{"jobID", "submitTime", "runtime", "tasks", "long", "trueLong", "estimate"}); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// CreateJobCSVSink creates path and starts a CSV stream on it; Close also
+// closes the file.
+func CreateJobCSVSink(path string) (*JobCSVSink, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	s, err := NewJobCSVSink(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	s.f = f
+	return s, nil
+}
+
+// Sink appends one job row. It has the Config.JobSink signature.
+func (s *JobCSVSink) Sink(j JobReport) error {
+	s.rec[0] = strconv.Itoa(j.ID)
+	s.rec[1] = strconv.FormatFloat(j.SubmitTime, 'g', -1, 64)
+	s.rec[2] = strconv.FormatFloat(j.Runtime, 'g', -1, 64)
+	s.rec[3] = strconv.Itoa(j.Tasks)
+	s.rec[4] = strconv.FormatBool(j.Long)
+	s.rec[5] = strconv.FormatBool(j.TrueLong)
+	s.rec[6] = strconv.FormatFloat(j.Estimate, 'g', -1, 64)
+	if err := s.cw.Write(s.rec[:]); err != nil {
+		return fmt.Errorf("policy: writing job %d: %w", j.ID, err)
+	}
+	return nil
+}
+
+// Flush drains buffered rows to the underlying writer.
+func (s *JobCSVSink) Flush() error {
+	s.cw.Flush()
+	if err := s.cw.Error(); err != nil {
+		return err
+	}
+	return s.bw.Flush()
+}
+
+// Close flushes and, when the sink owns its file, closes it.
+func (s *JobCSVSink) Close() error {
+	err := s.Flush()
+	if s.f != nil {
+		if cerr := s.f.Close(); err == nil {
+			err = cerr
+		}
+		s.f = nil
+	}
+	return err
+}
+
 // SaveResultsCSV writes per-job outcomes to path.
 func SaveResultsCSV(path string, r *Report) error {
 	f, err := os.Create(path)

@@ -52,3 +52,29 @@ func CheckFeasibility(trace *workload.Trace, pol Policy, view *core.ClusterView,
 	}
 	return nil
 }
+
+// CheckFeasibilityMeta is the streaming counterpart of CheckFeasibility:
+// it checks a workload's up-front metadata without materializing any job.
+// Structural errors — a central route with no declared central pool — are
+// definitive and returned. The probe-pool width check uses the
+// conservative Meta.MaxTasks bound under both classifications; when that
+// bound fails the result is not a verdict (the widest job might route
+// centrally), so the check returns perJob=true and the engine re-checks
+// each job against its actual route at submission.
+func CheckFeasibilityMeta(m workload.Meta, pol Policy, view *core.ClusterView, failureMargin int) (perJob bool, err error) {
+	hasCentral := pol.CentralPool() != PoolNone
+	for _, long := range []bool{false, true} {
+		dec := pol.Route(JobInfo{ID: 0, Tasks: m.MaxTasks, Estimate: 1, Long: long})
+		switch dec.Action {
+		case ActionCentral:
+			if !hasCentral {
+				return false, fmt.Errorf("policy: %q routes jobs centrally but declares no central pool", pol.String())
+			}
+		default:
+			if m.MaxTasks > dec.Pool.Size(view)-failureMargin {
+				perJob = true
+			}
+		}
+	}
+	return perJob, nil
+}

@@ -3,6 +3,7 @@ package policy_test
 import (
 	"bytes"
 	"encoding/json"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -189,7 +190,7 @@ func TestNormalizeDefaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if again != cfg {
+	if !reflect.DeepEqual(again, cfg) {
 		t.Errorf("Normalize not idempotent: %+v != %+v", again, cfg)
 	}
 }
@@ -225,7 +226,7 @@ func TestNewConfigOptions(t *testing.T) {
 		t.Errorf("WithSchedulers(5) did not install the scheduler spec: %+v", cfg.Schedulers)
 	}
 	cfg.Schedulers = nil
-	if cfg != want {
+	if !reflect.DeepEqual(cfg, want) {
 		t.Errorf("NewConfig = %+v, want %+v", cfg, want)
 	}
 }

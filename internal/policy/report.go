@@ -126,11 +126,115 @@ type Report struct {
 	// head-of-line-blocking analyses (simulator only).
 	ShortEntryWaits []float64 `json:"-"`
 	LongEntryWaits  []float64 `json:"-"`
+
+	// Streamed holds the bounded-memory aggregates of a run with
+	// Config.DiscardJobReports set: per-class job counts and reservoir
+	// samples standing in for the Jobs slice and the wait slices (which
+	// are then empty). Nil on a run retaining per-job reports.
+	Streamed *StreamedStats `json:"streamed,omitempty"`
 }
 
-// runtimes returns per-class runtimes selected by sel.
+// DefaultReservoirSize is the per-class reservoir capacity used when
+// Config.DiscardJobReports turns on streamed aggregation: percentiles stay
+// exact up to this many samples per class and become tight estimates
+// beyond, while report memory stays constant.
+const DefaultReservoirSize = 4096
+
+// StreamedStats aggregates per-job outcomes with O(1) memory: class
+// counts and fixed-capacity uniform reservoirs of the runtimes and queue
+// waits. It stands in for Report.Jobs on runs that discard per-job
+// reports; Report.Percentile and Report.Summary consult it transparently.
+type StreamedStats struct {
+	ShortJobs int64 `json:"shortJobs"`
+	LongJobs  int64 `json:"longJobs"`
+	// TrueShortJobs/TrueLongJobs count by the exact-estimate class (the
+	// scheduler's view can differ under mis-estimation).
+	TrueShortJobs int64 `json:"trueShortJobs"`
+	TrueLongJobs  int64 `json:"trueLongJobs"`
+	// OutageJobs counts jobs submitted during a scripted central outage.
+	OutageJobs int64 `json:"outageJobs,omitempty"`
+
+	shortRuntimes *stats.Reservoir
+	longRuntimes  *stats.Reservoir
+	shortWaits    *stats.Reservoir
+	longWaits     *stats.Reservoir
+}
+
+// NewStreamedStats builds the aggregate with the given per-class reservoir
+// capacity. The four reservoirs draw from consecutive sub-seeds so the
+// aggregate is a pure function of (capacity, seed, observation sequence).
+func NewStreamedStats(capacity int, seed int64) *StreamedStats {
+	return &StreamedStats{
+		shortRuntimes: stats.NewReservoir(capacity, seed),
+		longRuntimes:  stats.NewReservoir(capacity, seed+1),
+		shortWaits:    stats.NewReservoir(capacity, seed+2),
+		longWaits:     stats.NewReservoir(capacity, seed+3),
+	}
+}
+
+// ObserveJob folds one completed job into the aggregate.
+//
+//hawk:hotpath
+func (st *StreamedStats) ObserveJob(j JobReport) {
+	if j.Long {
+		st.LongJobs++
+		st.longRuntimes.Add(j.Runtime)
+	} else {
+		st.ShortJobs++
+		st.shortRuntimes.Add(j.Runtime)
+	}
+	if j.TrueLong {
+		st.TrueLongJobs++
+	} else {
+		st.TrueShortJobs++
+	}
+	if j.DuringOutage {
+		st.OutageJobs++
+	}
+}
+
+// ObserveWait folds one queue-entry wait into the aggregate.
+//
+//hawk:hotpath
+func (st *StreamedStats) ObserveWait(w float64, long bool) {
+	if long {
+		st.longWaits.Add(w)
+	} else {
+		st.shortWaits.Add(w)
+	}
+}
+
+// RuntimeReservoir returns the runtime reservoir for the class.
+func (st *StreamedStats) RuntimeReservoir(long bool) *stats.Reservoir {
+	if long {
+		return st.longRuntimes
+	}
+	return st.shortRuntimes
+}
+
+// WaitReservoir returns the queue-wait reservoir for the class.
+func (st *StreamedStats) WaitReservoir(long bool) *stats.Reservoir {
+	if long {
+		return st.longWaits
+	}
+	return st.shortWaits
+}
+
+// runtimes returns per-class runtimes selected by sel. It counts the
+// matches first and allocates exactly: the callers immediately hand the
+// slice to sorting statistics, so over-reserving len(r.Jobs) for what is
+// typically a small class was pure waste.
 func (r *Report) runtimes(sel func(JobReport) bool) []float64 {
-	out := make([]float64, 0, len(r.Jobs))
+	n := 0
+	for _, j := range r.Jobs {
+		if sel(j) {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]float64, 0, n)
 	for _, j := range r.Jobs {
 		if sel(j) {
 			out = append(out, j.Runtime)
@@ -186,18 +290,45 @@ func (r *Report) RuntimesByID(long bool) map[int]float64 {
 	return out
 }
 
-// Percentile returns the p-th percentile runtime for the class.
+// Percentile returns the p-th percentile runtime for the class — computed
+// from the per-job reports, or from the streamed reservoir sample when the
+// run discarded them (exact up to the reservoir capacity, an estimate
+// beyond).
 func (r *Report) Percentile(long bool, p float64) float64 {
+	if len(r.Jobs) == 0 && r.Streamed != nil {
+		return r.Streamed.RuntimeReservoir(long).Percentile(p)
+	}
 	if long {
 		return stats.Percentile(r.LongRuntimes(), p)
 	}
 	return stats.Percentile(r.ShortRuntimes(), p)
 }
 
+// ClassSummary summarizes the class's runtimes from whichever store the
+// run kept: the per-job reports, or the streamed reservoirs (with the
+// exact class count substituted for the bounded sample's length).
+func (r *Report) ClassSummary(long bool) stats.Summary {
+	if len(r.Jobs) == 0 && r.Streamed != nil {
+		s := r.Streamed.RuntimeReservoir(long).Summarize()
+		// The reservoir retains a bounded sample; the count of observed
+		// jobs is tracked exactly.
+		if long {
+			s.Count = int(r.Streamed.LongJobs)
+		} else {
+			s.Count = int(r.Streamed.ShortJobs)
+		}
+		return s
+	}
+	if long {
+		return stats.Summarize(r.LongRuntimes())
+	}
+	return stats.Summarize(r.ShortRuntimes())
+}
+
 // Summary formats the headline numbers of the run.
 func (r *Report) Summary() string {
-	short := stats.Summarize(r.ShortRuntimes())
-	long := stats.Summarize(r.LongRuntimes())
+	short := r.ClassSummary(false)
+	long := r.ClassSummary(true)
 	util := r.Utilization.Median()
 	if math.IsNaN(util) {
 		util = 0

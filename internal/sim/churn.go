@@ -100,11 +100,14 @@ func (s *simulation) failNode(id int32, now float64) {
 			s.centralReassign(r.jidx, r.task)
 		default:
 			// A probe-fetched task: hand the task index back to the job
-			// and send a fresh probe to carry it.
+			// and send a fresh probe to carry it. The fresh probe is a new
+			// outstanding chain — its consuming reply is still to come —
+			// so the job's probe count grows by one.
 			s.res.TasksReexecuted++
 			s.res.WorkLostSeconds += now - r.start
 			js := &s.jobs[r.jidx]
 			js.lost = append(js.lost, r.task)
+			js.probes++
 			s.resendProbe(r.jidx)
 		}
 	}
@@ -165,10 +168,9 @@ func (s *simulation) resendProbe(jidx int32) {
 		s.ms.pendingProbes = append(s.ms.pendingProbes, jidx)
 		return
 	}
-	job := s.trace.Jobs[jidx]
 	js := &s.jobs[jidx]
 	dec := s.pol.Route(policy.JobInfo{
-		ID: job.ID, Tasks: job.NumTasks(), Estimate: js.estimate, Long: js.long,
+		ID: js.id, Tasks: len(js.durations), Estimate: js.estimate, Long: js.long,
 	})
 	s.nodeIDs = dec.Pool.SampleInto(s.nodeIDs[:0], s.view, s.src, 1)
 	if len(s.nodeIDs) == 0 {

@@ -1,5 +1,11 @@
 package sim
 
+import (
+	"fmt"
+
+	"repro/internal/workload"
+)
+
 // The simulator's typed-event union. Every discrete event a run executes is
 // one flat simEvent value stored directly in the engine's heap — there are
 // no per-event closures, so scheduling an event allocates nothing, and the
@@ -170,21 +176,42 @@ func (s *simulation) dispatch(now float64, ev simEvent) {
 	}
 }
 
-// submitNext submits the job at submission-order position pos and chains
-// the next trace job's submit event. Only one submit event is ever
-// pending, which is what keeps the engine's peak heap length proportional
-// to in-flight messages and running tasks instead of to the trace length.
-// The chain runs on the engine's reserved sequence numbers (position+1),
-// reproducing the tie-break rank each submit would have had if every
-// submit were preloaded before the run started.
+// submitNext submits the pending decoded job (submission-order position
+// pos), pulling the next job from the source and chaining its submit
+// event. Only one submit event is ever pending and only one undecoded job
+// is ever held, which is what keeps the engine's peak heap length — and,
+// on a streamed run, the decoded workload — proportional to in-flight
+// state instead of to the trace length. The chain runs on the engine's
+// reserved sequence numbers (position+1), reproducing the tie-break rank
+// each submit would have had if every submit were preloaded before the
+// run started.
 //
 //hawk:hotpath
 func (s *simulation) submitNext(pos int32) {
-	if next := pos + 1; int(next) < len(s.trace.Jobs) {
-		idx := s.jobAt(next)
-		s.eng.AtReserved(s.trace.Jobs[idx].SubmitTime, uint64(next)+1, simEvent{kind: evSubmit, ref: next})
+	if s.failErr != nil {
+		return // a prior source failure already aborted the run
 	}
-	s.submit(s.jobAt(pos))
+	job := s.pending
+	s.pending = nil
+	if next := pos + 1; int(next) < s.totalJobs {
+		nxt, ok := s.source.Next()
+		if !ok {
+			err := workload.SourceErr(s.source)
+			if err == nil {
+				err = fmt.Errorf("sim: source %q ended after %d jobs, meta promised %d", s.meta.Name, s.submitted, s.totalJobs) //hawk:allow fatal-abort path, runs at most once per run
+			}
+			s.failRun(err)
+			return
+		}
+		if nxt.SubmitTime < job.SubmitTime {
+			s.failRun(fmt.Errorf("sim: source %q: job %d out of order: submit %g after %g", s.meta.Name, nxt.ID, nxt.SubmitTime, job.SubmitTime)) //hawk:allow fatal-abort path, runs at most once per run
+			return
+		}
+		s.pending = nxt
+		s.submitted++
+		s.eng.AtReserved(nxt.SubmitTime, uint64(next)+1, simEvent{kind: evSubmit, ref: next})
+	}
+	s.submit(job)
 }
 
 // sampleTick records one utilization sample and schedules the next, for as
@@ -198,7 +225,7 @@ func (s *simulation) submitNext(pos int32) {
 //
 //hawk:hotpath
 func (s *simulation) sampleTick(now float64) {
-	if s.jobsDone >= len(s.trace.Jobs) {
+	if s.jobsDone >= s.totalJobs {
 		return
 	}
 	if s.eng.Pending() == 0 {

@@ -201,9 +201,13 @@ func (n *node) advance(s *simulation) {
 //hawk:hotpath
 func (n *node) probeReply(s *simulation, jidx int32) {
 	js := &s.jobs[jidx]
+	js.probes--
 	tidx, ok := js.nextTask()
 	if !ok {
 		s.res.Cancels++
+		// A cancel can be the job's last outstanding reference: if its
+		// tasks all finished elsewhere first, the slot frees here.
+		s.maybeFreeJob(jidx)
 		n.finishSlot(s)
 		return
 	}

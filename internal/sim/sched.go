@@ -221,7 +221,7 @@ func (s *simulation) snapRefreshTick(k int32, gen uint8, now float64) {
 	if gen != sd.epoch || !sd.alive {
 		return // chain from a previous incarnation
 	}
-	if s.jobsDone >= len(s.trace.Jobs) || sd.placed == 0 {
+	if s.jobsDone >= s.totalJobs || sd.placed == 0 {
 		sd.armed = false
 		return
 	}
@@ -236,7 +236,7 @@ func (s *simulation) snapRefreshTick(k int32, gen uint8, now float64) {
 //
 //hawk:hotpath
 func (s *simulation) msAssignOwner(idx int32) bool {
-	owner := s.ms.pickOwner(s.trace.Jobs[idx].ID)
+	owner := s.ms.pickOwner(s.jobs[idx].id)
 	if owner < 0 {
 		s.ms.pendingJobs = append(s.ms.pendingJobs, idx)
 		return false
@@ -253,7 +253,7 @@ func (s *simulation) ensureOwner(jidx int32) bool {
 	if s.ms.scheds[js.owner].alive {
 		return true
 	}
-	owner := s.ms.pickOwner(s.trace.Jobs[jidx].ID)
+	owner := s.ms.pickOwner(s.jobs[jidx].id)
 	if owner < 0 {
 		return false
 	}
@@ -364,7 +364,7 @@ func (s *simulation) msReplyReady(ev simEvent) bool {
 	if s.ms.scheds[js.owner].alive {
 		return true
 	}
-	owner := s.ms.pickOwner(s.trace.Jobs[ev.jidx].ID)
+	owner := s.ms.pickOwner(s.jobs[ev.jidx].id)
 	if owner < 0 {
 		s.ms.pendingReplies = append(s.ms.pendingReplies, replyRef{node: ev.ref, jidx: ev.jidx, gen: ev.gen})
 		return false

@@ -12,23 +12,36 @@
 // # Data layout
 //
 // The engine's hot state is data-oriented: nodes live in one dense []node
-// arena indexed by node id, per-job state lives in one preallocated
-// []jobState arena indexed by trace position, and queue entries and events
-// refer to jobs by int32 arena index instead of by pointer. Trace
-// submission is lazy — each submit event chains the next — so the event
-// heap's working set is bounded by in-flight messages and running tasks,
-// not by the trace length. See the README's Performance section.
+// arena indexed by node id, per-job state lives in one dense []jobState
+// arena, and queue entries and events refer to jobs by int32 arena index
+// instead of by pointer. Trace submission is lazy — each submit event
+// chains the next — so the event heap's working set is bounded by
+// in-flight messages and running tasks, not by the trace length. See the
+// README's Performance section.
 //
-// Every run must be a pure function of (trace, config, seed) — the golden
-// report tests depend on it — so hawklint's determinism analyzer guards the
-// whole package:
+// # Streaming
+//
+// Run consumes a materialized workload.Trace; RunSource consumes any
+// workload.Source, pulling the next job from the iterator only when its
+// submit event fires. On a streamed run (any non-adapter source) the jobs
+// arena doubles as a free list: a slot is recycled — and the decoded Job
+// handed back to a pooling source for reuse — as soon as its last probe is
+// accounted for and its report has been emitted, so peak live heap is
+// O(in-flight jobs + cluster), independent of trace length
+// (TestStreamedRunHeapStaysBounded pins this). Report memory streams too:
+// Config.JobSink emits each report at completion and
+// Config.DiscardJobReports replaces the Jobs slice with bounded reservoir
+// aggregates.
+//
+// Every run must be a pure function of (workload, config, seed) — the
+// golden report tests depend on it — so hawklint's determinism analyzer
+// guards the whole package:
 //
 //hawk:deterministic
 package sim
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/core"
 	"repro/internal/eventq"
@@ -37,18 +50,37 @@ import (
 	"repro/internal/workload"
 )
 
+// streamArenaHint caps the initial jobs-arena capacity on a streamed run:
+// the arena grows to the peak in-flight job count on demand, so the hint
+// only avoids early growth copies without committing trace-sized memory.
+const streamArenaHint = 1024
+
 // jobState tracks one job while it runs. States live in the simulation's
-// flat jobs arena (index = trace position) and are referenced everywhere by
-// that int32 index; the struct itself caches exactly what the hot paths
+// flat jobs arena and are referenced everywhere by int32 index (on a
+// materialized run, the trace position; on a streamed run, a recycled
+// free-list slot); the struct itself caches exactly what the hot paths
 // read — the duration slice for task hand-out and the classification bits —
 // so serving a probe reply touches one arena slot and one duration.
 type jobState struct {
-	durations []float64 // the job's per-task durations (shares the trace's backing array)
+	durations []float64 // the job's per-task durations (shares the decoded Job's backing array)
 	// lost holds task indices handed out to a node that failed before the
 	// task completed; nextTask re-serves them before fresh tasks. Nil on a
 	// churn-free run.
 	lost     []int32
 	estimate float64
+	// submit and id cache the Job fields the report needs, so completion
+	// reporting (and the multi-scheduler owner hash) never touches the
+	// decoded Job — which a streamed run recycles when the slot frees.
+	submit float64
+	id     int
+	// ref is the decoded job backing durations; handed back to a recycling
+	// source when the slot frees (streaming runs only).
+	ref *workload.Job
+	// probes counts outstanding probe chains for the job: incremented per
+	// probe sent (plus one per failure-recovered task awaiting a re-sent
+	// probe), decremented when a probe is consumed at probeReply. A slot
+	// can be recycled only once no probe can ever reference it again.
+	probes   int32
 	next     int32 // next task index to hand out (probe-scheduled jobs)
 	finished int32
 	long     bool
@@ -85,7 +117,6 @@ type simulation struct {
 	cfg        policy.Config
 	pol        policy.Policy
 	eng        *eventq.Engine[simEvent]
-	trace      *workload.Trace
 	part       core.Partition
 	classifier core.Classifier
 	estimator  *core.Estimator
@@ -94,17 +125,48 @@ type simulation struct {
 	central    *core.CentralQueue
 	res        *policy.Report
 
+	// source streams the workload in submission order; meta is its
+	// up-front metadata (exact job count, task bounds, defaults).
+	source workload.Source
+	meta   workload.Meta
+	// trace is the in-memory trace when the source is a Trace adapter, nil
+	// on a genuinely streamed run. Adapter runs keep the exact per-job
+	// feasibility pre-flight and never recycle job memory (the trace owns
+	// it); streamed runs are the converse.
+	trace *workload.Trace
+	// recycler hands finished jobs back to a pooling source (streamed runs
+	// only; nil otherwise).
+	recycler workload.Recycler
+	// streaming is true when the run must bound its memory by in-flight
+	// work: job-state slots recycle through freeSlots and decoded Jobs
+	// return to the source.
+	streaming bool
+	// pending is the next decoded job, waiting for its submit event to
+	// fire — the stream stays exactly one job ahead of simulated time.
+	pending *workload.Job
+	// freeSlots lists recyclable jobs-arena indices (streamed runs).
+	freeSlots []int32
+	// failErr aborts the run: a mid-stream source failure or an infeasible
+	// streamed job stops the submit chain and surfaces from run.
+	failErr error
+	// sinkErr is the first error returned by cfg.JobSink, reported after
+	// the run drains.
+	sinkErr error
+	// perJobFeas marks that the metadata feasibility check was
+	// inconclusive (conservative MaxTasks bound failed), so each streamed
+	// job is re-checked against its actual route at submission.
+	perJobFeas bool
+
 	// nodes is the node arena: one dense value slice, index = node id.
 	nodes []node
-	// jobs is the job-state arena, index = trace position; slots are
-	// populated when their job submits.
+	// jobs is the job-state arena, indexed by the int32 jidx carried in
+	// events and queue entries. Slots are appended at submission; on a
+	// streamed run a completed slot returns to freeSlots for reuse, so the
+	// arena's length tracks peak in-flight jobs, not the trace.
 	jobs []jobState
-	// submitOrder maps submission-order position to trace position when
-	// the trace is not already sorted by submit time (nil when it is, the
-	// common case — generators sort). Ties keep trace order, matching the
-	// event heap's FIFO tie-break on the eager-preload engine.
-	submitOrder []int32
 
+	totalJobs   int   // exact number of jobs the source will yield
+	submitted   int   // jobs pulled from the source so far
 	slots       int   // total execution slots (len(nodes))
 	shortOnly   int32 // cached s.part.ShortOnlyNodes() for the busy-count split
 	busyNodes   int
@@ -162,7 +224,9 @@ type simulation struct {
 
 // Run simulates the trace under the configuration, executing the policy
 // named by cfg.Policy, and returns the collected metrics. Runs are
-// deterministic for a given (trace, config) pair.
+// deterministic for a given (trace, config) pair. It is the materialized
+// convenience form of RunSource: the trace is adapted to a Source and run
+// on the identical engine path, producing identical reports.
 func Run(trace *workload.Trace, cfg policy.Config) (*policy.Report, error) {
 	s, err := newSimulation(trace, cfg)
 	if err != nil {
@@ -171,16 +235,50 @@ func Run(trace *workload.Trace, cfg policy.Config) (*policy.Report, error) {
 	return s.run()
 }
 
-// newSimulation validates the inputs and builds the arenas and event
-// engine, leaving the first submit (and the first utilization tick)
-// scheduled. Split from run so tests can inspect engine state.
-func newSimulation(trace *workload.Trace, cfg policy.Config) (*simulation, error) {
-	cfg, err := cfg.Normalize(trace)
+// RunSource simulates a streamed workload: jobs are decoded from src one
+// submit event at a time, so together with job-slot recycling the peak
+// live heap is O(in-flight jobs + slots) regardless of trace length. The
+// source must yield jobs in non-decreasing submit-time order (its Meta
+// must say Sorted) and its Meta.NumJobs must be exact. Runs are
+// deterministic for a given (source stream, config) pair and — for the
+// same job stream — byte-identical to Run.
+func RunSource(src workload.Source, cfg policy.Config) (*policy.Report, error) {
+	s, err := newSimulationSource(src, cfg)
 	if err != nil {
+		return nil, err
+	}
+	return s.run()
+}
+
+// newSimulation validates an in-memory trace and builds the simulation on
+// the Trace-adapter source. Split from run so tests can inspect engine
+// state.
+func newSimulation(trace *workload.Trace, cfg policy.Config) (*simulation, error) {
+	// Config errors take precedence over trace errors (and the adapter's
+	// Meta scan must not run on a structurally invalid trace).
+	if _, err := cfg.Normalize(trace); err != nil {
 		return nil, err
 	}
 	if err := trace.Validate(); err != nil {
 		return nil, err
+	}
+	return newSimulationSource(workload.NewTraceSource(trace), cfg)
+}
+
+// newSimulationSource validates the inputs and builds the arenas and event
+// engine, leaving the first submit (and the first utilization tick)
+// scheduled.
+func newSimulationSource(src workload.Source, cfg policy.Config) (*simulation, error) {
+	meta := src.Meta()
+	cfg, err := cfg.NormalizeMeta(meta)
+	if err != nil {
+		return nil, err
+	}
+	if !meta.Sorted {
+		return nil, fmt.Errorf("sim: source %q does not guarantee submit-time order; sort the trace first", meta.Name)
+	}
+	if meta.NumJobs < 0 {
+		return nil, fmt.Errorf("sim: source %q reports negative job count %d", meta.Name, meta.NumJobs)
 	}
 	pol, err := policy.New(cfg.Policy, cfg)
 	if err != nil {
@@ -190,11 +288,23 @@ func newSimulation(trace *workload.Trace, cfg policy.Config) (*simulation, error
 	s := &simulation{
 		cfg:        cfg,
 		pol:        pol,
-		trace:      trace,
+		source:     src,
+		meta:       meta,
+		totalJobs:  meta.NumJobs,
 		classifier: core.Classifier{Cutoff: cfg.Cutoff},
 		estimator:  core.NewEstimator(cfg.MisestimateLo, cfg.MisestimateHi, cfg.Seed+1),
 		src:        randdist.New(cfg.Seed),
 		res:        &policy.Report{Engine: "sim", Policy: pol.String(), Config: cfg},
+	}
+	if ts, ok := src.(interface{ Trace() *workload.Trace }); ok {
+		// Trace-adapter mode: the jobs are retained by their owner, so the
+		// run must not recycle them — and the exact job list is available
+		// for the precise feasibility pre-flight.
+		s.trace = ts.Trace()
+	}
+	s.streaming = s.trace == nil
+	if s.streaming {
+		s.recycler, _ = src.(workload.Recycler)
 	}
 	s.slots = cfg.TotalSlots()
 
@@ -207,11 +317,12 @@ func newSimulation(trace *workload.Trace, cfg policy.Config) (*simulation, error
 	// could possibly keep pending at once (tiny traces on huge clusters).
 	// The hint is about avoiding growth copies in the hot loop; either
 	// way the heap grows on demand if a burst exceeds it.
-	traceBound := 2 + len(trace.Jobs)
-	for _, j := range trace.Jobs {
-		traceBound += 3 * j.NumTasks()
+	heapHint := s.slots + 64
+	if meta.TotalTasks > 0 {
+		traceBound := 2 + meta.NumJobs + 3*int(meta.TotalTasks)
+		heapHint = min(heapHint, traceBound)
 	}
-	s.eng = eventq.New(s.dispatch, min(s.slots+64, traceBound))
+	s.eng = eventq.New(s.dispatch, heapHint)
 
 	// One flat arena per hot structure: node and job state become
 	// sequential array indexing instead of 15k–170k individually
@@ -220,10 +331,24 @@ func newSimulation(trace *workload.Trace, cfg policy.Config) (*simulation, error
 	for i := range s.nodes {
 		s.nodes[i].id = int32(i)
 	}
-	s.jobs = make([]jobState, len(trace.Jobs))
-	// Every job produces exactly one JobReport; reserving the slice up
-	// front keeps jobCompleted off the allocator's growth path.
-	s.res.Jobs = make([]policy.JobReport, 0, len(trace.Jobs))
+	// The job arena starts at the full job count on a materialized run
+	// (slots are never recycled, so submission appends never re-allocate)
+	// but stays small on a streamed one, growing only to the peak
+	// in-flight job count.
+	arenaCap := meta.NumJobs
+	if s.streaming && arenaCap > streamArenaHint {
+		arenaCap = streamArenaHint
+	}
+	s.jobs = make([]jobState, 0, arenaCap)
+	if cfg.DiscardJobReports {
+		// Jobs retention is off: aggregate into bounded reservoirs instead
+		// of the per-job slice, so report memory is O(1) too.
+		s.res.Streamed = policy.NewStreamedStats(policy.DefaultReservoirSize, cfg.Seed+4)
+	} else {
+		// Every job produces exactly one JobReport; reserving the slice up
+		// front keeps jobCompleted off the allocator's growth path.
+		s.res.Jobs = make([]policy.JobReport, 0, meta.NumJobs)
+	}
 
 	s.part = core.NewPartition(s.slots, pol.ShortPartitionFraction())
 	s.shortOnly = int32(s.part.ShortOnlyNodes())
@@ -257,27 +382,27 @@ func newSimulation(trace *workload.Trace, cfg policy.Config) (*simulation, error
 		return nil, err
 	}
 
-	// Lazy chained submission: schedule only the first job's submit; each
-	// submit event schedules the next (see submitNext). Submission order
-	// is by submit time with trace order breaking ties, and the submit
-	// chain runs on the engine's reserved low sequence numbers, so every
-	// event receives the exact (timestamp, sequence) rank it would have
-	// had if all submits were preloaded before the run — including a
-	// submit winning an equal-timestamp tie against any run-time event.
-	if !sort.SliceIsSorted(trace.Jobs, func(i, j int) bool {
-		return trace.Jobs[i].SubmitTime < trace.Jobs[j].SubmitTime
-	}) {
-		s.submitOrder = make([]int32, len(trace.Jobs))
-		for i := range s.submitOrder {
-			s.submitOrder[i] = int32(i)
+	// Lazy chained submission: decode and schedule only the first job's
+	// submit; each submit event pulls the next job from the source and
+	// schedules it (see submitNext), so the stream stays exactly one
+	// decoded job ahead of simulated time. The submit chain runs on the
+	// engine's reserved low sequence numbers, so every event receives the
+	// exact (timestamp, sequence) rank it would have had if all submits
+	// were preloaded before the run — including a submit winning an
+	// equal-timestamp tie against any run-time event.
+	s.eng.ReserveSeqs(uint64(meta.NumJobs))
+	if meta.NumJobs > 0 {
+		j, ok := src.Next()
+		if !ok {
+			err := workload.SourceErr(src)
+			if err == nil {
+				err = fmt.Errorf("sim: source %q yielded no jobs, meta promised %d", meta.Name, meta.NumJobs)
+			}
+			return nil, err
 		}
-		sort.SliceStable(s.submitOrder, func(i, j int) bool {
-			return trace.Jobs[s.submitOrder[i]].SubmitTime < trace.Jobs[s.submitOrder[j]].SubmitTime
-		})
-	}
-	s.eng.ReserveSeqs(uint64(len(trace.Jobs)))
-	if len(trace.Jobs) > 0 {
-		s.eng.AtReserved(trace.Jobs[s.jobAt(0)].SubmitTime, 1, simEvent{kind: evSubmit, ref: 0})
+		s.pending = j
+		s.submitted = 1
+		s.eng.AtReserved(j.SubmitTime, 1, simEvent{kind: evSubmit, ref: 0})
 	}
 	s.nextSample = cfg.UtilizationInterval
 	s.eng.At(s.nextSample, simEvent{kind: evSample})
@@ -330,7 +455,13 @@ func churnHasMembership(spec *policy.ChurnSpec) bool {
 // run drains the event queue and assembles the report.
 func (s *simulation) run() (*policy.Report, error) {
 	s.eng.Run()
-	if s.jobsDone != len(s.trace.Jobs) {
+	if s.failErr != nil {
+		return nil, s.failErr
+	}
+	if s.sinkErr != nil {
+		return nil, fmt.Errorf("sim: job sink: %w", s.sinkErr)
+	}
+	if s.jobsDone != s.totalJobs {
 		detail := ""
 		if n := len(s.backlog); n > 0 {
 			detail += fmt.Sprintf("; %d central placements backlogged (scenario never restored the central scheduler?)", n)
@@ -346,7 +477,7 @@ func (s *simulation) run() (*policy.Report, error) {
 				detail += fmt.Sprintf("; %d placements waiting for a live scheduler (scenario never recovered one?)", n)
 			}
 		}
-		return nil, fmt.Errorf("sim: deadlock — %d of %d jobs completed%s", s.jobsDone, len(s.trace.Jobs), detail)
+		return nil, fmt.Errorf("sim: deadlock — %d of %d jobs completed%s", s.jobsDone, s.totalJobs, detail)
 	}
 	if s.centralDown {
 		// Outage never closed by the script: account it up to the end.
@@ -365,39 +496,93 @@ func (s *simulation) run() (*policy.Report, error) {
 	return s.res, nil
 }
 
-// jobAt maps a submission-order position to its trace position.
-//
-//hawk:hotpath
-func (s *simulation) jobAt(pos int32) int32 {
-	if s.submitOrder != nil {
-		return s.submitOrder[pos]
-	}
-	return pos
-}
-
-// checkFeasibility runs the shared pre-flight check. With exact estimates
-// each job's true class determines its route; under mis-estimation a job's
+// checkFeasibility runs the pre-flight check. With exact estimates each
+// job's true class determines its route; under mis-estimation a job's
 // class can flip at runtime, so both routes must be feasible. The margin
 // is the scenario's worst-case concurrent failures, so a churn script that
-// could starve a probe pool is rejected before the run.
+// could starve a probe pool is rejected before the run. Adapter runs check
+// every job exactly; streamed runs check the metadata's conservative
+// MaxTasks bound, falling back to a per-job check at submission when that
+// bound is inconclusive (see routeJob).
 func (s *simulation) checkFeasibility() error {
-	exact := s.cfg.ExactEstimates()
-	return policy.CheckFeasibility(s.trace, s.pol, s.view, s.cfg.Churn.MaxConcurrentFailures(),
-		func(j *workload.Job) []bool {
-			if exact {
-				return []bool{s.classifier.IsLong(j.AvgTaskDuration())}
-			}
-			return []bool{false, true}
-		})
+	margin := s.cfg.Churn.MaxConcurrentFailures()
+	if s.trace != nil {
+		exact := s.cfg.ExactEstimates()
+		return policy.CheckFeasibility(s.trace, s.pol, s.view, margin,
+			func(j *workload.Job) []bool {
+				if exact {
+					return []bool{s.classifier.IsLong(j.AvgTaskDuration())}
+				}
+				return []bool{false, true}
+			})
+	}
+	perJob, err := policy.CheckFeasibilityMeta(s.meta, s.pol, s.view, margin)
+	if err != nil {
+		return err
+	}
+	s.perJobFeas = perJob
+	return nil
 }
 
-// submit routes the newly arrived job at trace position idx per the
-// policy's decision, populating its arena slot.
+// allocSlot returns a jobs-arena index for a newly submitted job: a
+// recycled slot when one is free, else a fresh append. On a materialized
+// run slots never recycle and the arena was pre-sized to the job count, so
+// the append never re-allocates.
 //
 //hawk:hotpath
-func (s *simulation) submit(idx int32) {
-	job := s.trace.Jobs[idx]
+func (s *simulation) allocSlot() int32 {
+	if n := len(s.freeSlots); n > 0 {
+		idx := s.freeSlots[n-1]
+		s.freeSlots = s.freeSlots[:n-1]
+		return idx
+	}
+	s.jobs = append(s.jobs, jobState{})
+	return int32(len(s.jobs) - 1)
+}
+
+// maybeFreeJob recycles idx's arena slot once nothing can reference it
+// again: the job has completed AND no probe chain is outstanding (a probe
+// cancellation may arrive after the last task finishes elsewhere). The
+// decoded Job goes back to the source's pool. Materialized runs keep every
+// slot live — the report and the trace own the memory.
+//
+//hawk:hotpath
+func (s *simulation) maybeFreeJob(idx int32) {
+	if !s.streaming {
+		return
+	}
 	js := &s.jobs[idx]
+	if js.probes != 0 || int(js.finished) != len(js.durations) {
+		return
+	}
+	ref := js.ref
+	lost := js.lost[:0]
+	*js = jobState{lost: lost} // keep the lost backing array with the slot
+	s.freeSlots = append(s.freeSlots, idx)
+	if s.recycler != nil {
+		s.recycler.Recycle(ref)
+	}
+}
+
+// failRun records the first fatal mid-run error. The submit chain checks
+// it before pulling the next job, so the stream stops and run surfaces the
+// error after the queue drains.
+func (s *simulation) failRun(err error) {
+	if s.failErr == nil {
+		s.failErr = err
+	}
+}
+
+// submit routes a newly arrived decoded job per the policy's decision,
+// populating a (possibly recycled) arena slot.
+//
+//hawk:hotpath
+func (s *simulation) submit(job *workload.Job) {
+	idx := s.allocSlot()
+	js := &s.jobs[idx]
+	js.ref = job
+	js.id = job.ID
+	js.submit = job.SubmitTime
 	js.durations = job.Durations
 	js.estimate = s.estimator.Estimate(job)
 	js.long = s.classifier.IsLong(js.estimate)
@@ -411,10 +596,9 @@ func (s *simulation) submit(idx int32) {
 //
 //hawk:hotpath
 func (s *simulation) routeJob(idx int32) {
-	job := s.trace.Jobs[idx]
 	js := &s.jobs[idx]
 	dec := s.pol.Route(policy.JobInfo{
-		ID: job.ID, Tasks: job.NumTasks(), Estimate: js.estimate, Long: js.long,
+		ID: js.id, Tasks: len(js.durations), Estimate: js.estimate, Long: js.long,
 	})
 	if s.ms != nil && !s.msAssignOwner(idx) {
 		return // no live scheduler; parked until one recovers
@@ -446,6 +630,13 @@ func (s *simulation) routeJob(idx int32) {
 			s.parkedJobs = append(s.parkedJobs, idx)
 			return
 		}
+		if s.perJobFeas && s.dyn == nil && poolSize < len(js.durations) {
+			// Streamed run whose metadata bound was inconclusive: this job
+			// really is too wide for its probe pool on a static cluster —
+			// the same condition the exact pre-flight rejects up front.
+			s.failRun(fmt.Errorf("sim: job %d has %d tasks but its probe pool has only %d nodes", js.id, len(js.durations), poolSize)) //hawk:allow fatal-abort path, runs at most once per run
+			return
+		}
 		k := core.NumProbes(len(js.durations), s.cfg.ProbeRatio, poolSize)
 		s.nodeIDs = dec.Pool.SampleInto(s.nodeIDs[:0], view, s.src, k)
 		s.probeJob(idx, s.nodeIDs)
@@ -458,6 +649,7 @@ func (s *simulation) routeJob(idx int32) {
 //hawk:hotpath
 func (s *simulation) probeJob(idx int32, nodeIDs []int) {
 	s.res.ProbesSent += int64(len(nodeIDs))
+	s.jobs[idx].probes += int32(len(nodeIDs))
 	for _, id := range nodeIDs {
 		s.eng.After(s.cfg.NetworkDelay, simEvent{kind: evProbeArrive, ref: int32(id), jidx: idx})
 	}
@@ -550,18 +742,28 @@ func (s *simulation) jobCompleted(idx int32, now float64) {
 	if now > s.lastDone {
 		s.lastDone = now
 	}
-	job := s.trace.Jobs[idx]
 	js := &s.jobs[idx]
-	s.res.Jobs = append(s.res.Jobs, policy.JobReport{
-		ID:           job.ID,
-		SubmitTime:   job.SubmitTime,
-		Runtime:      now - job.SubmitTime,
+	jr := policy.JobReport{
+		ID:           js.id,
+		SubmitTime:   js.submit,
+		Runtime:      now - js.submit,
 		Tasks:        len(js.durations),
 		Long:         js.long,
 		TrueLong:     js.trueLong,
 		Estimate:     js.estimate,
 		DuringOutage: js.outage,
-	})
+	}
+	if s.cfg.JobSink != nil {
+		if err := s.cfg.JobSink(jr); err != nil && s.sinkErr == nil {
+			s.sinkErr = err
+		}
+	}
+	if s.res.Streamed != nil {
+		s.res.Streamed.ObserveJob(jr)
+	} else {
+		s.res.Jobs = append(s.res.Jobs, jr)
+	}
+	s.maybeFreeJob(idx)
 }
 
 // observeWait records how long a queue entry waited at nodes before its
@@ -570,6 +772,10 @@ func (s *simulation) jobCompleted(idx int32, now float64) {
 //hawk:hotpath
 func (s *simulation) observeWait(e entry, now float64) {
 	w := now - e.enq
+	if s.res.Streamed != nil {
+		s.res.Streamed.ObserveWait(w, e.long())
+		return
+	}
 	if e.long() {
 		s.res.LongEntryWaits = append(s.res.LongEntryWaits, w)
 	} else {

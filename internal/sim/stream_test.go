@@ -1,0 +1,328 @@
+package sim
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/workload"
+)
+
+// The streaming pipeline's contract is equivalence: a run fed job-by-job
+// from a Source must be indistinguishable from a run over the materialized
+// trace — same report, byte for byte — with peak memory proportional to
+// in-flight work instead of trace length. The tests in this file pin both
+// halves: report equality across every source kind, and the memory bound
+// (heap pin + zero-alloc steady state) that is the point of streaming.
+
+func TestStreamedGeneratorMatchesMaterialized(t *testing.T) {
+	gcfg := workload.GenConfig{NumJobs: 400, MeanInterArrival: 1, Seed: 3}
+	tr := workload.Generate(workload.Google(), gcfg)
+	for _, pol := range []string{"sparrow", "hawk", "centralized", "split"} {
+		cfg := policy.Config{NumNodes: 2000, Policy: pol, Seed: 4}
+		want := mustRun(t, tr, cfg)
+		got, err := RunSource(workload.NewGeneratorSource(workload.Google(), gcfg), cfg)
+		if err != nil {
+			t.Fatalf("%s: RunSource: %v", pol, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: streamed generator report differs from materialized run", pol)
+		}
+	}
+}
+
+func TestStreamedFileMatchesMaterialized(t *testing.T) {
+	gcfg := workload.GenConfig{NumJobs: 300, MeanInterArrival: 1, Seed: 8}
+	tr := workload.Generate(workload.Google(), gcfg)
+	cfg := policy.Config{NumNodes: 2000, Policy: "hawk", Seed: 5}
+	want := mustRun(t, tr, cfg)
+
+	// Round-trip through the gzipped stream format: the float encoding is
+	// exact (strconv 'g'/-1), so the decoded jobs — and therefore the
+	// whole report — must match the in-memory run bit for bit.
+	path := filepath.Join(t.TempDir(), "google.csv.gz")
+	if err := workload.SaveSource(path, workload.NewGeneratorSource(workload.Google(), gcfg)); err != nil {
+		t.Fatalf("SaveSource: %v", err)
+	}
+	src, err := workload.OpenSource(path)
+	if err != nil {
+		t.Fatalf("OpenSource: %v", err)
+	}
+	defer src.Close()
+	got, err := RunSource(src, cfg)
+	if err != nil {
+		t.Fatalf("RunSource: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("file-streamed report differs from materialized run")
+	}
+}
+
+func TestDiscardedJobReportsAggregates(t *testing.T) {
+	gcfg := workload.GenConfig{NumJobs: 500, MeanInterArrival: 1, Seed: 6}
+	tr := workload.Generate(workload.Google(), gcfg)
+	cfg := policy.Config{NumNodes: 2000, Policy: "hawk", Seed: 2}
+	want := mustRun(t, tr, cfg)
+
+	cfg.DiscardJobReports = true
+	got, err := RunSource(workload.NewGeneratorSource(workload.Google(), gcfg), cfg)
+	if err != nil {
+		t.Fatalf("RunSource: %v", err)
+	}
+	if len(got.Jobs) != 0 {
+		t.Fatalf("DiscardJobReports retained %d job reports", len(got.Jobs))
+	}
+	if got.Streamed == nil {
+		t.Fatal("DiscardJobReports produced no streamed aggregates")
+	}
+
+	var short, long, trueLong int64
+	for _, j := range want.Jobs {
+		if j.Long {
+			long++
+		} else {
+			short++
+		}
+		if j.TrueLong {
+			trueLong++
+		}
+	}
+	st := got.Streamed
+	if st.ShortJobs != short || st.LongJobs != long {
+		t.Errorf("class counts = %d short / %d long, want %d / %d",
+			st.ShortJobs, st.LongJobs, short, long)
+	}
+	if st.TrueLongJobs != trueLong {
+		t.Errorf("TrueLongJobs = %d, want %d", st.TrueLongJobs, trueLong)
+	}
+	// Both classes hold fewer samples than the reservoir capacity, so the
+	// reservoirs are exact and streamed percentiles must equal the ones
+	// computed from the retained Jobs slice.
+	for _, isLong := range []bool{false, true} {
+		for _, p := range []float64{50, 90, 99} {
+			if g, w := got.Percentile(isLong, p), want.Percentile(isLong, p); g != w {
+				t.Errorf("Percentile(%v, long=%v) = %v, want %v", p, isLong, g, w)
+			}
+		}
+	}
+	// The mechanism counters do not depend on report retention.
+	if got.Events != want.Events || got.TasksExecuted != want.TasksExecuted ||
+		got.ProbesSent != want.ProbesSent || got.Makespan != want.Makespan {
+		t.Error("streamed run's scalar counters differ from materialized run")
+	}
+}
+
+func TestJobSinkReceivesEveryJob(t *testing.T) {
+	gcfg := workload.GenConfig{NumJobs: 300, MeanInterArrival: 1, Seed: 9}
+	tr := workload.Generate(workload.Google(), gcfg)
+	cfg := policy.Config{NumNodes: 2000, Policy: "hawk", Seed: 3}
+	want := mustRun(t, tr, cfg)
+
+	var sunk []policy.JobReport
+	cfg.DiscardJobReports = true
+	cfg.JobSink = func(j policy.JobReport) error {
+		sunk = append(sunk, j)
+		return nil
+	}
+	if _, err := RunSource(workload.NewGeneratorSource(workload.Google(), gcfg), cfg); err != nil {
+		t.Fatalf("RunSource: %v", err)
+	}
+	if !reflect.DeepEqual(sunk, want.Jobs) {
+		t.Errorf("sink received %d jobs that differ from the retained Jobs slice (want %d)",
+			len(sunk), len(want.Jobs))
+	}
+}
+
+func TestJobCSVSinkRoundTrip(t *testing.T) {
+	gcfg := workload.GenConfig{NumJobs: 250, MeanInterArrival: 1, Seed: 12}
+	tr := workload.Generate(workload.Google(), gcfg)
+	cfg := policy.Config{NumNodes: 2000, Policy: "hawk", Seed: 6}
+	want := mustRun(t, tr, cfg)
+
+	var buf bytes.Buffer
+	sink, err := policy.NewJobCSVSink(&buf)
+	if err != nil {
+		t.Fatalf("NewJobCSVSink: %v", err)
+	}
+	cfg.DiscardJobReports = true
+	cfg.JobSink = sink.Sink
+	if _, err := RunSource(workload.NewGeneratorSource(workload.Google(), gcfg), cfg); err != nil {
+		t.Fatalf("RunSource: %v", err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatalf("sink close: %v", err)
+	}
+	jobs, err := policy.ReadResultsCSV(&buf)
+	if err != nil {
+		t.Fatalf("ReadResultsCSV: %v", err)
+	}
+	if !reflect.DeepEqual(jobs, want.Jobs) {
+		t.Errorf("CSV round trip yielded %d jobs differing from the retained Jobs slice (want %d)",
+			len(jobs), len(want.Jobs))
+	}
+}
+
+func TestJobSinkErrorAbortsRun(t *testing.T) {
+	gcfg := workload.GenConfig{NumJobs: 100, MeanInterArrival: 1, Seed: 2}
+	cfg := policy.Config{NumNodes: 500, Policy: "hawk", Seed: 1}
+	cfg.JobSink = func(policy.JobReport) error {
+		return errSinkFull
+	}
+	_, err := RunSource(workload.NewGeneratorSource(workload.Google(), gcfg), cfg)
+	if err == nil {
+		t.Fatal("a failing job sink did not abort the run")
+	}
+}
+
+var errSinkFull = &sinkErr{}
+
+type sinkErr struct{}
+
+func (*sinkErr) Error() string { return "sink full" }
+
+// peakLiveHeap runs a streamed discard-reports simulation of jobs Google
+// jobs and returns the largest post-GC live heap observed at eight points
+// spread across the run. Sampling rides the job sink, so the measurement
+// is in-band and deterministic.
+func peakLiveHeap(t *testing.T, jobs int) uint64 {
+	t.Helper()
+	src := workload.NewGeneratorSource(workload.Google(), workload.GenConfig{
+		NumJobs: jobs, MeanInterArrival: 5.75, Seed: 11,
+	})
+	stride := jobs / 8
+	if stride < 1 {
+		stride = 1
+	}
+	var peak uint64
+	done := 0
+	cfg := policy.Config{
+		NumNodes: 6000, Policy: "hawk", Seed: 9,
+		DiscardJobReports: true,
+		JobSink: func(policy.JobReport) error {
+			if done++; done%stride == 0 {
+				runtime.GC()
+				var ms runtime.MemStats
+				runtime.ReadMemStats(&ms)
+				if ms.HeapAlloc > peak {
+					peak = ms.HeapAlloc
+				}
+			}
+			return nil
+		},
+	}
+	res, err := RunSource(src, cfg)
+	if err != nil {
+		t.Fatalf("RunSource(%d jobs): %v", jobs, err)
+	}
+	if n := res.Streamed.ShortJobs + res.Streamed.LongJobs; n != int64(jobs) {
+		t.Fatalf("run completed %d jobs, want %d", n, jobs)
+	}
+	return peak
+}
+
+// TestStreamedRunHeapStaysBounded is the pin on the tentpole property:
+// peak live heap of a streamed run is O(in-flight jobs + cluster), not
+// O(trace). A 10× longer trace at the same offered load must stay within
+// 2× of the short run's peak (the slack absorbs GC timing and the
+// allocator's size-class rounding). Grows with trace length — whether from
+// retained job reports, per-job wait slices, a materialized trace, or an
+// unrecycled arena — and this fails immediately.
+func TestStreamedRunHeapStaysBounded(t *testing.T) {
+	small, big := 2000, 20000
+	if !testing.Short() {
+		big = 80000 // ≈2.2M tasks, the full-Google-trace scale
+	}
+	peakSmall := peakLiveHeap(t, small)
+	peakBig := peakLiveHeap(t, big)
+	t.Logf("peak live heap: %d jobs → %.1f MiB, %d jobs → %.1f MiB",
+		small, float64(peakSmall)/(1<<20), big, float64(peakBig)/(1<<20))
+	const slack = 8 << 20
+	if peakBig > 2*peakSmall+slack {
+		t.Errorf("peak live heap grew from %d to %d bytes (%.1f×) across a %d× longer trace; streaming should pin it",
+			peakSmall, peakBig, float64(peakBig)/float64(peakSmall), big/small)
+	}
+}
+
+// loopSource yields fixed-shape jobs at a fixed cadence and pools the
+// structs it handed out, like GeneratorSource but with constant task
+// counts — so a recycled Durations slice always has capacity for the next
+// job and the steady-state decode loop provably allocates nothing.
+type loopSource struct {
+	meta workload.Meta
+	durs []float64
+	gap  float64
+	next int
+	free []*workload.Job
+}
+
+func newLoopSource(jobs int, gap float64, durs ...float64) *loopSource {
+	return &loopSource{
+		meta: workload.Meta{
+			Name: "loop", Cutoff: 1000, ShortPartitionFraction: 0.2,
+			NumJobs: jobs, MaxTasks: len(durs),
+			TotalTasks: int64(jobs) * int64(len(durs)), Sorted: true,
+		},
+		durs: durs,
+		gap:  gap,
+	}
+}
+
+func (l *loopSource) Meta() workload.Meta { return l.meta }
+
+func (l *loopSource) Next() (*workload.Job, bool) {
+	if l.next >= l.meta.NumJobs {
+		return nil, false
+	}
+	var j *workload.Job
+	if n := len(l.free); n > 0 {
+		j, l.free = l.free[n-1], l.free[:n-1]
+	} else {
+		j = &workload.Job{Durations: make([]float64, 0, len(l.durs))}
+	}
+	j.ID = l.next
+	j.SubmitTime = float64(l.next) * l.gap
+	j.Durations = append(j.Durations[:0], l.durs...)
+	l.next++
+	return j, true
+}
+
+func (l *loopSource) Recycle(j *workload.Job) { l.free = append(l.free, j) }
+
+// steadyStateSimSource is steadyStateSim for a streamed run: same warm-up
+// contract, but the simulation pulls from src with job reports discarded,
+// so the only per-job state is the recycled arena slot and the
+// preallocated reservoirs.
+func steadyStateSimSource(t *testing.T, src workload.Source, cfg policy.Config, warm int) *simulation {
+	t.Helper()
+	cfg.UtilizationInterval = 1e18
+	cfg.DiscardJobReports = true
+	s, err := newSimulationSource(src, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < warm; i++ {
+		if !s.eng.Step() {
+			t.Fatalf("simulation drained after %d warm-up events — enlarge the source", i)
+		}
+	}
+	return s
+}
+
+// TestStreamingSteadyStateZeroAllocs extends the TestSteadyStateZeroAllocs
+// pin to the full streaming loop: decode (source Next), submit-chain,
+// placement, completion, streamed aggregation, slot free, and job recycle.
+// Once the free lists and reservoirs are warm, none of it may allocate.
+func TestStreamingSteadyStateZeroAllocs(t *testing.T) {
+	src := newLoopSource(200000, 2.5, 200, 200, 200, 200)
+	s := steadyStateSimSource(t, src, policy.Config{NumNodes: 400, Policy: "hawk", Seed: 5}, 20000)
+	measureSteadySteps(t, s, 30000)
+	if int(s.submitted) <= len(s.jobs) {
+		t.Fatalf("submitted %d jobs into an arena of %d slots — recycling never kicked in", s.submitted, len(s.jobs))
+	}
+	if len(src.free) == 0 && len(s.freeSlots) == 0 {
+		t.Fatal("neither the source pool nor the slot free list was ever used")
+	}
+}

@@ -1,0 +1,70 @@
+package stats
+
+// Reservoir holds a fixed-capacity uniform sample of a value stream
+// (Vitter's Algorithm R), so percentile estimates over arbitrarily long
+// streams need O(capacity) memory. While the stream is no longer than the
+// capacity the reservoir holds every value and its percentiles are exact;
+// beyond that each value seen has the same capacity/n probability of being
+// retained. Replacement draws come from a private splitmix64 stream, so a
+// reservoir is a pure function of (capacity, seed, value sequence) — the
+// same determinism contract as every other statistic here.
+type Reservoir struct {
+	values []float64
+	n      int64  // values observed (not retained)
+	state  uint64 // splitmix64 state
+}
+
+// NewReservoir returns an empty reservoir sampling at most capacity values.
+// The backing array is allocated up front so Add never allocates.
+func NewReservoir(capacity int, seed int64) *Reservoir {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Reservoir{values: make([]float64, 0, capacity), state: uint64(seed)}
+}
+
+// next64 advances the splitmix64 stream.
+func (r *Reservoir) next64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Add observes one value.
+//
+//hawk:hotpath
+func (r *Reservoir) Add(v float64) {
+	r.n++
+	if len(r.values) < cap(r.values) {
+		r.values = append(r.values, v)
+		return
+	}
+	// Retain with probability capacity/n: pick a uniform index in [0, n)
+	// and replace only when it lands inside the reservoir.
+	if i := r.next64() % uint64(r.n); i < uint64(len(r.values)) {
+		r.values[i] = v
+	}
+}
+
+// Count returns how many values have been observed (not how many are
+// retained).
+func (r *Reservoir) Count() int64 { return r.n }
+
+// Values returns the retained sample, in retention order. The slice is a
+// copy; mutating it does not affect the reservoir.
+func (r *Reservoir) Values() []float64 {
+	return append([]float64(nil), r.values...)
+}
+
+// Percentile returns the p-th percentile of the retained sample — exact
+// while Count <= capacity, an estimate beyond. NaN when empty.
+func (r *Reservoir) Percentile(p float64) float64 {
+	return Percentile(r.values, p)
+}
+
+// Summarize computes the standard Summary over the retained sample.
+func (r *Reservoir) Summarize() Summary {
+	return Summarize(r.values)
+}

@@ -182,12 +182,14 @@ func pickCluster(clusters []ClusterSpec, u float64) ClusterSpec {
 	return clusters[len(clusters)-1]
 }
 
-func genJob(id int, cs ClusterSpec, src *randdist.Source) *Job {
-	n := int(src.Exp(cs.MeanTasks))
+// drawJobShape draws a job's shape — task count and mean task duration —
+// from the cluster spec. Both the materializing and streaming generators
+// call it, so the two consume identical draws.
+func drawJobShape(cs ClusterSpec, src *randdist.Source) (n int, mean float64) {
+	n = int(src.Exp(cs.MeanTasks))
 	if n < 1 {
 		n = 1
 	}
-	var mean float64
 	if cs.DurSigma > 0 {
 		mean = src.LogNormal(math.Log(cs.MeanDur), cs.DurSigma)
 	} else {
@@ -196,16 +198,51 @@ func genJob(id int, cs ClusterSpec, src *randdist.Source) *Job {
 	if mean <= 0 {
 		mean = cs.MeanDur * 1e-3
 	}
-	durations := make([]float64, n)
+	return n, mean
+}
+
+// genJobInto regenerates j in place as job id drawn from cs, reusing the
+// Durations backing array when it has capacity. SubmitTime is reset to 0;
+// the caller assigns arrivals.
+func genJobInto(j *Job, id int, cs ClusterSpec, src *randdist.Source) {
+	n, mean := drawJobShape(cs, src)
+	j.ID = id
+	j.SubmitTime = 0
+	j.ConstructedLong = cs.Long
+	if cap(j.Durations) >= n {
+		j.Durations = j.Durations[:n]
+	} else {
+		j.Durations = make([]float64, n)
+	}
 	sigma := cs.TaskDurCV * mean
-	for i := range durations {
+	for i := range j.Durations {
 		if sigma > 0 {
-			durations[i] = src.TruncGaussian(mean, sigma)
+			j.Durations[i] = src.TruncGaussian(mean, sigma)
 		} else {
-			durations[i] = mean
+			j.Durations[i] = mean
 		}
 	}
-	return &Job{ID: id, Durations: durations, ConstructedLong: cs.Long}
+}
+
+// skipJob consumes exactly the draws genJobInto would for one job from cs
+// and returns its task count, without building the job. The streaming
+// generator's metadata prescan runs on this, keeping pass one O(1) in
+// memory while staying draw-for-draw aligned with pass two.
+func skipJob(cs ClusterSpec, src *randdist.Source) int {
+	n, mean := drawJobShape(cs, src)
+	sigma := cs.TaskDurCV * mean
+	if sigma > 0 {
+		for i := 0; i < n; i++ {
+			src.TruncGaussian(mean, sigma)
+		}
+	}
+	return n
+}
+
+func genJob(id int, cs ClusterSpec, src *randdist.Source) *Job {
+	j := &Job{}
+	genJobInto(j, id, cs, src)
+	return j
 }
 
 // MotivationWorkload builds the exact §2.3 scenario used for Figure 1:

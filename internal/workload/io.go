@@ -21,18 +21,9 @@ import (
 func WriteCSV(w io.Writer, t *Trace) error {
 	bw := bufio.NewWriter(w)
 	cw := csv.NewWriter(bw)
+	rec := make([]string, 0, 64)
 	for _, j := range t.Jobs {
-		rec := make([]string, 0, 3+len(j.Durations)+1)
-		rec = append(rec,
-			strconv.Itoa(j.ID),
-			strconv.FormatFloat(j.SubmitTime, 'g', -1, 64),
-			strconv.Itoa(len(j.Durations)))
-		for _, d := range j.Durations {
-			rec = append(rec, strconv.FormatFloat(d, 'g', -1, 64))
-		}
-		if j.ConstructedLong {
-			rec = append(rec, "L")
-		}
+		rec = appendJobRecord(rec[:0], j)
 		if err := cw.Write(rec); err != nil {
 			return fmt.Errorf("workload: writing job %d: %w", j.ID, err)
 		}
@@ -59,44 +50,67 @@ func ReadCSV(r io.Reader) (*Trace, error) {
 		if err != nil {
 			return nil, fmt.Errorf("workload: line %d: %w", line, err)
 		}
-		if len(rec) < 4 {
-			return nil, fmt.Errorf("workload: line %d: record too short (%d fields)", line, len(rec))
+		j := &Job{}
+		if err := parseJobFields(rec, j); err != nil {
+			return nil, fmt.Errorf("workload: line %d: %w", line, err)
 		}
-		id, err := strconv.Atoi(rec[0])
-		if err != nil {
-			return nil, fmt.Errorf("workload: line %d: bad job id %q: %w", line, rec[0], err)
-		}
-		submit, err := strconv.ParseFloat(rec[1], 64)
-		if err != nil {
-			return nil, fmt.Errorf("workload: line %d: bad submit time %q: %w", line, rec[1], err)
-		}
-		n, err := strconv.Atoi(rec[2])
-		if err != nil || n < 1 {
-			return nil, fmt.Errorf("workload: line %d: bad task count %q", line, rec[2])
-		}
-		rest := rec[3:]
-		long := false
-		if len(rest) == n+1 && rest[n] == "L" {
-			long = true
-			rest = rest[:n]
-		}
-		if len(rest) != n {
-			return nil, fmt.Errorf("workload: line %d: expected %d durations, got %d", line, n, len(rest))
-		}
-		durations := make([]float64, n)
-		for i, f := range rest {
-			d, err := strconv.ParseFloat(f, 64)
-			if err != nil {
-				return nil, fmt.Errorf("workload: line %d: bad duration %q: %w", line, f, err)
-			}
-			durations[i] = d
-		}
-		t.Jobs = append(t.Jobs, &Job{ID: id, SubmitTime: submit, Durations: durations, ConstructedLong: long})
+		t.Jobs = append(t.Jobs, j)
 	}
 	if err := t.Validate(); err != nil {
 		return nil, err
 	}
 	return t, nil
+}
+
+// parseJobFields decodes one CSV record (WriteCSV format) into j, reusing
+// j.Durations' backing array when it has capacity, and checks the per-job
+// invariants Validate would: non-negative submit time and durations, at
+// least one task. Shared by the materializing and streaming readers.
+func parseJobFields(rec []string, j *Job) error {
+	if len(rec) < 4 {
+		return fmt.Errorf("record too short (%d fields)", len(rec))
+	}
+	id, err := strconv.Atoi(rec[0])
+	if err != nil {
+		return fmt.Errorf("bad job id %q: %w", rec[0], err)
+	}
+	submit, err := strconv.ParseFloat(rec[1], 64)
+	if err != nil {
+		return fmt.Errorf("bad submit time %q: %w", rec[1], err)
+	}
+	if submit < 0 {
+		return fmt.Errorf("negative submit time %g", submit)
+	}
+	n, err := strconv.Atoi(rec[2])
+	if err != nil || n < 1 {
+		return fmt.Errorf("bad task count %q", rec[2])
+	}
+	rest := rec[3:]
+	long := false
+	if len(rest) == n+1 && rest[n] == "L" {
+		long = true
+		rest = rest[:n]
+	}
+	if len(rest) != n {
+		return fmt.Errorf("expected %d durations, got %d", n, len(rest))
+	}
+	if cap(j.Durations) >= n {
+		j.Durations = j.Durations[:n]
+	} else {
+		j.Durations = make([]float64, n)
+	}
+	for i, f := range rest {
+		d, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return fmt.Errorf("bad duration %q: %w", f, err)
+		}
+		if d < 0 {
+			return fmt.Errorf("negative duration %g", d)
+		}
+		j.Durations[i] = d
+	}
+	j.ID, j.SubmitTime, j.ConstructedLong = id, submit, long
+	return nil
 }
 
 // SaveFile writes the trace to path.

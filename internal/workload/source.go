@@ -1,0 +1,196 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Meta carries the trace-level facts a simulation must know before the
+// first job is decoded: the scheduling defaults (long/short cutoff and
+// reserved-partition fraction), the exact job count, and size bounds used
+// for feasibility checks and event-heap hints. Sources know their Meta up
+// front; nothing in it requires materializing the job list.
+type Meta struct {
+	// Name identifies the workload (e.g. "google").
+	Name string
+	// Cutoff is the default long/short cutoff (seconds of average task
+	// duration), as on Trace.
+	Cutoff float64
+	// ShortPartitionFraction is the default fraction of nodes reserved for
+	// short tasks, as on Trace.
+	ShortPartitionFraction float64
+	// NumJobs is the exact number of jobs the source will yield.
+	NumJobs int
+	// MaxTasks is the largest per-job task count the source will yield,
+	// or 0 if unknown. Used for up-front feasibility checks.
+	MaxTasks int
+	// TotalTasks is the total task count across all jobs, or 0 if unknown.
+	// Used to size the simulator's event heap.
+	TotalTasks int64
+	// Sorted reports whether jobs arrive in non-decreasing SubmitTime
+	// order. The simulator requires a sorted source.
+	Sorted bool
+}
+
+// Source is a pull iterator over a trace's jobs in submission order. It is
+// the streaming counterpart of Trace: the simulator decodes the next job
+// only when its submit event fires, so peak memory is bounded by in-flight
+// work rather than trace length.
+//
+// Contract: Next returns the next job and true, or nil and false after the
+// last job. A source that can fail mid-stream (e.g. a file reader) should
+// also implement Err() error, checked via SourceErr after Next returns
+// false. A returned *Job and its Durations remain owned by the caller
+// until handed back through Recycle (if the source implements Recycler);
+// sources must never reuse or mutate a yielded job before then.
+type Source interface {
+	// Meta returns the trace metadata, known before any job is decoded.
+	Meta() Meta
+	// Next returns the next job in submission order, or (nil, false) when
+	// the source is exhausted or failed.
+	Next() (*Job, bool)
+}
+
+// Recycler is optionally implemented by sources that pool job objects.
+// Recycle hands a job previously returned by Next back to the source for
+// reuse; the caller must not touch the job or its Durations afterwards.
+// Recycling is what makes streamed generation O(in-flight) in allocations
+// as well as bytes: steady state reuses a small free list of jobs instead
+// of producing per-job garbage.
+type Recycler interface {
+	Recycle(*Job)
+}
+
+// SourceErr returns the terminal error of src, if src reports one via an
+// Err() error method (file readers do; in-memory sources do not). It
+// returns nil for sources without an Err method. Callers should check it
+// after Next returns false to distinguish exhaustion from mid-stream
+// failure.
+func SourceErr(src Source) error {
+	if f, ok := src.(interface{ Err() error }); ok {
+		return f.Err()
+	}
+	return nil
+}
+
+// Meta returns the trace's metadata in Source form. It scans the job list
+// once; Sorted reflects the actual ordering.
+func (t *Trace) Meta() Meta {
+	m := Meta{
+		Name:                   t.Name,
+		Cutoff:                 t.Cutoff,
+		ShortPartitionFraction: t.ShortPartitionFraction,
+		NumJobs:                len(t.Jobs),
+		Sorted:                 true,
+	}
+	prev := 0.0
+	for _, j := range t.Jobs {
+		n := len(j.Durations)
+		if n > m.MaxTasks {
+			m.MaxTasks = n
+		}
+		m.TotalTasks += int64(n)
+		if j.SubmitTime < prev {
+			m.Sorted = false
+		}
+		prev = j.SubmitTime
+	}
+	return m
+}
+
+// TraceSource adapts an in-memory Trace to the Source interface. It yields
+// the trace's jobs in submission order (sorting an index permutation
+// internally when the trace is unsorted, without reordering the trace), so
+// its Meta always reports Sorted. Jobs stay owned by the Trace; a
+// TraceSource does not recycle them.
+type TraceSource struct {
+	t     *Trace
+	order []int32 // nil when t.Jobs is already sorted
+	next  int
+	meta  Meta
+}
+
+// NewTraceSource returns a Source view of t. The trace is not copied or
+// mutated; yielding is O(1) per job after an O(n log n) setup when the
+// trace is unsorted.
+func NewTraceSource(t *Trace) *TraceSource {
+	s := &TraceSource{t: t, meta: t.Meta()}
+	if !s.meta.Sorted {
+		s.order = make([]int32, len(t.Jobs))
+		for i := range s.order {
+			s.order[i] = int32(i)
+		}
+		sort.SliceStable(s.order, func(a, b int) bool {
+			return t.Jobs[s.order[a]].SubmitTime < t.Jobs[s.order[b]].SubmitTime
+		})
+		s.meta.Sorted = true
+	}
+	return s
+}
+
+// Meta returns the trace metadata; Sorted is always true.
+func (s *TraceSource) Meta() Meta { return s.meta }
+
+// Next yields the next job by submission order.
+func (s *TraceSource) Next() (*Job, bool) {
+	if s.next >= len(s.t.Jobs) {
+		return nil, false
+	}
+	i := s.next
+	s.next++
+	if s.order != nil {
+		i = int(s.order[i])
+	}
+	return s.t.Jobs[i], true
+}
+
+// Trace returns the underlying in-memory trace. The simulator uses this to
+// detect adapter mode: trace-backed jobs are retained by their owner, so
+// slot recycling must not scavenge their Durations.
+func (s *TraceSource) Trace() *Trace { return s.t }
+
+// Materialize drains src into an in-memory Trace, validating the result.
+// It is the bridge back from streaming to the eager call sites (workload
+// statistics, trace transforms); by definition it costs O(trace) memory.
+func Materialize(src Source) (*Trace, error) {
+	m := src.Meta()
+	t := &Trace{
+		Name:                   m.Name,
+		Cutoff:                 m.Cutoff,
+		ShortPartitionFraction: m.ShortPartitionFraction,
+		Jobs:                   make([]*Job, 0, m.NumJobs),
+	}
+	for {
+		j, ok := src.Next()
+		if !ok {
+			break
+		}
+		t.Jobs = append(t.Jobs, j)
+	}
+	if err := SourceErr(src); err != nil {
+		return nil, err
+	}
+	if !m.Sorted {
+		t.SortBySubmitTime()
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// Counted reports how many jobs have been yielded so far; exposed for
+// progress reporting by long-running CLI conversions.
+func (s *TraceSource) Counted() int { return s.next }
+
+var _ Source = (*TraceSource)(nil)
+
+// sortedCheck is a tiny helper shared by streaming sources that must
+// enforce non-decreasing submit order without buffering: it returns an
+// error when t regresses below prev.
+func sortedCheck(name string, id int, t, prev float64) error {
+	if t < prev {
+		return fmt.Errorf("workload: %s: job %d submit time %g out of order (previous %g)", name, id, t, prev)
+	}
+	return nil
+}

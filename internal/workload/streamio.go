@@ -1,0 +1,333 @@
+package workload
+
+import (
+	"bufio"
+	"compress/gzip"
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Streaming trace file format ("hawk-trace"): a header line carrying the
+// Meta, followed by one CSV record per job in the WriteCSV format,
+// gzip-compressed when the path ends in ".gz":
+//
+//	#hawk-trace v=1 name="google" cutoff=1129 frac=0.17 jobs=50000 maxtasks=4113 tasks=1352384
+//	0,1.93,12,104.2,98.7,...
+//
+// Records must be in non-decreasing submit-time order — the writer
+// enforces it, the reader verifies it — so a reader can feed the simulator
+// directly without buffering. Unlike the legacy headerless format, the
+// job count and size bounds are known before the first record is decoded.
+
+// ErrNotStreamTrace reports that a file lacks the hawk-trace header and is
+// presumably a legacy headerless CSV; callers fall back to LoadFile.
+var ErrNotStreamTrace = errors.New("workload: missing #hawk-trace header")
+
+const streamHeaderMagic = "#hawk-trace"
+
+// WriteSource drains src to w in the hawk-trace format (uncompressed; see
+// SaveSource for the gzip-by-extension convenience). Jobs are written as
+// they are pulled and recycled back to src when it implements Recycler, so
+// converting a streamed source to a file is O(in-flight) in memory. It is
+// an error for src to yield jobs out of submit-time order.
+func WriteSource(w io.Writer, src Source) error {
+	m := src.Meta()
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%s v=1 name=%q cutoff=%s frac=%s jobs=%d maxtasks=%d tasks=%d\n",
+		streamHeaderMagic, m.Name,
+		strconv.FormatFloat(m.Cutoff, 'g', -1, 64),
+		strconv.FormatFloat(m.ShortPartitionFraction, 'g', -1, 64),
+		m.NumJobs, m.MaxTasks, m.TotalTasks); err != nil {
+		return err
+	}
+	cw := csv.NewWriter(bw)
+	rec, prev, count := make([]string, 0, 64), 0.0, 0
+	recycler, _ := src.(Recycler)
+	for {
+		j, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := sortedCheck(m.Name, j.ID, j.SubmitTime, prev); err != nil {
+			return err
+		}
+		prev = j.SubmitTime
+		rec = appendJobRecord(rec[:0], j)
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("workload: writing job %d: %w", j.ID, err)
+		}
+		count++
+		if recycler != nil {
+			recycler.Recycle(j)
+		}
+	}
+	if err := SourceErr(src); err != nil {
+		return err
+	}
+	if count != m.NumJobs {
+		return fmt.Errorf("workload: source yielded %d jobs, meta promised %d", count, m.NumJobs)
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// appendJobRecord appends j's CSV fields (WriteCSV format) to rec.
+func appendJobRecord(rec []string, j *Job) []string {
+	rec = append(rec,
+		strconv.Itoa(j.ID),
+		strconv.FormatFloat(j.SubmitTime, 'g', -1, 64),
+		strconv.Itoa(len(j.Durations)))
+	for _, d := range j.Durations {
+		rec = append(rec, strconv.FormatFloat(d, 'g', -1, 64))
+	}
+	if j.ConstructedLong {
+		rec = append(rec, "L")
+	}
+	return rec
+}
+
+// SaveSource writes src to path in the hawk-trace format, gzipped when the
+// path ends in ".gz".
+func SaveSource(path string, src Source) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = f
+	var gz *gzip.Writer
+	if strings.HasSuffix(path, ".gz") {
+		gz = gzip.NewWriter(f)
+		w = gz
+	}
+	if err := WriteSource(w, src); err != nil {
+		f.Close()
+		return err
+	}
+	if gz != nil {
+		if err := gz.Close(); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	return f.Close()
+}
+
+// FileSource streams jobs from a hawk-trace file with chunked decode: one
+// CSV record is parsed per Next, into a pooled Job, so peak memory is
+// O(in-flight jobs) regardless of file size. It enforces the format's
+// ordering and count invariants as it reads and reports failures through
+// Err. FileSource implements Recycler; Close releases the file handle.
+type FileSource struct {
+	f    *os.File
+	gz   *gzip.Reader
+	cr   *csv.Reader
+	meta Meta
+	prev float64
+	n    int
+	err  error
+	done bool
+	free []*Job
+}
+
+// OpenSource opens a hawk-trace file for streaming (gzip inferred from a
+// ".gz" suffix). It reads only the header: job records decode lazily via
+// Next. Returns ErrNotStreamTrace (wrapped) when the header is absent.
+func OpenSource(path string) (*FileSource, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	s := &FileSource{f: f}
+	var r io.Reader = f
+	if strings.HasSuffix(path, ".gz") {
+		if s.gz, err = gzip.NewReader(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("workload: %s: %w", path, err)
+		}
+		r = s.gz
+	}
+	br := bufio.NewReaderSize(r, 1<<16)
+	header, err := br.ReadString('\n')
+	if err != nil && err != io.EOF {
+		s.Close()
+		return nil, fmt.Errorf("workload: %s: reading header: %w", path, err)
+	}
+	if s.meta, err = parseStreamHeader(header); err != nil {
+		s.Close()
+		return nil, fmt.Errorf("workload: %s: %w", path, err)
+	}
+	s.cr = csv.NewReader(br)
+	s.cr.FieldsPerRecord = -1 // variable-length records
+	s.cr.ReuseRecord = true
+	return s, nil
+}
+
+// parseStreamHeader decodes the #hawk-trace header line. Values are
+// space-separated key=value pairs; name is a Go-quoted string (spaces and
+// quotes allowed).
+func parseStreamHeader(line string) (Meta, error) {
+	m := Meta{Sorted: true}
+	line = strings.TrimSuffix(line, "\n")
+	line = strings.TrimSuffix(line, "\r")
+	rest, ok := strings.CutPrefix(line, streamHeaderMagic)
+	if !ok || (rest != "" && rest[0] != ' ') {
+		return m, ErrNotStreamTrace
+	}
+	sawVersion := false
+	for rest != "" {
+		rest = strings.TrimLeft(rest, " ")
+		if rest == "" {
+			break
+		}
+		eq := strings.IndexByte(rest, '=')
+		if eq < 0 {
+			return m, fmt.Errorf("header field %q: missing '='", rest)
+		}
+		key, val := rest[:eq], rest[eq+1:]
+		var err error
+		if strings.HasPrefix(val, `"`) {
+			var quoted string
+			if quoted, err = strconv.QuotedPrefix(val); err != nil {
+				return m, fmt.Errorf("header field %s: bad quoted value: %w", key, err)
+			}
+			rest = val[len(quoted):]
+			if val, err = strconv.Unquote(quoted); err != nil {
+				return m, fmt.Errorf("header field %s: %w", key, err)
+			}
+		} else if sp := strings.IndexByte(val, ' '); sp >= 0 {
+			val, rest = val[:sp], val[sp:]
+		} else {
+			rest = ""
+		}
+		switch key {
+		case "v":
+			if val != "1" {
+				return m, fmt.Errorf("unsupported hawk-trace version %q", val)
+			}
+			sawVersion = true
+		case "name":
+			m.Name = val
+		case "cutoff":
+			m.Cutoff, err = strconv.ParseFloat(val, 64)
+		case "frac":
+			m.ShortPartitionFraction, err = strconv.ParseFloat(val, 64)
+		case "jobs":
+			m.NumJobs, err = strconv.Atoi(val)
+		case "maxtasks":
+			m.MaxTasks, err = strconv.Atoi(val)
+		case "tasks":
+			m.TotalTasks, err = strconv.ParseInt(val, 10, 64)
+		default:
+			// Unknown keys are ignored for forward compatibility.
+		}
+		if err != nil {
+			return m, fmt.Errorf("header field %s=%q: %w", key, val, err)
+		}
+	}
+	if !sawVersion {
+		return m, fmt.Errorf("header missing version field")
+	}
+	if m.NumJobs < 0 || m.MaxTasks < 0 || m.TotalTasks < 0 ||
+		m.Cutoff < 0 || m.ShortPartitionFraction < 0 || m.ShortPartitionFraction > 1 {
+		return m, fmt.Errorf("header has out-of-range values")
+	}
+	return m, nil
+}
+
+// Meta returns the metadata from the file header.
+func (s *FileSource) Meta() Meta { return s.meta }
+
+// Next decodes and returns the next job record. It returns (nil, false) at
+// end of stream or on a decode error; check Err to distinguish.
+func (s *FileSource) Next() (*Job, bool) {
+	if s.done {
+		return nil, false
+	}
+	rec, err := s.cr.Read()
+	if err == io.EOF {
+		s.done = true
+		if s.n != s.meta.NumJobs {
+			s.err = fmt.Errorf("workload: trace %q: file ended after %d jobs, header promised %d", s.meta.Name, s.n, s.meta.NumJobs)
+		}
+		return nil, false
+	}
+	if err != nil {
+		s.fail(fmt.Errorf("workload: trace %q: job %d: %w", s.meta.Name, s.n, err))
+		return nil, false
+	}
+	if s.n >= s.meta.NumJobs {
+		s.fail(fmt.Errorf("workload: trace %q: more records than the %d jobs the header promised", s.meta.Name, s.meta.NumJobs))
+		return nil, false
+	}
+	var j *Job
+	if n := len(s.free); n > 0 {
+		j = s.free[n-1]
+		s.free = s.free[:n-1]
+	} else {
+		j = &Job{}
+	}
+	if err := parseJobFields(rec, j); err != nil {
+		s.fail(fmt.Errorf("workload: trace %q: job %d: %w", s.meta.Name, s.n, err))
+		return nil, false
+	}
+	if err := sortedCheck(s.meta.Name, j.ID, j.SubmitTime, s.prev); err != nil {
+		s.fail(err)
+		return nil, false
+	}
+	if len(j.Durations) > s.meta.MaxTasks {
+		s.fail(fmt.Errorf("workload: trace %q: job %d has %d tasks, header promised at most %d", s.meta.Name, j.ID, len(j.Durations), s.meta.MaxTasks))
+		return nil, false
+	}
+	s.prev = j.SubmitTime
+	s.n++
+	return j, true
+}
+
+func (s *FileSource) fail(err error) {
+	s.done = true
+	s.err = err
+}
+
+// Err returns the first error encountered while streaming, or nil after a
+// clean end of stream.
+func (s *FileSource) Err() error { return s.err }
+
+// Recycle returns a job to the source's pool for reuse by a later Next.
+func (s *FileSource) Recycle(j *Job) {
+	if j == nil {
+		return
+	}
+	s.free = append(s.free, j)
+}
+
+// Close releases the underlying file. Next returns false after Close.
+func (s *FileSource) Close() error {
+	s.done = true
+	var gzErr error
+	if s.gz != nil {
+		gzErr = s.gz.Close()
+		s.gz = nil
+	}
+	if s.f == nil {
+		return gzErr
+	}
+	err := s.f.Close()
+	s.f = nil
+	if err == nil {
+		err = gzErr
+	}
+	return err
+}
+
+var (
+	_ Source   = (*FileSource)(nil)
+	_ Recycler = (*FileSource)(nil)
+)

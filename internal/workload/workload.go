@@ -6,6 +6,17 @@
 // (job id, submission time, number of tasks, duration of each task). The
 // generators reproduce the published marginals: Table 1's long-job and
 // task-second shares and Figure 4's task-duration / tasks-per-job CDFs.
+//
+// Workloads come in two forms. Trace materializes every job up front;
+// Source streams them one at a time in submission order with the trace's
+// size and defaults known up front (Meta), so a consumer's memory is
+// bounded by in-flight work. Three sources cover the spectrum:
+// TraceSource adapts an in-memory Trace, GeneratorSource synthesizes jobs
+// on demand draw-for-draw identical to Generate, and FileSource decodes
+// the on-disk hawk-trace format (gzipped CSV with a metadata header; see
+// SaveSource/OpenSource) chunk by chunk. Sources that implement Recycler
+// pool decoded jobs handed back by the consumer, closing the loop to zero
+// steady-state allocation.
 package workload
 
 import (
