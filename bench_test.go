@@ -378,6 +378,34 @@ func BenchmarkMultiScheduler(b *testing.B) {
 	}
 }
 
+// BenchmarkFaultInjection is BenchmarkLargeCluster's operating point run
+// through the gray-failure plane: 1% loss on every message class plus
+// delay jitter on the 12000-node steal-heavy trace, so every send draws a
+// loss decision and a jitter delay from the fault stream and the dropped
+// tail exercises the timeout/backoff retry events. It gates the fault
+// plane's overhead in CI's benchmark-regression gate; the fault-free
+// configuration is identical to BenchmarkLargeCluster's, so the delta
+// between the two is the model's cost.
+func BenchmarkFaultInjection(b *testing.B) {
+	trace := workload.Generate(workload.Google(), workload.GenConfig{
+		NumJobs: 3000, MeanInterArrival: 0.5, Seed: 13,
+	})
+	faults := &policy.FaultSpec{
+		ProbeLoss: 0.01, ReplyLoss: 0.01, StealLoss: 0.01,
+		AssignLoss: 0.01, CommitLoss: 0.01, Jitter: 0.001, MaxRetries: 8,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sim.Run(trace, policy.Config{NumNodes: 12000, Policy: "hawk", Seed: 5, Faults: faults})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Events), "events/op")
+		b.ReportMetric(float64(res.MessagesDropped.Total()), "dropped/op")
+		b.ReportMetric(float64(res.ProbeRetries), "probeRetries/op")
+	}
+}
+
 // BenchmarkCentralQueue measures the §3.7 priority queue in isolation at
 // cluster scale.
 func BenchmarkCentralQueue(b *testing.B) {

@@ -31,7 +31,7 @@ import (
 )
 
 var (
-	expFlag     = flag.String("exp", "", "experiment id (table1, table2, fig1, fig4, fig5, fig6, fig7, fig8-9, fig10-11, fig12-13, fig14, fig15, fig16-17, robustness, churn, multisched) or 'all'")
+	expFlag     = flag.String("exp", "", "experiment id (table1, table2, fig1, fig4, fig5, fig6, fig7, fig8-9, fig10-11, fig12-13, fig14, fig15, fig16-17, robustness, churn, faults, multisched) or 'all'")
 	listFlag    = flag.Bool("list", false, "list experiment ids and exit")
 	numJobsFlag = flag.Int("numjobs", 20000, "synthetic trace size in jobs")
 	jobsFlag    = flag.Int("jobs", 0, "max concurrent simulations (0 = one per CPU)")
@@ -56,6 +56,17 @@ var (
 	schedulers     = flag.Int("schedulers", 0, "run every simulation with this many concurrent schedulers (0 or 1 = exact single scheduler)")
 	schedFailAt    = flag.Float64("scheduler-fail-at", 0, "simulated seconds at which scheduler 0 fails (0 = never; requires -schedulers)")
 	schedRecoverAt = flag.Float64("scheduler-recover-at", 0, "simulated seconds at which scheduler 0 recovers (0 = never)")
+
+	// Gray-failure overlay (see hawk.FaultSpec); the faults experiment
+	// sweeps the loss probability itself and ignores these.
+	netDelay       = flag.Float64("net-delay", 0, "one-way network delay per message leg in seconds (0 = default)")
+	msgLoss        = flag.Float64("msg-loss", 0, "drop probability applied to every message class in every run (0 = lossless)")
+	jitter         = flag.Float64("jitter", 0, "extra uniform [0,jitter) delay per message leg in seconds")
+	straggleAt     = flag.Float64("straggle-at", 0, "simulated seconds at which -straggle-nodes nodes slow down")
+	straggleNodes  = flag.Int("straggle-nodes", 0, "slow down this many random nodes at -straggle-at (0 = no stragglers)")
+	straggleFactor = flag.Float64("straggle-factor", 4, "slowdown factor of the straggling nodes (tasks stretch by this)")
+	speculate      = flag.Bool("speculate", false, "speculatively re-execute straggling short tasks (first completion wins)")
+	faultRetries   = flag.Int("fault-retries", 0, "send retries before a lossy message gives up (0 = default 3; raise for heavy -msg-loss)")
 )
 
 // scenario assembles the Churn/Heterogeneity/Schedulers overlay from the
@@ -86,6 +97,32 @@ func scenario() (*hawk.ChurnSpec, *hawk.Heterogeneity, *hawk.SchedulerSpec) {
 	return churn, hetero, spec
 }
 
+// faultOverlay assembles the gray-failure scenario from the injection
+// flags, or nil when none are set.
+func faultOverlay() *hawk.FaultSpec {
+	// Zero means unset; non-zero values (including invalid negatives) are
+	// passed through so Config.Normalize can reject them with a real error.
+	if *msgLoss == 0 && *jitter == 0 && *straggleNodes == 0 && !*speculate {
+		return nil
+	}
+	f := &hawk.FaultSpec{
+		ProbeLoss:  *msgLoss,
+		ReplyLoss:  *msgLoss,
+		StealLoss:  *msgLoss,
+		AssignLoss: *msgLoss,
+		CommitLoss: *msgLoss,
+		Jitter:     *jitter,
+		MaxRetries: *faultRetries,
+		Speculate:  *speculate,
+	}
+	if *straggleNodes != 0 {
+		f.Stragglers = []hawk.StragglerEvent{
+			{At: *straggleAt, Count: *straggleNodes, Factor: *straggleFactor},
+		}
+	}
+	return f
+}
+
 type experiment struct {
 	id   string
 	desc string
@@ -109,6 +146,7 @@ func registry() []experiment {
 		{"fig16-17", "Figures 16-17: implementation vs simulation (live prototype)", runFig1617},
 		{"robustness", "Central-scheduler outage: stealing keeps the general partition utilized (§4 resilience)", runRobustness},
 		{"churn", "Rolling node failures: re-execution and lost work under churn", runChurn},
+		{"faults", "Message-loss sweep 0-10%: latency degradation under a lossy RPC plane", runFaults},
 		{"multisched", "Scheduler-count sweep 1-100: claim conflicts and latency vs distributed schedulers (§4.10)", runMultiSched},
 	}
 }
@@ -138,6 +176,8 @@ func main() {
 	sc.Policy = *policyFlag
 	sc.TracePath = *traceFlag
 	sc.Churn, sc.Heterogeneity, sc.Schedulers = scenario()
+	sc.Faults = faultOverlay()
+	sc.NetworkDelay = *netDelay
 	if *traceOut != "" {
 		t, err := experiments.GoogleTrace(sc)
 		if err != nil {
@@ -418,6 +458,21 @@ func runChurn(sc experiments.Scale) error {
 			r.Variant, r.ShortP50, r.LongP50,
 			r.NodeFailures, r.NodeRecoveries, r.TasksReexecuted, r.ProbesLost, r.WorkLostSeconds)
 	}
+	return nil
+}
+
+func runFaults(sc experiments.Scale) error {
+	rows, err := experiments.RobustnessFaults(sc)
+	if err != nil {
+		return err
+	}
+	fmt.Println("policy       loss | short p50 p99 | long p50 | dropped probeRetries assignRetries fallbacks")
+	for _, r := range rows {
+		fmt.Printf("%-11s %.2f | %.0f %.0f | %.0f | %d %d %d %d\n",
+			r.Policy, r.Loss, r.ShortP50, r.ShortP99, r.LongP50,
+			r.MessagesDropped, r.ProbeRetries, r.AssignRetries, r.FallbacksToCentral)
+	}
+	fmt.Println("(bounded retries absorb the drops; hawk's exhausted short jobs degrade to the central queue instead of hanging)")
 	return nil
 }
 

@@ -72,6 +72,16 @@ var (
 	speedSkewFlag = flag.Float64("speed-skew", 0, "fraction of nodes running at -slow-speed (0 = homogeneous)")
 	slowSpeedFlag = flag.Float64("slow-speed", 0.5, "speed factor of the skewed nodes (1 = nominal)")
 
+	// Gray-failure injection flags.
+	netDelayFlag       = flag.Float64("net-delay", 0, "one-way network delay per message leg in seconds (0 = default)")
+	msgLossFlag        = flag.Float64("msg-loss", 0, "drop probability applied to every message class (0 = lossless)")
+	jitterFlag         = flag.Float64("jitter", 0, "extra uniform [0,jitter) delay per message leg in seconds")
+	straggleAtFlag     = flag.Float64("straggle-at", 0, "simulated seconds at which -straggle-nodes nodes slow down")
+	straggleNodesFlag  = flag.Int("straggle-nodes", 0, "slow down this many random nodes at -straggle-at (0 = no stragglers)")
+	straggleFactorFlag = flag.Float64("straggle-factor", 4, "slowdown factor of the straggling nodes (tasks stretch by this)")
+	speculateFlag      = flag.Bool("speculate", false, "speculatively re-execute straggling short tasks (first completion wins)")
+	faultRetriesFlag   = flag.Int("fault-retries", 0, "send retries before a lossy message gives up (0 = default 3; raise for heavy -msg-loss)")
+
 	traceOutFlag = flag.String("trace-out", "", "write the workload to this hawk-trace file (gzip by .gz suffix) before running")
 	streamFlag   = flag.Bool("stream", false, "discard per-job reports; aggregate into bounded reservoirs (for multi-million-task traces)")
 
@@ -162,9 +172,11 @@ func realMain() int {
 		DisableCentral:         *noCentralFlag,
 		MisestimateLo:          *misLoFlag,
 		MisestimateHi:          *misHiFlag,
+		NetworkDelay:           *netDelayFlag,
 		Schedulers:             schedulerSpec(),
 		Churn:                  churnSpec(),
 		Heterogeneity:          heterogeneitySpec(),
+		Faults:                 faultSpec(),
 		Seed:                   *seedFlag,
 		DiscardJobReports:      *streamFlag,
 	}
@@ -251,6 +263,32 @@ func churnSpec() *hawk.ChurnSpec {
 		return nil
 	}
 	return &hawk.ChurnSpec{Events: events}
+}
+
+// faultSpec assembles the gray-failure scenario from the injection flags,
+// or nil when none are set (no fault state, static fast path).
+func faultSpec() *hawk.FaultSpec {
+	// Zero means unset; non-zero values (including invalid negatives) are
+	// passed through so Config.Normalize can reject them with a real error.
+	if *msgLossFlag == 0 && *jitterFlag == 0 && *straggleNodesFlag == 0 && !*speculateFlag {
+		return nil
+	}
+	f := &hawk.FaultSpec{
+		ProbeLoss:  *msgLossFlag,
+		ReplyLoss:  *msgLossFlag,
+		StealLoss:  *msgLossFlag,
+		AssignLoss: *msgLossFlag,
+		CommitLoss: *msgLossFlag,
+		Jitter:     *jitterFlag,
+		MaxRetries: *faultRetriesFlag,
+		Speculate:  *speculateFlag,
+	}
+	if *straggleNodesFlag != 0 {
+		f.Stragglers = []hawk.StragglerEvent{
+			{At: *straggleAtFlag, Count: *straggleNodesFlag, Factor: *straggleFactorFlag},
+		}
+	}
+	return f
 }
 
 // heterogeneitySpec maps -speed-skew/-slow-speed onto a one-class spec.
@@ -361,6 +399,15 @@ func printResult(trace *hawk.Trace, res *hawk.Report) {
 		fmt.Printf("churn: failures=%d recoveries=%d reexecuted=%d probesLost=%d workLost=%.0fs outage=%.0fs deferred=%d\n",
 			res.NodeFailures, res.NodeRecoveries, res.TasksReexecuted, res.ProbesLost,
 			res.WorkLostSeconds, res.CentralOutageSeconds, res.CentralDeferred)
+	}
+	if d := res.MessagesDropped; d != nil {
+		fmt.Printf("faults: dropped probes=%d replies=%d steals=%d assigns=%d commits=%d  retries=%d/%d  fallbacks=%d\n",
+			d.Probes, d.Replies, d.Steals, d.Assigns, d.Commits,
+			res.ProbeRetries, res.AssignRetries, res.FallbacksToCentral)
+		if res.SpeculativeLaunches > 0 || res.StragglerSlowdowns > 0 {
+			fmt.Printf("speculation: launches=%d wins=%d wasted=%d  stragglers=%d\n",
+				res.SpeculativeLaunches, res.SpeculativeWins, res.SpeculativeWasted, res.StragglerSlowdowns)
+		}
 	}
 	if res.Config.Schedulers != nil {
 		fmt.Printf("schedulers: n=%d conflicts=%d retries=%d refreshes=%d staleness=%.1fs\n",

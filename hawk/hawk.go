@@ -103,7 +103,30 @@ type (
 	// PlacementConflicts / ConflictRetries / SnapshotStalenessSeconds
 	// counters quantify the contention.
 	SchedulerSpec = policy.SchedulerSpec
+
+	// FaultSpec turns on the gray-failure injection plane: seeded
+	// per-message-class loss, bounded delay jitter, scripted mid-run
+	// stragglers, and the defenses against them — probe timeouts with
+	// bounded exponential-backoff retries, graceful degradation to the
+	// central queue, and optional speculative re-execution. Install it with
+	// WithFaults or the per-knob options (WithMessageLoss, WithJitter,
+	// WithStragglers, WithSpeculation); the Report's MessagesDropped /
+	// ProbeRetries / FallbacksToCentral / Speculative* counters quantify
+	// the damage and the defenses' work. Both engines replay the same
+	// spec; a config without one carries no fault state at all.
+	FaultSpec = policy.FaultSpec
+	// StragglerEvent is one scripted slowdown of a FaultSpec: at time At,
+	// Count random nodes (or the specific Node) run Factor times slower,
+	// stretching their in-flight and future tasks; Factor 1 recovers.
+	StragglerEvent = policy.StragglerEvent
+	// MessageDrops breaks a Report's dropped messages down by class
+	// (probes, task-request replies, steal contacts, central assignments,
+	// multi-scheduler commits).
+	MessageDrops = policy.MessageDrops
 )
+
+// MaxFaultRetries bounds FaultSpec.MaxRetries.
+const MaxFaultRetries = policy.MaxFaultRetries
 
 // Churn event kinds.
 const (
@@ -187,6 +210,11 @@ var (
 	WithChurn                  = policy.WithChurn
 	WithHeterogeneity          = policy.WithHeterogeneity
 	WithSpeedSkew              = policy.WithSpeedSkew
+	WithFaults                 = policy.WithFaults
+	WithMessageLoss            = policy.WithMessageLoss
+	WithJitter                 = policy.WithJitter
+	WithStragglers             = policy.WithStragglers
+	WithSpeculation            = policy.WithSpeculation
 	WithSeed                   = policy.WithSeed
 	WithUtilizationInterval    = policy.WithUtilizationInterval
 	WithDiscardedJobReports    = policy.WithDiscardedJobReports

@@ -54,6 +54,14 @@ type Scale struct {
 	// model (the -schedulers flag). SchedulerSweep ignores it — the
 	// scheduler count is that experiment's swept axis.
 	Schedulers *policy.SchedulerSpec
+	// Faults, when set, runs every simulation under the gray-failure
+	// injection plane (the -msg-loss/-jitter/-straggle-*/-speculate
+	// flags). RobustnessFaults ignores it — message loss is that
+	// experiment's swept axis.
+	Faults *policy.FaultSpec
+	// NetworkDelay, when nonzero, overrides the per-message-leg network
+	// delay of every simulation (the -net-delay flag, seconds).
+	NetworkDelay float64
 	// TracePath, when set, replays a recorded hawk-trace file in place of
 	// the synthetic Google trace in every experiment built on GoogleTrace
 	// (cmd/hawkexp threads its -trace flag through here). Multi-workload
@@ -73,6 +81,12 @@ func (s Scale) apply(cfg policy.Config) policy.Config {
 	}
 	if cfg.Schedulers == nil {
 		cfg.Schedulers = s.Schedulers
+	}
+	if cfg.Faults == nil {
+		cfg.Faults = s.Faults
+	}
+	if cfg.NetworkDelay == 0 {
+		cfg.NetworkDelay = s.NetworkDelay
 	}
 	return cfg
 }

@@ -158,3 +158,81 @@ func RobustnessChurn(sc Scale) ([]ChurnRow, error) {
 	}
 	return rows, nil
 }
+
+// FaultRow is one (policy, loss) point of the message-loss sweep.
+type FaultRow struct {
+	Policy   string
+	Loss     float64
+	ShortP50 float64
+	ShortP99 float64
+	LongP50  float64
+
+	MessagesDropped    int64
+	ProbeRetries       int64
+	AssignRetries      int64
+	FallbacksToCentral int64
+}
+
+// FaultLossSweep is the swept per-class drop probability axis: lossless
+// through a heavily degraded 10% RPC plane.
+var FaultLossSweep = []float64{0, 0.01, 0.02, 0.05, 0.10}
+
+// RobustnessFaults sweeps uniform message loss from 0 to 10% across the
+// probe-based, hybrid, and centralized schedulers on the Google trace at
+// the paper's 15000-node operating point, reporting how short-job latency
+// degrades as the retry/timeout/fallback defenses absorb the drops. Hawk's
+// hybrid split is the interesting case: probe traffic rides the lossy
+// plane with bounded retries while exhausted short jobs degrade to the
+// central queue instead of hanging.
+func RobustnessFaults(sc Scale) ([]FaultRow, error) {
+	// The loss probability is this experiment's swept axis; a CLI fault
+	// overlay (Scale.Faults) must not leak into the points.
+	sc.Faults = nil
+	t, err := GoogleTrace(sc)
+	if err != nil {
+		return nil, err
+	}
+	const nodes = 15000
+	policies := []string{sc.PolicyName(), "sparrow", "centralized"}
+	if sc.PolicyName() == "sparrow" || sc.PolicyName() == "centralized" {
+		policies = []string{"hawk", "sparrow", "centralized"}
+	}
+	var cfgs []policy.Config
+	for _, pol := range policies {
+		for _, loss := range FaultLossSweep {
+			cfg := policy.Config{NumNodes: nodes, Policy: pol, Seed: sc.Seed}
+			if loss > 0 {
+				// MaxRetries 8 keeps a full retry-chain exhaustion (p^9)
+				// out of reach even at 10% loss, so every point measures
+				// degradation rather than starvation.
+				cfg.Faults = &policy.FaultSpec{
+					ProbeLoss: loss, ReplyLoss: loss, StealLoss: loss,
+					AssignLoss: loss, CommitLoss: loss, MaxRetries: 8,
+				}
+			}
+			cfgs = append(cfgs, cfg)
+		}
+	}
+	reports, err := runConfigs(t, cfgs, sc)
+	if err != nil {
+		return nil, fmt.Errorf("robustness-faults: %w", err)
+	}
+	rows := make([]FaultRow, 0, len(reports))
+	for i, r := range reports {
+		row := FaultRow{
+			Policy:             policies[i/len(FaultLossSweep)],
+			Loss:               FaultLossSweep[i%len(FaultLossSweep)],
+			ShortP50:           stats.Percentile(r.ShortRuntimes(), 50),
+			ShortP99:           stats.Percentile(r.ShortRuntimes(), 99),
+			LongP50:            stats.Percentile(r.LongRuntimes(), 50),
+			ProbeRetries:       r.ProbeRetries,
+			AssignRetries:      r.AssignRetries,
+			FallbacksToCentral: r.FallbacksToCentral,
+		}
+		if r.MessagesDropped != nil {
+			row.MessagesDropped = r.MessagesDropped.Total()
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -69,3 +69,35 @@ func TestRobustnessChurn(t *testing.T) {
 		t.Error("stable baseline saw churn")
 	}
 }
+
+// The message-loss sweep must cover every (policy, loss) point, engage the
+// retry machinery at nonzero loss, and stay clean at zero.
+func TestRobustnessFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full fault sweep in -short mode")
+	}
+	rows, err := RobustnessFaults(Scale{NumJobs: 4000, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 3 * len(FaultLossSweep); len(rows) != want {
+		t.Fatalf("got %d rows, want %d", len(rows), want)
+	}
+	for _, r := range rows {
+		if r.ShortP50 <= 0 {
+			t.Errorf("%s loss %.2f: short p50 %.2f", r.Policy, r.Loss, r.ShortP50)
+		}
+		if r.Loss == 0 && r.MessagesDropped != 0 {
+			t.Errorf("%s lossless point dropped %d messages", r.Policy, r.MessagesDropped)
+		}
+		if r.Loss > 0 && r.MessagesDropped == 0 {
+			t.Errorf("%s loss %.2f dropped nothing", r.Policy, r.Loss)
+		}
+		if r.Policy != "centralized" && r.Loss >= 0.05 && r.ProbeRetries == 0 {
+			t.Errorf("%s loss %.2f: no probe retries", r.Policy, r.Loss)
+		}
+		if r.Policy == "centralized" && r.Loss > 0 && r.AssignRetries == 0 {
+			t.Errorf("centralized loss %.2f: no assign retries", r.Loss)
+		}
+	}
+}

@@ -74,6 +74,11 @@ type cluster struct {
 	schedulerFailures   atomic.Int64
 	schedulerRecoveries atomic.Int64
 	schedulerReassigned atomic.Int64
+
+	// faults is the gray-failure plane (faults.go), nil unless Config.Faults
+	// is set — the fault-free run pays one nil check per message, mirroring
+	// the simulator's contract.
+	faults *faultPlane
 }
 
 func newCluster(cfg policy.Config, pol policy.Policy) *cluster {
@@ -134,11 +139,17 @@ func newCluster(cfg policy.Config, pol policy.Policy) *cluster {
 	}
 	c.probeSrc = root.Fork()
 	c.churnSrc = root.Fork()
+	if cfg.Faults != nil {
+		c.faults = newFaultPlane(*cfg.Faults, cfg.Seed)
+	}
 	for _, n := range c.nodes {
 		go n.run()
 	}
 	if c.cfg.Churn != nil && len(c.cfg.Churn.Events) > 0 {
 		go c.runChurn()
+	}
+	if c.faults != nil && len(c.faults.spec.Stragglers) > 0 {
+		go c.runStragglers()
 	}
 	return c
 }
@@ -148,10 +159,15 @@ func (c *cluster) stopAll() { close(c.stop) }
 // nowSeconds is the cluster's clock for the centralized waiting-time queue.
 func (c *cluster) nowSeconds() float64 { return time.Since(c.started).Seconds() }
 
-// latency injects one network hop of delay.
+// latency injects one network hop of delay, plus the fault plane's per-leg
+// jitter when configured.
 func (c *cluster) latency() {
-	if c.netDelay > 0 {
-		time.Sleep(c.netDelay)
+	d := c.netDelay
+	if c.faults != nil {
+		d += c.faults.jitterDelay()
+	}
+	if d > 0 {
+		time.Sleep(d)
 	}
 }
 
@@ -168,7 +184,7 @@ func (c *cluster) submit(jr *jobRuntime, seq int) {
 			go func() {
 				for i := 0; i < jr.job.NumTasks(); i++ {
 					dur := time.Duration(jr.job.Durations[i] * float64(time.Second))
-					c.placeCentralMS(jr, dur)
+					c.placeCentralMS(jr, dur, i)
 				}
 			}()
 			return
@@ -317,14 +333,20 @@ func (c *cluster) recoverNode(id int) {
 // rerouteEntry re-places one queue entry dropped by a failed node: probes
 // are re-sent to a live pool node, centrally placed tasks re-assigned.
 // (Queued tasks had not started, so they re-assign without counting as
-// re-executed; the killed running task is accounted by its executor.)
+// re-executed; the killed running task is accounted by its executor.) A
+// speculative duplicate is simply dropped as wasted — its original runs
+// (or re-serves) independently.
 func (c *cluster) rerouteEntry(e entry) {
+	if e.spec {
+		c.faults.specWasted.Add(1)
+		return
+	}
 	if e.probe {
 		c.probesLost.Add(1)
 		c.resendProbe(e.job)
 		return
 	}
-	c.central.placeTask(e.job, e.dur)
+	c.central.placeTask(e.job, e.dur, e.handle)
 }
 
 // resendProbe sends one replacement probe for the job to a live node of
@@ -343,11 +365,7 @@ func (c *cluster) resendProbe(jr *jobRuntime) {
 	}
 	c.viewMu.Unlock()
 	c.probesSent.Add(1)
-	node := c.nodes[ids[0]]
-	go func() {
-		c.latency()
-		node.enqueue(entry{probe: true, job: jr})
-	}()
+	go c.deliverProbe(c.nodes[ids[0]], jr)
 }
 
 // distScheduler is one of the paper's per-job distributed schedulers
@@ -385,18 +403,15 @@ func (d *distScheduler) schedule(jr *jobRuntime, pool policy.Pool) {
 	d.mu.Unlock()
 	c.probesSent.Add(int64(len(ids)))
 	for _, id := range ids {
-		node := c.nodes[id]
-		go func() {
-			c.latency()
-			node.enqueue(entry{probe: true, job: jr})
-		}()
+		go c.deliverProbe(c.nodes[id], jr)
 	}
 }
 
 // centralItem is one parked central placement.
 type centralItem struct {
-	jr  *jobRuntime
-	dur time.Duration
+	jr     *jobRuntime
+	dur    time.Duration
+	handle int
 }
 
 // centralScheduler runs the §3.7 algorithm over its node pool, with the
@@ -424,26 +439,27 @@ func newCentralScheduler(c *cluster, nodeIDs []int) *centralScheduler {
 	return &centralScheduler{c: c, q: core.NewCentralQueue(nodeIDs)}
 }
 
-// schedule places every task of a job on the least-waiting servers.
+// schedule places every task of a job on the least-waiting servers. The
+// task index doubles as the completion handle speculation dedups on.
 func (s *centralScheduler) schedule(jr *jobRuntime) {
 	for i := 0; i < jr.job.NumTasks(); i++ {
 		dur := time.Duration(jr.job.Durations[i] * float64(time.Second))
-		s.placeTask(jr, dur)
+		s.placeTask(jr, dur, i)
 	}
 }
 
 // placeTask assigns one task, or parks it while the scheduler is down or
 // has no live servers. In the multi-scheduler model the placement is
 // delegated to the job's owning scheduler's claim/commit path instead.
-func (s *centralScheduler) placeTask(jr *jobRuntime, dur time.Duration) {
+func (s *centralScheduler) placeTask(jr *jobRuntime, dur time.Duration, handle int) {
 	c := s.c
 	if c.mscheds != nil {
-		c.placeCentralMS(jr, dur)
+		c.placeCentralMS(jr, dur, handle)
 		return
 	}
 	s.mu.Lock()
 	if s.down || s.q.Len() == 0 {
-		s.backlog = append(s.backlog, centralItem{jr: jr, dur: dur})
+		s.backlog = append(s.backlog, centralItem{jr: jr, dur: dur, handle: handle})
 		s.mu.Unlock()
 		c.centralDeferred.Add(1)
 		return
@@ -451,24 +467,20 @@ func (s *centralScheduler) placeTask(jr *jobRuntime, dur time.Duration) {
 	nodeID, _ := s.q.Assign(c.nowSeconds(), jr.est)
 	s.mu.Unlock()
 	c.centralAssigns.Add(1)
-	node := c.nodes[nodeID]
-	go func() {
-		c.latency()
-		node.enqueue(entry{job: jr, dur: dur})
-	}()
+	go c.deliverTask(c.nodes[nodeID], entry{job: jr, dur: dur, handle: handle}, false)
 }
 
 // parkIfUnavailable parks one multi-scheduler placement in the backlog if
 // the central scheduler is down or has no live server, reporting whether
 // it did. The backlog drains through placeTask on recovery, which routes
 // back through the owning scheduler.
-func (s *centralScheduler) parkIfUnavailable(jr *jobRuntime, dur time.Duration) bool {
+func (s *centralScheduler) parkIfUnavailable(jr *jobRuntime, dur time.Duration, handle int) bool {
 	s.mu.Lock()
 	if !s.down && s.q.Len() > 0 {
 		s.mu.Unlock()
 		return false
 	}
-	s.backlog = append(s.backlog, centralItem{jr: jr, dur: dur})
+	s.backlog = append(s.backlog, centralItem{jr: jr, dur: dur, handle: handle})
 	s.mu.Unlock()
 	s.c.centralDeferred.Add(1)
 	return true
@@ -534,7 +546,7 @@ func (s *centralScheduler) setUp() {
 	}
 	s.mu.Unlock()
 	for _, it := range pending {
-		s.placeTask(it.jr, it.dur)
+		s.placeTask(it.jr, it.dur, it.handle)
 	}
 }
 
@@ -575,7 +587,7 @@ func (s *centralScheduler) add(nodeID int) {
 	}
 	s.mu.Unlock()
 	for _, it := range pending {
-		s.placeTask(it.jr, it.dur)
+		s.placeTask(it.jr, it.dur, it.handle)
 	}
 }
 
@@ -595,6 +607,13 @@ func (s *centralScheduler) taskFinished(nodeID int) {
 	s.mu.Unlock()
 }
 
+// lostTask is one task handed back after a node failure: its duration and
+// the task-instance handle it keeps across re-serves.
+type lostTask struct {
+	dur    time.Duration
+	handle int
+}
+
 // jobRuntime tracks one live job: task handout for batch sampling and
 // completion accounting.
 type jobRuntime struct {
@@ -605,9 +624,16 @@ type jobRuntime struct {
 	mu        sync.Mutex
 	next      int
 	done      int
-	lost      []time.Duration // durations of tasks lost to node failures, re-served first
+	lost      []lostTask // tasks lost to node failures, re-served first
 	submitted time.Time
 	onDone    func(runtime time.Duration)
+
+	// Speculation state (fault plane): completed dedups per-task-instance
+	// completions so a duplicate and its original count once between them;
+	// specThresh is the delay after which a running task is duplicated.
+	// Nil/zero unless the run speculates.
+	completed  []bool
+	specThresh time.Duration
 }
 
 func newJobRuntime(job *workload.Job, long bool, submitted time.Time) *jobRuntime {
@@ -621,34 +647,47 @@ func newJobRuntime(job *workload.Job, long bool, submitted time.Time) *jobRuntim
 
 // getTask hands the next unassigned task to a requesting node monitor — a
 // task lost to a failure first, else the next fresh one — or reports that
-// all tasks are taken (the probe is cancelled).
-func (j *jobRuntime) getTask() (time.Duration, bool) {
+// all tasks are taken (the probe is cancelled). The handle identifies the
+// task instance across failures and speculative duplication.
+func (j *jobRuntime) getTask() (time.Duration, int, bool) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if n := len(j.lost); n > 0 {
-		d := j.lost[n-1]
+		lt := j.lost[n-1]
 		j.lost = j.lost[:n-1]
-		return d, true
+		return lt.dur, lt.handle, true
 	}
 	if j.next >= j.job.NumTasks() {
-		return 0, false
+		return 0, 0, false
 	}
 	d := j.job.Durations[j.next]
+	h := j.next
 	j.next++
-	return time.Duration(d * float64(time.Second)), true
+	return time.Duration(d * float64(time.Second)), h, true
 }
 
 // pushLost hands a task back after the node running (or about to run) it
 // failed; a later probe re-fetches it.
-func (j *jobRuntime) pushLost(d time.Duration) {
+func (j *jobRuntime) pushLost(d time.Duration, handle int) {
 	j.mu.Lock()
-	j.lost = append(j.lost, d)
+	j.lost = append(j.lost, lostTask{dur: d, handle: handle})
 	j.mu.Unlock()
 }
 
 // taskDone accounts one finished task; the last completion fires onDone.
-func (j *jobRuntime) taskDone() {
+// Under speculation the completion bitmap makes the first finisher of a
+// task instance the winner — a false return marks a loser (duplicate, or
+// an original outraced by its duplicate) whose completion counts for
+// nothing.
+func (j *jobRuntime) taskDone(handle int) bool {
 	j.mu.Lock()
+	if j.completed != nil {
+		if j.completed[handle] {
+			j.mu.Unlock()
+			return false
+		}
+		j.completed[handle] = true
+	}
 	j.done++
 	finished := j.done == j.job.NumTasks()
 	cb := j.onDone
@@ -656,4 +695,13 @@ func (j *jobRuntime) taskDone() {
 	if finished && cb != nil {
 		cb(time.Since(j.submitted))
 	}
+	return true
+}
+
+// isCompleted reports whether the task instance already finished (always
+// false outside speculation, which alone allocates the bitmap).
+func (j *jobRuntime) isCompleted(handle int) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.completed != nil && j.completed[handle]
 }

@@ -90,6 +90,10 @@ func Run(trace *workload.Trace, cfg policy.Config) (*policy.Report, error) {
 		long := cls.IsLong(job.AvgTaskDuration())
 		duringOutage := c.central != nil && c.central.isDown()
 		jr := newJobRuntime(job, long, time.Now())
+		if f := cfg.Faults; f != nil && f.Speculate {
+			jr.completed = make([]bool, job.NumTasks())
+			jr.specThresh = specThreshold(f.SpeculatePercentile, job.Durations)
+		}
 		jr.onDone = func(runtime time.Duration) {
 			results[idx] = policy.JobReport{
 				ID:           job.ID,
@@ -137,6 +141,25 @@ func Run(trace *workload.Trace, cfg policy.Config) (*policy.Report, error) {
 	}
 	if c.central != nil {
 		res.CentralOutageSeconds = c.central.outageTotal().Seconds()
+	}
+	if f := c.faults; f != nil {
+		// FallbacksToCentral stays zero: the live engine escalates an
+		// exhausted send to a reliable one instead of degrading (see the
+		// faultPlane comment on the engine difference).
+		res.MessagesDropped = &policy.MessageDrops{
+			Probes:  f.drops.probes.Load(),
+			Replies: f.drops.replies.Load(),
+			Steals:  f.drops.steals.Load(),
+			Assigns: f.drops.assigns.Load(),
+			Commits: f.drops.commits.Load(),
+		}
+		res.ProbeTimeouts = f.probeTimeouts.Load()
+		res.ProbeRetries = f.probeRetries.Load()
+		res.AssignRetries = f.assignRetries.Load()
+		res.SpeculativeLaunches = f.specLaunches.Load()
+		res.SpeculativeWins = f.specWins.Load()
+		res.SpeculativeWasted = f.specWasted.Load()
+		res.StragglerSlowdowns = f.straggles.Load()
 	}
 	return res, nil
 }

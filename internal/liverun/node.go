@@ -8,12 +8,19 @@ import (
 	"repro/internal/randdist"
 )
 
-// entry is one element of a live node's FIFO queue: a batch-sampling probe
-// or a centrally placed task.
+// entry is one element of a live node's FIFO queue: a batch-sampling
+// probe, a centrally placed task, or a speculative duplicate.
 type entry struct {
 	probe bool
 	job   *jobRuntime
 	dur   time.Duration // task entries only
+	// handle is the job's task-instance identity for task entries:
+	// completion dedup under speculation and re-serve bookkeeping.
+	handle int
+	// spec marks a speculative duplicate (fault plane): it executes without
+	// central bookkeeping and resolves win-or-wasted against the job's
+	// completion bitmap.
+	spec bool
 	// sched is the scheduler that placed a task entry in the
 	// multi-scheduler model: the node reports start/finish feedback to its
 	// mirror as well as to the shared queue. Unused otherwise.
@@ -42,14 +49,28 @@ type nodeMonitor struct {
 	executingLong bool
 	wake          chan struct{} // capacity 1: "new work arrived" / "recovered"
 	kill          chan struct{} // closed on failure; replaced on recovery
+	slow          float64       // straggler factor (>= 1); 1 = nominal speed
+	slowCh        chan struct{} // closed and replaced on each factor change
 }
 
 func newNodeMonitor(id int, c *cluster, src *randdist.Source) *nodeMonitor {
 	return &nodeMonitor{
 		id: id, c: c, src: src, speed: 1, alive: true,
-		wake: make(chan struct{}, 1),
-		kill: make(chan struct{}),
+		wake:   make(chan struct{}, 1),
+		kill:   make(chan struct{}),
+		slow:   1,
+		slowCh: make(chan struct{}),
 	}
+}
+
+// setSlow applies a scripted straggler factor; closing slowCh re-times any
+// in-flight sleep at the new factor (sleepTask).
+func (n *nodeMonitor) setSlow(factor float64) {
+	n.mu.Lock()
+	n.slow = factor
+	close(n.slowCh)
+	n.slowCh = make(chan struct{})
+	n.mu.Unlock()
 }
 
 // run is the node's main loop: drain the queue; when it runs dry, attempt
@@ -98,6 +119,10 @@ func (n *nodeMonitor) goDown() []entry {
 	}
 	n.alive = false
 	close(n.kill)
+	// Straggler state dies with the node (matching the simulator): a later
+	// recovery returns it at nominal speed unless a straggle event re-slows
+	// it while down.
+	n.slow = 1
 	dropped := n.queue
 	n.queue = nil
 	return dropped
@@ -135,16 +160,41 @@ func (n *nodeMonitor) pop() (entry, bool) {
 	return e, true
 }
 
-// process resolves a probe (request round trip, then run or cancel) or runs
-// a centrally placed task, reporting start/finish feedback. If the node is
-// killed mid-execution the task is lost: its elapsed time is counted as
-// lost work and the task re-routes (back to the job for a fresh probe, or
-// to the central scheduler).
+// process resolves a probe (request round trip, then run or cancel), runs
+// a speculative duplicate (win-or-wasted against the job's bitmap), or
+// runs a centrally placed task, reporting start/finish feedback. If the
+// node is killed mid-execution the task is lost: its elapsed time is
+// counted as lost work and the task re-routes (back to the job for a fresh
+// probe, or to the central scheduler).
 func (n *nodeMonitor) process(e entry) {
 	c := n.c
+	if e.spec {
+		if !n.isAlive() || e.job.isCompleted(e.handle) {
+			// The original finished first, or the duplicate surfaced on a
+			// dead node: wasted without executing. The original's own chain
+			// serves the task either way.
+			c.faults.specWasted.Add(1)
+			return
+		}
+		if n.sleepTask(e.dur) {
+			if e.job.taskDone(e.handle) {
+				c.faults.specWins.Add(1)
+			} else {
+				c.faults.specWasted.Add(1)
+			}
+			return
+		}
+		// Killed mid-run: the duplicate dies wasted; no re-route.
+		c.faults.specWasted.Add(1)
+		return
+	}
 	if e.probe {
 		c.latency() // request
-		dur, ok := e.job.getTask()
+		dur, handle, ok := e.job.getTask()
+		if f := c.faults; f != nil {
+			// The task-request round trip rides the lossy plane too.
+			c.lossySend(f.spec.ReplyLoss, &f.drops.replies, &f.probeTimeouts, &f.probeRetries)
+		}
 		c.latency() // response
 		if !ok {
 			c.cancels.Add(1)
@@ -153,22 +203,28 @@ func (n *nodeMonitor) process(e entry) {
 		if !n.isAlive() {
 			// Died during the round trip: the handed-out task never
 			// started; give it back and re-probe elsewhere.
-			e.job.pushLost(dur)
+			e.job.pushLost(dur, handle)
 			c.probesLost.Add(1)
 			c.resendProbe(e.job)
 			return
 		}
+		if f := c.faults; f != nil && f.spec.Speculate {
+			c.armSpeculation(e.job, dur, handle, n.id)
+		}
 		if n.sleepTask(dur) {
-			e.job.taskDone()
+			// A false return means the duplicate won the race; the job was
+			// already credited.
+			e.job.taskDone(handle)
 			return
 		}
 		// Killed mid-run: re-execute from scratch via a fresh probe.
-		e.job.pushLost(dur)
+		c.tasksReexecuted.Add(1)
+		e.job.pushLost(dur, handle)
 		c.resendProbe(e.job)
 		return
 	}
 	if !n.isAlive() {
-		c.central.placeTask(e.job, e.dur)
+		c.central.placeTask(e.job, e.dur, e.handle)
 		return
 	}
 	if c.central != nil {
@@ -184,12 +240,13 @@ func (n *nodeMonitor) process(e entry) {
 				c.mirrorFinished(e.sched, n.id)
 			}
 		}
-		e.job.taskDone()
+		e.job.taskDone(e.handle)
 		return
 	}
 	// Killed mid-run: the central queue already dropped this server; the
 	// task re-assigns to a live one.
-	c.central.placeTask(e.job, e.dur)
+	c.tasksReexecuted.Add(1)
+	c.central.placeTask(e.job, e.dur, e.handle)
 }
 
 // scaled stretches a task duration by the node's speed factor.
@@ -202,7 +259,11 @@ func (n *nodeMonitor) scaled(d time.Duration) time.Duration {
 
 // sleepTask executes one task for its (speed-scaled) duration. It returns
 // false when the node was killed before completion, accounting the elapsed
-// time as lost work and the task as re-executed.
+// time as lost work (the caller decides whether the task re-executes — a
+// speculative duplicate does not). A straggle broadcast mid-sleep re-times
+// the remaining work at the node's new factor; unlike the simulator, a
+// recovery (factor back to 1) speeds up the remaining work too — the live
+// sleep is genuinely re-timed, not pinned to its committed finish.
 func (n *nodeMonitor) sleepTask(d time.Duration) bool {
 	d = n.scaled(d)
 	n.mu.Lock()
@@ -214,20 +275,30 @@ func (n *nodeMonitor) sleepTask(d time.Duration) bool {
 		return false
 	}
 	n.c.tasksExecuted.Add(1)
-	if d <= 0 {
-		return true
+	began := time.Now()
+	remaining := d // straggle-free work left
+	for remaining > 0 {
+		n.mu.Lock()
+		factor := n.slow
+		slowCh := n.slowCh
+		n.mu.Unlock()
+		t := time.NewTimer(time.Duration(float64(remaining) * factor))
+		start := time.Now()
+		select {
+		case <-t.C:
+			return true
+		case <-slowCh:
+			t.Stop()
+			// Work consumed so far at the factor that was in force; the
+			// loop re-sleeps the remainder at the new factor.
+			remaining -= time.Duration(float64(time.Since(start)) / factor)
+		case <-kill:
+			t.Stop()
+			n.c.workLostNanos.Add(int64(time.Since(began)))
+			return false
+		}
 	}
-	start := time.Now()
-	t := time.NewTimer(d)
-	defer t.Stop()
-	select {
-	case <-t.C:
-		return true
-	case <-kill:
-		n.c.tasksReexecuted.Add(1)
-		n.c.workLostNanos.Add(int64(time.Since(start)))
-		return false
-	}
+	return true
 }
 
 // enqueue appends work and wakes the node if it is parked. Work landing on
@@ -270,6 +341,11 @@ func (n *nodeMonitor) trySteal() bool {
 	}
 	c.stealAttempts.Add(1)
 	for _, id := range candidates {
+		if f := c.faults; f != nil && f.drop(f.spec.StealLoss, &f.drops.steals) {
+			// The contact was lost; stealing is opportunistic, so the
+			// thief simply moves on to its next candidate victim.
+			continue
+		}
 		c.latency() // contacting the victim costs a message
 		group := c.nodes[id].stealGroup()
 		if len(group) == 0 {

@@ -94,7 +94,7 @@ func (ls *liveScheduler) run(interval time.Duration) {
 func (ls *liveScheduler) schedule(jr *jobRuntime) {
 	for i := 0; i < jr.job.NumTasks(); i++ {
 		dur := time.Duration(jr.job.Durations[i] * float64(time.Second))
-		ls.placeTask(jr, dur)
+		ls.placeTask(jr, dur, i)
 	}
 }
 
@@ -103,17 +103,17 @@ func (ls *liveScheduler) schedule(jr *jobRuntime) {
 // and retry — refreshing the snapshot once the configured retries are
 // exhausted. A dead scheduler re-hashes the task to a survivor; an
 // unavailable central scheduler parks it in the shared backlog.
-func (ls *liveScheduler) placeTask(jr *jobRuntime, dur time.Duration) {
+func (ls *liveScheduler) placeTask(jr *jobRuntime, dur time.Duration, handle int) {
 	c := ls.c
 	backoff := time.Duration(c.cfg.Schedulers.RetryBackoff * float64(time.Second))
 	attempt := 0
 	for {
 		if !ls.isAlive() {
 			c.schedulerReassigned.Add(1)
-			c.placeCentralMS(jr, dur)
+			c.placeCentralMS(jr, dur, handle)
 			return
 		}
-		if c.central.parkIfUnavailable(jr, dur) {
+		if c.central.parkIfUnavailable(jr, dur, handle) {
 			return
 		}
 		ls.mu.Lock()
@@ -128,12 +128,7 @@ func (ls *liveScheduler) placeTask(jr *jobRuntime, dur time.Duration) {
 		if c.central.tryCommit(nodeID, ls.id, sinceVer, jr.est) {
 			c.centralAssigns.Add(1)
 			c.stalenessNanos.Add(int64(time.Since(snapAt)))
-			node := c.nodes[nodeID]
-			sched := ls.id
-			go func() {
-				c.latency()
-				node.enqueue(entry{job: jr, dur: dur, sched: sched})
-			}()
+			go c.deliverTask(c.nodes[nodeID], entry{job: jr, dur: dur, handle: handle, sched: ls.id}, true)
 			return
 		}
 		// Conflict: the mirror's Assign already penalized the contested
@@ -168,16 +163,16 @@ func (c *cluster) pickScheduler(jobID int) int32 {
 
 // placeCentralMS routes one central task via a live scheduler, parking it
 // when none is live (drained on the next scheduler recovery).
-func (c *cluster) placeCentralMS(jr *jobRuntime, dur time.Duration) {
+func (c *cluster) placeCentralMS(jr *jobRuntime, dur time.Duration, handle int) {
 	owner := c.pickScheduler(jr.job.ID)
 	if owner < 0 {
 		c.msMu.Lock()
-		c.msPending = append(c.msPending, centralItem{jr: jr, dur: dur})
+		c.msPending = append(c.msPending, centralItem{jr: jr, dur: dur, handle: handle})
 		c.msMu.Unlock()
 		c.centralDeferred.Add(1)
 		return
 	}
-	c.mscheds[owner].placeTask(jr, dur)
+	c.mscheds[owner].placeTask(jr, dur, handle)
 }
 
 // mirrorStarted relays a task start to the placing scheduler's mirror, so
@@ -251,6 +246,6 @@ func (c *cluster) recoverScheduler(id int) {
 	c.msMu.Unlock()
 	c.schedulerRecoveries.Add(1)
 	for _, it := range pending {
-		c.placeCentralMS(it.jr, it.dur)
+		c.placeCentralMS(it.jr, it.dur, it.handle)
 	}
 }

@@ -85,6 +85,14 @@ type Config struct {
 	// by 1/speed at the executing node). Nil is a homogeneous cluster.
 	// Node-to-class assignment draws from Seed+2, shared by both engines.
 	Heterogeneity *Heterogeneity `json:"heterogeneity,omitempty"`
+	// Faults turns on the gray-failure injection plane: seeded per-class
+	// message loss, delay jitter, scripted mid-run stragglers, and the
+	// timeout/retry/speculation defenses (see FaultSpec). Nil (the
+	// default) is a reliable network — engines keep their fast paths and
+	// byte-identical output. All fault randomness draws from a dedicated
+	// stream (Seed+5), composable with Churn, Heterogeneity, and
+	// Schedulers.
+	Faults *FaultSpec `json:"faults,omitempty"`
 	// Seed drives all randomness (probe placement, steal victims,
 	// mis-estimation draws). Equal seeds give identical simulator runs.
 	Seed int64 `json:"seed"`
@@ -343,6 +351,22 @@ func (c Config) NormalizeMeta(m workload.Meta) (Config, error) {
 	if c.Heterogeneity != nil {
 		if err := c.Heterogeneity.validate(); err != nil {
 			return c, err
+		}
+	}
+	if c.Faults != nil {
+		// Copy before resolving, like Schedulers, so a spec shared across
+		// sweep configs is never mutated through the pointer.
+		spec, err := c.Faults.normalize(c.TotalSlots(), c.NetworkDelay)
+		if err != nil {
+			return c, err
+		}
+		if spec.injectsNothing() {
+			// A spec that injects no faults is exactly the reliable
+			// network: drop it so the run (and its serialized config) is
+			// bit-identical to a run that never set it.
+			c.Faults = nil
+		} else {
+			c.Faults = &spec
 		}
 	}
 	return c, nil

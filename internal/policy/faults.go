@@ -1,0 +1,252 @@
+package policy
+
+import (
+	"fmt"
+	"math"
+)
+
+// The gray-failure injection plane. Where ChurnSpec scripts fail-stop
+// faults (a node is either in the cluster or gone), FaultSpec injects the
+// partial failures real clusters actually exhibit: messages of the probe,
+// steal, and placement planes are dropped with seeded i.i.d. probability
+// per message class, every message leg picks up bounded seeded jitter on
+// top of NetworkDelay, and scripted straggler events slow nodes down
+// mid-run (stretching the task they are executing — distinct from the
+// static speed skew of Heterogeneity). The defenses ride along: dropped
+// scheduler messages time out and retry with exponential backoff up to
+// MaxRetries, probes that exhaust their retries fall back to the central
+// queue (graceful degradation, never a hang), and optional speculative
+// re-execution duplicates a task that runs past a percentile-based delay
+// threshold, first completion winning.
+//
+// A nil FaultSpec on Config is the reliable-network model every golden
+// report pins; Normalize canonicalizes a spec that injects nothing back to
+// nil so both mean the same configuration by construction.
+
+// MaxFaultRetries bounds FaultSpec.MaxRetries: engines pack the retry
+// attempt of an in-flight timeout into a few bits of event state.
+const MaxFaultRetries = 30
+
+// StragglerEvent scripts one mid-run node slowdown: at time At the target
+// node(s) start executing Factor times slower than their configured speed.
+// A node's task in flight when the event fires stretches accordingly;
+// Factor 1 restores full speed for subsequent tasks (an in-flight task does
+// not shrink retroactively). A straggling node is slow, not dead: it keeps
+// its place in the membership view and does not count against
+// ChurnSpec.MaxConcurrentFailures or the feasibility margin.
+type StragglerEvent struct {
+	// At is the event time in seconds from the start of the run.
+	At float64 `json:"at"`
+	// Node is the explicit target when Count is zero.
+	Node int `json:"node,omitempty"`
+	// Count, when positive, targets that many random live nodes instead of
+	// the explicit Node; the picks draw from the fault plane's dedicated
+	// seeded stream.
+	Count int `json:"count,omitempty"`
+	// Factor is the slowdown multiplier applied to task execution time
+	// (>= 1; exactly 1 ends a slowdown).
+	Factor float64 `json:"factor"`
+}
+
+// FaultSpec configures the gray-failure injection plane and its defenses.
+// All randomness (loss draws, jitter, retry-target sampling, straggler
+// picks) comes from a dedicated stream derived from Config.Seed, so a
+// fault-free run draws the exact same main-stream sequence as one that
+// never set the spec.
+type FaultSpec struct {
+	// ProbeLoss is the drop probability of a scheduler-to-node probe
+	// message. A dropped probe times out at the scheduler and is re-sent to
+	// a fresh node with exponential backoff; after MaxRetries the job falls
+	// back to the central queue (FallbacksToCentral).
+	ProbeLoss float64 `json:"probeLoss,omitempty"`
+	// ReplyLoss is the drop probability of the node-to-scheduler task
+	// request round trip that resolves a probe. The node monitor re-issues
+	// the request with exponential backoff; after MaxRetries it abandons
+	// the probe and the job falls back to the central queue.
+	ReplyLoss float64 `json:"replyLoss,omitempty"`
+	// StealLoss is the drop probability of one steal request/response
+	// exchange. Stealing is opportunistic, so a dropped contact is simply
+	// skipped — the thief moves on to its next candidate victim.
+	StealLoss float64 `json:"stealLoss,omitempty"`
+	// AssignLoss is the drop probability of a central task assignment
+	// message. The assignment retries toward the same node with
+	// exponential backoff; after MaxRetries the placement parks until the
+	// next node recovery (surfacing in the deadlock error's detail if
+	// nothing ever releases it — graceful degradation, never a hang).
+	AssignLoss float64 `json:"assignLoss,omitempty"`
+	// CommitLoss is the drop probability of a multi-scheduler commit
+	// message (the post-claim task send of the optimistic protocol). Only
+	// meaningful with Config.Schedulers; retries like AssignLoss.
+	CommitLoss float64 `json:"commitLoss,omitempty"`
+	// Jitter is the maximum extra one-way delay in seconds added to every
+	// message leg, drawn uniformly from [0, Jitter) per leg.
+	Jitter float64 `json:"jitter,omitempty"`
+	// MaxRetries bounds the retry chain of a dropped probe, reply, or
+	// assignment (default 3, at most MaxFaultRetries). Attempt k waits
+	// RetryBackoff * 2^(k-1) before re-sending.
+	MaxRetries int `json:"maxRetries,omitempty"`
+	// RetryBackoff is the base timeout in seconds before the first retry
+	// (default 4 network delays), doubling per attempt.
+	RetryBackoff float64 `json:"retryBackoff,omitempty"`
+	// Stragglers scripts mid-run node slowdowns, applied in time order.
+	Stragglers []StragglerEvent `json:"stragglers,omitempty"`
+	// Speculate enables speculative re-execution of straggling short
+	// tasks: a probe-scheduled task still running SpeculatePercentile of
+	// its job's task-duration distribution after launch gets a duplicate on
+	// a fresh node; the first completion wins and the loser is cancelled
+	// through the churn incarnation machinery. Centrally placed tasks are
+	// not speculated (the central queue already tracks their progress).
+	Speculate bool `json:"speculate,omitempty"`
+	// SpeculatePercentile is the delay threshold percentile (default 95)
+	// of the job's task durations after which a running task is duplicated.
+	SpeculatePercentile float64 `json:"speculatePercentile,omitempty"`
+}
+
+// MessageDrops counts dropped messages by class; the Report carries it as
+// a nil-able pointer so fault-free reports serialize byte-identically to
+// runs that predate the fault plane.
+type MessageDrops struct {
+	Probes  int64 `json:"probes,omitempty"`
+	Replies int64 `json:"replies,omitempty"`
+	Steals  int64 `json:"steals,omitempty"`
+	Assigns int64 `json:"assigns,omitempty"`
+	Commits int64 `json:"commits,omitempty"`
+}
+
+// Total sums the per-class drop counts.
+func (m *MessageDrops) Total() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.Probes + m.Replies + m.Steals + m.Assigns + m.Commits
+}
+
+// probability reports whether p is a valid probability: in [0, 1] and not
+// NaN (the comparison rejects NaN by construction).
+func probability(p float64) bool { return p >= 0 && p <= 1 }
+
+// normalize validates the spec and resolves its defaults; totalSlots and
+// networkDelay are the already-resolved Config values the straggler targets
+// and backoff default validate against.
+func (f FaultSpec) normalize(totalSlots int, networkDelay float64) (FaultSpec, error) {
+	for _, c := range []struct {
+		name string
+		p    float64
+	}{
+		{"ProbeLoss", f.ProbeLoss},
+		{"ReplyLoss", f.ReplyLoss},
+		{"StealLoss", f.StealLoss},
+		{"AssignLoss", f.AssignLoss},
+		{"CommitLoss", f.CommitLoss},
+	} {
+		if !probability(c.p) {
+			return f, fmt.Errorf("config: Faults.%s must be a probability in [0, 1], got %g", c.name, c.p)
+		}
+	}
+	if !(f.Jitter >= 0) || math.IsInf(f.Jitter, 1) {
+		return f, fmt.Errorf("config: Faults.Jitter must be finite and non-negative, got %g", f.Jitter)
+	}
+	if f.MaxRetries < 0 || f.MaxRetries > MaxFaultRetries {
+		return f, fmt.Errorf("config: Faults.MaxRetries must be in [0, %d], got %d", MaxFaultRetries, f.MaxRetries)
+	}
+	if f.MaxRetries == 0 {
+		f.MaxRetries = 3
+	}
+	if !(f.RetryBackoff >= 0) || math.IsInf(f.RetryBackoff, 1) {
+		return f, fmt.Errorf("config: Faults.RetryBackoff must be finite and non-negative, got %g", f.RetryBackoff)
+	}
+	if f.RetryBackoff == 0 {
+		f.RetryBackoff = 4 * networkDelay
+	}
+	for i, ev := range f.Stragglers {
+		if !(ev.At >= 0) || math.IsInf(ev.At, 1) {
+			return f, fmt.Errorf("config: straggler event %d: At must be finite and non-negative, got %g", i, ev.At)
+		}
+		if !(ev.Factor >= 1) || math.IsInf(ev.Factor, 1) {
+			return f, fmt.Errorf("config: straggler event %d: Factor must be finite and at least 1, got %g", i, ev.Factor)
+		}
+		if ev.Count < 0 {
+			return f, fmt.Errorf("config: straggler event %d: Count must be non-negative, got %d", i, ev.Count)
+		}
+		if ev.Count == 0 && (ev.Node < 0 || ev.Node >= totalSlots) {
+			return f, fmt.Errorf("config: straggler event %d: node %d outside [0, %d)", i, ev.Node, totalSlots)
+		}
+		if ev.Count > totalSlots {
+			return f, fmt.Errorf("config: straggler event %d: Count %d exceeds cluster size %d", i, ev.Count, totalSlots)
+		}
+	}
+	if !probability(f.SpeculatePercentile / 100) {
+		return f, fmt.Errorf("config: Faults.SpeculatePercentile must be in [0, 100], got %g", f.SpeculatePercentile)
+	}
+	if f.SpeculatePercentile == 0 {
+		f.SpeculatePercentile = 95
+	}
+	return f, nil
+}
+
+// injectsNothing reports whether the (validated) spec is behaviorally
+// identical to a nil one: no loss, no jitter, no stragglers, no
+// speculation. Retry knobs alone configure defenses with nothing to defend
+// against.
+func (f FaultSpec) injectsNothing() bool {
+	return f.ProbeLoss == 0 && f.ReplyLoss == 0 && f.StealLoss == 0 &&
+		f.AssignLoss == 0 && f.CommitLoss == 0 && f.Jitter == 0 &&
+		len(f.Stragglers) == 0 && !f.Speculate
+}
+
+// WithFaults installs a full gray-failure spec (per-class loss, jitter,
+// stragglers, retry policy, speculation).
+func WithFaults(spec FaultSpec) Option {
+	return func(c *Config) {
+		f := spec
+		f.Stragglers = append([]StragglerEvent(nil), spec.Stragglers...)
+		c.Faults = &f
+	}
+}
+
+// WithMessageLoss sets one uniform drop probability across every message
+// class (probe, reply, steal, assign, commit).
+func WithMessageLoss(p float64) Option {
+	return func(c *Config) {
+		if c.Faults == nil {
+			c.Faults = &FaultSpec{}
+		}
+		c.Faults.ProbeLoss = p
+		c.Faults.ReplyLoss = p
+		c.Faults.StealLoss = p
+		c.Faults.AssignLoss = p
+		c.Faults.CommitLoss = p
+	}
+}
+
+// WithJitter sets the maximum extra per-leg message delay in seconds.
+func WithJitter(sec float64) Option {
+	return func(c *Config) {
+		if c.Faults == nil {
+			c.Faults = &FaultSpec{}
+		}
+		c.Faults.Jitter = sec
+	}
+}
+
+// WithStragglers appends scripted mid-run node slowdowns to the fault spec.
+func WithStragglers(events ...StragglerEvent) Option {
+	return func(c *Config) {
+		if c.Faults == nil {
+			c.Faults = &FaultSpec{}
+		}
+		c.Faults.Stragglers = append(c.Faults.Stragglers, events...)
+	}
+}
+
+// WithSpeculation enables speculative re-execution of straggling short
+// tasks at the given delay-threshold percentile (0 selects the default 95).
+func WithSpeculation(percentile float64) Option {
+	return func(c *Config) {
+		if c.Faults == nil {
+			c.Faults = &FaultSpec{}
+		}
+		c.Faults.Speculate = true
+		c.Faults.SpeculatePercentile = percentile
+	}
+}

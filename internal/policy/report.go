@@ -121,6 +121,36 @@ type Report struct {
 	// scheduler failure (each re-hash of an affected job counts once).
 	SchedulerReassigned int64 `json:"schedulerReassigned,omitempty"`
 
+	// Gray-failure counters, all zero (and omitted from JSON) unless
+	// Config.Faults turns on the fault-injection plane.
+	//
+	// MessagesDropped counts injected message drops by class; nil on a
+	// fault-free run so serialized reports are unchanged.
+	MessagesDropped *MessageDrops `json:"messagesDropped,omitempty"`
+	// ProbeTimeouts counts timeouts fired for dropped probe and
+	// task-request messages (one per drop noticed, scheduler- or
+	// node-side).
+	ProbeTimeouts int64 `json:"probeTimeouts,omitempty"`
+	// ProbeRetries counts probe/task-request re-sends after a timeout
+	// (bounded by Faults.MaxRetries per probe).
+	ProbeRetries int64 `json:"probeRetries,omitempty"`
+	// AssignRetries counts central-assignment (and multi-scheduler commit)
+	// re-sends after a dropped placement message.
+	AssignRetries int64 `json:"assignRetries,omitempty"`
+	// FallbacksToCentral counts probes that exhausted their retries and
+	// degraded to a direct placement: through the central queue when the
+	// policy has one, else straight to a live pool node.
+	FallbacksToCentral int64 `json:"fallbacksToCentral,omitempty"`
+	// SpeculativeLaunches counts duplicate task launches; of those,
+	// SpeculativeWins finished before the original (which was cancelled)
+	// and SpeculativeWasted lost to it (duplicate work thrown away).
+	SpeculativeLaunches int64 `json:"speculativeLaunches,omitempty"`
+	SpeculativeWins     int64 `json:"speculativeWins,omitempty"`
+	SpeculativeWasted   int64 `json:"speculativeWasted,omitempty"`
+	// StragglerSlowdowns counts scripted straggler slowdown applications
+	// (one per affected node per event).
+	StragglerSlowdowns int64 `json:"stragglerSlowdowns,omitempty"`
+
 	// Per-entry queueing waits (time from arrival at a node to the slot
 	// opening), split by the owning job's class. Diagnostics for the
 	// head-of-line-blocking analyses (simulator only).

@@ -129,4 +129,19 @@ func TestSteadyStateZeroAllocs(t *testing.T) {
 			t.Fatal("measured window exercised no steal attempts")
 		}
 	})
+
+	// The gray-failure plane must be free when unused: a fault-free config
+	// carries no fault state at all (flt nil, membership static), so every
+	// hot path takes the same branches — and the same zero allocations — it
+	// took before the fault plane existed.
+	t.Run("fault-free-fast-path", func(t *testing.T) {
+		tr := workload.Generate(workload.Google(), workload.GenConfig{
+			NumJobs: 1500, MeanInterArrival: 0.5, Seed: 13,
+		})
+		s := steadyStateSim(t, tr, policy.Config{NumNodes: 6000, Policy: "hawk", Seed: 5}, 30000)
+		if s.flt != nil || s.dyn != nil || s.view.Dynamic() {
+			t.Fatal("a fault-free run must carry no fault or membership state")
+		}
+		measureSteadySteps(t, s, 40000)
+	})
 }

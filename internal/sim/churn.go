@@ -24,12 +24,17 @@ type dynState struct {
 	run []runRef
 }
 
-// runRef identifies the work occupying a node's slot.
+// runRef identifies the work occupying a node's slot. A negative jidx
+// marks a cancelled speculation loser: the slot is held until the
+// cancellation message lands, but there is no work to re-route.
 type runRef struct {
-	jidx    int32 // job arena index
+	jidx    int32 // job arena index; -1 for a cancelled zombie slot
 	task    int32 // executing task index; -1 while awaiting a probe reply
 	start   float64
 	central bool // task was placed by the centralized scheduler
+	// spec marks a speculative duplicate (fault plane): a failure resolves
+	// it against its specDup record instead of re-serving the task.
+	spec bool
 	// probeWait marks the probe request/response round trip: the slot is
 	// held but no task has been handed out yet.
 	probeWait bool
@@ -82,6 +87,12 @@ func (s *simulation) failNode(id int32, now float64) {
 	if s.central != nil {
 		s.central.Remove(int(id))
 	}
+	if s.flt != nil {
+		// A node that later recovers comes back at nominal speed; its
+		// straggler state dies with it.
+		s.flt.slow[id] = 1
+		s.flt.fin[id] = 0
+	}
 	n := &s.nodes[id]
 	if n.busy {
 		n.busy = false
@@ -89,6 +100,9 @@ func (s *simulation) failNode(id int32, now float64) {
 		s.nodeBecameIdle(n.id)
 		r := s.dyn.run[id]
 		switch {
+		case r.jidx < 0:
+			// A cancelled speculation loser held the slot; nothing to
+			// re-route (the in-flight cancellation goes stale with the epoch).
 		case r.probeWait:
 			// The request/response round trip dies with the node; the
 			// scheduler re-probes a live one.
@@ -98,13 +112,35 @@ func (s *simulation) failNode(id int32, now float64) {
 			s.res.TasksReexecuted++
 			s.res.WorkLostSeconds += now - r.start
 			s.centralReassign(r.jidx, r.task)
+		case r.spec:
+			// A running speculative duplicate dies. Normally its original
+			// keeps running and the duplicate is simply wasted; if the
+			// original died first (the duplicate had taken over), the task
+			// re-serves, inheriting the duplicate's job reference.
+			s.res.WorkLostSeconds += now - r.start
+			js := &s.jobs[r.jidx]
+			if i := s.flt.findDup(r.jidx, r.task); i >= 0 {
+				s.flt.removeDup(i)
+				s.res.SpeculativeWasted++
+				js.probes--
+				s.maybeFreeJob(r.jidx)
+			} else {
+				s.res.TasksReexecuted++
+				js.lost = append(js.lost, r.task)
+				s.resendProbe(r.jidx)
+			}
 		default:
+			s.res.TasksReexecuted++
+			s.res.WorkLostSeconds += now - r.start
+			if s.dupTakesOver(r.jidx, r.task) {
+				// A speculative duplicate of this task survives the
+				// original; it becomes the task's real execution.
+				break
+			}
 			// A probe-fetched task: hand the task index back to the job
 			// and send a fresh probe to carry it. The fresh probe is a new
 			// outstanding chain — its consuming reply is still to come —
 			// so the job's probe count grows by one.
-			s.res.TasksReexecuted++
-			s.res.WorkLostSeconds += now - r.start
 			js := &s.jobs[r.jidx]
 			js.lost = append(js.lost, r.task)
 			js.probes++
@@ -112,9 +148,14 @@ func (s *simulation) failNode(id int32, now float64) {
 		}
 	}
 	for _, e := range n.queue[n.head:] {
-		if e.flags&entryTask != 0 {
+		switch {
+		case e.flags&entrySpec != 0:
+			s.specAbandon(e.jidx, e.tidx)
+		case e.flags&entryDirect != 0:
+			s.directPlace(e.jidx, e.tidx, 0)
+		case e.flags&entryTask != 0:
 			s.centralReassign(e.jidx, e.tidx)
-		} else {
+		default:
 			s.res.ProbesLost++
 			s.resendProbe(e.jidx)
 		}
@@ -153,6 +194,9 @@ func (s *simulation) recoverNode(id int32, now float64) {
 		}
 	}
 	s.drainCentralBacklog()
+	if s.flt != nil {
+		s.drainStarved()
+	}
 	s.attemptSteal(&s.nodes[id])
 }
 
@@ -178,6 +222,10 @@ func (s *simulation) resendProbe(jidx int32) {
 		return
 	}
 	s.res.ProbesSent++
+	if s.flt != nil {
+		s.sendProbe(jidx, int32(s.nodeIDs[0]))
+		return
+	}
 	s.eng.After(s.cfg.NetworkDelay, simEvent{kind: evProbeArrive, ref: int32(s.nodeIDs[0]), jidx: jidx})
 }
 
@@ -208,6 +256,10 @@ func (s *simulation) assignCentralTask(jidx, tidx int32) {
 	}
 	nodeID, _ := s.central.Assign(s.eng.Now(), s.jobs[jidx].estimate)
 	s.res.CentralAssigns++
+	if s.flt != nil {
+		s.sendAssign(int32(nodeID), jidx, tidx, 0, false)
+		return
+	}
 	s.eng.After(s.cfg.NetworkDelay, simEvent{kind: evTaskArrive, ref: int32(nodeID), jidx: jidx, aux: tidx})
 }
 

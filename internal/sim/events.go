@@ -71,9 +71,55 @@ const (
 	// evSchedFail: scripted churn — distributed scheduler ref fails; its
 	// pending work re-hashes to the survivors.
 	evSchedFail
-	// evSchedRecover: scripted churn — scheduler ref returns with a fresh
+	// evSchedRecover: scheduler ref returns with a fresh
 	// snapshot and drains work that waited for a live scheduler.
 	evSchedRecover
+	// evProbeTimeout: a dropped message of the probe plane times out
+	// (fault injection). ref < 0: the scheduler's probe send was dropped
+	// and it retries toward a fresh pool node (jidx; attempt in the flags
+	// high bits). ref >= 0: node ref's task-request round trip was dropped
+	// and the node re-issues it (gen pins the node's incarnation). An
+	// attempt past Faults.MaxRetries abandons the probe and degrades the
+	// job to a direct placement (fallbackProbe).
+	evProbeTimeout
+	// evAssignRetry: a dropped task-placement message retries after its
+	// backoff (fault injection). ref >= 0: re-send the central assignment
+	// (or, with evfCommit, the multi-scheduler commit) to the same node
+	// ref — its queue load was already charged (jidx, aux = task index,
+	// attempt in flags). ref < 0: re-run a direct placement toward a fresh
+	// node. Exhausted retries park the task (parkedFaults).
+	evAssignRetry
+	// evTaskDirect: a directly sent task (central-queue-free fallback, or
+	// a speculative duplicate when evfSpec is set) reaches the queue of
+	// node ref (jidx; aux = task index). Direct tasks skip the central
+	// queue's bookkeeping entirely.
+	evTaskDirect
+	// evSpecLaunch: the speculation timer armed when task aux of job jidx
+	// started on node ref fires; if the task is still running there, a
+	// duplicate launches on a fresh node (first completion wins). gen pins
+	// the node's incarnation.
+	evSpecLaunch
+	// evSpecCancel: the cancellation message for a speculation loser
+	// reaches node ref, freeing the slot its cancelled task occupied. gen
+	// pins the post-cancellation incarnation.
+	evSpecCancel
+	// evStraggle: scripted straggler event aux (an index into
+	// Faults.Stragglers) fires: the target nodes slow down, stretching
+	// their in-flight tasks.
+	evStraggle
+)
+
+// simEvent.flags bits. evfCentral replaces the old dedicated bool (a task
+// placed by the centralized scheduler); the rest exist only on fault-plane
+// events, so every pre-existing event still carries a zero byte there.
+const (
+	evfCentral uint8 = 1 << 0 // evTaskDone/evAssignRetry: centrally placed task
+	evfSpec    uint8 = 1 << 1 // evTaskDone/evTaskDirect: speculative duplicate
+	evfCommit  uint8 = 1 << 2 // evAssignRetry: multi-scheduler commit message class
+	// evfAttemptShift positions the retry attempt of evProbeTimeout and
+	// evAssignRetry in the flags high bits (range [0, 31]; MaxFaultRetries
+	// keeps attempts inside it).
+	evfAttemptShift = 3
 )
 
 // simEvent is the event payload; which fields are meaningful depends on
@@ -90,13 +136,13 @@ const (
 //hawk:size=16
 //hawk:nopointers
 type simEvent struct {
-	kind    evKind
-	central bool  // evTaskDone: task was placed by the centralized scheduler
-	gen     uint8 // evProbeReply/evTaskDone: node incarnation; evSnapRefresh/evSchedRetry: scheduler incarnation
-	sched   uint8 // evTaskArrive/evTaskDone: placing scheduler (multi-scheduler model; 0 otherwise)
-	ref     int32 // evSubmit: submission-order position; scheduler events: scheduler id; node events: node id
-	jidx    int32 // index into simulation.jobs (the job-state arena)
-	aux     int32 // evTaskArrive/evTaskDone: task index; churn events: random-pick count
+	kind  evKind
+	flags uint8 // evf* bits: placement class, speculation marker, retry attempt
+	gen   uint8 // evProbeReply/evTaskDone: node incarnation; evSnapRefresh/evSchedRetry: scheduler incarnation
+	sched uint8 // evTaskArrive/evTaskDone: placing scheduler (multi-scheduler model; 0 otherwise)
+	ref   int32 // evSubmit: submission-order position; scheduler events: scheduler id; node events: node id
+	jidx  int32 // index into simulation.jobs (the job-state arena)
+	aux   int32 // evTaskArrive/evTaskDone: task index; churn events: random-pick count; evStraggle: script index
 }
 
 // dispatch executes one event. It is the single handler switch the engine
@@ -146,7 +192,13 @@ func (s *simulation) dispatch(now float64, ev simEvent) {
 		if s.dyn != nil && ev.gen != s.dyn.epoch[ev.ref] {
 			return // stale: the task was lost with the node and re-executes elsewhere
 		}
-		s.nodes[ev.ref].taskDone(s, ev.jidx, ev.central, ev.sched, now)
+		if s.flt != nil && s.flt.fin[ev.ref] > now {
+			// A straggler event stretched the running task after this
+			// completion was scheduled; re-arm at the authoritative finish.
+			s.eng.At(s.flt.fin[ev.ref], ev)
+			return
+		}
+		s.nodes[ev.ref].taskDone(s, ev.jidx, ev.aux, ev.flags, ev.sched, now)
 	case evSample:
 		s.sampleTick(now)
 	case evNodeFail:
@@ -173,6 +225,18 @@ func (s *simulation) dispatch(now float64, ev simEvent) {
 		s.failScheduler(ev.ref)
 	case evSchedRecover:
 		s.recoverScheduler(ev.ref, now)
+	case evProbeTimeout:
+		s.probeTimeoutTick(ev)
+	case evAssignRetry:
+		s.assignRetryTick(ev)
+	case evTaskDirect:
+		s.taskDirectArrive(ev, now)
+	case evSpecLaunch:
+		s.specLaunchTick(ev)
+	case evSpecCancel:
+		s.specCancelTick(ev)
+	case evStraggle:
+		s.straggleTick(int(ev.aux), now)
 	}
 }
 

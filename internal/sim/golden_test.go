@@ -87,6 +87,30 @@ func goldenCases() (*workload.Trace, map[string]policy.Config) {
 	sched2.Policy = "hawk"
 	sched2.Schedulers = &policy.SchedulerSpec{Count: 2}
 	cases["hawk-sched2"] = sched2
+
+	// Gray-failure scenarios: a lossy/jittery message plane (drop
+	// decisions, retry backoff chains, fault-stream draws) and straggler-
+	// triggered speculative re-execution (threshold arming, duplicate
+	// launches, first-completion-wins). These pin the fault-plane event
+	// paths and the Seed+5 stream's draw order.
+	msgloss := base
+	msgloss.Policy = "hawk"
+	msgloss.Faults = &policy.FaultSpec{
+		ProbeLoss: 0.05, ReplyLoss: 0.03, StealLoss: 0.1,
+		AssignLoss: 0.03, CommitLoss: 0.03, Jitter: 0.002, MaxRetries: 8,
+	}
+	cases["hawk-msgloss"] = msgloss
+
+	spec := base
+	spec.Policy = "hawk"
+	spec.Faults = &policy.FaultSpec{
+		Speculate: true, SpeculatePercentile: 90,
+		Stragglers: []policy.StragglerEvent{
+			{At: 20, Count: 80, Factor: 6},
+			{At: 120, Count: 40, Factor: 1},
+		},
+	}
+	cases["hawk-speculation"] = spec
 	return goldenTrace(), cases
 }
 

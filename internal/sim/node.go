@@ -19,6 +19,13 @@ const (
 	// entryLong marks entries belonging to long jobs, the property the
 	// stealing policy classifies queue contents by.
 	entryLong
+	// entryDirect marks a task sent straight to the node without central-
+	// queue bookkeeping: a probe-fallback placement or a speculative
+	// duplicate (fault plane only; see faults.go).
+	entryDirect
+	// entrySpec marks a speculative duplicate (implies entryDirect): its
+	// execution is gated on the original not having won the race yet.
+	entrySpec
 )
 
 // longFlag converts a job's classification into its entry flag bit.
@@ -160,6 +167,26 @@ func (n *node) advance(s *simulation) {
 	s.nodeBecameBusy(n.id)
 	s.observeWait(head, s.eng.Now())
 	if head.flags&entryTask != 0 {
+		dur := s.jobs[head.jidx].durations[head.tidx]
+		if s.speeds != nil {
+			dur /= s.speeds[n.id]
+		}
+		if head.flags&entryDirect != 0 {
+			// Fault-plane direct task: no central queue observed this
+			// placement, so there is no start/finish feedback to publish.
+			if head.flags&entrySpec != 0 {
+				if !s.specBegin(n, head.jidx, head.tidx) {
+					// The duplicate is obsolete (its original already won);
+					// discard the entry and free the slot.
+					n.finishSlot(s)
+					return
+				}
+				n.execute(s, head.jidx, head.tidx, 0, dur, evfSpec)
+				return
+			}
+			n.execute(s, head.jidx, head.tidx, 0, dur, 0)
+			return
+		}
 		// Centrally placed task: the central queue observes its start so
 		// waiting times track the server's actual queue state (§3.7).
 		// The estimate leaves the queued sum; the running term uses the
@@ -167,10 +194,6 @@ func (n *node) advance(s *simulation) {
 		// on a heterogeneous cluster) — this is what keeps a server with
 		// an overrunning task from looking idle to the centralized
 		// scheduler.
-		dur := s.jobs[head.jidx].durations[head.tidx]
-		if s.speeds != nil {
-			dur /= s.speeds[n.id]
-		}
 		s.central.TaskStarted(int(n.id), s.eng.Now(), s.jobs[head.jidx].estimate, dur)
 		if s.ms != nil {
 			// The placing scheduler's local mirror observes its own task's
@@ -178,7 +201,7 @@ func (n *node) advance(s *simulation) {
 			// own placements allow between snapshot refreshes.
 			s.ms.mirrorTaskStarted(head.sched, int(n.id), s.eng.Now(), s.jobs[head.jidx].estimate, dur)
 		}
-		n.execute(s, head.jidx, head.tidx, head.sched, dur, true)
+		n.execute(s, head.jidx, head.tidx, head.sched, dur, evfCentral)
 		return
 	}
 	// Probe: request/response round trip to the job's scheduler — the node
@@ -190,6 +213,10 @@ func (n *node) advance(s *simulation) {
 	if s.dyn != nil {
 		gen = s.dyn.epoch[n.id]
 		s.dyn.run[n.id] = runRef{jidx: head.jidx, task: -1, probeWait: true}
+	}
+	if s.flt != nil {
+		s.sendReply(n.id, gen, head.jidx, 0)
+		return
 	}
 	s.eng.After(2*s.cfg.NetworkDelay, simEvent{kind: evProbeReply, gen: gen, ref: n.id, jidx: head.jidx})
 }
@@ -215,38 +242,55 @@ func (n *node) probeReply(s *simulation, jidx int32) {
 	if s.speeds != nil {
 		dur /= s.speeds[n.id]
 	}
-	n.execute(s, jidx, tidx, 0, dur, false)
+	n.execute(s, jidx, tidx, 0, dur, 0)
 }
 
 // execute runs task tidx of job jidx to completion; dur is the task's wall
 // duration on this node (the caller has already applied the node's speed
-// factor). central marks tasks placed by the centralized scheduler, whose
-// completion it observes; sched is the placing scheduler in the
-// multi-scheduler model. On a dynamic cluster the completion event
-// carries the node's incarnation and the running task is recorded so a
-// failure can re-route it.
+// factor; any straggler slowdown applies here). eflags carries evfCentral
+// for tasks placed by the centralized scheduler, whose completion it
+// observes, and evfSpec for speculative duplicates; sched is the placing
+// scheduler in the multi-scheduler model. On a dynamic cluster the
+// completion event carries the node's incarnation and the running task is
+// recorded so a failure can re-route it.
 //
 //hawk:hotpath
-func (n *node) execute(s *simulation, jidx, tidx int32, sched uint8, dur float64, central bool) {
+func (n *node) execute(s *simulation, jidx, tidx int32, sched uint8, dur float64, eflags uint8) {
 	s.res.TasksExecuted++
 	var gen uint8
 	if s.dyn != nil {
 		gen = s.dyn.epoch[n.id]
-		s.dyn.run[n.id] = runRef{jidx: jidx, task: tidx, start: s.eng.Now(), central: central}
+		s.dyn.run[n.id] = runRef{
+			jidx: jidx, task: tidx, start: s.eng.Now(),
+			central: eflags&evfCentral != 0, spec: eflags&evfSpec != 0,
+		}
 	}
-	s.eng.After(dur, simEvent{kind: evTaskDone, central: central, gen: gen, sched: sched, ref: n.id, jidx: jidx, aux: tidx})
+	if s.flt != nil {
+		dur *= s.flt.slow[n.id]
+		s.flt.fin[n.id] = s.eng.Now() + dur
+	}
+	s.eng.After(dur, simEvent{kind: evTaskDone, flags: eflags, gen: gen, sched: sched, ref: n.id, jidx: jidx, aux: tidx})
+	if s.flt != nil && s.flt.spec.Speculate && eflags == 0 {
+		// Plain probe-path task: arm the duplicate-launch timer (after the
+		// completion, so an exact tie resolves to the completion). The job
+		// slot stays referenced until the timer resolves.
+		s.jobs[jidx].probes++
+		s.eng.After(s.jobs[jidx].specThresh, simEvent{kind: evSpecLaunch, gen: gen, ref: n.id, jidx: jidx, aux: tidx})
+	}
 }
 
 // taskDone accounts a completed task and frees the slot. A job completes
 // only after all its tasks (§3.1).
 //
 //hawk:hotpath
-func (n *node) taskDone(s *simulation, jidx int32, central bool, sched uint8, now float64) {
-	if central {
+func (n *node) taskDone(s *simulation, jidx, tidx int32, flags uint8, sched uint8, now float64) {
+	if flags&evfCentral != 0 {
 		s.central.TaskFinished(int(n.id), now)
 		if s.ms != nil {
 			s.ms.mirrorTaskFinished(sched, int(n.id), now)
 		}
+	} else if s.flt != nil && s.flt.spec.Speculate {
+		s.specResolve(jidx, tidx, flags&evfSpec != 0)
 	}
 	js := &s.jobs[jidx]
 	js.finished++

@@ -326,6 +326,10 @@ func (s *simulation) commitCentral(k uint8, nodeID int, jidx, tidx int32, now fl
 	s.central.AddLoad(nodeID, now, s.jobs[jidx].estimate)
 	s.res.CentralAssigns++
 	s.res.SnapshotStalenessSeconds += now - sd.snapAt
+	if s.flt != nil {
+		s.sendAssign(int32(nodeID), jidx, tidx, k, true)
+		return
+	}
 	s.eng.After(s.cfg.NetworkDelay, simEvent{
 		kind: evTaskArrive, sched: k, ref: int32(nodeID), jidx: jidx, aux: tidx,
 	})
@@ -372,6 +376,10 @@ func (s *simulation) msReplyReady(ev simEvent) bool {
 	js.owner = uint8(owner)
 	s.res.SchedulerReassigned++
 	s.res.ProbesLost++
+	if s.flt != nil {
+		s.sendReply(ev.ref, ev.gen, ev.jidx, 0)
+		return false
+	}
 	s.eng.After(2*s.cfg.NetworkDelay, simEvent{kind: evProbeReply, gen: ev.gen, ref: ev.ref, jidx: ev.jidx})
 	return false
 }
@@ -442,6 +450,10 @@ func (s *simulation) recoverScheduler(id int32, now float64) {
 		for _, r := range replies {
 			if s.dyn != nil && s.dyn.epoch[r.node] != r.gen {
 				continue // the node failed while parked; its probe was re-sent then
+			}
+			if s.flt != nil {
+				s.sendReply(r.node, r.gen, r.jidx, 0)
+				continue
 			}
 			s.eng.After(2*s.cfg.NetworkDelay, simEvent{kind: evProbeReply, gen: r.gen, ref: r.node, jidx: r.jidx})
 		}

@@ -83,8 +83,12 @@ type jobState struct {
 	probes   int32
 	next     int32 // next task index to hand out (probe-scheduled jobs)
 	finished int32
-	long     bool
-	trueLong bool
+	// specThresh is the job's speculative re-execution delay threshold (the
+	// configured percentile of its task durations), computed once at submit;
+	// 0 unless the fault plane's speculation is on.
+	specThresh float64
+	long       bool
+	trueLong   bool
 	// outage marks jobs submitted while the centralized scheduler was
 	// scripted down (reported as JobReport.DuringOutage).
 	outage bool
@@ -187,6 +191,12 @@ type simulation struct {
 	// Multi-scheduler state; nil unless Config.Schedulers turns the model
 	// on, and every hot path guards on that (see sched.go).
 	ms *multiSched
+
+	// Fault-plane state; nil unless Config.Faults turns the gray-failure
+	// model on, and every send site guards on that (see faults.go). A fault
+	// run always carries dyn too — the defenses ride the incarnation
+	// machinery — but membership stays static without churn.
+	flt *faultState
 
 	centralDown      bool
 	centralDownSince float64
@@ -377,6 +387,21 @@ func newSimulationSource(src workload.Source, cfg policy.Config) (*simulation, e
 	if cfg.Schedulers != nil {
 		s.initMultiSched()
 	}
+	if cfg.Faults != nil {
+		// Built after initMultiSched on purpose: without churn the
+		// schedulers' snapshots alias the truth view, and forcing dyn below
+		// must not change that.
+		s.flt = newFaultState(*cfg.Faults, cfg.Seed, s.slots)
+		s.res.MessagesDropped = &s.flt.drops
+		if s.dyn == nil {
+			// The defenses (stale-completion epochs, speculative
+			// cancellation, running-task re-routes) ride the churn
+			// incarnation machinery, so a fault run always carries dynState —
+			// but membership stays static, keeping probe sampling on the
+			// dense fast path.
+			s.dyn = &dynState{epoch: make([]uint8, s.slots), run: make([]runRef, s.slots)}
+		}
+	}
 
 	if err := s.checkFeasibility(); err != nil {
 		return nil, err
@@ -434,6 +459,13 @@ func newSimulationSource(src workload.Source, cfg policy.Config) (*simulation, e
 			s.eng.At(ev.At, e)
 		}
 	}
+	// Scripted straggler events follow the same pattern: typed events in
+	// spec order, scheduled up front after sequence reservation.
+	if s.flt != nil {
+		for i, ev := range s.flt.spec.Stragglers {
+			s.eng.At(ev.At, simEvent{kind: evStraggle, aux: int32(i)})
+		}
+	}
 	return s, nil
 }
 
@@ -472,6 +504,11 @@ func (s *simulation) run() (*policy.Report, error) {
 		if n := len(s.lostProbes); n > 0 {
 			detail += fmt.Sprintf("; %d probes waiting for a live pool node", n)
 		}
+		if s.flt != nil {
+			if n := len(s.flt.starved); n > 0 {
+				detail += fmt.Sprintf("; %d placements gave up after exhausting fault retries", n)
+			}
+		}
 		if s.ms != nil {
 			if n := len(s.ms.pendingJobs) + len(s.ms.pendingProbes) + len(s.ms.pendingReplies) + len(s.ms.pendingCentral); n > 0 {
 				detail += fmt.Sprintf("; %d placements waiting for a live scheduler (scenario never recovered one?)", n)
@@ -483,11 +520,11 @@ func (s *simulation) run() (*policy.Report, error) {
 		// Outage never closed by the script: account it up to the end.
 		s.centralOutageEnd(s.eng.Now())
 	}
-	if s.cfg.Churn != nil || s.ms != nil {
-		// Scripted events and armed snapshot-refresh chains can outlive the
-		// workload (a recovery or refresh scheduled past the last
-		// completion); the makespan is still the last job's completion, not
-		// the last drained event.
+	if s.cfg.Churn != nil || s.ms != nil || s.flt != nil {
+		// Scripted events, armed snapshot-refresh chains, and fault-plane
+		// timers can outlive the workload (a recovery, refresh, or straggler
+		// scheduled past the last completion); the makespan is still the
+		// last job's completion, not the last drained event.
 		s.res.Makespan = s.lastDone
 	} else {
 		s.res.Makespan = s.eng.Now()
@@ -588,6 +625,9 @@ func (s *simulation) submit(job *workload.Job) {
 	js.long = s.classifier.IsLong(js.estimate)
 	js.trueLong = s.classifier.IsLong(job.AvgTaskDuration())
 	js.outage = s.centralDown
+	if s.flt != nil && s.flt.spec.Speculate {
+		js.specThresh = s.flt.threshold(job.Durations)
+	}
 	s.routeJob(idx)
 }
 
@@ -650,6 +690,12 @@ func (s *simulation) routeJob(idx int32) {
 func (s *simulation) probeJob(idx int32, nodeIDs []int) {
 	s.res.ProbesSent += int64(len(nodeIDs))
 	s.jobs[idx].probes += int32(len(nodeIDs))
+	if s.flt != nil {
+		for _, id := range nodeIDs {
+			s.sendProbe(idx, int32(id))
+		}
+		return
+	}
 	for _, id := range nodeIDs {
 		s.eng.After(s.cfg.NetworkDelay, simEvent{kind: evProbeArrive, ref: int32(id), jidx: idx})
 	}
@@ -680,6 +726,10 @@ func (s *simulation) centralJob(idx int32) {
 	for i := range js.durations {
 		nodeID, _ := s.central.Assign(now, js.estimate)
 		s.res.CentralAssigns++
+		if s.flt != nil {
+			s.sendAssign(int32(nodeID), idx, int32(i), 0, false)
+			continue
+		}
 		s.eng.After(s.cfg.NetworkDelay, simEvent{
 			kind: evTaskArrive, ref: int32(nodeID), jidx: idx, aux: int32(i),
 		})
@@ -704,6 +754,9 @@ func (s *simulation) attemptSteal(thief *node) {
 	s.res.StealAttempts++
 	for _, id := range candidates {
 		s.res.StealContacts++
+		if s.flt != nil && s.faultDrop(s.flt.spec.StealLoss, &s.flt.drops.Steals) {
+			continue // the contact was lost; stealing is opportunistic, move on
+		}
 		victim := &s.nodes[id]
 		if victim.queueLen() == 0 {
 			continue
