@@ -15,6 +15,11 @@
 // a bounded worker pool (internal/sweep); -jobs bounds the pool, make
 // style, and defaults to one worker per CPU. Results are byte-identical
 // for any -jobs value.
+//
+// For performance work, -cpuprofile and -memprofile write pprof profiles
+// of the whole experiment (inspect with `go tool pprof`):
+//
+//	hawkexp -exp fig5 -cpuprofile cpu.prof -memprofile mem.prof
 package main
 
 import (
@@ -22,6 +27,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -50,6 +57,12 @@ var (
 	recoverAt = flag.Float64("recover-at", 0, "simulated seconds at which failed nodes recover (0 = never)")
 	speedSkew = flag.Float64("speed-skew", 0, "fraction of nodes running at -slow-speed (0 = homogeneous)")
 	slowSpeed = flag.Float64("slow-speed", 0.5, "speed factor of the skewed nodes (1 = nominal)")
+
+	// Profiling, mirroring cmd/hawksim: macro-experiment profiles can be
+	// captured directly instead of reconstructing the sweep as a
+	// benchmark.
+	cpuProfFlag = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfFlag = flag.String("memprofile", "", "write a heap profile (taken after the run) to this file")
 
 	// Multi-scheduler overlay (see hawk.SchedulerSpec); the multisched
 	// experiment sweeps the count itself and ignores these.
@@ -153,6 +166,12 @@ func registry() []experiment {
 
 func main() {
 	flag.Parse()
+	os.Exit(realMain())
+}
+
+// realMain holds the body so deferred profile writers run before the
+// process exits (os.Exit skips defers in main).
+func realMain() int {
 	regs := registry()
 	if *listFlag || (*expFlag == "" && *traceOut == "") {
 		fmt.Println("experiments:")
@@ -160,13 +179,40 @@ func main() {
 			fmt.Printf("  %-9s %s\n", e.id, e.desc)
 		}
 		if *expFlag == "" && !*listFlag {
-			os.Exit(2)
+			return 2
 		}
-		return
+		return 0
+	}
+	if *cpuProfFlag != "" {
+		f, err := os.Create(*cpuProfFlag)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hawkexp: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "hawkexp: starting CPU profile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfFlag != "" {
+		defer func() {
+			f, err := os.Create(*memProfFlag)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hawkexp: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "hawkexp: writing heap profile: %v\n", err)
+			}
+		}()
 	}
 	if !hawk.Registered(*policyFlag) {
 		fmt.Fprintf(os.Stderr, "hawkexp: unknown policy %q (registered: %v)\n", *policyFlag, hawk.Policies())
-		os.Exit(2)
+		return 2
 	}
 	sc := experiments.Scale{NumJobs: *numJobsFlag, Seed: *seedFlag, Runs: *runsFlag}
 	if *quickFlag {
@@ -182,21 +228,21 @@ func main() {
 		t, err := experiments.GoogleTrace(sc)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "hawkexp: %v\n", err)
-			os.Exit(1)
+			return 1
 		}
 		if err := hawk.SaveTraceSource(*traceOut, hawk.NewTraceSource(t)); err != nil {
 			fmt.Fprintf(os.Stderr, "hawkexp: writing %s: %v\n", *traceOut, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("wrote %d jobs to %s\n", t.Len(), *traceOut)
-		return
+		return 0
 	}
 	// -jobs used to mean the synthetic trace size (now -numjobs); catch
 	// scripts written against the old meaning rather than silently running
 	// the default-sized trace with an absurd worker bound.
 	if *jobsFlag > 256 {
 		fmt.Fprintf(os.Stderr, "hawkexp: -jobs is the worker-pool bound (got %d); trace size moved to -numjobs\n", *jobsFlag)
-		os.Exit(2)
+		return 2
 	}
 	sc.Workers = *jobsFlag
 	ids := map[string]experiment{}
@@ -211,7 +257,7 @@ func main() {
 	} else {
 		if _, ok := ids[*expFlag]; !ok {
 			fmt.Fprintf(os.Stderr, "hawkexp: unknown experiment %q (use -list)\n", *expFlag)
-			os.Exit(2)
+			return 2
 		}
 		toRun = []string{*expFlag}
 	}
@@ -224,10 +270,11 @@ func main() {
 		start := time.Now()
 		if err := e.run(sc); err != nil {
 			fmt.Fprintf(os.Stderr, "hawkexp: %s: %v\n", e.id, err)
-			os.Exit(1)
+			return 1
 		}
 		fmt.Printf("--- %s done in %v\n\n", e.id, time.Since(start).Round(time.Millisecond))
 	}
+	return 0
 }
 
 func runTable1(sc experiments.Scale) error {

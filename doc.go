@@ -90,9 +90,17 @@
 // # Performance
 //
 // The simulator is built around a typed-event engine (internal/eventq):
-// the event heap stores flat payload structs ordered by (timestamp,
+// the event queue stores flat payload structs ordered by (timestamp,
 // sequence) and executes them through one dispatch switch, so scheduling
-// an event allocates nothing — no per-event closures. The core state is
+// an event allocates nothing — no per-event closures. Two queue backends
+// realize that contract: a hand-rolled binary heap (O(log n) per
+// operation) and the simulator's default, a calendar-style ladder
+// timeline that bins events by timestamp into bucket rungs and sorts
+// lazily on dispatch — amortized O(1) per event, with bucket storage
+// recycled through a spare pool so the steady state allocates nothing.
+// Both produce the identical dispatch order, byte for byte: the golden
+// reports predate the ladder and pass unregenerated, and a differential
+// fuzzer (FuzzLadderVsHeap) pins the equivalence. The core state is
 // data-oriented: nodes and per-job state live in dense value-slice arenas
 // and queue entries and events refer to jobs by int32 arena index, so the
 // hot structs are small, pointer-free, and invisible to the garbage
@@ -121,8 +129,9 @@
 //
 // CI treats simulator performance as a tested invariant: every push to
 // main benchmarks SimulatorThroughput, CentralQueue, LargeCluster,
-// GoogleScale, StreamGoogleScale, ChurnScale, and MultiScheduler
-// (-benchmem, -count=5) and uploads the result as a
+// GoogleScale, StreamGoogleScale, ChurnScale, MultiScheduler,
+// FaultInjection, and the eventq EngineHeap/EngineLadder
+// micro-benchmarks (-benchmem, -count=5) and uploads the result as a
 // BENCH_<sha>.json artifact, and every pull request re-runs the same
 // benchmarks on its base commit on the same runner and fails if min ns/op
 // regresses by more than 15%, or min allocs/op or min B/op by more than
@@ -136,7 +145,9 @@
 // //hawk:size and //hawk:nopointers pin the hot structs' layout,
 // //hawk:deterministic packages may not touch wall clocks, global
 // randomness, the environment, or map iteration order, hot-path
-// packages may not import container/heap, container/list, or reflect,
+// packages may not import container/heap, container/list, reflect, or
+// sort (hot paths hand-roll their comparison sorts instead of paying
+// sort's interface boxing and closure allocations),
 // and //hawk:exporteddoc packages (the public API surface) must document
 // every exported symbol. CI
 // runs the suite on every push together with a negative self-test over a

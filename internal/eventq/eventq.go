@@ -1,8 +1,8 @@
 // Package eventq implements the discrete-event engine underlying the
 // trace-driven cluster simulator.
 //
-// The engine is a typed-event design: a binary-heap priority queue of flat
-// event records — timestamp, sequence number, and a caller-defined payload —
+// The engine is a typed-event design: a priority queue of flat event
+// records — timestamp, sequence number, and a caller-defined payload —
 // with a virtual clock. Engine is generic over the payload type E, and
 // executing an event means handing its payload to the single dispatch
 // function supplied at construction. This is deliberate: the obvious
@@ -10,22 +10,36 @@
 // its captured variables) per scheduled event, and the engine is the
 // simulator's hottest call site — a run executes hundreds of thousands of
 // events. With a small struct payload (the simulator uses a 16-byte
-// pointer-free union of tag bytes and int32 arena indices, so the heap is
+// pointer-free union of tag bytes and int32 arena indices, so the queue is
 // also opaque to the garbage collector), pushing, popping, and dispatching
 // events performs zero heap allocations; the only allocations the engine
-// ever makes are the amortized growths of the backing array, and New's
+// ever makes are the amortized growths of the backing arrays, and New's
 // capacity hint removes even those when the caller can bound the live
 // event count.
 //
-// The heap is likewise hand-rolled over a []event[E] rather than built on
-// container/heap, whose interface would box every element through
-// interface{} on push and pop.
+// # Backends
+//
+// The queue behind the engine is selectable at construction
+// (WithBackend); both backends realize the identical total order, so a
+// run's output is backend-independent, byte for byte.
+//
+//   - BackendHeap: a binary min-heap over a []event[E]. O(log n) per
+//     operation, no tuning, strictly bounded worst case. Hand-rolled
+//     rather than built on container/heap, whose interface would box
+//     every element through interface{} on push and pop.
+//
+//   - BackendLadder: a ladder (calendar) timeline — events binned by
+//     timestamp into bucket rungs over a moving time window, buckets
+//     sorted lazily on first pop, with an unsorted overflow tier for
+//     far-future timers. Amortized O(1) per operation; the default for
+//     internal/sim. See ladder.go for the structure and the argument
+//     for why its order is exactly the heap's.
 //
 // # Ordering invariant
 //
 // Events fire in nondecreasing timestamp order, and events scheduled for the
 // same instant fire in scheduling (insertion) order: every event carries a
-// monotonically increasing sequence number assigned by At, and the heap
+// monotonically increasing sequence number assigned by At, and the queue
 // orders by (timestamp, sequence). A caller that schedules events lazily
 // but needs them ordered as if scheduled up front can reserve the low end
 // of the sequence space with ReserveSeqs and place events there with
@@ -44,32 +58,67 @@
 //hawk:deterministic
 package eventq
 
+// Backend selects the priority-queue implementation behind an Engine.
+// Both backends produce the identical dispatch order; they differ only
+// in cost model (see the package comment).
+type Backend uint8
+
+const (
+	// BackendHeap is the binary min-heap: O(log n) per operation.
+	BackendHeap Backend = iota
+	// BackendLadder is the ladder timeline: amortized O(1) per
+	// operation on workloads whose pending window moves forward, which
+	// is every discrete-event simulation.
+	BackendLadder
+)
+
+// Option configures an Engine at construction time.
+type Option func(*config)
+
+type config struct {
+	backend Backend
+}
+
+// WithBackend selects the queue implementation. The default is
+// BackendHeap.
+func WithBackend(b Backend) Option {
+	//hawk:allow construction-time option closure, one per New call, never on the event loop
+	return func(c *config) { c.backend = b }
+}
+
 // Engine is a discrete-event simulation engine over payloads of type E.
 // The zero value is not usable; call New.
 type Engine[E any] struct {
 	now          float64
 	seq          uint64
-	reserved     uint64 // low sequence numbers set aside by ReserveSeqs
-	lastReserved uint64 // highest reserved seq used so far (must increase)
-	events       eventHeap[E]
-	count        uint64 // total events executed
-	maxLen       int    // peak number of simultaneously pending events
+	reserved     uint64       // low sequence numbers set aside by ReserveSeqs
+	lastReserved uint64       // highest reserved seq used so far (must increase)
+	events       eventHeap[E] // heap backend; unused when lad != nil
+	lad          *ladder[E]   // ladder backend; nil selects the heap
+	count        uint64       // total events executed
+	maxLen       int          // peak number of simultaneously pending events
 	dispatch     func(now float64, ev E)
 }
 
 // New returns an empty engine with the clock at zero. dispatch is invoked
 // once per executed event, with the clock already advanced to the event's
-// timestamp; it must not be nil. capacity pre-sizes the event heap,
+// timestamp; it must not be nil. capacity pre-sizes the event queue,
 // eliminating growth-path copies on the hot loop: size it to the largest
 // number of events expected to be pending at once (internal/sim derives a
 // deliberately generous bound from its trace — see the hint comment in
 // sim.Run). Zero is valid and simply means "grow on demand".
-func New[E any](dispatch func(now float64, ev E), capacity int) *Engine[E] {
+func New[E any](dispatch func(now float64, ev E), capacity int, opts ...Option) *Engine[E] {
 	if dispatch == nil {
 		panic("eventq: nil dispatch")
 	}
+	var cfg config
+	for _, o := range opts {
+		o(&cfg)
+	}
 	e := &Engine[E]{dispatch: dispatch}
-	if capacity > 0 {
+	if cfg.backend == BackendLadder {
+		e.lad = newLadder[E](capacity)
+	} else if capacity > 0 {
 		e.events = make(eventHeap[E], 0, capacity)
 	}
 	return e
@@ -82,19 +131,30 @@ func (e *Engine[E]) Now() float64 { return e.now }
 func (e *Engine[E]) Executed() uint64 { return e.count }
 
 // Pending returns the number of events waiting in the queue.
-func (e *Engine[E]) Pending() int { return len(e.events) }
+func (e *Engine[E]) Pending() int {
+	if e.lad != nil {
+		return e.lad.n
+	}
+	return len(e.events)
+}
 
 // MaxPending returns the peak number of events that were pending at any one
-// instant so far. It is the engine's live-memory high-water mark: the heap's
+// instant so far. It is the engine's live-memory high-water mark: the queue's
 // working set is MaxPending events, however many events a run executes in
 // total. Callers that feed the engine lazily (internal/sim chains trace
 // submissions one at a time instead of preloading them) use it to verify
 // the queue stays O(in-flight state) rather than O(trace).
 func (e *Engine[E]) MaxPending() int { return e.maxLen }
 
-// Cap returns the current capacity of the event heap (for tests and
-// introspection of the pre-sizing hint).
-func (e *Engine[E]) Cap() int { return cap(e.events) }
+// Cap returns the current capacity of the backing array New's hint
+// pre-sizes (for tests and introspection): the heap's event array, or the
+// ladder's overflow tier, which is where a pre-loaded schedule lands.
+func (e *Engine[E]) Cap() int {
+	if e.lad != nil {
+		return cap(e.lad.top)
+	}
+	return cap(e.events)
+}
 
 // At schedules ev to be dispatched at absolute virtual time t. Scheduling
 // in the past (t < Now) is clamped to Now: the event fires before any later
@@ -113,9 +173,16 @@ func (e *Engine[E]) schedule(t float64, seq uint64, ev E) {
 	if t < e.now {
 		t = e.now
 	}
-	e.events.push(event[E]{at: t, seq: seq, payload: ev})
-	if len(e.events) > e.maxLen {
-		e.maxLen = len(e.events)
+	var n int
+	if e.lad != nil {
+		e.lad.push(event[E]{at: t, seq: seq, payload: ev})
+		n = e.lad.n
+	} else {
+		e.events.push(event[E]{at: t, seq: seq, payload: ev})
+		n = len(e.events)
+	}
+	if n > e.maxLen {
+		e.maxLen = n
 	}
 }
 
@@ -133,7 +200,7 @@ func (e *Engine[E]) After(d float64, ev E) {
 // pushed up front, before anything else: a reserved event wins every
 // equal-timestamp tie against normally scheduled events.
 func (e *Engine[E]) ReserveSeqs(n uint64) {
-	if e.seq != 0 || len(e.events) != 0 {
+	if e.seq != 0 || e.Pending() != 0 {
 		panic("eventq: ReserveSeqs after events were scheduled")
 	}
 	e.seq = n
@@ -144,7 +211,7 @@ func (e *Engine[E]) ReserveSeqs(n uint64) {
 // reserved sequence number (1-based, at most the ReserveSeqs count).
 // Scheduling in the past is clamped to Now, as in At. Reserved sequence
 // numbers must be used in strictly increasing order — enforced, because a
-// duplicated seq would give the heap two entries with an identical
+// duplicated seq would give the queue two entries with an identical
 // (timestamp, sequence) rank and silently break the total order the
 // engine's determinism guarantee rests on.
 func (e *Engine[E]) AtReserved(t float64, seq uint64, ev E) {
@@ -161,14 +228,41 @@ func (e *Engine[E]) AtReserved(t float64, seq uint64, ev E) {
 // Step executes the single earliest pending event, advancing the clock.
 // It returns false when the queue is empty.
 func (e *Engine[E]) Step() bool {
-	if len(e.events) == 0 {
-		return false
+	var ev event[E]
+	if e.lad != nil {
+		p := e.lad.front()
+		if p == nil {
+			return false
+		}
+		ev = *p
+		e.lad.advance()
+	} else {
+		if len(e.events) == 0 {
+			return false
+		}
+		ev = e.events.pop()
 	}
-	ev := e.events.pop()
 	e.now = ev.at
 	e.count++
 	e.dispatch(e.now, ev.payload)
 	return true
+}
+
+// peekAt reports the timestamp of the earliest pending event. For the
+// ladder backend this may sort or re-bucket internally, but never changes
+// the dispatch order.
+func (e *Engine[E]) peekAt() (float64, bool) {
+	if e.lad != nil {
+		p := e.lad.front()
+		if p == nil {
+			return 0, false
+		}
+		return p.at, true
+	}
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].at, true
 }
 
 // Run executes events until the queue drains.
@@ -181,7 +275,11 @@ func (e *Engine[E]) Run() {
 // queued and the clock at the last executed event (or deadline if the first
 // pending event lies beyond it).
 func (e *Engine[E]) RunUntil(deadline float64) {
-	for len(e.events) > 0 && e.events[0].at <= deadline {
+	for {
+		at, ok := e.peekAt()
+		if !ok || at > deadline {
+			break
+		}
 		e.Step()
 	}
 	if e.now < deadline {
@@ -189,69 +287,18 @@ func (e *Engine[E]) RunUntil(deadline float64) {
 	}
 }
 
+// event is one queue entry: the (at, seq) rank plus the caller's payload.
 type event[E any] struct {
 	at      float64
 	seq     uint64
 	payload E
 }
 
-// eventHeap is a hand-rolled binary min-heap ordered by (at, seq). It
-// deliberately does not implement container/heap.Interface: that interface
-// moves elements through interface{}, which would allocate on every push
-// and pop.
-type eventHeap[E any] []event[E]
-
-func (h eventHeap[E]) less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventLess is the total order both backends realize: nondecreasing
+// timestamp, FIFO sequence number within a timestamp.
+func eventLess[E any](a, b *event[E]) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-
-func (h *eventHeap[E]) push(ev event[E]) {
-	*h = append(*h, ev)
-	h.siftUp(len(*h) - 1)
-}
-
-func (h *eventHeap[E]) pop() event[E] {
-	old := *h
-	top := old[0]
-	n := len(old) - 1
-	old[0] = old[n]
-	old[n] = event[E]{} // drop payload references so they can be collected
-	*h = old[:n]
-	if n > 1 {
-		old[:n].siftDown(0)
-	}
-	return top
-}
-
-func (h eventHeap[E]) siftUp(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !h.less(i, parent) {
-			return
-		}
-		h[i], h[parent] = h[parent], h[i]
-		i = parent
-	}
-}
-
-func (h eventHeap[E]) siftDown(i int) {
-	n := len(h)
-	for {
-		left := 2*i + 1
-		if left >= n {
-			return
-		}
-		j := left
-		if right := left + 1; right < n && h.less(right, left) {
-			j = right
-		}
-		if !h.less(j, i) {
-			return
-		}
-		h[i], h[j] = h[j], h[i]
-		i = j
-	}
+	return a.seq < b.seq
 }

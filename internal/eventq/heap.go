@@ -1,0 +1,62 @@
+package eventq
+
+// eventHeap is a hand-rolled binary min-heap ordered by (at, seq). It
+// deliberately does not implement container/heap.Interface: that interface
+// moves elements through interface{}, which would allocate on every push
+// and pop.
+type eventHeap[E any] []event[E]
+
+func (h eventHeap[E]) less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *eventHeap[E]) push(ev event[E]) {
+	*h = append(*h, ev)
+	h.siftUp(len(*h) - 1)
+}
+
+func (h *eventHeap[E]) pop() event[E] {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = event[E]{} // drop payload references so they can be collected
+	*h = old[:n]
+	if n > 1 {
+		old[:n].siftDown(0)
+	}
+	return top
+}
+
+func (h eventHeap[E]) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			return
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h eventHeap[E]) siftDown(i int) {
+	n := len(h)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		j := left
+		if right := left + 1; right < n && h.less(right, left) {
+			j = right
+		}
+		if !h.less(j, i) {
+			return
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+}

@@ -7,18 +7,22 @@ import (
 	"repro/internal/lint/analysis"
 )
 
-// Imports forbids the boxed-container and reflection packages in hot-path
-// packages — any package containing a //hawk:hotpath annotation (package-
-// or function-level). The event queue (PR 2) and the central scheduler's
-// server heap (PR 3) are hand-rolled precisely because container/heap and
-// container/list move every element through interface{}, allocating on
-// each push and pop; importing them back into a hot package is invariably
-// the first step of undoing that work. reflect is banned for the same
-// reason plus its cost model. Test files are exempt (reflect.DeepEqual in
-// assertions is fine).
+// Imports forbids the boxed-container, reflection, and sorting packages in
+// hot-path packages — any package containing a //hawk:hotpath annotation
+// (package- or function-level). The event queue (PR 2) and the central
+// scheduler's server heap (PR 3) are hand-rolled precisely because
+// container/heap and container/list move every element through
+// interface{}, allocating on each push and pop; importing them back into a
+// hot package is invariably the first step of undoing that work. reflect
+// is banned for the same reason plus its cost model. sort is banned
+// because sort.Slice boxes the slice through interface{} and allocates its
+// comparison closure per call (and sort.Sort boxes through sort.Interface)
+// — the ladder timeline (PR 10) carries its own insertion sort instead;
+// cold-path uses justify themselves with //hawk:allow. Test files are
+// exempt (reflect.DeepEqual and sort in assertions are fine).
 var Imports = &analysis.Analyzer{
 	Name: "imports",
-	Doc:  "forbid container/heap, container/list, and reflect in hot-path packages",
+	Doc:  "forbid container/heap, container/list, reflect, and sort in hot-path packages",
 	Run:  runImports,
 }
 
@@ -27,6 +31,7 @@ var forbiddenImports = map[string]string{
 	"container/heap": "boxes every element through interface{} on push/pop; use a hand-rolled heap over a concrete slice (see internal/eventq)",
 	"container/list": "one heap allocation and pointer chase per element; use a slice-backed structure",
 	"reflect":        "defeats the static layout discipline and allocates through interface boxing",
+	"sort":           "sort.Slice boxes through interface{} and allocates its closure per call; hand-roll the sort over the concrete slice (see internal/eventq's ladder) or //hawk:allow a cold-path use",
 }
 
 func runImports(pass *analysis.Pass) (any, error) {

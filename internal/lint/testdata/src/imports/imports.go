@@ -8,7 +8,7 @@ import (
 	"container/heap" // want `hot-path package imports container/heap`
 	"container/list" // want `hot-path package imports container/list`
 	"reflect"        // want `hot-path package imports reflect`
-	"sort"
+	"sort"           // want `hot-path package imports sort`
 )
 
 func use(h heap.Interface, vs []int) int {

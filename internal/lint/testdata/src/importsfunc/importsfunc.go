@@ -1,8 +1,17 @@
 // Package importsfunc has no package-level annotation; one annotated
 // function is enough to make the whole package hot for the import rules.
+// The justified sort import shows //hawk:allow suppressing the finding
+// for a cold-path use.
 package importsfunc
 
-import "container/list" // want `hot-path package imports container/list`
+import (
+	"container/list" // want `hot-path package imports container/list`
+
+	//hawk:allow cold-path report formatting only, never on the event loop
+	"sort"
+)
 
 //hawk:hotpath
 func hot(l *list.List) int { return l.Len() }
+
+func cold(vs []int) { sort.Ints(vs) }

@@ -13,6 +13,7 @@ package selftest
 import (
 	"container/list" // imports: forbidden in a hot-path package
 	"fmt"
+	"sort" // imports: forbidden in a hot-path package
 	"time"
 )
 
@@ -34,5 +35,6 @@ func hot(w wide) string {
 		w.a += float64(k)
 	}
 	_ = list.New()                        // uses the forbidden import
+	sort.Ints(w.ptrs)                     // uses the other forbidden import
 	return fmt.Sprint(time.Now(), w.ptrs) // hotalloc: fmt; determinism: wall clock
 }

@@ -24,7 +24,10 @@ package policy
 
 import (
 	"fmt"
+
+	//hawk:allow registry-listing order only, once per process, never per event
 	"sort"
+
 	"sync"
 )
 

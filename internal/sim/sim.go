@@ -55,6 +55,14 @@ import (
 // only avoids early growth copies without committing trace-sized memory.
 const streamArenaHint = 1024
 
+// engineBackend selects the event-queue implementation behind every run.
+// The ladder timeline dispatches the byte-identical event order at
+// amortized O(1) instead of the heap's O(log n) — the golden suite pins
+// the equivalence, and TestBackendsProduceIdenticalReports re-checks it
+// directly by flipping this back to the heap. A var rather than a const
+// only so tests can do that flip.
+var engineBackend = eventq.BackendLadder
+
 // jobState tracks one job while it runs. States live in the simulation's
 // flat jobs arena and are referenced everywhere by int32 index (on a
 // materialized run, the trace position; on a streamed run, a recycled
@@ -332,7 +340,7 @@ func newSimulationSource(src workload.Source, cfg policy.Config) (*simulation, e
 		traceBound := 2 + meta.NumJobs + 3*int(meta.TotalTasks)
 		heapHint = min(heapHint, traceBound)
 	}
-	s.eng = eventq.New(s.dispatch, heapHint)
+	s.eng = eventq.New(s.dispatch, heapHint, eventq.WithBackend(engineBackend))
 
 	// One flat arena per hot structure: node and job state become
 	// sequential array indexing instead of 15k–170k individually

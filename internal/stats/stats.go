@@ -11,6 +11,8 @@ package stats
 import (
 	"fmt"
 	"math"
+
+	//hawk:allow report-time percentile/CDF summarization only; the hot path uses reservoir.Add
 	"sort"
 )
 
